@@ -1,0 +1,131 @@
+// Ablations of NetShare's design insights (DESIGN.md Sec. 3):
+//   I1 — flow-split time-series formulation vs per-record tabular (CTGAN),
+//   I2 — IP2Vec ports vs bit-encoded ports; log transform vs min-max,
+//   I3 — chunked fine-tuning vs naive parallel (fresh models per chunk) vs
+//        monolithic NetShare-V0 (cost + fidelity), and flow tags on/off.
+#include <iostream>
+
+#include "datagen/presets.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+#include "metrics/field_metrics.hpp"
+
+using namespace netshare;
+
+namespace {
+
+struct VariantResult {
+  std::string name;
+  double cpu = 0.0;
+  metrics::FidelityReport report;
+  double multi_record_share = 0.0;
+};
+
+VariantResult run_variant(const std::string& name, core::NetShareConfig cfg,
+                          const net::FlowTrace& real, std::uint64_t seed) {
+  std::cerr << "  [fit] " << name << "...\n";
+  cfg.seed = seed;
+  core::NetShare model(cfg, eval::shared_public_ip2vec());
+  model.fit(real);
+  Rng rng(seed + 1);
+  const auto syn = model.generate_flows(real.size(), rng);
+  VariantResult res;
+  res.name = name;
+  res.cpu = model.train_cpu_seconds();
+  res.report = metrics::compare_flows(real, syn);
+  std::size_t multi = 0, groups = 0;
+  for (const auto& [key, idx] : syn.group_by_flow()) {
+    (void)key;
+    ++groups;
+    multi += idx.size() > 1;
+  }
+  res.multi_record_share =
+      groups ? static_cast<double>(multi) / static_cast<double>(groups) : 0.0;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  eval::EvalOptions opt;
+  const auto bundle = datagen::make_dataset(datagen::DatasetId::kUgr16, 1200, 3001);
+  const core::NetShareConfig base = eval::bench_netshare_config(opt);
+
+  std::vector<VariantResult> variants;
+  variants.push_back(run_variant("NetShare (full)", base, bundle.flows, 3010));
+
+  {  // I2a: bit-encoded ports instead of IP2Vec.
+    core::NetShareConfig cfg = base;
+    cfg.use_ip2vec_ports = false;
+    variants.push_back(run_variant("I2a: bit-encoded ports", cfg, bundle.flows, 3011));
+  }
+  {  // I2b: min-max instead of log transform on counters.
+    core::NetShareConfig cfg = base;
+    cfg.log_transform = false;
+    variants.push_back(run_variant("I2b: min-max counters", cfg, bundle.flows, 3012));
+  }
+  {  // I3a: naive parallel (fresh model per chunk, full budget each).
+    core::NetShareConfig cfg = base;
+    cfg.naive_parallel = true;
+    variants.push_back(run_variant("I3a: naive parallel", cfg, bundle.flows, 3013));
+  }
+  {  // I3b: monolithic V0 with the equivalent total budget.
+    core::NetShareConfig cfg = base;
+    cfg.netshare_v0 = true;
+    cfg.seed_iterations =
+        base.seed_iterations +
+        static_cast<int>(base.num_chunks - 1) * base.finetune_iterations;
+    variants.push_back(run_variant("I3b: NetShare-V0", cfg, bundle.flows, 3014));
+  }
+  {  // I3c: flow tags off.
+    core::NetShareConfig cfg = base;
+    cfg.use_flow_tags = false;
+    variants.push_back(run_variant("I3c: no flow tags", cfg, bundle.flows, 3015));
+  }
+
+  eval::print_banner(std::cout, "Insight ablations on UGR16 (NetFlow)");
+  eval::TextTable table({"variant", "train CPU (s)", "avg JSD", "DP JSD",
+                         "PKT EMD", "BYT EMD", "multi-record share"});
+  for (const auto& v : variants) {
+    table.add_row({v.name, eval::format_double(v.cpu, 1),
+                   eval::format_double(v.report.mean_jsd(), 3),
+                   eval::format_double(v.report.jsd.at("DP"), 3),
+                   eval::format_double(v.report.emd.at("PKT"), 1),
+                   eval::format_double(v.report.emd.at("BYT"), 1),
+                   eval::format_double(v.multi_record_share, 3)});
+  }
+  table.print(std::cout);
+
+  // I1: the tabular formulation cannot produce multi-record 5-tuples.
+  eval::print_banner(std::cout,
+                     "I1: flow-split time series vs per-record tabular");
+  {
+    gan::CtganFlow ctgan({gan::TabularGanConfig{}, 3}, 3016);
+    std::cerr << "  [fit] CTGAN (tabular formulation)...\n";
+    ctgan.fit(bundle.flows);
+    Rng rng(3017);
+    const auto syn = ctgan.generate(bundle.flows.size(), rng);
+    std::size_t multi = 0, groups = 0;
+    for (const auto& [key, idx] : syn.group_by_flow()) {
+      (void)key;
+      ++groups;
+      multi += idx.size() > 1;
+    }
+    std::size_t real_multi = 0, real_groups = 0;
+    for (const auto& [key, idx] : bundle.flows.group_by_flow()) {
+      (void)key;
+      ++real_groups;
+      real_multi += idx.size() > 1;
+    }
+    std::cout << "real multi-record 5-tuple share: "
+              << eval::format_double(
+                     static_cast<double>(real_multi) / real_groups, 3)
+              << "; NetShare: "
+              << eval::format_double(variants[0].multi_record_share, 3)
+              << "; tabular CTGAN: "
+              << eval::format_double(
+                     groups ? static_cast<double>(multi) / groups : 0.0, 3)
+              << '\n';
+  }
+  return 0;
+}

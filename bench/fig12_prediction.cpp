@@ -1,0 +1,93 @@
+// Figure 12 + Table 3: flow-based traffic-type prediction.
+//
+// Protocol (Fig. 11): real data A is split by time into train/test; each
+// generator produces synthetic B (and B'). Accuracy preservation: train on
+// synthetic B, test on real A' — compared with train-on-real. Order
+// preservation (Table 3): Spearman rank correlation between the five
+// classifiers' rankings on real(train)/real(test) vs synth(train)/
+// synth(test).
+#include <iostream>
+
+#include "datagen/presets.hpp"
+#include "downstream/classifier.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+#include "metrics/rank.hpp"
+
+using namespace netshare;
+
+namespace {
+
+const std::vector<std::string> kModels{"DT", "LR", "RF", "GB", "MLP"};
+
+std::vector<double> accuracies(const downstream::LabeledDataset& train,
+                               const downstream::LabeledDataset& test,
+                               std::uint64_t seed) {
+  std::vector<double> acc;
+  for (const auto& kind : kModels) {
+    auto clf = downstream::make_classifier(kind, seed++);
+    clf->fit(train);
+    acc.push_back(clf->accuracy(test));
+  }
+  return acc;
+}
+
+void prediction_experiment(datagen::DatasetId dataset, std::size_t records,
+                           std::uint64_t seed, bool print_fig12,
+                           eval::TextTable& table3) {
+  const auto bundle = datagen::make_dataset(dataset, records, seed);
+  const auto [real_train, real_test] =
+      downstream::time_split(bundle.flows, 0.8);
+  const auto real_acc = accuracies(real_train, real_test, seed + 1);
+
+  eval::EvalOptions opt;
+  auto runs = eval::run_flow_models(eval::standard_flow_models(opt),
+                                    bundle.flows, bundle.flows.size(), seed + 2);
+
+  eval::TextTable fig12({"generator", "DT", "LR", "RF", "GB", "MLP"});
+  fig12.add_row("Real", real_acc);
+
+  std::vector<std::string> names{"Real"};
+  std::vector<std::vector<double>> synth_self_acc;  // B-train / B'-test
+  for (const auto& run : runs) {
+    // Accuracy preservation: train on synthetic, test on real.
+    const auto [syn_train, syn_unused] =
+        downstream::time_split(run.synthetic, 0.8);
+    (void)syn_unused;
+    fig12.add_row(run.name, accuracies(syn_train, real_test, seed + 3));
+    // Order preservation: train & test on synthetic.
+    const auto [bt, bp] = downstream::time_split(run.synthetic, 0.8);
+    synth_self_acc.push_back(accuracies(bt, bp, seed + 4));
+    names.push_back(run.name);
+  }
+
+  if (print_fig12) {
+    eval::print_banner(std::cout,
+                       "Figure 12: traffic-type prediction accuracy on " +
+                           bundle.name +
+                           " (train on synthetic, test on real)");
+    fig12.print(std::cout);
+  }
+
+  // Table 3 row: rank correlation of classifier rankings.
+  std::vector<std::string> row{bundle.name};
+  for (std::size_t m = 0; m < synth_self_acc.size(); ++m) {
+    row.push_back(eval::format_double(
+        metrics::spearman(real_acc, synth_self_acc[m]), 2));
+  }
+  table3.add_row(std::move(row));
+}
+
+}  // namespace
+
+int main() {
+  eval::TextTable table3(
+      {"dataset", "NetShare", "CTGAN", "E-WGAN-GP", "STAN"});
+  prediction_experiment(datagen::DatasetId::kTon, 1200, 1201, true, table3);
+  prediction_experiment(datagen::DatasetId::kCidds, 1200, 1202, false, table3);
+  eval::print_banner(std::cout,
+                     "Table 3: rank correlation of prediction algorithms "
+                     "(higher is better)");
+  table3.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 13: relative error of heavy-hitter count estimation by four
+// sketching algorithms (CMS, CS, UnivMon, NitroSketch) on real vs synthetic
+// PCAP traces. For each sketch we compute its HH estimation error on the
+// real trace and on each model's synthetic trace (10 independent sketch
+// seeds), and report |err_syn - err_real| / err_real. Heavy-hitter keys per
+// the paper: destination IP (CAIDA), source IP (DC), five-tuple (CA). A
+// model is N/A if its synthetic trace contains no heavy hitters.
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "datagen/presets.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+#include "metrics/rank.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/count_sketch.hpp"
+#include "sketch/heavy_hitter.hpp"
+#include "sketch/nitrosketch.hpp"
+#include "sketch/univmon.hpp"
+
+using namespace netshare;
+
+namespace {
+
+// The paper uses 0.1% of 1M records; at this repo's trace sizes (~2000
+// packets) the same fraction would make 2-packet flows "heavy". We keep the
+// heavy-hitter *count* comparable by using 1%.
+constexpr double kHhThreshold = 0.01;
+constexpr int kRuns = 10;
+
+// Roughly memory-matched sketches (the paper matches memory across sketches).
+std::unique_ptr<sketch::Sketch> make_sketch(const std::string& kind,
+                                            std::uint64_t seed) {
+  // Sketch widths scaled to the trace sizes so the real traces already
+  // produce non-trivial estimation error (as the paper's 1M-record traces
+  // do against its memory budgets).
+  if (kind == "CMS") return std::make_unique<sketch::CountMinSketch>(3, 96, seed);
+  if (kind == "CS") return std::make_unique<sketch::CountSketch>(3, 96, seed);
+  if (kind == "UnivMon") {
+    return std::make_unique<sketch::UnivMon>(4, 3, 32, seed);
+  }
+  return std::make_unique<sketch::NitroSketch>(3, 96, 0.3, seed);
+}
+
+const std::vector<std::string> kSketches{"CMS", "CS", "UnivMon", "NitroSketch"};
+
+// Mean HH estimation error over kRuns sketch seeds; nullopt if no HHs.
+std::optional<double> mean_hh_error(const std::string& kind,
+                                    const std::vector<std::uint64_t>& keys) {
+  double total = 0.0;
+  for (int r = 0; r < kRuns; ++r) {
+    auto s = make_sketch(kind, 1000 + static_cast<std::uint64_t>(r));
+    const auto report = sketch::evaluate_heavy_hitters(*s, keys, kHhThreshold);
+    if (report.num_heavy == 0) return std::nullopt;
+    total += report.mean_relative_error;
+  }
+  return total / kRuns;
+}
+
+void sketch_figure(const std::string& title, datagen::DatasetId dataset,
+                   sketch::HeavyHitterKey key_kind, std::size_t records,
+                   std::uint64_t seed) {
+  eval::print_banner(std::cout, title);
+  const auto bundle = datagen::make_dataset(dataset, records, seed);
+  const auto real_keys = sketch::extract_keys(bundle.packets, key_kind);
+
+  eval::EvalOptions opt;
+  auto runs = eval::run_packet_models(eval::standard_packet_models(opt),
+                                      bundle.packets, bundle.packets.size(),
+                                      seed + 1);
+
+  std::vector<std::string> header{"model"};
+  for (const auto& s : kSketches) header.push_back(s);
+  eval::TextTable table(std::move(header));
+
+  // Real sketch errors (denominators).
+  std::vector<std::optional<double>> real_err;
+  for (const auto& s : kSketches) real_err.push_back(mean_hh_error(s, real_keys));
+
+  // Per-model relative errors + rank correlation of sketch orderings.
+  std::vector<double> real_rank_vals;
+  for (const auto& e : real_err) real_rank_vals.push_back(e.value_or(0.0));
+
+  for (const auto& run : runs) {
+    const auto syn_keys = sketch::extract_keys(run.synthetic, key_kind);
+    std::vector<std::string> cells{run.name};
+    std::vector<double> syn_rank_vals;
+    bool all_valid = true;
+    for (std::size_t s = 0; s < kSketches.size(); ++s) {
+      const auto syn_err = mean_hh_error(kSketches[s], syn_keys);
+      if (!syn_err || !real_err[s] || *real_err[s] <= 0.0) {
+        cells.push_back("N/A");
+        all_valid = false;
+        syn_rank_vals.push_back(0.0);
+        continue;
+      }
+      const double rel = std::fabs(*syn_err - *real_err[s]) / *real_err[s];
+      cells.push_back(eval::format_double(100.0 * rel, 1) + "%");
+      syn_rank_vals.push_back(*syn_err);
+    }
+    if (all_valid) {
+      cells.push_back("rank-corr " +
+                      eval::format_double(
+                          metrics::spearman(real_rank_vals, syn_rank_vals), 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  sketch_figure("Figure 13a: CAIDA (HH key: destination IP)",
+                datagen::DatasetId::kCaida, sketch::HeavyHitterKey::kDstIp,
+                2500, 1301);
+  sketch_figure("Figure 13b: DC (HH key: source IP)", datagen::DatasetId::kDc,
+                sketch::HeavyHitterKey::kSrcIp, 2500, 1302);
+  sketch_figure("Figure 13c: CA (HH key: five-tuple)", datagen::DatasetId::kCa,
+                sketch::HeavyHitterKey::kFiveTuple, 2500, 1303);
+  std::cout << "\nExpected shape (paper): NetShare achieves the smallest "
+               "relative errors (~48% smaller on average) and preserves "
+               "sketch rankings.\n";
+  return 0;
+}

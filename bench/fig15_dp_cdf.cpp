@@ -1,0 +1,99 @@
+// Figure 15: packet-level query distributions under DP on CAIDA-like data —
+// source-port and packet-length CDFs for: real data, NetShare without noise
+// (eps = inf), naive DP-SGD at eps = 24, and DP with same-domain public
+// pretraining at eps = 24.
+#include <iostream>
+#include <optional>
+
+#include "datagen/presets.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+#include "privacy/accountant.hpp"
+
+using namespace netshare;
+
+namespace {
+
+core::NetShareConfig base_config(bool dp) {
+  eval::EvalOptions opt;
+  core::NetShareConfig cfg = eval::bench_netshare_config(opt);
+  cfg.netshare_v0 = true;
+  cfg.max_seq_len = 6;
+  cfg.seed_iterations = eval::scaled(dp ? 80 : 300);
+  cfg.dg.batch_size = dp ? 16 : 64;
+  cfg.dp = dp;
+  return cfg;
+}
+
+net::PacketTrace train_and_generate(
+    const net::PacketTrace& priv,
+    const std::optional<std::vector<double>>& snapshot, bool dp,
+    double target_eps, std::uint64_t seed) {
+  core::NetShareConfig cfg = base_config(dp);
+  cfg.seed = seed;
+  cfg.public_snapshot = snapshot;
+  if (dp) {
+    const double q = static_cast<double>(cfg.dg.batch_size) /
+                     static_cast<double>(priv.size());
+    const auto steps = static_cast<std::size_t>(cfg.seed_iterations) *
+                       static_cast<std::size_t>(cfg.dg.d_steps_per_g);
+    cfg.dp_config.noise_multiplier =
+        privacy::noise_multiplier_for_epsilon(target_eps, q, steps, 1e-5);
+  }
+  core::NetShare model(cfg, eval::shared_public_ip2vec());
+  model.fit(priv);
+  Rng rng(seed + 1);
+  return model.generate_packets(priv.size(), rng);
+}
+
+std::vector<double> src_ports(const net::PacketTrace& t) {
+  std::vector<double> v;
+  for (const auto& p : t.packets) v.push_back(p.key.src_port);
+  return v;
+}
+std::vector<double> sizes(const net::PacketTrace& t) {
+  std::vector<double> v;
+  for (const auto& p : t.packets) v.push_back(static_cast<double>(p.size));
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const auto priv = datagen::make_dataset(datagen::DatasetId::kCaida, 900, 1501);
+  const auto pub = datagen::make_dataset(datagen::DatasetId::kCaidaPub, 900, 1502);
+
+  std::cerr << "  [pretrain] public model...\n";
+  std::vector<double> same_snap;
+  {
+    core::NetShareConfig cfg = base_config(false);
+    core::NetShare pub_model(cfg, eval::shared_public_ip2vec());
+    pub_model.fit(pub.packets);
+    same_snap = pub_model.snapshot();
+  }
+
+  std::cerr << "  [train] eps=inf...\n";
+  const auto no_dp = train_and_generate(priv.packets, std::nullopt, false, 0, 1510);
+  std::cerr << "  [train] naive DP eps=24...\n";
+  const auto naive = train_and_generate(priv.packets, std::nullopt, true, 24.0, 1511);
+  std::cerr << "  [train] DP-pretrain-SAME eps=24...\n";
+  const auto pre = train_and_generate(priv.packets, same_snap, true, 24.0, 1512);
+
+  eval::print_banner(std::cout, "Figure 15a: source port number CDF");
+  eval::print_cdf(std::cout, "Real", src_ports(priv.packets));
+  eval::print_cdf(std::cout, "NetShare (eps=inf)", src_ports(no_dp));
+  eval::print_cdf(std::cout, "NetShare (eps=24, Naive DP)", src_ports(naive));
+  eval::print_cdf(std::cout, "NetShare (eps=24, DP-pretrain-SAME)",
+                  src_ports(pre));
+
+  eval::print_banner(std::cout, "Figure 15b: packet length CDF (bytes)");
+  eval::print_cdf(std::cout, "Real", sizes(priv.packets));
+  eval::print_cdf(std::cout, "NetShare (eps=inf)", sizes(no_dp));
+  eval::print_cdf(std::cout, "NetShare (eps=24, Naive DP)", sizes(naive));
+  eval::print_cdf(std::cout, "NetShare (eps=24, DP-pretrain-SAME)", sizes(pre));
+
+  std::cout << "\nExpected shape (paper): eps=inf closely tracks the real "
+               "CDFs; naive DP at eps=24 is visibly distorted; same-domain "
+               "pretraining mitigates but does not eliminate the gap.\n";
+  return 0;
+}

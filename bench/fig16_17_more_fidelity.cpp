@@ -1,0 +1,21 @@
+// Figures 16 and 17 (Appendix A): JSD / normalized EMD on the remaining four
+// datasets — CIDDS and TON (NetFlow), DC and CA (PCAP).
+#include <iostream>
+
+#include "eval/fidelity.hpp"
+#include "eval/report.hpp"
+
+using namespace netshare;
+
+int main() {
+  eval::EvalOptions opt;
+  eval::print_banner(std::cout, "Figure 16a/16b: CIDDS (NetFlow)");
+  eval::fidelity_figure(std::cout, datagen::DatasetId::kCidds, 1000, opt, 1601);
+  eval::print_banner(std::cout, "Figure 16c/16d: TON (NetFlow)");
+  eval::fidelity_figure(std::cout, datagen::DatasetId::kTon, 1000, opt, 1602);
+  eval::print_banner(std::cout, "Figure 17a/17b: DC (PCAP)");
+  eval::fidelity_figure(std::cout, datagen::DatasetId::kDc, 1600, opt, 1701);
+  eval::print_banner(std::cout, "Figure 17c/17d: CA (PCAP)");
+  eval::fidelity_figure(std::cout, datagen::DatasetId::kCa, 1600, opt, 1702);
+  return 0;
+}

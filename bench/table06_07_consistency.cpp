@@ -1,0 +1,87 @@
+// Tables 6 and 7 (Appendix B): protocol / domain-knowledge compliance of
+// generated traces. Test 1: IP address validity; Test 2: byte/packet-count
+// relationship; Test 3: port-protocol compliance; Test 4 (PCAP): minimum
+// packet size.
+#include <iostream>
+
+#include "datagen/presets.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+#include "metrics/consistency.hpp"
+
+using namespace netshare;
+
+namespace {
+std::string pct(double v) { return eval::format_double(100.0 * v, 2) + "%"; }
+}  // namespace
+
+int main() {
+  eval::EvalOptions opt;
+
+  eval::print_banner(std::cout,
+                     "Table 6: NetFlow consistency checks (UGR16-like)");
+  {
+    const auto ugr = datagen::make_dataset(datagen::DatasetId::kUgr16, 1200, 601);
+    auto runs = eval::run_flow_models(eval::standard_flow_models(opt),
+                                      ugr.flows, ugr.flows.size(), 602);
+    eval::TextTable table({"test", "Real"});
+    std::vector<metrics::ConsistencyResult> results{
+        metrics::check_flow_consistency(ugr.flows)};
+    std::vector<std::string> names;
+    for (const auto& run : runs) {
+      names.push_back(run.name);
+      results.push_back(metrics::check_flow_consistency(run.synthetic));
+    }
+    eval::TextTable t({"test", "Real", names[0], names[1], names[2], names[3]});
+    auto row = [&](const std::string& label, auto getter) {
+      std::vector<std::string> cells{label};
+      for (const auto& r : results) cells.push_back(pct(getter(r)));
+      t.add_row(std::move(cells));
+    };
+    row("Test1 (IP validity)",
+        [](const metrics::ConsistencyResult& r) { return r.test1_ip_validity; });
+    row("Test2 (bytes vs packets)", [](const metrics::ConsistencyResult& r) {
+      return r.test2_bytes_vs_packets;
+    });
+    row("Test3 (port-protocol)", [](const metrics::ConsistencyResult& r) {
+      return r.test3_port_protocol;
+    });
+    t.print(std::cout);
+  }
+
+  eval::print_banner(std::cout,
+                     "Table 7: PCAP consistency checks (CAIDA-like)");
+  {
+    const auto caida =
+        datagen::make_dataset(datagen::DatasetId::kCaida, 2000, 603);
+    auto runs = eval::run_packet_models(eval::standard_packet_models(opt),
+                                        caida.packets, caida.packets.size(),
+                                        604);
+    std::vector<metrics::ConsistencyResult> results{
+        metrics::check_packet_consistency(caida.packets)};
+    std::vector<std::string> header{"test", "Real"};
+    for (const auto& run : runs) {
+      header.push_back(run.name);
+      results.push_back(metrics::check_packet_consistency(run.synthetic));
+    }
+    eval::TextTable t(std::move(header));
+    auto row = [&](const std::string& label, auto getter) {
+      std::vector<std::string> cells{label};
+      for (const auto& r : results) cells.push_back(pct(getter(r)));
+      t.add_row(std::move(cells));
+    };
+    row("Test1 (IP validity)",
+        [](const metrics::ConsistencyResult& r) { return r.test1_ip_validity; });
+    row("Test2 (bytes vs packets)", [](const metrics::ConsistencyResult& r) {
+      return r.test2_bytes_vs_packets;
+    });
+    row("Test3 (port-protocol)", [](const metrics::ConsistencyResult& r) {
+      return r.test3_port_protocol;
+    });
+    row("Test4 (min packet size)", [](const metrics::ConsistencyResult& r) {
+      return r.test4_min_packet_size;
+    });
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Differentially-private trace sharing (Insight 4): pre-train NetShare on a
+// PUBLIC trace, then fine-tune on the private trace with DP-SGD under a
+// chosen (epsilon, delta) budget, and report what the privacy cost does to
+// fidelity.
+#include <iostream>
+
+#include "core/netshare.hpp"
+#include "datagen/presets.hpp"
+#include "metrics/field_metrics.hpp"
+#include "privacy/accountant.hpp"
+
+using namespace netshare;
+
+int main(int argc, char** argv) {
+  const double target_epsilon = argc > 1 ? std::stod(argv[1]) : 50.0;
+  constexpr double kDelta = 1e-5;
+
+  const auto priv = datagen::make_dataset(datagen::DatasetId::kCaida, 800, 21);
+  const auto pub = datagen::make_dataset(datagen::DatasetId::kCaidaPub, 800, 22);
+  auto ip2vec = core::make_public_ip2vec();
+
+  // Stage 1: non-private pre-training on PUBLIC data.
+  core::NetShareConfig base;
+  base.netshare_v0 = true;  // single model keeps the DP analysis simple
+  base.max_seq_len = 6;
+  base.seed_iterations = 250;
+  std::cout << "Pre-training on public data (" << pub.name << ")...\n";
+  core::NetShare public_model(base, ip2vec);
+  public_model.fit(pub.packets);
+
+  // Stage 2: DP fine-tuning on PRIVATE data.
+  core::NetShareConfig dp_cfg = base;
+  dp_cfg.dp = true;
+  dp_cfg.seed_iterations = 60;
+  dp_cfg.dg.batch_size = 16;
+  dp_cfg.public_snapshot = public_model.snapshot();
+  const double q = static_cast<double>(dp_cfg.dg.batch_size) /
+                   static_cast<double>(priv.packets.size());
+  const auto steps = static_cast<std::size_t>(dp_cfg.seed_iterations) *
+                     static_cast<std::size_t>(dp_cfg.dg.d_steps_per_g);
+  dp_cfg.dp_config.noise_multiplier =
+      privacy::noise_multiplier_for_epsilon(target_epsilon, q, steps, kDelta);
+  std::cout << "DP fine-tuning on private data: target epsilon = "
+            << target_epsilon << ", noise multiplier = "
+            << dp_cfg.dp_config.noise_multiplier << "\n";
+
+  core::NetShare private_model(dp_cfg, ip2vec);
+  private_model.fit(priv.packets);
+
+  const auto spent = privacy::compute_epsilon(
+      q, dp_cfg.dp_config.noise_multiplier, private_model.dp_steps(), kDelta);
+  std::cout << "Accountant: spent epsilon = " << spent.epsilon << " at delta "
+            << kDelta << " (RDP order " << spent.best_order << ")\n";
+
+  Rng rng(23);
+  const auto synthetic = private_model.generate_packets(priv.packets.size(), rng);
+  const auto report = metrics::compare_packets(priv.packets, synthetic);
+  std::cout << "\nFidelity of the DP synthetic trace vs private data:\n"
+            << "  mean JSD over categorical fields: " << report.mean_jsd()
+            << "\n  raw EMDs:";
+  for (const auto& [field, v] : report.emd) {
+    std::cout << ' ' << field << '=' << v;
+  }
+  std::cout << "\n\nTry different budgets: ./dp_sharing 10   (strict)\n"
+            << "                       ./dp_sharing 1e6  (almost no privacy)\n";
+  return 0;
+}

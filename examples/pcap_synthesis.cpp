@@ -1,0 +1,55 @@
+// PCAP synthesis end-to-end: simulate a backbone packet trace, train
+// NetShare's packet path, and materialize the synthetic trace as a genuine
+// libpcap file (valid IPv4 headers with RFC 1071 checksums) that tcpdump or
+// wireshark can open. Also demonstrates the IP-remap privacy extension.
+#include <iostream>
+
+#include "core/netshare.hpp"
+#include "core/postprocess.hpp"
+#include "datagen/presets.hpp"
+#include "metrics/consistency.hpp"
+#include "net/pcap_io.hpp"
+
+using namespace netshare;
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "synthetic_backbone.pcap";
+
+  std::cout << "Simulating a backbone packet trace (CAIDA-like)...\n";
+  const auto real = datagen::make_dataset(datagen::DatasetId::kCaida, 2000, 42);
+
+  core::NetShareConfig config;
+  config.max_seq_len = 8;
+  config.num_chunks = 4;
+  config.seed_iterations = 300;
+  config.finetune_iterations = 100;
+  core::NetShare model(config, core::make_public_ip2vec());
+  std::cout << "Training the packet path...\n";
+  model.fit(real.packets);
+
+  Rng rng(9);
+  net::PacketTrace synthetic = model.generate_packets(2000, rng);
+
+  // Privacy extension (Sec. 5): remap synthetic endpoints into private
+  // ranges before sharing.
+  core::IpRemapConfig remap;
+  synthetic = core::remap_ips(synthetic, remap);
+
+  // Validity checks (App. B) on what we are about to share.
+  const auto checks = metrics::check_packet_consistency(synthetic);
+  std::cout << "Validity: IPs " << checks.test1_ip_validity * 100
+            << "%, bytes-vs-packets " << checks.test2_bytes_vs_packets * 100
+            << "%, port-protocol " << checks.test3_port_protocol * 100
+            << "%, min size " << checks.test4_min_packet_size * 100 << "%\n";
+
+  net::write_pcap_file(synthetic, out_path);
+  std::cout << "Wrote " << synthetic.size() << " packets to " << out_path
+            << " (libpcap format, LINKTYPE_RAW)\n";
+
+  // Round-trip through our own reader as a sanity check.
+  const auto back = net::read_pcap_file(out_path);
+  std::cout << "Re-read " << back.size() << " packets; first packet "
+            << back.packets.front().key.to_string() << "\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Central random-number utilities.
+//
+// Every stochastic component in this library takes an explicit Rng (or a
+// seed) so that all experiments are reproducible; there is no global RNG.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace netshare {
+
+// Thin wrapper over std::mt19937_64 with the handful of draws the library
+// needs. Copyable (copying forks the stream deterministically).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform real in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Standard normal draw.
+  double normal() { return normal_(engine_); }
+
+  // Normal with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Exponential with given rate (lambda > 0).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Bernoulli draw with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Poisson draw with given mean.
+  int poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  // Index drawn from unnormalized non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  // In-place Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  // Derive a new independent Rng; advances this stream.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace netshare

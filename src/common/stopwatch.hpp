@@ -1,0 +1,33 @@
+// Wall-clock and CPU-time stopwatches for the scalability experiments
+// (Fig. 4 measures total CPU-hours, not wall-clock).
+#pragma once
+
+#include <chrono>
+
+namespace netshare {
+
+// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  // Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Process-wide CPU time (user + system) in seconds. Sums across threads,
+// mirroring the paper's "total CPU hours" metric.
+double process_cpu_seconds();
+
+// Calling thread's CPU time in seconds. Summing this across parallel chunk
+// trainers gives total CPU cost independent of wall-clock parallelism.
+double thread_cpu_seconds();
+
+}  // namespace netshare

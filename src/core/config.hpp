@@ -1,0 +1,43 @@
+// NetShare end-to-end configuration (Sec. 4.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gan/doppelganger.hpp"
+
+namespace netshare::core {
+
+struct NetShareConfig {
+  // --- Insight 1: flow-split time-series formulation ---
+  std::size_t max_seq_len = 8;  // per-flow series truncation (scaled down)
+
+  // --- Insight 2: encodings ---
+  bool use_ip2vec_ports = true;  // false = bit-encode ports (ablation)
+  bool log_transform = true;     // false = min-max on large-support fields
+  std::size_t ip2vec_dim = 4;  // scaled-down embedding width
+
+  // --- Insight 3: chunked fine-tuning ---
+  std::size_t num_chunks = 5;     // M evenly time-spaced chunks
+  int seed_iterations = 250;      // chunk-0 training
+  int finetune_iterations = 80;   // per later chunk
+  std::size_t threads = 4;        // parallel fine-tuning
+  bool netshare_v0 = false;       // monolithic: single model, no chunking
+  bool naive_parallel = false;    // ablation: chunks without warm start
+  bool use_flow_tags = true;      // ablation: cross-chunk flow tags
+
+  // --- Insight 4: differential privacy ---
+  bool dp = false;
+  privacy::DpSgdConfig dp_config{1.0, 1.0};
+  // Snapshot of a model pre-trained on PUBLIC data (see NetShare::snapshot);
+  // when set with dp=true, DP-SGD fine-tunes from it.
+  std::optional<std::vector<double>> public_snapshot;
+
+  // GAN hyperparameters (identical across datasets, per Sec. 5).
+  gan::DgConfig dg;
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace netshare::core

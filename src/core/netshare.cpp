@@ -1,0 +1,185 @@
+#include "core/netshare.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "datagen/presets.hpp"
+#include "net/ports.hpp"
+
+namespace netshare::core {
+
+std::shared_ptr<embed::Ip2Vec> make_public_ip2vec(std::uint64_t seed,
+                                                  std::size_t records,
+                                                  std::size_t dim) {
+  const auto pub = datagen::make_dataset(datagen::DatasetId::kCaidaPub,
+                                         records, seed);
+  auto sentences = embed::sentences_from_packets(pub.packets);
+  // The paper's Insight 2 relies on the public trace covering "almost every
+  // possible port number and protocol". Guarantee coverage of the well-known
+  // (port, protocol) pairs and ICMP regardless of the sampled trace.
+  for (const auto& [port, proto] : net::common_port_protocol_pairs()) {
+    sentences.push_back(
+        {{embed::TokenKind::kPort, port},
+         {embed::TokenKind::kProtocol, static_cast<std::uint32_t>(proto)}});
+  }
+  sentences.push_back(
+      {{embed::TokenKind::kProtocol,
+        static_cast<std::uint32_t>(net::Protocol::kIcmp)}});
+  auto model = std::make_shared<embed::Ip2Vec>();
+  embed::Ip2Vec::Config cfg;
+  cfg.dim = dim;
+  cfg.epochs = 3;
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  model->train(sentences, cfg, rng);
+  return model;
+}
+
+NetShare::NetShare(NetShareConfig config, std::shared_ptr<embed::Ip2Vec> ip2vec)
+    : config_(std::move(config)), ip2vec_(std::move(ip2vec)) {
+  if (config_.use_ip2vec_ports && !ip2vec_) {
+    throw std::invalid_argument(
+        "NetShare: use_ip2vec_ports requires an IP2Vec model "
+        "(see make_public_ip2vec)");
+  }
+}
+
+void NetShare::fit(const net::FlowTrace& trace) {
+  flow_encoder_.emplace(config_, ip2vec_.get());
+  flow_encoder_->fit(trace);
+  trainer_ = std::make_unique<ChunkedTrainer>(flow_encoder_->spec(), config_);
+  trainer_->fit(flow_encoder_->encode(trace));
+}
+
+void NetShare::fit(const std::vector<net::FlowTrace>& epochs) {
+  fit(net::FlowTrace::merge(epochs));
+}
+
+void NetShare::fit(const net::PacketTrace& trace) {
+  packet_encoder_.emplace(config_, ip2vec_.get());
+  packet_encoder_->fit(trace);
+  trainer_ = std::make_unique<ChunkedTrainer>(packet_encoder_->spec(), config_);
+  trainer_->fit(packet_encoder_->encode(trace));
+}
+
+void NetShare::fit(const std::vector<net::PacketTrace>& epochs) {
+  fit(net::PacketTrace::merge(epochs));
+}
+
+namespace {
+
+// Per-chunk record targets proportional to the real chunk sizes.
+std::vector<std::size_t> record_targets(const std::vector<ChunkInfo>& chunks,
+                                        std::size_t n) {
+  std::size_t total = 0;
+  for (const auto& c : chunks) total += c.real_records;
+  std::vector<std::size_t> targets(chunks.size(), 0);
+  if (total == 0) return targets;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    targets[c] = (n * chunks[c].real_records + total / 2) / total;
+  }
+  return targets;
+}
+
+// Expected records per sampled flow in a chunk (>= 1).
+double records_per_flow(const ChunkInfo& c) {
+  if (c.real_flows == 0) return 1.0;
+  return std::max(1.0, static_cast<double>(c.real_records) /
+                           static_cast<double>(c.real_flows));
+}
+
+}  // namespace
+
+net::FlowTrace NetShare::generate_flows(std::size_t n, Rng& rng) {
+  if (!flow_encoder_ || !trainer_) {
+    throw std::logic_error("NetShare::generate_flows: fit a flow trace first");
+  }
+  const auto& chunks = flow_encoder_->chunks();
+  const auto targets = record_targets(chunks, n);
+  net::FlowTrace out;
+  out.records.reserve(n + 64);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (targets[c] == 0 || !trainer_->has_model(c)) continue;
+    net::FlowTrace chunk_out;
+    // First round sizes by the real records-per-flow ratio; later rounds
+    // request one flow per missing record (each sample yields >= 1 record),
+    // guaranteeing completion.
+    const double rpf =
+        std::min(records_per_flow(chunks[c]),
+                 static_cast<double>(config_.max_seq_len));
+    bool first = true;
+    while (chunk_out.size() < targets[c]) {
+      const std::size_t deficit = targets[c] - chunk_out.size();
+      const std::size_t flows =
+          first ? std::max<std::size_t>(
+                      8, static_cast<std::size_t>(
+                             static_cast<double>(deficit) / rpf) + 1)
+                : std::max<std::size_t>(8, deficit);
+      first = false;
+      const auto series = trainer_->sample_chunk(c, flows, rng);
+      const net::FlowTrace decoded = flow_encoder_->decode(series, c);
+      chunk_out.records.insert(chunk_out.records.end(),
+                               decoded.records.begin(), decoded.records.end());
+    }
+    chunk_out.sort_by_time();
+    if (chunk_out.size() > targets[c]) chunk_out.records.resize(targets[c]);
+    out.records.insert(out.records.end(), chunk_out.records.begin(),
+                       chunk_out.records.end());
+  }
+  out.sort_by_time();
+  if (out.size() > n) out.records.resize(n);
+  return out;
+}
+
+net::PacketTrace NetShare::generate_packets(std::size_t n, Rng& rng) {
+  if (!packet_encoder_ || !trainer_) {
+    throw std::logic_error(
+        "NetShare::generate_packets: fit a packet trace first");
+  }
+  const auto& chunks = packet_encoder_->chunks();
+  const auto targets = record_targets(chunks, n);
+  net::PacketTrace out;
+  out.packets.reserve(n + 64);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (targets[c] == 0 || !trainer_->has_model(c)) continue;
+    net::PacketTrace chunk_out;
+    const double rpf =
+        std::min(records_per_flow(chunks[c]),
+                 static_cast<double>(config_.max_seq_len));
+    bool first = true;
+    while (chunk_out.size() < targets[c]) {
+      const std::size_t deficit = targets[c] - chunk_out.size();
+      const std::size_t flows =
+          first ? std::max<std::size_t>(
+                      8, static_cast<std::size_t>(
+                             static_cast<double>(deficit) / rpf) + 1)
+                : std::max<std::size_t>(8, deficit);
+      first = false;
+      const auto series = trainer_->sample_chunk(c, flows, rng);
+      const net::PacketTrace decoded = packet_encoder_->decode(series, c);
+      chunk_out.packets.insert(chunk_out.packets.end(),
+                               decoded.packets.begin(), decoded.packets.end());
+    }
+    chunk_out.sort_by_time();
+    if (chunk_out.size() > targets[c]) chunk_out.packets.resize(targets[c]);
+    out.packets.insert(out.packets.end(), chunk_out.packets.begin(),
+                       chunk_out.packets.end());
+  }
+  out.sort_by_time();
+  if (out.size() > n) out.packets.resize(n);
+  return out;
+}
+
+double NetShare::train_cpu_seconds() const {
+  return trainer_ ? trainer_->train_cpu_seconds() : 0.0;
+}
+
+std::vector<double> NetShare::snapshot() {
+  if (!trainer_) throw std::logic_error("NetShare::snapshot: not trained");
+  return trainer_->seed_snapshot();
+}
+
+std::size_t NetShare::dp_steps() const {
+  return trainer_ ? trainer_->total_dp_steps() : 0;
+}
+
+}  // namespace netshare::core

@@ -1,0 +1,64 @@
+// NetShare end-to-end facade (Fig. 9): merge epochs -> flow split -> encode
+// -> chunked GAN training -> sample -> decode -> merge by timestamp.
+//
+// Quickstart:
+//   core::NetShareConfig cfg;
+//   core::NetShare model(cfg, core::make_public_ip2vec());
+//   model.fit(real_flow_trace);
+//   Rng rng(1);
+//   net::FlowTrace synthetic = model.generate_flows(10'000, rng);
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/preprocess.hpp"
+#include "core/train.hpp"
+
+namespace netshare::core {
+
+// Trains an IP2Vec embedding on the public backbone preset (CAIDA Chicago
+// 2015-like), per Insight 2's privacy argument. Deterministic in `seed`.
+std::shared_ptr<embed::Ip2Vec> make_public_ip2vec(std::uint64_t seed = 2015,
+                                                  std::size_t records = 4000,
+                                                  std::size_t dim = 4);
+
+class NetShare {
+ public:
+  // `ip2vec` may be null; it is then required that
+  // config.use_ip2vec_ports == false.
+  NetShare(NetShareConfig config, std::shared_ptr<embed::Ip2Vec> ip2vec);
+
+  // --- NetFlow path ---
+  void fit(const net::FlowTrace& trace);
+  void fit(const std::vector<net::FlowTrace>& epochs);  // merges (Insight 1)
+  net::FlowTrace generate_flows(std::size_t n, Rng& rng);
+
+  // --- PCAP path ---
+  void fit(const net::PacketTrace& trace);
+  void fit(const std::vector<net::PacketTrace>& epochs);
+  net::PacketTrace generate_packets(std::size_t n, Rng& rng);
+
+  // Total training cost in thread-CPU seconds (Fig. 4).
+  double train_cpu_seconds() const;
+
+  // Seed-model weights for public pretraining (Insight 4): train a NetShare
+  // on public data, snapshot() it, and pass the snapshot in the private
+  // model's config.public_snapshot.
+  std::vector<double> snapshot();
+
+  // Total DP-SGD steps taken (feed to privacy::compute_epsilon).
+  std::size_t dp_steps() const;
+
+  const NetShareConfig& config() const { return config_; }
+
+ private:
+  NetShareConfig config_;
+  std::shared_ptr<embed::Ip2Vec> ip2vec_;
+  std::optional<FlowEncoder> flow_encoder_;
+  std::optional<PacketEncoder> packet_encoder_;
+  std::unique_ptr<ChunkedTrainer> trainer_;
+};
+
+}  // namespace netshare::core

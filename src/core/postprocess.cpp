@@ -1,0 +1,97 @@
+#include "core/postprocess.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace netshare::core {
+
+namespace {
+
+// Assigns each distinct input address the next offset in the target subnet,
+// in first-seen order (preserves the rank structure of address popularity).
+class SubnetMapper {
+ public:
+  SubnetMapper(net::Ipv4Address base, int prefix_len) : base_(base.value()) {
+    if (prefix_len < 0 || prefix_len > 30) {
+      throw std::invalid_argument("SubnetMapper: prefix_len out of range");
+    }
+    capacity_ = 1u << (32 - prefix_len);
+    base_ &= ~(capacity_ - 1);
+  }
+
+  net::Ipv4Address map(net::Ipv4Address ip) {
+    auto [it, inserted] = table_.try_emplace(ip.value(), next_);
+    if (inserted) next_ = (next_ + 1) % capacity_;
+    return net::Ipv4Address(base_ + (it->second % capacity_));
+  }
+
+ private:
+  std::uint32_t base_;
+  std::uint32_t capacity_;
+  std::uint32_t next_ = 1;  // skip .0 (network address)
+  std::unordered_map<std::uint32_t, std::uint32_t> table_;
+};
+
+template <typename Dist>
+std::pair<std::vector<std::uint16_t>, std::vector<double>> split_dist(
+    const Dist& dist) {
+  if (dist.empty()) {
+    throw std::invalid_argument("retrain_dst_ports: empty distribution");
+  }
+  std::vector<std::uint16_t> ports;
+  std::vector<double> weights;
+  for (const auto& [p, w] : dist) {
+    ports.push_back(p);
+    weights.push_back(w);
+  }
+  return {std::move(ports), std::move(weights)};
+}
+
+}  // namespace
+
+net::FlowTrace remap_ips(const net::FlowTrace& trace, const IpRemapConfig& cfg) {
+  SubnetMapper src(cfg.src_base, cfg.src_prefix_len);
+  SubnetMapper dst(cfg.dst_base, cfg.dst_prefix_len);
+  net::FlowTrace out = trace;
+  for (auto& r : out.records) {
+    r.key.src_ip = src.map(r.key.src_ip);
+    r.key.dst_ip = dst.map(r.key.dst_ip);
+  }
+  return out;
+}
+
+net::PacketTrace remap_ips(const net::PacketTrace& trace,
+                           const IpRemapConfig& cfg) {
+  SubnetMapper src(cfg.src_base, cfg.src_prefix_len);
+  SubnetMapper dst(cfg.dst_base, cfg.dst_prefix_len);
+  net::PacketTrace out = trace;
+  for (auto& p : out.packets) {
+    p.key.src_ip = src.map(p.key.src_ip);
+    p.key.dst_ip = dst.map(p.key.dst_ip);
+  }
+  return out;
+}
+
+net::FlowTrace retrain_dst_ports(const net::FlowTrace& trace,
+                                 const std::map<std::uint16_t, double>& dist,
+                                 Rng& rng) {
+  auto [ports, weights] = split_dist(dist);
+  net::FlowTrace out = trace;
+  for (auto& r : out.records) {
+    r.key.dst_port = ports[rng.categorical(weights)];
+  }
+  return out;
+}
+
+net::PacketTrace retrain_dst_ports(const net::PacketTrace& trace,
+                                   const std::map<std::uint16_t, double>& dist,
+                                   Rng& rng) {
+  auto [ports, weights] = split_dist(dist);
+  net::PacketTrace out = trace;
+  for (auto& p : out.packets) {
+    p.key.dst_port = ports[rng.categorical(weights)];
+  }
+  return out;
+}
+
+}  // namespace netshare::core

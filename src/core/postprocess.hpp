@@ -1,0 +1,39 @@
+// Post-generation utilities (Sec. 5): the two optional domain-specific
+// privacy extensions NetShare implements on generated traces —
+// (1) IP transformation into a user-specified (default: private) range,
+// (2) attribute retraining: resampling chosen attributes to a user-desired
+//     distribution.
+// Derived-field generation (valid IPv4 checksums) happens when traces are
+// materialized through net::write_pcap.
+#pragma once
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "net/trace.hpp"
+
+namespace netshare::core {
+
+// Deterministically remaps every distinct IP into `base/prefix_len`,
+// preserving distinctness (up to the subnet size) and popularity structure.
+struct IpRemapConfig {
+  net::Ipv4Address src_base{10, 0, 0, 0};
+  int src_prefix_len = 16;
+  net::Ipv4Address dst_base{192, 168, 0, 0};
+  int dst_prefix_len = 16;
+};
+
+net::FlowTrace remap_ips(const net::FlowTrace& trace, const IpRemapConfig& cfg);
+net::PacketTrace remap_ips(const net::PacketTrace& trace,
+                           const IpRemapConfig& cfg);
+
+// Resamples destination ports to a user-specified distribution
+// (port -> weight), leaving all other fields intact.
+net::FlowTrace retrain_dst_ports(const net::FlowTrace& trace,
+                                 const std::map<std::uint16_t, double>& dist,
+                                 Rng& rng);
+net::PacketTrace retrain_dst_ports(const net::PacketTrace& trace,
+                                   const std::map<std::uint16_t, double>& dist,
+                                   Rng& rng);
+
+}  // namespace netshare::core

@@ -1,0 +1,577 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "embed/bit_encoding.hpp"
+#include "net/ports.hpp"
+
+namespace netshare::core {
+
+using embed::Ip2Vec;
+using embed::Token;
+using embed::TokenKind;
+using gan::TimeSeriesDataset;
+using gan::TimeSeriesSpec;
+using ml::OutputSegment;
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+std::size_t chunk_of(double t, const std::vector<ChunkInfo>& chunks) {
+  if (chunks.empty()) return 0;
+  const double start = chunks.front().start_time;
+  const double dur = chunks.front().duration;
+  const auto idx = static_cast<std::ptrdiff_t>(std::floor((t - start) / dur));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(idx, 0,
+                                 static_cast<std::ptrdiff_t>(chunks.size()) - 1));
+}
+
+double offset_in_chunk(double t, const ChunkInfo& c) {
+  return std::clamp((t - c.start_time) / std::max(c.duration, kEps), 0.0, 1.0);
+}
+
+}  // namespace
+
+std::vector<ChunkInfo> make_chunk_grid(double start, double end,
+                                       std::size_t num_chunks) {
+  num_chunks = std::max<std::size_t>(1, num_chunks);
+  const double dur = std::max((end - start) / static_cast<double>(num_chunks),
+                              kEps);
+  std::vector<ChunkInfo> chunks(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    chunks[c].start_time = start + dur * static_cast<double>(c);
+    chunks[c].duration = dur;
+  }
+  return chunks;
+}
+
+// ---------------------------------------------------------------------------
+// TupleCodec
+
+TupleCodec::TupleCodec(const NetShareConfig& config, const Ip2Vec* ip2vec)
+    : config_(&config),
+      ip2vec_(ip2vec),
+      num_chunks_(config.netshare_v0 ? 1 : config.num_chunks),
+      use_ip2vec_(config.use_ip2vec_ports && ip2vec != nullptr) {
+  if (use_ip2vec_) {
+    // Collect the public port vocabulary (sorted, for OOV nearest lookup) and
+    // normalize embedding coordinates into [0,1] using the public vocabulary
+    // range. Both depend only on public data -> DP-safe.
+    emb_lo_ = 1e30;
+    emb_hi_ = -1e30;
+    for (std::uint32_t p = 0; p < 65536; ++p) {
+      const Token t{TokenKind::kPort, p};
+      if (!ip2vec_->contains(t)) continue;
+      vocab_ports_.push_back(p);
+      for (double v : ip2vec_->embed(t)) {
+        emb_lo_ = std::min(emb_lo_, v);
+        emb_hi_ = std::max(emb_hi_, v);
+      }
+    }
+    if (vocab_ports_.empty()) {
+      throw std::invalid_argument("TupleCodec: IP2Vec has no port vocabulary");
+    }
+    // Widen slightly to be robust to unseen coordinates.
+    const double pad = 0.05 * (emb_hi_ - emb_lo_) + 0.01;
+    emb_lo_ -= pad;
+    emb_hi_ += pad;
+  }
+}
+
+std::size_t TupleCodec::port_width() const {
+  return use_ip2vec_ ? ip2vec_->dim() : embed::kPortBits;
+}
+
+std::size_t TupleCodec::proto_width() const { return 3; }
+
+std::vector<OutputSegment> TupleCodec::attribute_segments(bool with_tags) const {
+  std::vector<OutputSegment> segs;
+  segs.push_back({OutputSegment::Kind::kSigmoid, embed::kIpBits});  // src IP
+  segs.push_back({OutputSegment::Kind::kSigmoid, embed::kIpBits});  // dst IP
+  segs.push_back({OutputSegment::Kind::kSigmoid, port_width()});    // src port
+  segs.push_back({OutputSegment::Kind::kSigmoid, port_width()});    // dst port
+  // Protocol stays a 3-way one-hot: it is training-data independent (hence
+  // DP-safe like bit encoding) and avoids nearest-neighbour noise over a
+  // 3-token embedding vocabulary.
+  segs.push_back({OutputSegment::Kind::kSoftmax, 3});
+  if (with_tags) {
+    segs.push_back({OutputSegment::Kind::kSigmoid, 1 + num_chunks_});
+  }
+  return segs;
+}
+
+std::size_t TupleCodec::dim(bool with_tags) const {
+  std::size_t d = 2 * embed::kIpBits + 2 * port_width() + proto_width();
+  if (with_tags) d += 1 + num_chunks_;
+  return d;
+}
+
+void TupleCodec::encode_port(std::uint16_t port, double* out) const {
+  if (use_ip2vec_) {
+    Token t{TokenKind::kPort, port};
+    if (!ip2vec_->contains(t)) {
+      // OOV private port: substitute the numerically nearest public port.
+      // (The public backbone vocabulary covers service + sampled ephemeral
+      // ports, so the substitution error is small.)
+      const auto it = std::lower_bound(vocab_ports_.begin(), vocab_ports_.end(),
+                                       std::uint32_t{port});
+      std::uint32_t best;
+      if (it == vocab_ports_.end()) {
+        best = vocab_ports_.back();
+      } else if (it == vocab_ports_.begin()) {
+        best = *it;
+      } else {
+        const std::uint32_t above = *it;
+        const std::uint32_t below = *(it - 1);
+        best = (above - port <= port - below) ? above : below;
+      }
+      t.value = best;
+    }
+    const auto v = ip2vec_->embed(t);
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      out[k] = std::clamp((v[k] - emb_lo_) / (emb_hi_ - emb_lo_), 0.0, 1.0);
+    }
+  } else {
+    const auto bits = embed::port_to_bits(port);
+    std::copy(bits.begin(), bits.end(), out);
+  }
+}
+
+std::uint16_t TupleCodec::decode_port(const double* in,
+                                      net::Protocol proto) const {
+  if (use_ip2vec_) {
+    std::vector<double> v(ip2vec_->dim());
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      v[k] = emb_lo_ + in[k] * (emb_hi_ - emb_lo_);
+    }
+    // Joint (port, protocol) decode: exclude ports whose well-known
+    // protocol contradicts the decoded one (public knowledge, DP-safe).
+    const auto compatible = [proto](const embed::Token& t) {
+      const auto pinned =
+          net::well_known_port_protocol(static_cast<std::uint16_t>(t.value));
+      return !pinned || *pinned == proto;
+    };
+    return static_cast<std::uint16_t>(
+        ip2vec_->nearest_if(v, TokenKind::kPort, compatible).value);
+  }
+  return embed::bits_to_port(std::span<const double>(in, embed::kPortBits));
+}
+
+void TupleCodec::encode_proto(net::Protocol proto, double* out) const {
+  const std::size_t idx = proto == net::Protocol::kTcp   ? 0
+                          : proto == net::Protocol::kUdp ? 1
+                                                         : 2;
+  out[0] = out[1] = out[2] = 0.0;
+  out[idx] = 1.0;
+}
+
+net::Protocol TupleCodec::decode_proto(const double* in) const {
+  const std::size_t idx = embed::one_hot_decode(std::span<const double>(in, 3));
+  return idx == 0   ? net::Protocol::kTcp
+         : idx == 1 ? net::Protocol::kUdp
+                    : net::Protocol::kIcmp;
+}
+
+void TupleCodec::encode(const net::FiveTuple& key, double* out) const {
+  std::size_t at = 0;
+  const auto src_bits = embed::ip_to_bits(key.src_ip);
+  std::copy(src_bits.begin(), src_bits.end(), out + at);
+  at += embed::kIpBits;
+  const auto dst_bits = embed::ip_to_bits(key.dst_ip);
+  std::copy(dst_bits.begin(), dst_bits.end(), out + at);
+  at += embed::kIpBits;
+  encode_port(key.src_port, out + at);
+  at += port_width();
+  encode_port(key.dst_port, out + at);
+  at += port_width();
+  encode_proto(key.protocol, out + at);
+}
+
+net::FiveTuple TupleCodec::decode(const double* in) const {
+  net::FiveTuple key;
+  // Protocol first, so port decoding can respect the joint constraint.
+  key.protocol = decode_proto(in + 2 * embed::kIpBits + 2 * port_width());
+  std::size_t at = 0;
+  key.src_ip = embed::bits_to_ip(std::span<const double>(in, embed::kIpBits));
+  at += embed::kIpBits;
+  key.dst_ip =
+      embed::bits_to_ip(std::span<const double>(in + at, embed::kIpBits));
+  at += embed::kIpBits;
+  key.src_port = decode_port(in + at, key.protocol);
+  at += port_width();
+  key.dst_port = decode_port(in + at, key.protocol);
+  if (key.protocol == net::Protocol::kIcmp) {
+    key.src_port = 0;
+    key.dst_port = 0;
+  }
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// FlowEncoder
+
+FlowEncoder::FlowEncoder(const NetShareConfig& config, const Ip2Vec* ip2vec)
+    : config_(&config), codec_(config, ip2vec) {}
+
+void FlowEncoder::fit(const net::FlowTrace& giant) {
+  if (giant.empty()) throw std::invalid_argument("FlowEncoder::fit: empty");
+  const std::size_t M = config_->netshare_v0 ? 1 : config_->num_chunks;
+  chunks_ = make_chunk_grid(giant.start_time(), giant.end_time() + kEps, M);
+
+  double max_gap = 1.0, max_dur = 1.0;
+  double max_pkts = 2.0, max_bytes = 2.0;
+  std::vector<double> durs, pkts, byts;
+  durs.reserve(giant.size());
+  pkts.reserve(giant.size());
+  byts.reserve(giant.size());
+  net::FlowTrace sorted = giant;
+  sorted.sort_by_time();
+  for (const auto& [key, idx] : sorted.group_by_flow()) {
+    (void)key;
+    for (std::size_t k = 1; k < idx.size(); ++k) {
+      max_gap = std::max(max_gap, sorted.records[idx[k]].start_time -
+                                      sorted.records[idx[k - 1]].start_time);
+    }
+  }
+  for (const auto& r : sorted.records) {
+    max_dur = std::max(max_dur, r.duration);
+    max_pkts = std::max(max_pkts, static_cast<double>(r.packets));
+    max_bytes = std::max(max_bytes, static_cast<double>(r.bytes));
+    durs.push_back(r.duration);
+    pkts.push_back(static_cast<double>(r.packets));
+    byts.push_back(static_cast<double>(r.bytes));
+  }
+  gap_ = embed::LogTransform(max_gap);
+  duration_ = embed::LogTransform(max_dur);
+  packets_ = embed::LogTransform(max_pkts);
+  bytes_ = embed::LogTransform(max_bytes);
+  mm_duration_ = embed::MinMaxTransform::fit(durs);
+  mm_packets_ = embed::MinMaxTransform::fit(pkts);
+  mm_bytes_ = embed::MinMaxTransform::fit(byts);
+
+  // Per-chunk flow/record counts for generation scaling.
+  for (auto& c : chunks_) {
+    c.real_flows = 0;
+    c.real_records = 0;
+  }
+  for (const auto& [key, idx] : sorted.group_by_flow()) {
+    (void)key;
+    std::vector<bool> seen(chunks_.size(), false);
+    for (std::size_t k : idx) {
+      const std::size_t c = chunk_of(sorted.records[k].start_time, chunks_);
+      chunks_[c].real_records += 1;
+      if (!seen[c]) {
+        chunks_[c].real_flows += 1;
+        seen[c] = true;
+      }
+    }
+  }
+}
+
+TimeSeriesSpec FlowEncoder::spec() const {
+  TimeSeriesSpec s;
+  s.attribute_segments = codec_.attribute_segments(config_->use_flow_tags);
+  s.feature_segments = {
+      {OutputSegment::Kind::kSigmoid, 1},  // time (offset / log gap)
+      {OutputSegment::Kind::kSigmoid, 1},  // duration
+      {OutputSegment::Kind::kSigmoid, 1},  // packets
+      {OutputSegment::Kind::kSigmoid, 1},  // bytes
+      {OutputSegment::Kind::kSoftmax, kAttackClasses},
+  };
+  s.max_len = config_->max_seq_len;
+  return s;
+}
+
+std::vector<TimeSeriesDataset> FlowEncoder::encode(
+    const net::FlowTrace& giant) const {
+  net::FlowTrace sorted = giant;
+  sorted.sort_by_time();
+  const std::size_t M = chunks_.size();
+  const TimeSeriesSpec sp = spec();
+  const std::size_t A = sp.attribute_dim();
+  const std::size_t F = sp.feature_dim();
+  const std::size_t T = sp.max_len;
+
+  // Collect per-chunk flow samples: (key, record indices in this chunk,
+  // starts-here flag, presence bits).
+  struct Sample {
+    const net::FiveTuple* key;
+    std::vector<std::size_t> records;
+    bool starts_here;
+    std::vector<bool> presence;
+  };
+  std::vector<std::vector<Sample>> per_chunk(M);
+  const auto groups = sorted.group_by_flow();
+  for (const auto& [key, idx] : groups) {
+    std::vector<std::vector<std::size_t>> split(M);
+    std::vector<bool> presence(M, false);
+    for (std::size_t k : idx) {
+      const std::size_t c = chunk_of(sorted.records[k].start_time, chunks_);
+      split[c].push_back(k);
+      presence[c] = true;
+    }
+    const std::size_t home = chunk_of(sorted.records[idx.front()].start_time,
+                                      chunks_);
+    for (std::size_t c = 0; c < M; ++c) {
+      if (split[c].empty()) continue;
+      if (split[c].size() > T) split[c].resize(T);  // truncate long series
+      per_chunk[c].push_back({&key, std::move(split[c]), c == home, presence});
+    }
+  }
+
+  std::vector<TimeSeriesDataset> datasets(M);
+  for (std::size_t c = 0; c < M; ++c) {
+    TimeSeriesDataset& d = datasets[c];
+    d.spec = sp;
+    const std::size_t n = per_chunk[c].size();
+    d.attributes = ml::Matrix(n, A);
+    d.features.assign(T, ml::Matrix(n, F));
+    d.lengths.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Sample& s = per_chunk[c][i];
+      double* arow = d.attributes.row_ptr(i);
+      codec_.encode(*s.key, arow);
+      if (config_->use_flow_tags) {
+        std::size_t at = codec_.dim(false);
+        arow[at++] = s.starts_here ? 1.0 : 0.0;
+        for (std::size_t m = 0; m < M; ++m) {
+          arow[at++] = s.presence[m] ? 1.0 : 0.0;
+        }
+      }
+      d.lengths[i] = s.records.size();
+      double prev_start = 0.0;
+      for (std::size_t t = 0; t < s.records.size(); ++t) {
+        const net::FlowRecord& r = sorted.records[s.records[t]];
+        double* frow = d.features[t].row_ptr(i);
+        frow[0] = t == 0 ? offset_in_chunk(r.start_time, chunks_[c])
+                         : gap_.encode(std::max(0.0, r.start_time - prev_start));
+        prev_start = r.start_time;
+        if (config_->log_transform) {
+          frow[1] = duration_.encode(r.duration);
+          frow[2] = packets_.encode(static_cast<double>(r.packets));
+          frow[3] = bytes_.encode(static_cast<double>(r.bytes));
+        } else {
+          frow[1] = mm_duration_.encode(r.duration);
+          frow[2] = mm_packets_.encode(static_cast<double>(r.packets));
+          frow[3] = mm_bytes_.encode(static_cast<double>(r.bytes));
+        }
+        const std::size_t cls =
+            r.is_attack ? static_cast<std::size_t>(r.attack_type) : 0;
+        frow[4 + cls] = 1.0;
+      }
+    }
+  }
+  return datasets;
+}
+
+net::FlowTrace FlowEncoder::decode(const gan::GeneratedSeries& series,
+                                   std::size_t chunk_index) const {
+  if (chunk_index >= chunks_.size()) {
+    throw std::out_of_range("FlowEncoder::decode: chunk index");
+  }
+  const ChunkInfo& chunk = chunks_[chunk_index];
+  net::FlowTrace out;
+  const std::size_t n = series.num_samples();
+  out.records.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::FiveTuple key = codec_.decode(series.attributes.row_ptr(i));
+    double t0 = 0.0;
+    for (std::size_t t = 0; t < series.lengths[i]; ++t) {
+      const double* frow = series.features[t].row_ptr(i);
+      if (t == 0) {
+        t0 = chunk.start_time + frow[0] * chunk.duration;
+      } else {
+        t0 += gap_.decode(frow[0]);
+      }
+      net::FlowRecord r;
+      r.key = key;
+      r.start_time = t0;
+      if (config_->log_transform) {
+        r.duration = duration_.decode(frow[1]);
+        r.packets = static_cast<std::uint64_t>(
+            std::max(1.0, std::round(packets_.decode(frow[2]))));
+        r.bytes = static_cast<std::uint64_t>(
+            std::max(1.0, std::round(bytes_.decode(frow[3]))));
+      } else {
+        r.duration = mm_duration_.decode(frow[1]);
+        r.packets = static_cast<std::uint64_t>(
+            std::max(1.0, std::round(mm_packets_.decode(frow[2]))));
+        r.bytes = static_cast<std::uint64_t>(
+            std::max(1.0, std::round(mm_bytes_.decode(frow[3]))));
+      }
+      const std::size_t cls = embed::one_hot_decode(
+          std::span<const double>(frow + 4, kAttackClasses));
+      r.is_attack = cls != 0;
+      r.attack_type = static_cast<net::AttackType>(cls);
+      out.records.push_back(r);
+    }
+  }
+  out.sort_by_time();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PacketEncoder
+
+PacketEncoder::PacketEncoder(const NetShareConfig& config, const Ip2Vec* ip2vec)
+    : config_(&config), codec_(config, ip2vec) {}
+
+void PacketEncoder::fit(const net::PacketTrace& giant) {
+  if (giant.empty()) throw std::invalid_argument("PacketEncoder::fit: empty");
+  const std::size_t M = config_->netshare_v0 ? 1 : config_->num_chunks;
+  chunks_ = make_chunk_grid(giant.start_time(), giant.end_time() + kEps, M);
+
+  net::PacketTrace sorted = giant;
+  sorted.sort_by_time();
+  double max_iat = 0.01;
+  for (const auto& [key, idx] : sorted.group_by_flow()) {
+    (void)key;
+    for (std::size_t k = 1; k < idx.size(); ++k) {
+      max_iat = std::max(max_iat, sorted.packets[idx[k]].timestamp -
+                                      sorted.packets[idx[k - 1]].timestamp);
+    }
+  }
+  iat_ = embed::LogTransform(max_iat);
+
+  for (auto& c : chunks_) {
+    c.real_flows = 0;
+    c.real_records = 0;
+  }
+  for (const auto& [key, idx] : sorted.group_by_flow()) {
+    (void)key;
+    std::vector<bool> seen(chunks_.size(), false);
+    for (std::size_t k : idx) {
+      const std::size_t c = chunk_of(sorted.packets[k].timestamp, chunks_);
+      chunks_[c].real_records += 1;
+      if (!seen[c]) {
+        chunks_[c].real_flows += 1;
+        seen[c] = true;
+      }
+    }
+  }
+}
+
+TimeSeriesSpec PacketEncoder::spec() const {
+  TimeSeriesSpec s;
+  s.attribute_segments = codec_.attribute_segments(config_->use_flow_tags);
+  s.feature_segments = {
+      {OutputSegment::Kind::kSigmoid, 1},  // time (offset / log IAT)
+      {OutputSegment::Kind::kSigmoid, 1},  // packet size
+      {OutputSegment::Kind::kSigmoid, 1},  // ttl
+  };
+  s.max_len = config_->max_seq_len;
+  return s;
+}
+
+std::vector<TimeSeriesDataset> PacketEncoder::encode(
+    const net::PacketTrace& giant) const {
+  net::PacketTrace sorted = giant;
+  sorted.sort_by_time();
+  const std::size_t M = chunks_.size();
+  const TimeSeriesSpec sp = spec();
+  const std::size_t A = sp.attribute_dim();
+  const std::size_t F = sp.feature_dim();
+  const std::size_t T = sp.max_len;
+
+  struct Sample {
+    const net::FiveTuple* key;
+    std::vector<std::size_t> packets;
+    bool starts_here;
+    std::vector<bool> presence;
+  };
+  std::vector<std::vector<Sample>> per_chunk(M);
+  const auto groups = sorted.group_by_flow();
+  for (const auto& [key, idx] : groups) {
+    std::vector<std::vector<std::size_t>> split(M);
+    std::vector<bool> presence(M, false);
+    for (std::size_t k : idx) {
+      const std::size_t c = chunk_of(sorted.packets[k].timestamp, chunks_);
+      split[c].push_back(k);
+      presence[c] = true;
+    }
+    const std::size_t home =
+        chunk_of(sorted.packets[idx.front()].timestamp, chunks_);
+    for (std::size_t c = 0; c < M; ++c) {
+      if (split[c].empty()) continue;
+      if (split[c].size() > T) split[c].resize(T);
+      per_chunk[c].push_back({&key, std::move(split[c]), c == home, presence});
+    }
+  }
+
+  std::vector<TimeSeriesDataset> datasets(M);
+  for (std::size_t c = 0; c < M; ++c) {
+    TimeSeriesDataset& d = datasets[c];
+    d.spec = sp;
+    const std::size_t n = per_chunk[c].size();
+    d.attributes = ml::Matrix(n, A);
+    d.features.assign(T, ml::Matrix(n, F));
+    d.lengths.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Sample& s = per_chunk[c][i];
+      double* arow = d.attributes.row_ptr(i);
+      codec_.encode(*s.key, arow);
+      if (config_->use_flow_tags) {
+        std::size_t at = codec_.dim(false);
+        arow[at++] = s.starts_here ? 1.0 : 0.0;
+        for (std::size_t m = 0; m < M; ++m) {
+          arow[at++] = s.presence[m] ? 1.0 : 0.0;
+        }
+      }
+      d.lengths[i] = s.packets.size();
+      double prev_ts = 0.0;
+      for (std::size_t t = 0; t < s.packets.size(); ++t) {
+        const net::PacketRecord& p = sorted.packets[s.packets[t]];
+        double* frow = d.features[t].row_ptr(i);
+        frow[0] = t == 0 ? offset_in_chunk(p.timestamp, chunks_[c])
+                         : iat_.encode(std::max(0.0, p.timestamp - prev_ts));
+        prev_ts = p.timestamp;
+        frow[1] = size_.encode(static_cast<double>(p.size));
+        frow[2] = static_cast<double>(p.ttl) / 255.0;
+      }
+    }
+  }
+  return datasets;
+}
+
+net::PacketTrace PacketEncoder::decode(const gan::GeneratedSeries& series,
+                                       std::size_t chunk_index) const {
+  if (chunk_index >= chunks_.size()) {
+    throw std::out_of_range("PacketEncoder::decode: chunk index");
+  }
+  const ChunkInfo& chunk = chunks_[chunk_index];
+  net::PacketTrace out;
+  const std::size_t n = series.num_samples();
+  out.packets.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::FiveTuple key = codec_.decode(series.attributes.row_ptr(i));
+    double ts = 0.0;
+    for (std::size_t t = 0; t < series.lengths[i]; ++t) {
+      const double* frow = series.features[t].row_ptr(i);
+      if (t == 0) {
+        ts = chunk.start_time + frow[0] * chunk.duration;
+      } else {
+        ts += iat_.decode(frow[0]);
+      }
+      net::PacketRecord p;
+      p.key = key;
+      p.timestamp = ts;
+      // Derived-field step (Sec. 4.2 post-processing): sizes are clamped to
+      // the protocol's valid range so headers can be materialized.
+      const double raw_size = size_.decode(frow[1]);
+      p.size = static_cast<std::uint32_t>(std::clamp(
+          std::round(raw_size), static_cast<double>(net::min_packet_size(key.protocol)),
+          1500.0));
+      p.ttl = static_cast<std::uint8_t>(
+          std::clamp(std::round(frow[2] * 255.0), 1.0, 255.0));
+      out.packets.push_back(p);
+    }
+  }
+  out.sort_by_time();
+  return out;
+}
+
+}  // namespace netshare::core

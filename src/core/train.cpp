@@ -1,0 +1,108 @@
+#include "core/train.hpp"
+
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace netshare::core {
+
+ChunkedTrainer::ChunkedTrainer(gan::TimeSeriesSpec spec,
+                               const NetShareConfig& config)
+    : spec_(std::move(spec)), config_(config) {}
+
+gan::DgConfig ChunkedTrainer::chunk_config() const {
+  gan::DgConfig dg = config_.dg;
+  dg.dp = config_.dp;
+  dg.dp_config = config_.dp_config;
+  return dg;
+}
+
+void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
+  if (chunks.empty()) throw std::invalid_argument("ChunkedTrainer::fit: no chunks");
+  models_.clear();
+  models_.resize(chunks.size());
+
+  // Seed chunk: the first chunk with data.
+  seed_chunk_ = chunks.size();
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (chunks[c].num_samples() > 0) {
+      seed_chunk_ = c;
+      break;
+    }
+  }
+  if (seed_chunk_ == chunks.size()) {
+    throw std::invalid_argument("ChunkedTrainer::fit: all chunks empty");
+  }
+
+  const gan::DgConfig dg = chunk_config();
+  models_[seed_chunk_] = std::make_unique<gan::DoppelGanger>(
+      spec_, dg, config_.seed + seed_chunk_);
+  if (config_.public_snapshot) {
+    // Insight 4: warm-start from a model pre-trained on public data before
+    // any (possibly DP) training on this data.
+    models_[seed_chunk_]->restore(*config_.public_snapshot);
+  }
+  models_[seed_chunk_]->fit(chunks[seed_chunk_], config_.seed_iterations);
+  const std::vector<double> seed_snapshot = models_[seed_chunk_]->snapshot();
+
+  // Remaining chunks fine-tune in parallel from the seed snapshot
+  // (or train from scratch in the naive-parallel ablation).
+  std::vector<std::size_t> todo;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (c != seed_chunk_ && chunks[c].num_samples() > 0) todo.push_back(c);
+  }
+  if (todo.empty()) return;
+
+  for (std::size_t c : todo) {
+    models_[c] = std::make_unique<gan::DoppelGanger>(spec_, dg,
+                                                     config_.seed + 1000 + c);
+    if (!config_.naive_parallel) {
+      models_[c]->restore(seed_snapshot);
+    } else if (config_.public_snapshot) {
+      models_[c]->restore(*config_.public_snapshot);
+    }
+  }
+  const int iters = config_.naive_parallel ? config_.seed_iterations
+                                           : config_.finetune_iterations;
+  ThreadPool pool(std::min(config_.threads, todo.size()));
+  pool.parallel_for(todo.size(), [&](std::size_t i) {
+    models_[todo[i]]->fit(chunks[todo[i]], iters);
+  });
+}
+
+gan::GeneratedSeries ChunkedTrainer::sample_chunk(std::size_t c, std::size_t n,
+                                                  Rng& rng) {
+  if (!has_model(c)) {
+    gan::GeneratedSeries empty;
+    empty.spec = spec_;
+    empty.attributes = ml::Matrix(0, spec_.attribute_dim());
+    empty.features.assign(spec_.max_len, ml::Matrix(0, spec_.feature_dim()));
+    return empty;
+  }
+  return models_[c]->sample(n, rng);
+}
+
+double ChunkedTrainer::train_cpu_seconds() const {
+  double total = 0.0;
+  for (const auto& m : models_) {
+    if (m) total += m->train_cpu_seconds();
+  }
+  return total;
+}
+
+std::vector<double> ChunkedTrainer::seed_snapshot() {
+  if (seed_chunk_ >= models_.size() || !models_[seed_chunk_]) {
+    throw std::logic_error("ChunkedTrainer::seed_snapshot: not trained");
+  }
+  return models_[seed_chunk_]->snapshot();
+}
+
+std::size_t ChunkedTrainer::total_dp_steps() const {
+  std::size_t steps = 0;
+  for (const auto& m : models_) {
+    if (m) steps += m->dp_steps();
+  }
+  return steps;
+}
+
+}  // namespace netshare::core

@@ -1,0 +1,48 @@
+// Chunked training orchestration (Insight 3): train a seed model on the
+// first (non-empty) chunk, snapshot it, and fine-tune one model per
+// remaining chunk in parallel. Also hosts the DP path (Insight 4): restore a
+// public-data snapshot, then run DP-SGD fine-tuning.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "gan/doppelganger.hpp"
+
+namespace netshare::core {
+
+class ChunkedTrainer {
+ public:
+  ChunkedTrainer(gan::TimeSeriesSpec spec, const NetShareConfig& config);
+
+  // Trains on per-chunk datasets (empty chunks get no model).
+  void fit(const std::vector<gan::TimeSeriesDataset>& chunks);
+
+  // Samples n series from chunk c's model; returns an empty series (0 rows)
+  // if the chunk had no data.
+  gan::GeneratedSeries sample_chunk(std::size_t c, std::size_t n, Rng& rng);
+
+  // Sum of thread-CPU seconds across all chunk models (Fig. 4 cost axis).
+  double train_cpu_seconds() const;
+
+  // Seed-model weights (for exporting a public pretraining snapshot).
+  std::vector<double> seed_snapshot();
+
+  std::size_t num_chunks() const { return models_.size(); }
+  bool has_model(std::size_t c) const {
+    return c < models_.size() && models_[c] != nullptr;
+  }
+  // Total DP-SGD steps across models (for the accountant).
+  std::size_t total_dp_steps() const;
+
+ private:
+  gan::DgConfig chunk_config() const;
+
+  gan::TimeSeriesSpec spec_;
+  const NetShareConfig config_;
+  std::vector<std::unique_ptr<gan::DoppelGanger>> models_;
+  std::size_t seed_chunk_ = 0;
+};
+
+}  // namespace netshare::core

@@ -1,0 +1,128 @@
+#include "datagen/attacks.hpp"
+
+#include <stdexcept>
+
+namespace netshare::datagen {
+
+using net::AttackType;
+using net::Protocol;
+
+AttackSignature attack_signature(AttackType type) {
+  AttackSignature s;
+  s.type = type;
+  switch (type) {
+    case AttackType::kDos:
+      // Single-target flood: many small packets, short high-rate flows.
+      s.dst_ports = {{80, 0.7}, {443, 0.3}};
+      s.protocol = Protocol::kTcp;
+      s.packets_per_flow = {4.5, 0.8, 0.10, 400.0, 1.3, 1e6};
+      s.bytes_per_packet_mu = 3.8;  // ~45 B SYN-sized
+      s.bytes_per_packet_sigma = 0.1;
+      s.duration_mu = 0.5;
+      s.duration_sigma = 0.6;
+      s.burst_flows = 8;
+      break;
+    case AttackType::kDdos:
+      // Distributed flood: like DoS but burstier and UDP-heavy.
+      s.dst_ports = {{80, 0.5}, {53, 0.5}};
+      s.protocol = Protocol::kUdp;
+      s.packets_per_flow = {5.0, 0.7, 0.15, 600.0, 1.2, 1e6};
+      s.bytes_per_packet_mu = 4.2;
+      s.bytes_per_packet_sigma = 0.2;
+      s.duration_mu = 0.2;
+      s.duration_sigma = 0.5;
+      s.burst_flows = 16;
+      break;
+    case AttackType::kBruteForce:
+      // Repeated short SSH/FTP login attempts.
+      s.dst_ports = {{22, 0.6}, {21, 0.4}};
+      s.protocol = Protocol::kTcp;
+      s.packets_per_flow = {2.3, 0.4, 0.0, 1.0, 1.0, 1e4};
+      s.bytes_per_packet_mu = 4.4;
+      s.bytes_per_packet_sigma = 0.2;
+      s.duration_mu = 0.8;
+      s.duration_sigma = 0.4;
+      s.burst_flows = 6;
+      break;
+    case AttackType::kPortScan:
+    case AttackType::kScanning:
+      // One or two tiny probe packets per port, sweeping many ports.
+      s.dst_ports = {{0, 1.0}};  // overridden by sweep_ports
+      s.protocol = Protocol::kTcp;
+      s.packets_per_flow = {0.3, 0.3, 0.0, 1.0, 1.0, 4.0};
+      s.bytes_per_packet_mu = 3.7;  // 40 B probes
+      s.bytes_per_packet_sigma = 0.05;
+      s.duration_mu = -3.0;
+      s.duration_sigma = 0.5;
+      s.burst_flows = 24;
+      s.sweep_ports = true;
+      break;
+    case AttackType::kBackdoor:
+      // Long-lived low-rate command channel to a high port.
+      s.dst_ports = {{4444, 0.5}, {31337, 0.5}};
+      s.protocol = Protocol::kTcp;
+      s.packets_per_flow = {3.2, 0.6, 0.0, 1.0, 1.0, 1e4};
+      s.bytes_per_packet_mu = 5.0;
+      s.bytes_per_packet_sigma = 0.4;
+      s.duration_mu = 3.5;  // tens of seconds
+      s.duration_sigma = 0.6;
+      break;
+    case AttackType::kInjection:
+      // Web attacks: few medium flows with large request payloads.
+      s.dst_ports = {{80, 0.6}, {8080, 0.4}};
+      s.protocol = Protocol::kTcp;
+      s.packets_per_flow = {2.8, 0.5, 0.0, 1.0, 1.0, 1e4};
+      s.bytes_per_packet_mu = 6.5;  // ~650 B
+      s.bytes_per_packet_sigma = 0.3;
+      s.duration_mu = 0.0;
+      s.duration_sigma = 0.5;
+      break;
+    case AttackType::kMitm:
+      // ARP/DNS interception lookalike: small UDP flows to 53.
+      s.dst_ports = {{53, 1.0}};
+      s.protocol = Protocol::kUdp;
+      s.packets_per_flow = {1.5, 0.4, 0.0, 1.0, 1.0, 1e3};
+      s.bytes_per_packet_mu = 4.5;
+      s.bytes_per_packet_sigma = 0.2;
+      s.duration_mu = -1.0;
+      s.duration_sigma = 0.5;
+      break;
+    case AttackType::kPassword:
+      // Credential stuffing over HTTPS.
+      s.dst_ports = {{443, 0.8}, {80, 0.2}};
+      s.protocol = Protocol::kTcp;
+      s.packets_per_flow = {2.5, 0.4, 0.0, 1.0, 1.0, 1e4};
+      s.bytes_per_packet_mu = 5.5;
+      s.bytes_per_packet_sigma = 0.2;
+      s.duration_mu = 0.3;
+      s.duration_sigma = 0.4;
+      s.burst_flows = 4;
+      break;
+    case AttackType::kRansomware:
+      // Bulk exfiltration / key exchange: few very large flows.
+      s.dst_ports = {{443, 0.6}, {8443, 0.4}};
+      s.protocol = Protocol::kTcp;
+      s.packets_per_flow = {5.5, 0.8, 0.3, 800.0, 1.1, 1e6};
+      s.bytes_per_packet_mu = 7.0;  // ~1100 B
+      s.bytes_per_packet_sigma = 0.2;
+      s.duration_mu = 2.5;
+      s.duration_sigma = 0.7;
+      break;
+    case AttackType::kXss:
+      // Scripted web requests: small repeated HTTP flows.
+      s.dst_ports = {{80, 0.9}, {8080, 0.1}};
+      s.protocol = Protocol::kTcp;
+      s.packets_per_flow = {2.0, 0.3, 0.0, 1.0, 1.0, 1e3};
+      s.bytes_per_packet_mu = 6.0;
+      s.bytes_per_packet_sigma = 0.25;
+      s.duration_mu = -0.5;
+      s.duration_sigma = 0.4;
+      s.burst_flows = 3;
+      break;
+    case AttackType::kNone:
+      throw std::invalid_argument("attack_signature: kNone has no signature");
+  }
+  return s;
+}
+
+}  // namespace netshare::datagen

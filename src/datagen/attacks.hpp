@@ -1,0 +1,35 @@
+// Attack traffic signatures for the labeled datasets (CIDDS-like, TON-like).
+//
+// Each attack type gets a distinguishable signature over exactly the fields
+// the paper's downstream traffic-type-prediction task uses (dst port,
+// protocol, packets/flow, bytes/flow, duration), so classifiers trained on
+// the synthetic-of-synthetic data face the same learning problem.
+#pragma once
+
+#include <vector>
+
+#include "datagen/distributions.hpp"
+#include "net/records.hpp"
+
+namespace netshare::datagen {
+
+struct AttackSignature {
+  net::AttackType type = net::AttackType::kNone;
+  // Weighted destination ports this attack targets.
+  std::vector<std::pair<std::uint16_t, double>> dst_ports;
+  net::Protocol protocol = net::Protocol::kTcp;
+  HeavyTailConfig packets_per_flow;
+  double bytes_per_packet_mu = 5.0;    // lognormal of per-packet size
+  double bytes_per_packet_sigma = 0.3;
+  double duration_mu = 0.0;            // lognormal of flow duration (s)
+  double duration_sigma = 1.0;
+  // Number of flows a single attack burst emits (e.g. a scan sweeps ports).
+  int burst_flows = 1;
+  // Port-scan style: each flow in a burst targets a distinct dst port.
+  bool sweep_ports = false;
+};
+
+// Signature lookup; throws std::invalid_argument for kNone.
+AttackSignature attack_signature(net::AttackType type);
+
+}  // namespace netshare::datagen

@@ -1,0 +1,49 @@
+#include "datagen/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::datagen {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double sample_lognormal(Rng& rng, double mu, double sigma) {
+  return std::exp(rng.normal(mu, sigma));
+}
+
+double sample_pareto(Rng& rng, double x_m, double alpha) {
+  // Inverse CDF: x_m * (1-u)^(-1/alpha).
+  double u = rng.uniform();
+  return x_m * std::pow(1.0 - u, -1.0 / alpha);
+}
+
+double sample_heavy_tail(Rng& rng, const HeavyTailConfig& cfg) {
+  double x = rng.bernoulli(cfg.tail_prob)
+                 ? sample_pareto(rng, cfg.tail_scale, cfg.tail_alpha)
+                 : sample_lognormal(rng, cfg.body_mu, cfg.body_sigma);
+  return std::min(x, cfg.max_value);
+}
+
+}  // namespace netshare::datagen

@@ -1,0 +1,67 @@
+// Heavy-tailed samplers used by the workload simulator: Zipf popularity for
+// addresses, lognormal + Pareto mixtures for flow sizes, and helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace netshare::datagen {
+
+// Zipf distribution over ranks {0, ..., n-1} with exponent alpha:
+// P(rank k) ∝ 1 / (k+1)^alpha. Sampling is O(log n) via the precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  std::size_t sample(Rng& rng) const;
+
+  // Exact probability of a given rank (for tests).
+  double probability(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Lognormal with parameters (mu, sigma) of the underlying normal.
+double sample_lognormal(Rng& rng, double mu, double sigma);
+
+// Pareto (type I) with scale x_m > 0 and shape alpha > 0.
+double sample_pareto(Rng& rng, double x_m, double alpha);
+
+// Lognormal body with a Pareto tail: with probability `tail_prob` draw from
+// the Pareto tail (elephant flows), otherwise from the lognormal body (mice).
+// This reproduces the mice/elephant structure of flow-size distributions.
+struct HeavyTailConfig {
+  double body_mu = 1.0;
+  double body_sigma = 1.0;
+  double tail_prob = 0.05;
+  double tail_scale = 50.0;
+  double tail_alpha = 1.2;
+  double max_value = 1e8;
+};
+double sample_heavy_tail(Rng& rng, const HeavyTailConfig& cfg);
+
+// Empirical discrete distribution over arbitrary values with weights.
+template <typename T>
+class WeightedChoice {
+ public:
+  WeightedChoice() = default;
+  WeightedChoice(std::vector<T> values, std::vector<double> weights)
+      : values_(std::move(values)), weights_(std::move(weights)) {}
+
+  const T& sample(Rng& rng) const { return values_[rng.categorical(weights_)]; }
+
+  bool empty() const { return values_.empty(); }
+  const std::vector<T>& values() const { return values_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<T> values_;
+  std::vector<double> weights_;
+};
+
+}  // namespace netshare::datagen

@@ -1,0 +1,215 @@
+#include "datagen/presets.hpp"
+
+#include <stdexcept>
+
+namespace netshare::datagen {
+
+using net::AttackType;
+using net::Ipv4Address;
+
+std::string dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kUgr16:
+      return "UGR16";
+    case DatasetId::kCidds:
+      return "CIDDS";
+    case DatasetId::kTon:
+      return "TON";
+    case DatasetId::kCaida:
+      return "CAIDA";
+    case DatasetId::kDc:
+      return "DC";
+    case DatasetId::kCa:
+      return "CA";
+    case DatasetId::kCaidaPub:
+      return "CAIDA-public-2015";
+    case DatasetId::kDcPub:
+      return "DC-public";
+  }
+  return "unknown";
+}
+
+bool dataset_is_pcap(DatasetId id) {
+  switch (id) {
+    case DatasetId::kCaida:
+    case DatasetId::kCa:
+    case DatasetId::kDc:
+    case DatasetId::kCaidaPub:
+    case DatasetId::kDcPub:
+      return true;
+    default:
+      return false;
+  }
+}
+
+WorkloadConfig preset_config(DatasetId id) {
+  WorkloadConfig c;
+  c.name = dataset_name(id);
+  switch (id) {
+    case DatasetId::kUgr16:
+      // ISP NetFlow: wide address space, strong Zipf skew, classic service
+      // mix, small share of DoS / scan / brute-force attacks.
+      c.duration_s = 600.0;
+      c.num_src_ips = 300;
+      c.num_dst_ips = 600;
+      c.src_zipf_alpha = 1.05;
+      c.dst_zipf_alpha = 1.25;
+      c.src_base = Ipv4Address(42, 10, 0, 1);
+      c.dst_base = Ipv4Address(88, 20, 0, 1);
+      c.service_ports = {{53, 0.32}, {80, 0.24}, {443, 0.22}, {445, 0.08},
+                         {21, 0.06}, {25, 0.05}, {22, 0.03}};
+      c.service_port_prob = 0.80;
+      c.udp_prob = 0.30;
+      c.packets_per_flow = {1.2, 1.1, 0.05, 100.0, 1.15, 1e6};
+      c.mean_iat_s = 0.15;  // long-lived elephants span many export windows
+      c.attack_flow_fraction = 0.02;
+      c.attack_types = {AttackType::kDos, AttackType::kPortScan,
+                        AttackType::kBruteForce};
+      // ISP collectors re-export long-lived flows aggressively (Fig. 1a):
+      // short timeouts make the same 5-tuple appear in many NetFlow records.
+      c.collector = {8.0, 15.0};
+      break;
+    case DatasetId::kCidds:
+      // Emulated small-business network: few clients and servers, web/email
+      // services, heavily labeled attacks.
+      c.duration_s = 600.0;
+      c.num_src_ips = 24;
+      c.num_dst_ips = 12;
+      c.src_zipf_alpha = 0.8;
+      c.dst_zipf_alpha = 0.9;
+      c.src_base = Ipv4Address(192, 168, 100, 1);
+      c.dst_base = Ipv4Address(192, 168, 200, 1);
+      c.service_ports = {{80, 0.35}, {443, 0.25}, {25, 0.15}, {110, 0.10},
+                         {53, 0.10}, {22, 0.05}};
+      c.service_port_prob = 0.9;
+      c.udp_prob = 0.15;
+      c.packets_per_flow = {1.4, 0.9, 0.02, 60.0, 1.3, 1e5};
+      c.mean_iat_s = 0.1;
+      c.attack_flow_fraction = 0.05;
+      c.attack_types = {AttackType::kDos, AttackType::kBruteForce,
+                        AttackType::kPortScan};
+      break;
+    case DatasetId::kTon:
+      // IoT telemetry: ~65% normal, rest spread over nine attack types.
+      c.duration_s = 600.0;
+      c.num_src_ips = 60;
+      c.num_dst_ips = 40;
+      c.src_zipf_alpha = 0.7;
+      c.dst_zipf_alpha = 0.8;
+      c.src_base = Ipv4Address(192, 168, 1, 1);
+      c.dst_base = Ipv4Address(10, 50, 0, 1);
+      c.service_ports = {{53, 0.25}, {80, 0.25}, {443, 0.20}, {445, 0.15},
+                         {21, 0.10}, {123, 0.05}};
+      c.service_port_prob = 0.85;
+      c.udp_prob = 0.35;
+      c.packets_per_flow = {1.0, 0.8, 0.02, 40.0, 1.3, 1e5};
+      c.mean_iat_s = 0.12;
+      // Attack bursts emit several flows each; 0.06 of generation draws
+      // being bursts yields roughly the paper's ~35% attack records.
+      c.attack_flow_fraction = 0.06;
+      c.attack_types = {AttackType::kBackdoor,  AttackType::kDdos,
+                        AttackType::kDos,       AttackType::kInjection,
+                        AttackType::kMitm,      AttackType::kPassword,
+                        AttackType::kRansomware, AttackType::kScanning,
+                        AttackType::kXss};
+      break;
+    case DatasetId::kCaida:
+    case DatasetId::kCaidaPub:
+      // Backbone PCAP: very skewed addresses, dense small/full packet mix,
+      // sub-millisecond inter-arrivals, no labeled attacks. The public
+      // (Chicago 2015) variant differs in address space and mix weights.
+      c.duration_s = 60.0;
+      c.num_src_ips = 500;
+      c.num_dst_ips = 800;
+      c.src_zipf_alpha = 1.1;
+      c.dst_zipf_alpha = 1.2;
+      if (id == DatasetId::kCaida) {
+        c.src_base = Ipv4Address(12, 30, 0, 1);   // "New York 2018"
+        c.dst_base = Ipv4Address(96, 44, 0, 1);
+        c.service_ports = {{443, 0.35}, {80, 0.30}, {53, 0.20}, {22, 0.05},
+                           {25, 0.05}, {123, 0.05}};
+      } else {
+        c.src_base = Ipv4Address(64, 12, 0, 1);   // "Chicago 2015"
+        c.dst_base = Ipv4Address(128, 95, 0, 1);
+        c.service_ports = {{80, 0.40}, {443, 0.25}, {53, 0.20}, {25, 0.06},
+                           {22, 0.04}, {123, 0.05}};
+      }
+      c.service_port_prob = 0.75;
+      c.udp_prob = 0.25;
+      c.icmp_prob = 0.02;
+      c.packets_per_flow = {1.3, 1.0, 0.05, 60.0, 1.2, 1e5};
+      c.small_pkt_prob = 0.40;
+      c.full_pkt_prob = 0.30;
+      c.mean_iat_s = 0.004;
+      break;
+    case DatasetId::kDc:
+    case DatasetId::kDcPub:
+      // Data-center PCAP (IMC 2010 "UNI1"-like): small address pool, strongly
+      // bimodal packet sizes, heavy intra-rack traffic, tiny inter-arrivals.
+      c.duration_s = 60.0;
+      c.num_src_ips = 80;
+      c.num_dst_ips = 80;
+      c.src_zipf_alpha = 0.9;
+      c.dst_zipf_alpha = 0.9;
+      c.src_base = Ipv4Address(10, 128, 0, 1);
+      c.dst_base = Ipv4Address(10, 129, 0, 1);
+      c.service_ports = {{80, 0.25}, {443, 0.15}, {3306, 0.25}, {53, 0.10},
+                         {445, 0.15}, {8080, 0.10}};
+      c.service_port_prob = 0.7;
+      c.udp_prob = 0.15;
+      // Flow sizes scaled to the repo's record budgets (DESIGN.md): heavy-
+      // tailed, but with enough distinct flows at a few thousand packets.
+      c.packets_per_flow = {1.2, 1.0, 0.05, 40.0, 1.2, 1e4};
+      c.small_pkt_prob = 0.50;
+      c.full_pkt_prob = 0.35;
+      c.mid_pkt_mu = 5.0;
+      c.mean_iat_s = 0.002;
+      if (id == DatasetId::kDcPub) {
+        c.src_base = Ipv4Address(10, 200, 0, 1);
+        c.dst_base = Ipv4Address(10, 201, 0, 1);
+      }
+      break;
+    case DatasetId::kCa:
+      // Cyber-defense competition PCAP: competition subnets plus abundant
+      // scan / DoS / brute-force traffic.
+      c.duration_s = 120.0;
+      c.num_src_ips = 120;
+      c.num_dst_ips = 60;
+      c.src_zipf_alpha = 0.9;
+      c.dst_zipf_alpha = 1.0;
+      c.src_base = Ipv4Address(172, 16, 10, 1);
+      c.dst_base = Ipv4Address(192, 168, 50, 1);
+      c.service_ports = {{80, 0.30}, {443, 0.20}, {22, 0.15}, {21, 0.10},
+                         {445, 0.15}, {53, 0.10}};
+      c.service_port_prob = 0.8;
+      c.udp_prob = 0.20;
+      c.packets_per_flow = {1.2, 1.0, 0.04, 50.0, 1.25, 1e5};
+      c.mean_iat_s = 0.01;
+      c.attack_flow_fraction = 0.08;
+      c.attack_types = {AttackType::kPortScan, AttackType::kDos,
+                        AttackType::kBruteForce};
+      break;
+  }
+  return c;
+}
+
+DatasetBundle make_dataset(DatasetId id, std::size_t target_records,
+                           std::uint64_t seed) {
+  DatasetBundle bundle;
+  bundle.name = dataset_name(id);
+  bundle.is_pcap = dataset_is_pcap(id);
+  TraceSimulator sim(preset_config(id));
+  Rng rng(seed);
+  if (bundle.is_pcap) {
+    LabeledPacketTrace labeled = sim.generate_packets(target_records, rng);
+    bundle.packets = std::move(labeled.packets);
+    if (bundle.packets.size() > target_records) {
+      bundle.packets.packets.resize(target_records);
+    }
+  } else {
+    bundle.flows = sim.generate_flows(target_records, rng);
+  }
+  return bundle;
+}
+
+}  // namespace netshare::datagen

@@ -1,0 +1,48 @@
+// Six dataset presets mirroring the paper's evaluation traces, plus the
+// public traces used for IP2Vec training and DP pretraining (Insights 2/4).
+//
+// Substitution note (DESIGN.md): these are simulator parameterizations that
+// reproduce each trace's published structure, not the raw data.
+#pragma once
+
+#include <string>
+
+#include "datagen/workload.hpp"
+
+namespace netshare::datagen {
+
+enum class DatasetId {
+  kUgr16,      // NetFlow-1: Spanish ISP, attacks present
+  kCidds,      // NetFlow-2: emulated small business, labeled attacks
+  kTon,        // NetFlow-3: IoT telemetry, 9 attack types (~35% attack)
+  kCaida,      // PCAP-1: commercial backbone (New York collector, 2018-like)
+  kDc,         // PCAP-2: university data center (IMC 2010 "UNI1"-like)
+  kCa,         // PCAP-3: collegiate cyber-defense competition
+  kCaidaPub,   // public CAIDA backbone (Chicago collector, 2015-like):
+               // IP2Vec vocabulary + DP "pretrain-SAME" source
+  kDcPub,      // public data-center trace: DP "pretrain-DIFF" source
+};
+
+std::string dataset_name(DatasetId id);
+bool dataset_is_pcap(DatasetId id);
+
+// Simulator parameterization for a preset.
+WorkloadConfig preset_config(DatasetId id);
+
+// A generated dataset: packet view for PCAP presets, flow view for NetFlow
+// presets (the other member is left empty).
+struct DatasetBundle {
+  std::string name;
+  bool is_pcap = false;
+  net::PacketTrace packets;
+  net::FlowTrace flows;
+
+  std::size_t size() const { return is_pcap ? packets.size() : flows.size(); }
+};
+
+// Generates `target_records` records (packets for PCAP presets, flow records
+// for NetFlow presets) with a deterministic seed.
+DatasetBundle make_dataset(DatasetId id, std::size_t target_records,
+                           std::uint64_t seed);
+
+}  // namespace netshare::datagen

@@ -1,0 +1,228 @@
+#include "datagen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/ports.hpp"
+
+namespace netshare::datagen {
+
+using net::AttackType;
+using net::FiveTuple;
+using net::Ipv4Address;
+using net::PacketRecord;
+using net::Protocol;
+
+namespace {
+
+// Scatter pool ranks over the subnet so addresses are distinct and not
+// consecutive (consecutive IPs would make bit encodings artificially easy).
+constexpr std::uint32_t kAddressStride = 2654435761u;  // Knuth multiplicative
+
+std::uint16_t ephemeral_port(Rng& rng) {
+  return static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+}
+
+std::uint8_t sample_ttl(Rng& rng) {
+  static constexpr std::uint8_t kBases[] = {32, 64, 128, 255};
+  const auto base = kBases[rng.uniform_int(0, 3)];
+  const auto hops = static_cast<std::uint8_t>(rng.uniform_int(1, 24));
+  return static_cast<std::uint8_t>(base > hops ? base - hops : 1);
+}
+
+}  // namespace
+
+TraceSimulator::TraceSimulator(WorkloadConfig config)
+    : config_(std::move(config)),
+      src_sampler_(config_.num_src_ips, config_.src_zipf_alpha),
+      dst_sampler_(config_.num_dst_ips, config_.dst_zipf_alpha) {
+  std::vector<std::uint16_t> ports;
+  std::vector<double> weights;
+  for (const auto& [port, w] : config_.service_ports) {
+    ports.push_back(port);
+    weights.push_back(w);
+  }
+  service_port_choice_ = WeightedChoice<std::uint16_t>(std::move(ports),
+                                                       std::move(weights));
+}
+
+Ipv4Address TraceSimulator::src_ip(std::size_t rank) const {
+  const std::uint32_t offset =
+      (static_cast<std::uint32_t>(rank) * kAddressStride) & 0xffff;
+  return Ipv4Address(config_.src_base.value() + offset);
+}
+
+Ipv4Address TraceSimulator::dst_ip(std::size_t rank) const {
+  const std::uint32_t offset =
+      (static_cast<std::uint32_t>(rank) * kAddressStride) & 0x3ffff;
+  return Ipv4Address(config_.dst_base.value() + offset);
+}
+
+std::uint32_t TraceSimulator::sample_packet_size(Protocol proto,
+                                                 Rng& rng) const {
+  const std::uint32_t min_size = net::min_packet_size(proto);
+  double u = rng.uniform();
+  std::uint32_t size;
+  if (u < config_.small_pkt_prob) {
+    size = min_size + static_cast<std::uint32_t>(rng.uniform_int(0, 12));
+  } else if (u < config_.small_pkt_prob + config_.full_pkt_prob) {
+    size = static_cast<std::uint32_t>(rng.uniform_int(1400, 1500));
+  } else {
+    size = static_cast<std::uint32_t>(
+        sample_lognormal(rng, config_.mid_pkt_mu, config_.mid_pkt_sigma));
+  }
+  return std::clamp<std::uint32_t>(size, min_size, 1500);
+}
+
+FiveTuple TraceSimulator::emit_benign_flow(net::PacketTrace& out,
+                                           Rng& rng) const {
+  FiveTuple key;
+  key.src_ip = src_ip(src_sampler_.sample(rng));
+  key.dst_ip = dst_ip(dst_sampler_.sample(rng));
+  key.src_port = ephemeral_port(rng);
+
+  if (!service_port_choice_.empty() &&
+      rng.bernoulli(config_.service_port_prob)) {
+    key.dst_port = service_port_choice_.sample(rng);
+  } else {
+    key.dst_port = ephemeral_port(rng);
+  }
+
+  if (auto pinned = net::well_known_port_protocol(key.dst_port)) {
+    key.protocol = *pinned;
+  } else {
+    const double u = rng.uniform();
+    key.protocol = u < config_.icmp_prob               ? Protocol::kIcmp
+                   : u < config_.icmp_prob + config_.udp_prob ? Protocol::kUdp
+                                                              : Protocol::kTcp;
+  }
+  if (key.protocol == Protocol::kIcmp) {
+    key.src_port = 0;
+    key.dst_port = 0;
+  }
+
+  const auto npkts = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(sample_heavy_tail(rng, config_.packets_per_flow))));
+  double t = rng.uniform(0.0, config_.duration_s);
+  const std::uint8_t ttl = sample_ttl(rng);
+  for (std::uint64_t i = 0; i < npkts; ++i) {
+    PacketRecord p;
+    p.timestamp = t;
+    p.key = key;
+    p.size = sample_packet_size(key.protocol, rng);
+    p.ttl = ttl;
+    p.tcp_flags = i == 0 ? 0x02 : 0x10;  // SYN then ACKs
+    out.packets.push_back(p);
+    t += rng.exponential(1.0 / config_.mean_iat_s);
+  }
+  return key;
+}
+
+void TraceSimulator::emit_attack_burst(
+    net::PacketTrace& out,
+    std::unordered_map<FiveTuple, AttackType>& labels, Rng& rng) const {
+  const AttackType type = config_.attack_types[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(config_.attack_types.size()) - 1))];
+  const AttackSignature sig = attack_signature(type);
+
+  // Attackers come from a small dedicated pool so floods share sources.
+  const auto attacker_rank = static_cast<std::size_t>(rng.uniform_int(
+      0, type == AttackType::kDdos ? 31 : 3));
+  const Ipv4Address attacker(config_.src_base.value() + 0xff00 + attacker_rank);
+  const Ipv4Address victim = dst_ip(dst_sampler_.sample(rng));
+
+  double burst_start = rng.uniform(0.0, config_.duration_s);
+  std::uint16_t sweep_port = static_cast<std::uint16_t>(rng.uniform_int(1, 1024));
+
+  for (int f = 0; f < sig.burst_flows; ++f) {
+    FiveTuple key;
+    key.src_ip = attacker;
+    key.dst_ip = victim;
+    key.src_port = ephemeral_port(rng);
+    key.protocol = sig.protocol;
+    if (sig.sweep_ports) {
+      key.dst_port = sweep_port++;
+    } else {
+      std::vector<double> w;
+      w.reserve(sig.dst_ports.size());
+      for (const auto& [port, weight] : sig.dst_ports) {
+        (void)port;
+        w.push_back(weight);
+      }
+      key.dst_port = sig.dst_ports[rng.categorical(w)].first;
+    }
+
+    const auto npkts = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(sample_heavy_tail(rng, sig.packets_per_flow))));
+    const double duration = std::max(
+        1e-4, sample_lognormal(rng, sig.duration_mu, sig.duration_sigma));
+    const double iat = duration / static_cast<double>(npkts);
+    double t = burst_start + rng.uniform(0.0, 0.5);
+    const std::uint8_t ttl = sample_ttl(rng);
+    const std::uint32_t min_size = net::min_packet_size(key.protocol);
+    for (std::uint64_t i = 0; i < npkts; ++i) {
+      PacketRecord p;
+      p.timestamp = t;
+      p.key = key;
+      p.size = std::clamp<std::uint32_t>(
+          static_cast<std::uint32_t>(sample_lognormal(
+              rng, sig.bytes_per_packet_mu, sig.bytes_per_packet_sigma)),
+          min_size, 1500);
+      p.ttl = ttl;
+      p.tcp_flags = i == 0 ? 0x02 : 0x10;
+      out.packets.push_back(p);
+      t += rng.exponential(1.0 / std::max(1e-6, iat));
+    }
+    labels[key] = type;
+  }
+}
+
+LabeledPacketTrace TraceSimulator::generate_packets(std::size_t target_packets,
+                                                    Rng& rng) const {
+  LabeledPacketTrace result;
+  result.packets.packets.reserve(target_packets + 256);
+  const bool has_attacks =
+      config_.attack_flow_fraction > 0.0 && !config_.attack_types.empty();
+  while (result.packets.size() < target_packets) {
+    if (has_attacks && rng.bernoulli(config_.attack_flow_fraction)) {
+      emit_attack_burst(result.packets, result.labels, rng);
+    } else {
+      emit_benign_flow(result.packets, rng);
+    }
+  }
+  result.packets.sort_by_time();
+  return result;
+}
+
+net::FlowTrace TraceSimulator::generate_flows(std::size_t target_records,
+                                              Rng& rng) const {
+  // Packets-per-record ratio is learned adaptively: start with an estimate
+  // and regenerate with a larger packet budget if the collector produced too
+  // few records.
+  net::FlowCollector collector(config_.collector);
+  std::size_t packet_budget = target_records * 4;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Rng local = rng.fork();
+    LabeledPacketTrace labeled = generate_packets(packet_budget, local);
+    net::FlowTrace flows = collector.collect(labeled.packets);
+    if (flows.size() >= target_records || attempt == 7) {
+      for (auto& r : flows.records) {
+        auto it = labeled.labels.find(r.key);
+        if (it != labeled.labels.end()) {
+          r.is_attack = true;
+          r.attack_type = it->second;
+        }
+      }
+      if (flows.size() > target_records) {
+        flows.records.resize(target_records);
+      }
+      return flows;
+    }
+    packet_budget *= 2;
+  }
+  return {};
+}
+
+}  // namespace netshare::datagen

@@ -1,0 +1,105 @@
+// Parametric packet/flow workload simulator.
+//
+// Stands in for the paper's six public traces (see DESIGN.md substitution
+// table): it reproduces the distribution families every NetShare experiment
+// measures — Zipf address popularity, service-port mixtures, heavy-tailed
+// flow sizes with mice/elephants, bimodal packet sizes, collector re-export
+// behaviour, and labeled attack traffic.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/attacks.hpp"
+#include "datagen/distributions.hpp"
+#include "net/flow_collector.hpp"
+#include "net/trace.hpp"
+
+namespace netshare::datagen {
+
+struct WorkloadConfig {
+  std::string name = "generic";
+  double duration_s = 600.0;
+
+  // Address model: flows draw endpoints from Zipf-ranked IP pools.
+  std::size_t num_src_ips = 200;
+  double src_zipf_alpha = 1.0;
+  net::Ipv4Address src_base{10, 0, 0, 1};
+  std::size_t num_dst_ips = 400;
+  double dst_zipf_alpha = 1.2;
+  net::Ipv4Address dst_base{172, 16, 0, 1};
+
+  // Destination-port model: well-known service ports with given weights,
+  // otherwise an ephemeral port in [1024, 65535].
+  std::vector<std::pair<std::uint16_t, double>> service_ports = {
+      {53, 0.30}, {80, 0.25}, {443, 0.20}, {445, 0.10}, {21, 0.08}, {22, 0.04},
+      {25, 0.03}};
+  double service_port_prob = 0.85;
+
+  // Protocol for flows whose dst port doesn't pin one: P(UDP), P(ICMP).
+  double udp_prob = 0.25;
+  double icmp_prob = 0.01;
+
+  // Flow-size model (packets per flow), heavy-tailed.
+  HeavyTailConfig packets_per_flow{1.0, 1.0, 0.05, 50.0, 1.2, 1e6};
+
+  // Packet-size model: P(minimum-size control packet), P(full MTU data
+  // packet), otherwise lognormal medium-size.
+  double small_pkt_prob = 0.45;
+  double full_pkt_prob = 0.25;
+  double mid_pkt_mu = 5.8;  // ~330 B
+  double mid_pkt_sigma = 0.6;
+
+  // Within-flow packet inter-arrival (exponential with this mean).
+  double mean_iat_s = 0.05;
+
+  // Attack model: fraction of flows that are attacks, drawn uniformly from
+  // the listed types.
+  double attack_flow_fraction = 0.0;
+  std::vector<net::AttackType> attack_types;
+
+  // NetFlow collector behaviour (used when materializing flow traces).
+  net::FlowCollectorConfig collector;
+};
+
+// A packet trace plus ground-truth per-5-tuple attack labels.
+struct LabeledPacketTrace {
+  net::PacketTrace packets;
+  std::unordered_map<net::FiveTuple, net::AttackType> labels;
+};
+
+class TraceSimulator {
+ public:
+  explicit TraceSimulator(WorkloadConfig config);
+
+  // Generates flows until at least `target_packets` packets exist, then
+  // sorts by timestamp.
+  LabeledPacketTrace generate_packets(std::size_t target_packets,
+                                      Rng& rng) const;
+
+  // Generates a packet trace, runs the NetFlow collector over it, and labels
+  // the resulting records. Produces at least `target_records` records.
+  net::FlowTrace generate_flows(std::size_t target_records, Rng& rng) const;
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  // Appends one benign flow's packets; returns its 5-tuple.
+  net::FiveTuple emit_benign_flow(net::PacketTrace& out, Rng& rng) const;
+  // Appends one attack burst's packets; records labels.
+  void emit_attack_burst(net::PacketTrace& out,
+                         std::unordered_map<net::FiveTuple, net::AttackType>& labels,
+                         Rng& rng) const;
+
+  std::uint32_t sample_packet_size(net::Protocol proto, Rng& rng) const;
+  net::Ipv4Address src_ip(std::size_t rank) const;
+  net::Ipv4Address dst_ip(std::size_t rank) const;
+
+  WorkloadConfig config_;
+  ZipfSampler src_sampler_;
+  ZipfSampler dst_sampler_;
+  WeightedChoice<std::uint16_t> service_port_choice_;
+};
+
+}  // namespace netshare::datagen

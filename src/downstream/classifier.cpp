@@ -1,0 +1,34 @@
+#include "downstream/classifier.hpp"
+
+#include <stdexcept>
+
+#include "downstream/decision_tree.hpp"
+#include "downstream/gradient_boosting.hpp"
+#include "downstream/logistic_regression.hpp"
+#include "downstream/mlp_classifier.hpp"
+#include "downstream/random_forest.hpp"
+
+namespace netshare::downstream {
+
+std::unique_ptr<Classifier> make_classifier(const std::string& kind,
+                                            std::uint64_t seed) {
+  if (kind == "DT") {
+    return std::make_unique<DecisionTreeClassifier>(TreeConfig{}, seed);
+  }
+  if (kind == "LR") {
+    return std::make_unique<LogisticRegression>(LogisticRegressionConfig{},
+                                                seed);
+  }
+  if (kind == "RF") {
+    return std::make_unique<RandomForest>(RandomForestConfig{}, seed);
+  }
+  if (kind == "GB") {
+    return std::make_unique<GradientBoosting>(GradientBoostingConfig{}, seed);
+  }
+  if (kind == "MLP") {
+    return std::make_unique<MlpClassifier>(MlpClassifierConfig{}, seed);
+  }
+  throw std::invalid_argument("make_classifier: unknown kind '" + kind + "'");
+}
+
+}  // namespace netshare::downstream

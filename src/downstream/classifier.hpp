@@ -1,0 +1,29 @@
+// Common interface for the five supervised models of the traffic-type
+// prediction experiment (Fig. 12 / Table 3).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "downstream/features.hpp"
+
+namespace netshare::downstream {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual std::string name() const = 0;
+  virtual void fit(const LabeledDataset& data) = 0;
+  virtual std::size_t predict(std::span<const double> x) const = 0;
+
+  // Fraction of correctly classified rows.
+  double accuracy(const LabeledDataset& data) const;
+};
+
+// Factory for the paper's five models: "DT", "LR", "RF", "GB", "MLP".
+std::unique_ptr<Classifier> make_classifier(const std::string& kind,
+                                            std::uint64_t seed);
+
+}  // namespace netshare::downstream

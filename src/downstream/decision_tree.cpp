@@ -1,0 +1,271 @@
+#include "downstream/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace netshare::downstream {
+
+double Classifier::accuracy(const LabeledDataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::span<const double> row(data.x.row_ptr(i), data.x.cols());
+    correct += predict(row) == data.y[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+namespace {
+
+// Candidate features at a node: all, or a random subset of max_features.
+std::vector<std::size_t> candidate_features(std::size_t num_features,
+                                            std::size_t max_features,
+                                            Rng& rng) {
+  std::vector<std::size_t> feats(num_features);
+  std::iota(feats.begin(), feats.end(), std::size_t{0});
+  if (max_features == 0 || max_features >= num_features) return feats;
+  for (std::size_t i = 0; i < max_features; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(num_features) - 1));
+    std::swap(feats[i], feats[j]);
+  }
+  feats.resize(max_features);
+  return feats;
+}
+
+// Finds the best threshold split of `rows` on `feature`, minimizing the
+// weighted child impurity computed by `impurity(rows_subset)`.
+struct SplitResult {
+  bool found = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double score = 1e300;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DecisionTreeClassifier
+
+void DecisionTreeClassifier::fit(const LabeledDataset& data) {
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  fit_subset(data, rows);
+}
+
+void DecisionTreeClassifier::fit_subset(const LabeledDataset& data,
+                                        const std::vector<std::size_t>& rows) {
+  if (rows.empty()) throw std::invalid_argument("DecisionTree: no rows");
+  num_classes_ = data.num_classes;
+  nodes_.clear();
+
+  // Iterative recursion via an explicit stack of (node index, rows, depth).
+  struct Work {
+    int node;
+    std::vector<std::size_t> rows;
+    std::size_t depth;
+  };
+  nodes_.push_back({});
+  std::vector<Work> stack{{0, rows, 0}};
+
+  auto majority = [&](const std::vector<std::size_t>& rs) {
+    std::vector<std::size_t> counts(num_classes_, 0);
+    for (std::size_t r : rs) counts[data.y[r]]++;
+    return static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  };
+  auto gini = [&](const std::vector<std::size_t>& counts, double n) {
+    if (n <= 0) return 0.0;
+    double g = 1.0;
+    for (std::size_t c : counts) {
+      const double p = static_cast<double>(c) / n;
+      g -= p * p;
+    }
+    return g;
+  };
+
+  while (!stack.empty()) {
+    Work w = std::move(stack.back());
+    stack.pop_back();
+    nodes_[static_cast<std::size_t>(w.node)].label = majority(w.rows);
+
+    const bool pure = std::all_of(w.rows.begin(), w.rows.end(),
+                                  [&](std::size_t r) {
+                                    return data.y[r] == data.y[w.rows[0]];
+                                  });
+    if (pure || w.depth >= config_.max_depth ||
+        w.rows.size() < config_.min_samples_split) {
+      continue;
+    }
+
+    // Best split across candidate features via sorted sweep.
+    SplitResult best;
+    const auto feats =
+        candidate_features(data.x.cols(), config_.max_features, rng_);
+    for (std::size_t f : feats) {
+      std::vector<std::size_t> order = w.rows;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return data.x(a, f) < data.x(b, f);
+      });
+      std::vector<std::size_t> left_counts(num_classes_, 0);
+      std::vector<std::size_t> right_counts(num_classes_, 0);
+      for (std::size_t r : order) right_counts[data.y[r]]++;
+      const double n = static_cast<double>(order.size());
+      for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        const std::size_t cls = data.y[order[i]];
+        left_counts[cls]++;
+        right_counts[cls]--;
+        const double xv = data.x(order[i], f);
+        const double xn = data.x(order[i + 1], f);
+        if (xn <= xv) continue;  // no threshold between equal values
+        const double nl = static_cast<double>(i + 1);
+        const double nr = n - nl;
+        const double score =
+            (nl * gini(left_counts, nl) + nr * gini(right_counts, nr)) / n;
+        if (score < best.score) {
+          best = {true, f, 0.5 * (xv + xn), score};
+        }
+      }
+    }
+    if (!best.found) continue;
+
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : w.rows) {
+      (data.x(r, best.feature) <= best.threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) continue;
+
+    // Allocate children first: push_back may reallocate the node pool, so
+    // never hold a reference across it.
+    const int left = static_cast<int>(nodes_.size());
+    nodes_.push_back({});
+    const int right = static_cast<int>(nodes_.size());
+    nodes_.push_back({});
+    TreeNode& parent = nodes_[static_cast<std::size_t>(w.node)];
+    parent.leaf = false;
+    parent.feature = best.feature;
+    parent.threshold = best.threshold;
+    parent.left = left;
+    parent.right = right;
+    stack.push_back({left, std::move(left_rows), w.depth + 1});
+    stack.push_back({right, std::move(right_rows), w.depth + 1});
+  }
+}
+
+std::size_t DecisionTreeClassifier::predict(std::span<const double> x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: fit first");
+  int at = 0;
+  for (;;) {
+    const TreeNode& node = nodes_[static_cast<std::size_t>(at)];
+    if (node.leaf) return node.label;
+    at = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RegressionTree
+
+void RegressionTree::fit(const ml::Matrix& x,
+                         const std::vector<double>& targets) {
+  if (x.rows() == 0 || x.rows() != targets.size()) {
+    throw std::invalid_argument("RegressionTree::fit: bad shapes");
+  }
+  nodes_.clear();
+  struct Work {
+    int node;
+    std::vector<std::size_t> rows;
+    std::size_t depth;
+  };
+  std::vector<std::size_t> all(x.rows());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  nodes_.push_back({});
+  std::vector<Work> stack{{0, std::move(all), 0}};
+
+  auto mean_of = [&](const std::vector<std::size_t>& rs) {
+    double s = 0.0;
+    for (std::size_t r : rs) s += targets[r];
+    return rs.empty() ? 0.0 : s / static_cast<double>(rs.size());
+  };
+
+  while (!stack.empty()) {
+    Work w = std::move(stack.back());
+    stack.pop_back();
+    nodes_[static_cast<std::size_t>(w.node)].value = mean_of(w.rows);
+    if (w.depth >= config_.max_depth ||
+        w.rows.size() < config_.min_samples_split) {
+      continue;
+    }
+
+    // Best variance-reducing split (sorted sweep with running sums).
+    SplitResult best;
+    const auto feats = candidate_features(x.cols(), config_.max_features, rng_);
+    for (std::size_t f : feats) {
+      std::vector<std::size_t> order = w.rows;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return x(a, f) < x(b, f);
+      });
+      double right_sum = 0.0, right_sq = 0.0;
+      for (std::size_t r : order) {
+        right_sum += targets[r];
+        right_sq += targets[r] * targets[r];
+      }
+      double left_sum = 0.0, left_sq = 0.0;
+      const double n = static_cast<double>(order.size());
+      for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        const double t = targets[order[i]];
+        left_sum += t;
+        left_sq += t * t;
+        right_sum -= t;
+        right_sq -= t * t;
+        const double xv = x(order[i], f);
+        const double xn = x(order[i + 1], f);
+        if (xn <= xv) continue;
+        const double nl = static_cast<double>(i + 1);
+        const double nr = n - nl;
+        const double sse = (left_sq - left_sum * left_sum / nl) +
+                           (right_sq - right_sum * right_sum / nr);
+        if (sse < best.score) {
+          best = {true, f, 0.5 * (xv + xn), sse};
+        }
+      }
+    }
+    if (!best.found) continue;
+
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : w.rows) {
+      (x(r, best.feature) <= best.threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) continue;
+
+    // Allocate children first: push_back may reallocate the node pool, so
+    // never hold a reference across it.
+    const int left = static_cast<int>(nodes_.size());
+    nodes_.push_back({});
+    const int right = static_cast<int>(nodes_.size());
+    nodes_.push_back({});
+    TreeNode& parent = nodes_[static_cast<std::size_t>(w.node)];
+    parent.leaf = false;
+    parent.feature = best.feature;
+    parent.threshold = best.threshold;
+    parent.left = left;
+    parent.right = right;
+    stack.push_back({left, std::move(left_rows), w.depth + 1});
+    stack.push_back({right, std::move(right_rows), w.depth + 1});
+  }
+}
+
+double RegressionTree::predict(std::span<const double> x) const {
+  if (nodes_.empty()) throw std::logic_error("RegressionTree: fit first");
+  int at = 0;
+  for (;;) {
+    const TreeNode& node = nodes_[static_cast<std::size_t>(at)];
+    if (node.leaf) return node.value;
+    at = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+}  // namespace netshare::downstream

@@ -1,0 +1,65 @@
+// CART decision trees: gini-impurity classification tree (the DT model, and
+// the base learner of Random Forest) and variance-minimizing regression
+// tree (the base learner of Gradient Boosting).
+#pragma once
+
+#include <vector>
+
+#include "downstream/classifier.hpp"
+
+namespace netshare::downstream {
+
+struct TreeConfig {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_split = 8;
+  // 0 = consider all features at every split; otherwise sample this many
+  // (random forest's feature bagging).
+  std::size_t max_features = 0;
+};
+
+struct TreeNode {
+  bool leaf = true;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  int left = -1;   // child indices into the node pool
+  int right = -1;
+  double value = 0.0;            // regression output
+  std::size_t label = 0;         // classification output
+};
+
+class DecisionTreeClassifier : public Classifier {
+ public:
+  DecisionTreeClassifier(TreeConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  std::string name() const override { return "DT"; }
+  void fit(const LabeledDataset& data) override;
+  std::size_t predict(std::span<const double> x) const override;
+
+  // Fit on a row subset (bootstrap sample) — used by RandomForest.
+  void fit_subset(const LabeledDataset& data,
+                  const std::vector<std::size_t>& rows);
+
+ private:
+  TreeConfig config_;
+  Rng rng_;
+  std::vector<TreeNode> nodes_;
+  std::size_t num_classes_ = 0;
+};
+
+// Regression tree on (X, residual) pairs — gradient boosting base learner.
+class RegressionTree {
+ public:
+  RegressionTree(TreeConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  void fit(const ml::Matrix& x, const std::vector<double>& targets);
+  double predict(std::span<const double> x) const;
+
+ private:
+  TreeConfig config_;
+  Rng rng_;
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace netshare::downstream

@@ -1,0 +1,60 @@
+#include "downstream/features.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::downstream {
+
+namespace {
+constexpr std::size_t kNumClasses = 12;  // none + 11 attack types
+constexpr std::size_t kNumFeatures = 8;
+
+void fill_row(const net::FlowRecord& r, double* out) {
+  out[0] = static_cast<double>(r.key.dst_port) / 65535.0;
+  out[1] = static_cast<double>(r.key.src_port) / 65535.0;
+  out[2] = r.key.protocol == net::Protocol::kTcp ? 1.0 : 0.0;
+  out[3] = r.key.protocol == net::Protocol::kUdp ? 1.0 : 0.0;
+  out[4] = r.key.protocol == net::Protocol::kIcmp ? 1.0 : 0.0;
+  out[5] = std::log1p(static_cast<double>(r.packets)) / 20.0;
+  out[6] = std::log1p(static_cast<double>(r.bytes)) / 30.0;
+  out[7] = std::log1p(r.duration * 1e3) / 20.0;
+}
+}  // namespace
+
+LabeledDataset traffic_type_features(const net::FlowTrace& trace) {
+  if (trace.empty()) {
+    throw std::invalid_argument("traffic_type_features: empty trace");
+  }
+  LabeledDataset ds;
+  ds.num_classes = kNumClasses;
+  ds.x = ml::Matrix(trace.size(), kNumFeatures);
+  ds.y.resize(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& r = trace.records[i];
+    fill_row(r, ds.x.row_ptr(i));
+    ds.y[i] = r.is_attack ? static_cast<std::size_t>(r.attack_type) : 0;
+  }
+  return ds;
+}
+
+std::pair<LabeledDataset, LabeledDataset> time_split(
+    const net::FlowTrace& trace, double train_frac) {
+  if (train_frac <= 0.0 || train_frac >= 1.0) {
+    throw std::invalid_argument("time_split: train_frac out of (0,1)");
+  }
+  net::FlowTrace sorted = trace;
+  sorted.sort_by_time();
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(sorted.size()) * train_frac);
+  net::FlowTrace head, tail;
+  head.records.assign(sorted.records.begin(),
+                      sorted.records.begin() + static_cast<long>(cut));
+  tail.records.assign(sorted.records.begin() + static_cast<long>(cut),
+                      sorted.records.end());
+  if (head.empty() || tail.empty()) {
+    throw std::invalid_argument("time_split: degenerate split");
+  }
+  return {traffic_type_features(head), traffic_type_features(tail)};
+}
+
+}  // namespace netshare::downstream

@@ -1,0 +1,31 @@
+// Feature extraction for the downstream traffic-type prediction task
+// (Fig. 11/12): predict a NetFlow record's type (benign / attack type) from
+// port number, protocol, bytes/flow, packets/flow, and flow duration.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "net/trace.hpp"
+
+namespace netshare::downstream {
+
+struct LabeledDataset {
+  ml::Matrix x;                 // N x F
+  std::vector<std::size_t> y;   // class per row
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return x.rows(); }
+};
+
+// One row per flow record; label = attack class (0 = benign). Classes use
+// the fixed 12-way attack alphabet so real/synthetic datasets align.
+LabeledDataset traffic_type_features(const net::FlowTrace& trace);
+
+// The paper's evaluation protocol: sort by timestamp, earlier `train_frac`
+// trains, the rest tests.
+std::pair<LabeledDataset, LabeledDataset> time_split(
+    const net::FlowTrace& trace, double train_frac);
+
+}  // namespace netshare::downstream

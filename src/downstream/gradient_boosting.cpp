@@ -1,0 +1,72 @@
+#include "downstream/gradient_boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::downstream {
+
+void GradientBoosting::fit(const LabeledDataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("GradientBoosting: empty");
+  num_classes_ = data.num_classes;
+  ensemble_.clear();
+
+  const std::size_t n = data.size();
+  // Raw scores F_k(x_i), updated additively.
+  std::vector<std::vector<double>> scores(num_classes_,
+                                          std::vector<double>(n, 0.0));
+  std::vector<double> probs(num_classes_);
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    std::vector<std::unique_ptr<RegressionTree>> stage;
+    stage.reserve(num_classes_);
+    // Residuals per class: y_ik - softmax_k(F(x_i)).
+    std::vector<std::vector<double>> residuals(
+        num_classes_, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      double mx = scores[0][i];
+      for (std::size_t k = 1; k < num_classes_; ++k) {
+        mx = std::max(mx, scores[k][i]);
+      }
+      double sum = 0.0;
+      for (std::size_t k = 0; k < num_classes_; ++k) {
+        probs[k] = std::exp(scores[k][i] - mx);
+        sum += probs[k];
+      }
+      for (std::size_t k = 0; k < num_classes_; ++k) {
+        residuals[k][i] = (data.y[i] == k ? 1.0 : 0.0) - probs[k] / sum;
+      }
+    }
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      auto tree = std::make_unique<RegressionTree>(config_.tree,
+                                                   rng_.engine()());
+      tree->fit(data.x, residuals[k]);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::span<const double> row(data.x.row_ptr(i), data.x.cols());
+        scores[k][i] += config_.learning_rate * tree->predict(row);
+      }
+      stage.push_back(std::move(tree));
+    }
+    ensemble_.push_back(std::move(stage));
+  }
+}
+
+std::vector<double> GradientBoosting::raw_scores(
+    std::span<const double> x) const {
+  std::vector<double> scores(num_classes_, 0.0);
+  for (const auto& stage : ensemble_) {
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      scores[k] += config_.learning_rate * stage[k]->predict(x);
+    }
+  }
+  return scores;
+}
+
+std::size_t GradientBoosting::predict(std::span<const double> x) const {
+  if (ensemble_.empty()) throw std::logic_error("GradientBoosting: fit first");
+  const auto scores = raw_scores(x);
+  return static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace netshare::downstream

@@ -1,0 +1,37 @@
+// Multiclass gradient boosting: per round, one shallow regression tree per
+// class fit to the softmax negative gradient (y_ik - p_ik), with shrinkage.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "downstream/decision_tree.hpp"
+
+namespace netshare::downstream {
+
+struct GradientBoostingConfig {
+  std::size_t rounds = 20;
+  double learning_rate = 0.3;
+  TreeConfig tree{3, 8, 0};  // shallow trees
+};
+
+class GradientBoosting : public Classifier {
+ public:
+  GradientBoosting(GradientBoostingConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  std::string name() const override { return "GB"; }
+  void fit(const LabeledDataset& data) override;
+  std::size_t predict(std::span<const double> x) const override;
+
+ private:
+  std::vector<double> raw_scores(std::span<const double> x) const;
+
+  GradientBoostingConfig config_;
+  Rng rng_;
+  // ensemble_[round][class]
+  std::vector<std::vector<std::unique_ptr<RegressionTree>>> ensemble_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace netshare::downstream

@@ -1,0 +1,32 @@
+// Multinomial logistic regression trained with minibatch Adam.
+#pragma once
+
+#include <memory>
+
+#include "downstream/classifier.hpp"
+#include "ml/mlp.hpp"
+
+namespace netshare::downstream {
+
+struct LogisticRegressionConfig {
+  int epochs = 30;
+  std::size_t batch_size = 64;
+  double lr = 0.05;
+};
+
+class LogisticRegression : public Classifier {
+ public:
+  LogisticRegression(LogisticRegressionConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  std::string name() const override { return "LR"; }
+  void fit(const LabeledDataset& data) override;
+  std::size_t predict(std::span<const double> x) const override;
+
+ private:
+  LogisticRegressionConfig config_;
+  Rng rng_;
+  std::unique_ptr<ml::Linear> linear_;
+};
+
+}  // namespace netshare::downstream

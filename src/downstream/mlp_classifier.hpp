@@ -1,0 +1,33 @@
+// MLP classifier (softmax cross-entropy, Adam).
+#pragma once
+
+#include <memory>
+
+#include "downstream/classifier.hpp"
+#include "ml/mlp.hpp"
+
+namespace netshare::downstream {
+
+struct MlpClassifierConfig {
+  std::vector<std::size_t> hidden = {32, 32};
+  int epochs = 30;
+  std::size_t batch_size = 64;
+  double lr = 1e-3;
+};
+
+class MlpClassifier : public Classifier {
+ public:
+  MlpClassifier(MlpClassifierConfig config, std::uint64_t seed)
+      : config_(std::move(config)), rng_(seed) {}
+
+  std::string name() const override { return "MLP"; }
+  void fit(const LabeledDataset& data) override;
+  std::size_t predict(std::span<const double> x) const override;
+
+ private:
+  MlpClassifierConfig config_;
+  Rng rng_;
+  std::unique_ptr<ml::Mlp> net_;
+};
+
+}  // namespace netshare::downstream

@@ -1,0 +1,147 @@
+#include "downstream/netml.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::downstream {
+
+namespace {
+
+constexpr std::size_t kSampBins = 8;  // SAMP-NUM / SAMP-SIZE sub-intervals
+
+// Five-number summary: mean, std, min, max, median.
+std::vector<double> summary(std::vector<double> v) {
+  if (v.empty()) return {0, 0, 0, 0, 0};
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  std::sort(v.begin(), v.end());
+  return {mean, std::sqrt(var), v.front(), v.back(), v[v.size() / 2]};
+}
+
+struct FlowPackets {
+  std::vector<double> times;
+  std::vector<double> sizes;
+};
+
+std::vector<FlowPackets> multi_packet_flows(const net::PacketTrace& trace) {
+  net::PacketTrace sorted = trace;
+  sorted.sort_by_time();
+  std::vector<FlowPackets> flows;
+  for (const auto& [key, idx] : sorted.group_by_flow()) {
+    (void)key;
+    if (idx.size() < 2) continue;  // NetML: flows with > 1 packet only
+    FlowPackets f;
+    f.times.reserve(idx.size());
+    f.sizes.reserve(idx.size());
+    for (std::size_t k : idx) {
+      f.times.push_back(sorted.packets[k].timestamp);
+      f.sizes.push_back(static_cast<double>(sorted.packets[k].size));
+    }
+    flows.push_back(std::move(f));
+  }
+  return flows;
+}
+
+std::vector<double> flow_features(const FlowPackets& f, NetmlMode mode) {
+  std::vector<double> iats;
+  for (std::size_t i = 1; i < f.times.size(); ++i) {
+    iats.push_back(f.times[i] - f.times[i - 1]);
+  }
+  const double duration = std::max(1e-9, f.times.back() - f.times.front());
+  double bytes = 0.0;
+  for (double s : f.sizes) bytes += s;
+
+  switch (mode) {
+    case NetmlMode::kIat:
+      return summary(iats);
+    case NetmlMode::kSize:
+      return summary(f.sizes);
+    case NetmlMode::kIatSize: {
+      auto a = summary(iats);
+      const auto b = summary(f.sizes);
+      a.insert(a.end(), b.begin(), b.end());
+      return a;
+    }
+    case NetmlMode::kStats: {
+      const auto si = summary(iats);
+      const auto ss = summary(f.sizes);
+      return {duration,
+              static_cast<double>(f.sizes.size()),
+              bytes,
+              ss[0],
+              ss[1],
+              si[0],
+              si[1],
+              static_cast<double>(f.sizes.size()) / duration,
+              bytes / duration};
+    }
+    case NetmlMode::kSampNum:
+    case NetmlMode::kSampSize: {
+      std::vector<double> bins(kSampBins, 0.0);
+      for (std::size_t i = 0; i < f.times.size(); ++i) {
+        auto b = static_cast<std::size_t>((f.times[i] - f.times.front()) /
+                                          duration * kSampBins);
+        b = std::min(b, kSampBins - 1);
+        bins[b] += mode == NetmlMode::kSampNum ? 1.0 : f.sizes[i];
+      }
+      return bins;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string netml_mode_name(NetmlMode mode) {
+  switch (mode) {
+    case NetmlMode::kIat:
+      return "IAT";
+    case NetmlMode::kSize:
+      return "SIZE";
+    case NetmlMode::kIatSize:
+      return "IAT_SIZE";
+    case NetmlMode::kStats:
+      return "STATS";
+    case NetmlMode::kSampNum:
+      return "SAMP-NUM";
+    case NetmlMode::kSampSize:
+      return "SAMP-SIZE";
+  }
+  return "?";
+}
+
+std::vector<NetmlMode> all_netml_modes() {
+  return {NetmlMode::kIat,   NetmlMode::kSize,    NetmlMode::kIatSize,
+          NetmlMode::kStats, NetmlMode::kSampNum, NetmlMode::kSampSize};
+}
+
+ml::Matrix netml_features(const net::PacketTrace& trace, NetmlMode mode) {
+  const auto flows = multi_packet_flows(trace);
+  if (flows.empty()) return ml::Matrix(0, 1);
+  const auto first = flow_features(flows[0], mode);
+  ml::Matrix x(flows.size(), first.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto feats = flow_features(flows[i], mode);
+    std::copy(feats.begin(), feats.end(), x.row_ptr(i));
+  }
+  return x;
+}
+
+double netml_anomaly_ratio(const net::PacketTrace& trace, NetmlMode mode,
+                           const OcSvmConfig& config, std::uint64_t seed) {
+  const ml::Matrix x = netml_features(trace, mode);
+  if (x.rows() < 4) {
+    throw std::invalid_argument(
+        "netml_anomaly_ratio: too few multi-packet flows");
+  }
+  OneClassSvm svm(config, seed);
+  svm.fit(x);
+  return svm.anomaly_ratio(x);
+}
+
+}  // namespace netshare::downstream

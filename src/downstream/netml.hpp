@@ -1,0 +1,31 @@
+// NetML flow representations (Yang, Kpotufe, Feamster 2020) and the
+// anomaly-detection harness of the paper's App. #3 (Fig. 14 / Table 4).
+//
+// Six supported modes over flows with > 1 packet: IAT, SIZE, IAT_SIZE,
+// STATS, SAMP-NUM, SAMP-SIZE. The detector is a one-class SVM; the
+// experiment compares anomaly ratios on real vs synthetic traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "downstream/ocsvm.hpp"
+#include "net/trace.hpp"
+
+namespace netshare::downstream {
+
+enum class NetmlMode { kIat, kSize, kIatSize, kStats, kSampNum, kSampSize };
+
+std::string netml_mode_name(NetmlMode mode);
+std::vector<NetmlMode> all_netml_modes();
+
+// Extracts per-flow feature rows. Only flows with packet count > 1 are
+// represented (as in NetML); returns a 0-row matrix if there are none.
+ml::Matrix netml_features(const net::PacketTrace& trace, NetmlMode mode);
+
+// Fits an OCSVM on the trace's own features and returns the flagged anomaly
+// ratio (the quantity compared between real and synthetic traces).
+double netml_anomaly_ratio(const net::PacketTrace& trace, NetmlMode mode,
+                           const OcSvmConfig& config, std::uint64_t seed);
+
+}  // namespace netshare::downstream

@@ -1,0 +1,83 @@
+#include "downstream/ocsvm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::downstream {
+
+void OneClassSvm::fit(const ml::Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("OneClassSvm::fit: empty");
+  const std::size_t n = x.rows(), d = x.cols();
+
+  // Column standardization.
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += x(i, j);
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double c = x(i, j) - mean_[j];
+      std_[j] += c * c;
+    }
+  }
+  for (auto& s : std_) s = std::max(1e-9, std::sqrt(s / static_cast<double>(n)));
+
+  w_.assign(d, 0.0);
+  // Initialize w toward the data mean direction so <w, x> starts positive.
+  for (std::size_t j = 0; j < d; ++j) w_[j] = 0.1;
+  rho_ = 0.0;
+
+  const double inv_nu_n = 1.0 / (config_.nu * static_cast<double>(n));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double lr = config_.lr / (1.0 + 0.1 * epoch);
+    const auto perm = rng_.permutation(n);
+    for (std::size_t idx : perm) {
+      std::vector<double> z(d);
+      for (std::size_t j = 0; j < d; ++j) {
+        z[j] = (x(idx, j) - mean_[j]) / std_[j];
+      }
+      double score = 0.0;
+      for (std::size_t j = 0; j < d; ++j) score += w_[j] * z[j];
+
+      // Subgradients of the primal (stochastic, per-sample).
+      const bool margin_violated = score < rho_;
+      for (std::size_t j = 0; j < d; ++j) {
+        double g = w_[j] / static_cast<double>(n);  // regularizer share
+        if (margin_violated) g -= inv_nu_n * z[j];
+        w_[j] -= lr * g;
+      }
+      double g_rho = -1.0 / static_cast<double>(n);
+      if (margin_violated) g_rho += inv_nu_n;
+      rho_ -= lr * g_rho;
+    }
+  }
+}
+
+std::vector<double> OneClassSvm::standardize(std::span<const double> x) const {
+  std::vector<double> z(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    z[j] = (x[j] - mean_[j]) / std_[j];
+  }
+  return z;
+}
+
+bool OneClassSvm::is_anomaly(std::span<const double> x) const {
+  if (w_.empty()) throw std::logic_error("OneClassSvm: fit first");
+  const auto z = standardize(x);
+  double score = 0.0;
+  for (std::size_t j = 0; j < z.size(); ++j) score += w_[j] * z[j];
+  return score < rho_;
+}
+
+double OneClassSvm::anomaly_ratio(const ml::Matrix& x) const {
+  if (x.rows() == 0) return 0.0;
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    flagged += is_anomaly(std::span<const double>(x.row_ptr(i), x.cols()));
+  }
+  return static_cast<double>(flagged) / static_cast<double>(x.rows());
+}
+
+}  // namespace netshare::downstream

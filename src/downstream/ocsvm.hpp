@@ -1,0 +1,47 @@
+// One-class SVM (Schölkopf et al.) with a linear kernel, trained by
+// (sub)gradient descent on the primal:
+//   min  1/2 ||w||^2 - rho + 1/(nu n) sum max(0, rho - <w, x_i>)
+// A point is anomalous iff <w, x> < rho. This is the default detector of
+// the NetML anomaly-detection experiment (Fig. 14 / Table 4); the linear
+// kernel is a documented simplification (DESIGN.md).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/matrix.hpp"
+
+namespace netshare::downstream {
+
+struct OcSvmConfig {
+  double nu = 0.1;   // target anomaly fraction
+  int epochs = 40;
+  double lr = 0.05;
+};
+
+class OneClassSvm {
+ public:
+  OneClassSvm(OcSvmConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  // Features are standardized internally (per-column mean/std).
+  void fit(const ml::Matrix& x);
+
+  bool is_anomaly(std::span<const double> x) const;
+  // Fraction of rows flagged anomalous.
+  double anomaly_ratio(const ml::Matrix& x) const;
+
+  double rho() const { return rho_; }
+
+ private:
+  std::vector<double> standardize(std::span<const double> x) const;
+
+  OcSvmConfig config_;
+  Rng rng_;
+  std::vector<double> w_;
+  double rho_ = 0.0;
+  std::vector<double> mean_, std_;
+};
+
+}  // namespace netshare::downstream

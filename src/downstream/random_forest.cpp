@@ -1,0 +1,37 @@
+#include "downstream/random_forest.hpp"
+
+#include <stdexcept>
+
+namespace netshare::downstream {
+
+void RandomForest::fit(const LabeledDataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("RandomForest: empty");
+  num_classes_ = data.num_classes;
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<std::size_t> rows(data.size());
+    for (auto& r : rows) {
+      r = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+    }
+    auto tree = std::make_unique<DecisionTreeClassifier>(config_.tree,
+                                                         rng_.engine()());
+    tree->fit_subset(data, rows);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::size_t RandomForest::predict(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: fit first");
+  std::vector<std::size_t> votes(num_classes_, 0);
+  for (const auto& tree : trees_) votes[tree->predict(x)]++;
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace netshare::downstream

@@ -1,0 +1,33 @@
+// Random Forest: bootstrap-bagged gini trees with per-split feature
+// subsampling; majority vote.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "downstream/decision_tree.hpp"
+
+namespace netshare::downstream {
+
+struct RandomForestConfig {
+  std::size_t num_trees = 15;
+  TreeConfig tree{8, 8, 3};  // max_features = 3 for feature bagging
+};
+
+class RandomForest : public Classifier {
+ public:
+  RandomForest(RandomForestConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  std::string name() const override { return "RF"; }
+  void fit(const LabeledDataset& data) override;
+  std::size_t predict(std::span<const double> x) const override;
+
+ private:
+  RandomForestConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<DecisionTreeClassifier>> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace netshare::downstream

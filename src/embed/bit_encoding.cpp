@@ -1,0 +1,77 @@
+#include "embed/bit_encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::embed {
+
+std::vector<double> ip_to_bits(net::Ipv4Address ip) {
+  std::vector<double> bits(kIpBits);
+  for (std::size_t i = 0; i < kIpBits; ++i) {
+    bits[i] = (ip.value() >> (31 - i)) & 1u ? 1.0 : 0.0;
+  }
+  return bits;
+}
+
+net::Ipv4Address bits_to_ip(std::span<const double> bits) {
+  if (bits.size() != kIpBits) throw std::invalid_argument("bits_to_ip: size");
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < kIpBits; ++i) {
+    v = (v << 1) | (bits[i] >= 0.5 ? 1u : 0u);
+  }
+  return net::Ipv4Address(v);
+}
+
+std::vector<double> port_to_bits(std::uint16_t port) {
+  std::vector<double> bits(kPortBits);
+  for (std::size_t i = 0; i < kPortBits; ++i) {
+    bits[i] = (port >> (15 - i)) & 1u ? 1.0 : 0.0;
+  }
+  return bits;
+}
+
+std::uint16_t bits_to_port(std::span<const double> bits) {
+  if (bits.size() != kPortBits) throw std::invalid_argument("bits_to_port: size");
+  std::uint16_t v = 0;
+  for (std::size_t i = 0; i < kPortBits; ++i) {
+    v = static_cast<std::uint16_t>((v << 1) | (bits[i] >= 0.5 ? 1u : 0u));
+  }
+  return v;
+}
+
+std::vector<double> ip_to_bytes(net::Ipv4Address ip) {
+  std::vector<double> bytes(kIpBytes);
+  for (std::size_t i = 0; i < kIpBytes; ++i) {
+    bytes[i] = static_cast<double>(ip.octet(static_cast<int>(i))) / 255.0;
+  }
+  return bytes;
+}
+
+net::Ipv4Address bytes_to_ip(std::span<const double> bytes) {
+  if (bytes.size() != kIpBytes) throw std::invalid_argument("bytes_to_ip: size");
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < kIpBytes; ++i) {
+    const double b = std::clamp(bytes[i], 0.0, 1.0) * 255.0;
+    v = (v << 8) | static_cast<std::uint32_t>(std::lround(b));
+  }
+  return net::Ipv4Address(v);
+}
+
+std::vector<double> port_to_bytes(std::uint16_t port) {
+  return {static_cast<double>(port >> 8) / 255.0,
+          static_cast<double>(port & 0xff) / 255.0};
+}
+
+std::uint16_t bytes_to_port(std::span<const double> bytes) {
+  if (bytes.size() != kPortBytes) {
+    throw std::invalid_argument("bytes_to_port: size");
+  }
+  const auto hi = static_cast<std::uint32_t>(
+      std::lround(std::clamp(bytes[0], 0.0, 1.0) * 255.0));
+  const auto lo = static_cast<std::uint32_t>(
+      std::lround(std::clamp(bytes[1], 0.0, 1.0) * 255.0));
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+}  // namespace netshare::embed

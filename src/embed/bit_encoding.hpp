@@ -1,0 +1,33 @@
+// Bit and byte encodings of IPs/ports (Table 2). NetShare uses bit encoding
+// for IP addresses: training-data-independent, hence compatible with DP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace netshare::embed {
+
+// 32 values in {0,1}, most-significant bit first.
+std::vector<double> ip_to_bits(net::Ipv4Address ip);
+// Decodes with 0.5 thresholding (GAN outputs are in [0,1]).
+net::Ipv4Address bits_to_ip(std::span<const double> bits);
+
+// 16 values in {0,1}, most-significant bit first.
+std::vector<double> port_to_bits(std::uint16_t port);
+std::uint16_t bits_to_port(std::span<const double> bits);
+
+// Byte encoding (PAC-GAN / Flow-WGAN style): each byte scaled to [0,1].
+std::vector<double> ip_to_bytes(net::Ipv4Address ip);
+net::Ipv4Address bytes_to_ip(std::span<const double> bytes);
+std::vector<double> port_to_bytes(std::uint16_t port);
+std::uint16_t bytes_to_port(std::span<const double> bytes);
+
+constexpr std::size_t kIpBits = 32;
+constexpr std::size_t kPortBits = 16;
+constexpr std::size_t kIpBytes = 4;
+constexpr std::size_t kPortBytes = 2;
+
+}  // namespace netshare::embed

@@ -1,0 +1,133 @@
+#include "embed/ip2vec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netshare::embed {
+
+namespace {
+std::vector<Token> record_sentence(const net::FiveTuple& key) {
+  std::vector<Token> s;
+  s.reserve(5);
+  s.push_back({TokenKind::kIp, key.src_ip.value()});
+  s.push_back({TokenKind::kIp, key.dst_ip.value()});
+  if (key.protocol != net::Protocol::kIcmp) {
+    s.push_back({TokenKind::kPort, key.src_port});
+    s.push_back({TokenKind::kPort, key.dst_port});
+  }
+  s.push_back({TokenKind::kProtocol, static_cast<std::uint32_t>(key.protocol)});
+  return s;
+}
+}  // namespace
+
+std::vector<std::vector<Token>> sentences_from_flows(const net::FlowTrace& t) {
+  std::vector<std::vector<Token>> out;
+  out.reserve(t.size());
+  for (const auto& r : t.records) out.push_back(record_sentence(r.key));
+  return out;
+}
+
+std::vector<std::vector<Token>> sentences_from_packets(
+    const net::PacketTrace& t) {
+  std::vector<std::vector<Token>> out;
+  out.reserve(t.size());
+  for (const auto& p : t.packets) out.push_back(record_sentence(p.key));
+  return out;
+}
+
+void Ip2Vec::sgd_pair(std::size_t center, std::size_t context, double label,
+                      double lr) {
+  double* u = &in_vecs_[center * dim_];
+  double* v = &out_vecs_[context * dim_];
+  double dot = 0.0;
+  for (std::size_t k = 0; k < dim_; ++k) dot += u[k] * v[k];
+  const double sig = 1.0 / (1.0 + std::exp(-dot));
+  const double g = lr * (label - sig);
+  for (std::size_t k = 0; k < dim_; ++k) {
+    const double uk = u[k];
+    u[k] += g * v[k];
+    v[k] += g * uk;
+  }
+}
+
+void Ip2Vec::train(const std::vector<std::vector<Token>>& sentences,
+                   const Config& config, Rng& rng) {
+  dim_ = config.dim;
+  vocab_.clear();
+  words_.clear();
+  for (const auto& s : sentences) {
+    for (const Token& t : s) {
+      if (vocab_.try_emplace(t, words_.size()).second) words_.push_back(t);
+    }
+  }
+  if (words_.empty()) throw std::invalid_argument("Ip2Vec::train: no tokens");
+
+  in_vecs_.assign(words_.size() * dim_, 0.0);
+  out_vecs_.assign(words_.size() * dim_, 0.0);
+  const double init = 0.5 / static_cast<double>(dim_);
+  for (auto& v : in_vecs_) v = rng.uniform(-init, init);
+  for (auto& v : out_vecs_) v = rng.uniform(-init, init);
+
+  const auto vocab_n = static_cast<std::int64_t>(words_.size());
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& s : sentences) {
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        const std::size_t center = vocab_.at(s[i]);
+        for (std::size_t j = 0; j < s.size(); ++j) {
+          if (i == j) continue;
+          sgd_pair(center, vocab_.at(s[j]), 1.0, config.lr);
+          for (int n = 0; n < config.negatives; ++n) {
+            const auto neg = static_cast<std::size_t>(
+                rng.uniform_int(0, vocab_n - 1));
+            if (words_[neg] == s[j]) continue;
+            sgd_pair(center, neg, 0.0, config.lr);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::span<const double> Ip2Vec::embed(const Token& t) const {
+  auto it = vocab_.find(t);
+  if (it == vocab_.end()) throw std::out_of_range("Ip2Vec::embed: OOV token");
+  return {&in_vecs_[it->second * dim_], dim_};
+}
+
+Token Ip2Vec::nearest(std::span<const double> vec, TokenKind kind) const {
+  return nearest_if(vec, kind, [](const Token&) { return true; });
+}
+
+Token Ip2Vec::nearest_if(
+    std::span<const double> vec, TokenKind kind,
+    const std::function<bool(const Token&)>& accept) const {
+  if (vec.size() != dim_) throw std::invalid_argument("Ip2Vec::nearest: dim");
+  double best = std::numeric_limits<double>::infinity();
+  double best_any = std::numeric_limits<double>::infinity();
+  const Token* best_token = nullptr;
+  const Token* best_any_token = nullptr;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w].kind != kind) continue;
+    const double* u = &in_vecs_[w * dim_];
+    const double cap = std::max(best, best_any);
+    double d2 = 0.0;
+    for (std::size_t k = 0; k < dim_ && d2 < cap; ++k) {
+      const double d = u[k] - vec[k];
+      d2 += d * d;
+    }
+    if (d2 < best_any) {
+      best_any = d2;
+      best_any_token = &words_[w];
+    }
+    if (d2 < best && accept(words_[w])) {
+      best = d2;
+      best_token = &words_[w];
+    }
+  }
+  if (!best_token) best_token = best_any_token;
+  if (!best_token) throw std::out_of_range("Ip2Vec::nearest: no tokens of kind");
+  return *best_token;
+}
+
+}  // namespace netshare::embed

@@ -1,0 +1,93 @@
+// IP2Vec (Ring et al. 2017): Word2Vec-style skip-gram embeddings of header
+// field values, trained with negative sampling. Each 5-tuple is a "sentence"
+// whose words are its IPs, ports, and protocol.
+//
+// NetShare's privacy-aware variant (Insight 2) trains the dictionary ONLY on
+// public data and uses it to encode port numbers and protocols (IPs use bit
+// encoding); decoding is nearest-neighbour search over the public vocabulary,
+// so the mapping never depends on private data.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/trace.hpp"
+
+namespace netshare::embed {
+
+enum class TokenKind : std::uint8_t {
+  kIp,
+  kPort,
+  kProtocol,
+  // Extended kinds used by the E-WGAN-GP baseline, which embeds every
+  // NetFlow field (Ring et al. 2019): bucketed counters and times.
+  kPackets,
+  kBytes,
+  kDuration,
+  kStartTime,
+};
+
+struct Token {
+  TokenKind kind;
+  std::uint32_t value;
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+struct TokenHash {
+  std::size_t operator()(const Token& t) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(t.kind) << 32) ^ t.value);
+  }
+};
+
+// Builds IP2Vec sentences from traces: one sentence per record with tokens
+// {srcIP, dstIP, srcPort, dstPort, protocol} (ICMP records skip ports).
+std::vector<std::vector<Token>> sentences_from_flows(const net::FlowTrace& t);
+std::vector<std::vector<Token>> sentences_from_packets(const net::PacketTrace& t);
+
+class Ip2Vec {
+ public:
+  struct Config {
+    std::size_t dim = 8;
+    int epochs = 4;
+    int negatives = 4;
+    double lr = 0.05;
+  };
+
+  // Builds the vocabulary and trains skip-gram embeddings.
+  void train(const std::vector<std::vector<Token>>& sentences,
+             const Config& config, Rng& rng);
+
+  bool contains(const Token& t) const { return vocab_.count(t) > 0; }
+  std::size_t vocab_size() const { return words_.size(); }
+  std::size_t dim() const { return dim_; }
+
+  // Input-side embedding of a token; throws std::out_of_range if OOV.
+  std::span<const double> embed(const Token& t) const;
+
+  // Nearest in-vocabulary token of the given kind by L2 distance.
+  Token nearest(std::span<const double> vec, TokenKind kind) const;
+
+  // Nearest token of the given kind satisfying `accept` (falls back to the
+  // unfiltered nearest if nothing qualifies). Used for the paper's joint
+  // (port, protocol) decode: the search is restricted to ports compatible
+  // with the already-decoded protocol.
+  Token nearest_if(std::span<const double> vec, TokenKind kind,
+                   const std::function<bool(const Token&)>& accept) const;
+
+ private:
+  void sgd_pair(std::size_t center, std::size_t context, double label,
+                double lr);
+
+  std::size_t dim_ = 0;
+  std::unordered_map<Token, std::size_t, TokenHash> vocab_;
+  std::vector<Token> words_;
+  std::vector<double> in_vecs_;   // vocab x dim (embeddings used downstream)
+  std::vector<double> out_vecs_;  // vocab x dim (context vectors)
+};
+
+}  // namespace netshare::embed

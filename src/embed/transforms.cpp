@@ -1,0 +1,56 @@
+#include "embed/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::embed {
+
+LogTransform::LogTransform(double max_value)
+    : max_value_(max_value), denom_(std::log1p(max_value)) {
+  if (max_value <= 0.0) throw std::invalid_argument("LogTransform: max_value");
+}
+
+double LogTransform::encode(double x) const {
+  x = std::clamp(x, 0.0, max_value_);
+  return std::log1p(x) / denom_;
+}
+
+double LogTransform::decode(double y) const {
+  y = std::clamp(y, 0.0, 1.0);
+  return std::expm1(y * denom_);
+}
+
+MinMaxTransform::MinMaxTransform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (hi <= lo) throw std::invalid_argument("MinMaxTransform: empty range");
+}
+
+MinMaxTransform MinMaxTransform::fit(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("MinMaxTransform::fit: empty");
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  if (*hi <= *lo) return MinMaxTransform(*lo, *lo + 1.0);
+  return MinMaxTransform(*lo, *hi);
+}
+
+double MinMaxTransform::encode(double x) const {
+  return std::clamp((x - lo_) / (hi_ - lo_), 0.0, 1.0);
+}
+
+double MinMaxTransform::decode(double y) const {
+  return lo_ + std::clamp(y, 0.0, 1.0) * (hi_ - lo_);
+}
+
+std::vector<double> one_hot(std::size_t index, std::size_t k) {
+  if (index >= k) throw std::invalid_argument("one_hot: index out of range");
+  std::vector<double> v(k, 0.0);
+  v[index] = 1.0;
+  return v;
+}
+
+std::size_t one_hot_decode(std::span<const double> probs) {
+  if (probs.empty()) throw std::invalid_argument("one_hot_decode: empty");
+  return static_cast<std::size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace netshare::embed

@@ -1,0 +1,49 @@
+// Continuous-field transforms (Insight 2): log(1+x) range compression for
+// large-support fields, min-max [0,1] normalization (the DoppelGANger
+// configuration in Appendix C), and one-hot encoding for small categoricals.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netshare::embed {
+
+// y = log1p(x) / log1p(max_value), mapping [0, max] -> [0, 1].
+class LogTransform {
+ public:
+  explicit LogTransform(double max_value);
+
+  double encode(double x) const;
+  double decode(double y) const;
+  double max_value() const { return max_value_; }
+
+ private:
+  double max_value_;
+  double denom_;
+};
+
+// Affine [min,max] -> [0,1]; fit() learns the range from data.
+class MinMaxTransform {
+ public:
+  MinMaxTransform() = default;
+  MinMaxTransform(double lo, double hi);
+
+  static MinMaxTransform fit(std::span<const double> values);
+
+  double encode(double x) const;
+  double decode(double y) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+};
+
+// One-hot over k classes.
+std::vector<double> one_hot(std::size_t index, std::size_t k);
+// Argmax decode (GAN outputs are soft).
+std::size_t one_hot_decode(std::span<const double> probs);
+
+}  // namespace netshare::embed

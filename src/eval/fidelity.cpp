@@ -1,0 +1,89 @@
+#include "eval/fidelity.hpp"
+
+#include <ostream>
+
+#include "eval/report.hpp"
+#include "metrics/field_metrics.hpp"
+
+namespace netshare::eval {
+
+FidelityFigureResult fidelity_figure(std::ostream& out,
+                                     datagen::DatasetId dataset,
+                                     std::size_t records,
+                                     const EvalOptions& options,
+                                     std::uint64_t seed) {
+  const auto bundle = datagen::make_dataset(dataset, records, seed);
+  std::vector<std::string> names;
+  std::vector<metrics::FidelityReport> reports;
+
+  if (bundle.is_pcap) {
+    auto runs = run_packet_models(standard_packet_models(options),
+                                  bundle.packets, bundle.packets.size(),
+                                  seed + 1);
+    for (const auto& run : runs) {
+      names.push_back(run.name);
+      reports.push_back(metrics::compare_packets(bundle.packets, run.synthetic));
+    }
+  } else {
+    auto runs = run_flow_models(standard_flow_models(options), bundle.flows,
+                                bundle.flows.size(), seed + 1);
+    for (const auto& run : runs) {
+      names.push_back(run.name);
+      reports.push_back(metrics::compare_flows(bundle.flows, run.synthetic));
+    }
+  }
+
+  // JSD table.
+  print_banner(out, "JSD (lower is better) on " + bundle.name);
+  std::vector<std::string> jsd_header{"model"};
+  for (const auto& [field, v] : reports[0].jsd) {
+    (void)v;
+    jsd_header.push_back(field);
+  }
+  jsd_header.push_back("mean");
+  TextTable jsd_table(std::move(jsd_header));
+  FidelityFigureResult result;
+  result.model_names = names;
+  for (std::size_t m = 0; m < reports.size(); ++m) {
+    std::vector<double> row;
+    for (const auto& [field, v] : reports[m].jsd) {
+      (void)field;
+      row.push_back(v);
+    }
+    row.push_back(reports[m].mean_jsd());
+    result.mean_jsd.push_back(reports[m].mean_jsd());
+    jsd_table.add_row(names[m], row);
+  }
+  jsd_table.print(out);
+
+  // Normalized-EMD table (per-field normalization across models).
+  print_banner(out, "Normalized EMD (lower is better) on " + bundle.name);
+  std::vector<std::string> emd_header{"model"};
+  for (const auto& [field, v] : reports[0].emd) {
+    (void)v;
+    emd_header.push_back(field);
+  }
+  emd_header.push_back("mean");
+  TextTable emd_table(std::move(emd_header));
+  // Build normalized columns.
+  std::vector<std::vector<double>> norm_rows(reports.size());
+  for (const auto& [field, v0] : reports[0].emd) {
+    (void)v0;
+    std::vector<double> col;
+    for (const auto& rep : reports) col.push_back(rep.emd.at(field));
+    const auto norm = metrics::normalize_emds(col);
+    for (std::size_t m = 0; m < reports.size(); ++m) {
+      norm_rows[m].push_back(norm[m]);
+    }
+  }
+  result.mean_norm_emd = metrics::mean_normalized_emds(reports);
+  for (std::size_t m = 0; m < reports.size(); ++m) {
+    std::vector<double> row = norm_rows[m];
+    row.push_back(result.mean_norm_emd[m]);
+    emd_table.add_row(names[m], row);
+  }
+  emd_table.print(out);
+  return result;
+}
+
+}  // namespace netshare::eval

@@ -1,0 +1,27 @@
+// Shared fidelity-figure renderer for Figures 10, 16, 17: runs the standard
+// model set on one dataset and prints per-field JSD and normalized-EMD
+// tables (rows = models, columns = fields + mean).
+#pragma once
+
+#include <iosfwd>
+
+#include "datagen/presets.hpp"
+#include "eval/harness.hpp"
+
+namespace netshare::eval {
+
+struct FidelityFigureResult {
+  std::vector<std::string> model_names;
+  std::vector<double> mean_jsd;
+  std::vector<double> mean_norm_emd;
+};
+
+// Generates the dataset, fits every standard model, prints the JSD/EMD
+// tables, and returns the aggregates.
+FidelityFigureResult fidelity_figure(std::ostream& out,
+                                     datagen::DatasetId dataset,
+                                     std::size_t records,
+                                     const EvalOptions& options,
+                                     std::uint64_t seed);
+
+}  // namespace netshare::eval

@@ -1,0 +1,144 @@
+#include "eval/harness.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace netshare::eval {
+
+double bench_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("NETSHARE_BENCH_SCALE");
+    if (!env) return 1.0;
+    const std::string s = env;
+    if (s == "quick") return 0.5;
+    if (s == "full") return 2.0;
+    try {
+      return std::max(0.05, std::stod(s));
+    } catch (...) {
+      return 1.0;
+    }
+  }();
+  return scale;
+}
+
+int scaled(int base) {
+  return std::max(1, static_cast<int>(base * bench_scale()));
+}
+
+NetShareFlowSynthesizer::NetShareFlowSynthesizer(
+    core::NetShareConfig config, std::shared_ptr<embed::Ip2Vec> ip2vec,
+    std::string display_name)
+    : model_(std::move(config), std::move(ip2vec)),
+      name_(std::move(display_name)) {}
+
+NetSharePacketSynthesizer::NetSharePacketSynthesizer(
+    core::NetShareConfig config, std::shared_ptr<embed::Ip2Vec> ip2vec,
+    std::string display_name)
+    : model_(std::move(config), std::move(ip2vec)),
+      name_(std::move(display_name)) {}
+
+std::shared_ptr<embed::Ip2Vec> shared_public_ip2vec() {
+  static std::shared_ptr<embed::Ip2Vec> model = core::make_public_ip2vec();
+  return model;
+}
+
+core::NetShareConfig bench_netshare_config(const EvalOptions& opt) {
+  core::NetShareConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.max_seq_len = opt.max_seq_len;
+  cfg.num_chunks = opt.netshare_chunks;
+  cfg.seed_iterations = scaled(opt.netshare_seed_iters);
+  cfg.finetune_iterations = scaled(opt.netshare_ft_iters);
+  cfg.threads = 4;
+  return cfg;
+}
+
+namespace {
+gan::TabularGanConfig bench_tabular_config(const EvalOptions& opt) {
+  gan::TabularGanConfig cfg;
+  cfg.iterations = scaled(opt.gan_iterations);
+  return cfg;
+}
+}  // namespace
+
+std::vector<std::unique_ptr<gan::FlowSynthesizer>> standard_flow_models(
+    const EvalOptions& opt) {
+  std::vector<std::unique_ptr<gan::FlowSynthesizer>> models;
+  models.push_back(std::make_unique<NetShareFlowSynthesizer>(
+      bench_netshare_config(opt), shared_public_ip2vec()));
+  models.push_back(std::make_unique<gan::CtganFlow>(
+      gan::CtganConfig{bench_tabular_config(opt), 3}, opt.seed + 11));
+  models.push_back(std::make_unique<gan::EwganGpFlow>(
+      gan::EwganConfig{bench_tabular_config(opt), 4, 3, 64}, opt.seed + 22));
+  gan::StanConfig stan;
+  stan.epochs = std::max(2, scaled(6));
+  models.push_back(std::make_unique<gan::StanFlow>(stan, opt.seed + 33));
+  if (opt.include_netshare_v0) {
+    core::NetShareConfig v0 = bench_netshare_config(opt);
+    v0.netshare_v0 = true;
+    // V0 trains one monolithic model over the whole trace; give it the full
+    // budget the chunked version spends in total.
+    v0.seed_iterations = scaled(opt.netshare_seed_iters +
+                                static_cast<int>(opt.netshare_chunks - 1) *
+                                    opt.netshare_ft_iters);
+    models.push_back(std::make_unique<NetShareFlowSynthesizer>(
+        v0, shared_public_ip2vec(), "NetShare-V0"));
+  }
+  return models;
+}
+
+std::vector<std::unique_ptr<gan::PacketSynthesizer>> standard_packet_models(
+    const EvalOptions& opt) {
+  std::vector<std::unique_ptr<gan::PacketSynthesizer>> models;
+  models.push_back(std::make_unique<NetSharePacketSynthesizer>(
+      bench_netshare_config(opt), shared_public_ip2vec()));
+  models.push_back(std::make_unique<gan::CtganPacket>(
+      gan::CtganConfig{bench_tabular_config(opt), 3}, opt.seed + 11));
+  models.push_back(gan::make_pac_gan(
+      gan::PacketGanConfig{bench_tabular_config(opt)}, opt.seed + 22));
+  models.push_back(gan::make_packet_cgan(
+      gan::PacketGanConfig{bench_tabular_config(opt)}, opt.seed + 33));
+  models.push_back(gan::make_flow_wgan(
+      gan::PacketGanConfig{bench_tabular_config(opt)}, opt.seed + 44));
+  if (opt.include_netshare_v0) {
+    core::NetShareConfig v0 = bench_netshare_config(opt);
+    v0.netshare_v0 = true;
+    v0.seed_iterations = scaled(opt.netshare_seed_iters +
+                                static_cast<int>(opt.netshare_chunks - 1) *
+                                    opt.netshare_ft_iters);
+    models.push_back(std::make_unique<NetSharePacketSynthesizer>(
+        v0, shared_public_ip2vec(), "NetShare-V0"));
+  }
+  return models;
+}
+
+std::vector<FlowModelRun> run_flow_models(
+    std::vector<std::unique_ptr<gan::FlowSynthesizer>> models,
+    const net::FlowTrace& real, std::size_t n_out, std::uint64_t seed) {
+  std::vector<FlowModelRun> runs;
+  for (auto& model : models) {
+    std::cerr << "  [fit] " << model->name() << "...\n";
+    model->fit(real);
+    Rng rng(seed ^ std::hash<std::string>{}(model->name()));
+    runs.push_back(
+        {model->name(), model->generate(n_out, rng), model->train_cpu_seconds()});
+  }
+  return runs;
+}
+
+std::vector<PacketModelRun> run_packet_models(
+    std::vector<std::unique_ptr<gan::PacketSynthesizer>> models,
+    const net::PacketTrace& real, std::size_t n_out, std::uint64_t seed) {
+  std::vector<PacketModelRun> runs;
+  for (auto& model : models) {
+    std::cerr << "  [fit] " << model->name() << "...\n";
+    model->fit(real);
+    Rng rng(seed ^ std::hash<std::string>{}(model->name()));
+    runs.push_back(
+        {model->name(), model->generate(n_out, rng), model->train_cpu_seconds()});
+  }
+  return runs;
+}
+
+}  // namespace netshare::eval

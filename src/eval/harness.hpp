@@ -1,0 +1,113 @@
+// Shared evaluation harness for the paper-reproduction benches: NetShare
+// adapters implementing the synthesizer interfaces, standard model sets, and
+// fit+generate runners that record per-model CPU cost.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/netshare.hpp"
+#include "gan/ctgan.hpp"
+#include "gan/ewgan_gp.hpp"
+#include "gan/packet_gans.hpp"
+#include "gan/stan.hpp"
+#include "gan/synthesizer.hpp"
+
+namespace netshare::eval {
+
+// Global effort scale for benches: sizes and iteration counts multiply by
+// this. Reads the NETSHARE_BENCH_SCALE environment variable ("quick" = 0.5,
+// "full" = 2.0, default 1.0, or a numeric factor).
+double bench_scale();
+
+// Scaled iteration count helper.
+int scaled(int base);
+
+struct EvalOptions {
+  std::uint64_t seed = 7;
+  // Budgets sized for a single-core CI box; scale with NETSHARE_BENCH_SCALE.
+  int gan_iterations = 350;       // tabular baselines
+  int netshare_seed_iters = 350;  // NetShare chunk-0
+  int netshare_ft_iters = 120;    // NetShare later chunks
+  std::size_t netshare_chunks = 4;
+  std::size_t max_seq_len = 7;
+  bool include_netshare_v0 = false;
+};
+
+// NetShare wrapped as a FlowSynthesizer / PacketSynthesizer.
+class NetShareFlowSynthesizer : public gan::FlowSynthesizer {
+ public:
+  NetShareFlowSynthesizer(core::NetShareConfig config,
+                          std::shared_ptr<embed::Ip2Vec> ip2vec,
+                          std::string display_name = "NetShare");
+
+  std::string name() const override { return name_; }
+  void fit(const net::FlowTrace& trace) override { model_.fit(trace); }
+  net::FlowTrace generate(std::size_t n, Rng& rng) override {
+    return model_.generate_flows(n, rng);
+  }
+  double train_cpu_seconds() const override {
+    return model_.train_cpu_seconds();
+  }
+  core::NetShare& model() { return model_; }
+
+ private:
+  core::NetShare model_;
+  std::string name_;
+};
+
+class NetSharePacketSynthesizer : public gan::PacketSynthesizer {
+ public:
+  NetSharePacketSynthesizer(core::NetShareConfig config,
+                            std::shared_ptr<embed::Ip2Vec> ip2vec,
+                            std::string display_name = "NetShare");
+
+  std::string name() const override { return name_; }
+  void fit(const net::PacketTrace& trace) override { model_.fit(trace); }
+  net::PacketTrace generate(std::size_t n, Rng& rng) override {
+    return model_.generate_packets(n, rng);
+  }
+  double train_cpu_seconds() const override {
+    return model_.train_cpu_seconds();
+  }
+  core::NetShare& model() { return model_; }
+
+ private:
+  core::NetShare model_;
+  std::string name_;
+};
+
+// Shared (process-wide, lazily built) public IP2Vec model.
+std::shared_ptr<embed::Ip2Vec> shared_public_ip2vec();
+
+// The paper's NetShare configuration at bench scale.
+core::NetShareConfig bench_netshare_config(const EvalOptions& opt);
+
+// Standard baseline sets per Sec. 6.1: NetFlow -> {CTGAN, E-WGAN-GP, STAN};
+// PCAP -> {CTGAN, PAC-GAN, PacketCGAN, Flow-WGAN}. NetShare is prepended.
+std::vector<std::unique_ptr<gan::FlowSynthesizer>> standard_flow_models(
+    const EvalOptions& opt);
+std::vector<std::unique_ptr<gan::PacketSynthesizer>> standard_packet_models(
+    const EvalOptions& opt);
+
+// Fit + generate runners.
+struct FlowModelRun {
+  std::string name;
+  net::FlowTrace synthetic;
+  double cpu_seconds = 0.0;
+};
+struct PacketModelRun {
+  std::string name;
+  net::PacketTrace synthetic;
+  double cpu_seconds = 0.0;
+};
+
+std::vector<FlowModelRun> run_flow_models(
+    std::vector<std::unique_ptr<gan::FlowSynthesizer>> models,
+    const net::FlowTrace& real, std::size_t n_out, std::uint64_t seed);
+std::vector<PacketModelRun> run_packet_models(
+    std::vector<std::unique_ptr<gan::PacketSynthesizer>> models,
+    const net::PacketTrace& real, std::size_t n_out, std::uint64_t seed);
+
+}  // namespace netshare::eval

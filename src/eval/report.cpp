@@ -1,0 +1,76 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace netshare::eval {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& name,
+                        std::span<const double> values, int precision) {
+  std::vector<std::string> cells{name};
+  for (double v : values) cells.push_back(format_double(v, precision));
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+          << rows_[r][c];
+    }
+    out << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t w : widths) total += w + 2;
+      out << std::string(total, '-') << '\n';
+    }
+  }
+}
+
+void print_banner(std::ostream& out, const std::string& title) {
+  out << "\n=== " << title << " ===\n";
+}
+
+void print_cdf(std::ostream& out, const std::string& label,
+               std::vector<double> samples) {
+  if (samples.empty()) {
+    out << label << ": (no samples)\n";
+    return;
+  }
+  std::sort(samples.begin(), samples.end());
+  out << label << " CDF:";
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const auto idx = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+    out << "  p" << static_cast<int>(q * 100) << "="
+        << format_double(samples[idx], 2);
+  }
+  out << '\n';
+}
+
+}  // namespace netshare::eval

@@ -1,0 +1,38 @@
+// Plain-text reporting helpers so each bench binary prints the same rows /
+// series the corresponding paper table or figure shows.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace netshare::eval {
+
+// Fixed-width table: header row + value rows, printed with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: name + numeric cells with fixed precision.
+  void add_row(const std::string& name, std::span<const double> values,
+               int precision = 3);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a figure banner ("=== Figure 10a: ... ===").
+void print_banner(std::ostream& out, const std::string& title);
+
+// Renders an empirical CDF as quantile series (the textual analogue of the
+// paper's CDF plots): prints value at fixed cumulative probabilities.
+void print_cdf(std::ostream& out, const std::string& label,
+               std::vector<double> samples);
+
+std::string format_double(double v, int precision = 3);
+
+}  // namespace netshare::eval

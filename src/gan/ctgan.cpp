@@ -1,0 +1,361 @@
+#include "gan/ctgan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "embed/bit_encoding.hpp"
+#include "embed/transforms.hpp"
+
+namespace netshare::gan {
+
+using ml::Matrix;
+using ml::OutputSegment;
+
+// ---------------------------------------------------------------------------
+// ModeNormalizer
+
+void ModeNormalizer::fit(const std::vector<double>& values, std::size_t modes,
+                         Rng& rng) {
+  if (values.empty()) throw std::invalid_argument("ModeNormalizer::fit: empty");
+  modes = std::max<std::size_t>(1, std::min(modes, values.size()));
+  // k-means 1-D: init centers at quantiles, few Lloyd iterations.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  centers_.resize(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    centers_[m] = sorted[(sorted.size() - 1) * (2 * m + 1) / (2 * modes)];
+  }
+  (void)rng;
+  std::vector<double> sums(modes), counts(modes), sq(modes);
+  for (int iter = 0; iter < 12; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (double v : values) {
+      std::size_t best = 0;
+      for (std::size_t m = 1; m < modes; ++m) {
+        if (std::fabs(v - centers_[m]) < std::fabs(v - centers_[best])) best = m;
+      }
+      sums[best] += v;
+      counts[best] += 1.0;
+    }
+    for (std::size_t m = 0; m < modes; ++m) {
+      if (counts[m] > 0) centers_[m] = sums[m] / counts[m];
+    }
+  }
+  std::sort(centers_.begin(), centers_.end());
+  // Spread per mode: 4x stddev of members (CTGAN uses GMM stddev).
+  spreads_.assign(modes, 1e-6);
+  std::fill(sq.begin(), sq.end(), 0.0);
+  std::fill(counts.begin(), counts.end(), 0.0);
+  for (double v : values) {
+    std::size_t best = 0;
+    for (std::size_t m = 1; m < modes; ++m) {
+      if (std::fabs(v - centers_[m]) < std::fabs(v - centers_[best])) best = m;
+    }
+    sq[best] += (v - centers_[best]) * (v - centers_[best]);
+    counts[best] += 1.0;
+  }
+  for (std::size_t m = 0; m < modes; ++m) {
+    if (counts[m] > 1) {
+      spreads_[m] = std::max(1e-6, 4.0 * std::sqrt(sq[m] / counts[m]));
+    } else {
+      spreads_[m] = std::max(
+          1e-6, (sorted.back() - sorted.front()) / static_cast<double>(modes));
+    }
+  }
+}
+
+void ModeNormalizer::encode(double value, double* out) const {
+  std::size_t best = 0;
+  for (std::size_t m = 1; m < centers_.size(); ++m) {
+    if (std::fabs(value - centers_[m]) < std::fabs(value - centers_[best])) {
+      best = m;
+    }
+  }
+  for (std::size_t m = 0; m < centers_.size(); ++m) out[m] = m == best;
+  // Offset scaled to [0,1] around the mode center.
+  out[centers_.size()] =
+      std::clamp(0.5 + (value - centers_[best]) / (2.0 * spreads_[best]), 0.0,
+                 1.0);
+}
+
+double ModeNormalizer::decode(const double* in) const {
+  const std::size_t best = embed::one_hot_decode(
+      std::span<const double>(in, centers_.size()));
+  const double offset = (in[centers_.size()] - 0.5) * 2.0 * spreads_[best];
+  return centers_[best] + offset;
+}
+
+// ---------------------------------------------------------------------------
+// Row layouts
+
+namespace {
+
+// Flow row: [ts mode | dur mode | pkts mode | bytes mode | srcIP bits 32 |
+//            dstIP bits 32 | sport bits 16 | dport bits 16 | proto 3 |
+//            attack 12]
+struct FlowLayout {
+  const ModeNormalizer *ts, *dur, *pkts, *bytes;
+
+  std::vector<OutputSegment> segments() const {
+    std::vector<OutputSegment> s;
+    auto mode = [&s](const ModeNormalizer* m) {
+      s.push_back({OutputSegment::Kind::kSoftmax, m->width() - 1});
+      s.push_back({OutputSegment::Kind::kSigmoid, 1});
+    };
+    mode(ts);
+    mode(dur);
+    mode(pkts);
+    mode(bytes);
+    s.push_back({OutputSegment::Kind::kSigmoid, 32});
+    s.push_back({OutputSegment::Kind::kSigmoid, 32});
+    s.push_back({OutputSegment::Kind::kSigmoid, 16});
+    s.push_back({OutputSegment::Kind::kSigmoid, 16});
+    s.push_back({OutputSegment::Kind::kSoftmax, 3});
+    s.push_back({OutputSegment::Kind::kSoftmax, 12});
+    return s;
+  }
+
+  std::size_t dim() const {
+    return ts->width() + dur->width() + pkts->width() + bytes->width() + 32 +
+           32 + 16 + 16 + 3 + 12;
+  }
+
+  std::size_t proto_offset() const {
+    return ts->width() + dur->width() + pkts->width() + bytes->width() + 96;
+  }
+
+  void encode(const net::FlowRecord& r, double* out) const {
+    std::size_t at = 0;
+    ts->encode(r.start_time, out + at);
+    at += ts->width();
+    dur->encode(r.duration, out + at);
+    at += dur->width();
+    pkts->encode(static_cast<double>(r.packets), out + at);
+    at += pkts->width();
+    bytes->encode(static_cast<double>(r.bytes), out + at);
+    at += bytes->width();
+    auto put_bits = [&](const std::vector<double>& bits) {
+      std::copy(bits.begin(), bits.end(), out + at);
+      at += bits.size();
+    };
+    put_bits(embed::ip_to_bits(r.key.src_ip));
+    put_bits(embed::ip_to_bits(r.key.dst_ip));
+    put_bits(embed::port_to_bits(r.key.src_port));
+    put_bits(embed::port_to_bits(r.key.dst_port));
+    const std::size_t pidx = r.key.protocol == net::Protocol::kTcp   ? 0
+                             : r.key.protocol == net::Protocol::kUdp ? 1
+                                                                     : 2;
+    out[at + pidx] = 1.0;
+    at += 3;
+    out[at + (r.is_attack ? static_cast<std::size_t>(r.attack_type) : 0)] = 1.0;
+  }
+
+  net::FlowRecord decode(const double* in) const {
+    net::FlowRecord r;
+    std::size_t at = 0;
+    r.start_time = ts->decode(in + at);
+    at += ts->width();
+    r.duration = std::max(0.0, dur->decode(in + at));
+    at += dur->width();
+    r.packets = static_cast<std::uint64_t>(
+        std::max(1.0, std::round(pkts->decode(in + at))));
+    at += pkts->width();
+    r.bytes = static_cast<std::uint64_t>(
+        std::max(1.0, std::round(bytes->decode(in + at))));
+    at += bytes->width();
+    r.key.src_ip = embed::bits_to_ip(std::span<const double>(in + at, 32));
+    at += 32;
+    r.key.dst_ip = embed::bits_to_ip(std::span<const double>(in + at, 32));
+    at += 32;
+    r.key.src_port = embed::bits_to_port(std::span<const double>(in + at, 16));
+    at += 16;
+    r.key.dst_port = embed::bits_to_port(std::span<const double>(in + at, 16));
+    at += 16;
+    const std::size_t pidx =
+        embed::one_hot_decode(std::span<const double>(in + at, 3));
+    r.key.protocol = pidx == 0   ? net::Protocol::kTcp
+                     : pidx == 1 ? net::Protocol::kUdp
+                                 : net::Protocol::kIcmp;
+    at += 3;
+    const std::size_t cls =
+        embed::one_hot_decode(std::span<const double>(in + at, 12));
+    r.is_attack = cls != 0;
+    r.attack_type = static_cast<net::AttackType>(cls);
+    return r;
+  }
+};
+
+// Packet row: [ts mode | size mode | srcIP 32 | dstIP 32 | sport 16 |
+//              dport 16 | proto 3 | ttl 1]
+struct PacketLayout {
+  const ModeNormalizer *ts, *size;
+
+  std::vector<OutputSegment> segments() const {
+    std::vector<OutputSegment> s;
+    s.push_back({OutputSegment::Kind::kSoftmax, ts->width() - 1});
+    s.push_back({OutputSegment::Kind::kSigmoid, 1});
+    s.push_back({OutputSegment::Kind::kSoftmax, size->width() - 1});
+    s.push_back({OutputSegment::Kind::kSigmoid, 1});
+    s.push_back({OutputSegment::Kind::kSigmoid, 32});
+    s.push_back({OutputSegment::Kind::kSigmoid, 32});
+    s.push_back({OutputSegment::Kind::kSigmoid, 16});
+    s.push_back({OutputSegment::Kind::kSigmoid, 16});
+    s.push_back({OutputSegment::Kind::kSoftmax, 3});
+    s.push_back({OutputSegment::Kind::kSigmoid, 1});
+    return s;
+  }
+
+  std::size_t dim() const { return ts->width() + size->width() + 100; }
+
+  std::size_t proto_offset() const { return ts->width() + size->width() + 96; }
+
+  void encode(const net::PacketRecord& p, double* out) const {
+    std::size_t at = 0;
+    ts->encode(p.timestamp, out + at);
+    at += ts->width();
+    size->encode(static_cast<double>(p.size), out + at);
+    at += size->width();
+    auto put_bits = [&](const std::vector<double>& bits) {
+      std::copy(bits.begin(), bits.end(), out + at);
+      at += bits.size();
+    };
+    put_bits(embed::ip_to_bits(p.key.src_ip));
+    put_bits(embed::ip_to_bits(p.key.dst_ip));
+    put_bits(embed::port_to_bits(p.key.src_port));
+    put_bits(embed::port_to_bits(p.key.dst_port));
+    const std::size_t pidx = p.key.protocol == net::Protocol::kTcp   ? 0
+                             : p.key.protocol == net::Protocol::kUdp ? 1
+                                                                     : 2;
+    out[at + pidx] = 1.0;
+    at += 3;
+    out[at] = static_cast<double>(p.ttl) / 255.0;
+  }
+
+  net::PacketRecord decode(const double* in) const {
+    net::PacketRecord p;
+    std::size_t at = 0;
+    p.timestamp = std::max(0.0, ts->decode(in + at));
+    at += ts->width();
+    const double raw_size = size->decode(in + at);
+    at += size->width();
+    p.key.src_ip = embed::bits_to_ip(std::span<const double>(in + at, 32));
+    at += 32;
+    p.key.dst_ip = embed::bits_to_ip(std::span<const double>(in + at, 32));
+    at += 32;
+    p.key.src_port = embed::bits_to_port(std::span<const double>(in + at, 16));
+    at += 16;
+    p.key.dst_port = embed::bits_to_port(std::span<const double>(in + at, 16));
+    at += 16;
+    const std::size_t pidx =
+        embed::one_hot_decode(std::span<const double>(in + at, 3));
+    p.key.protocol = pidx == 0   ? net::Protocol::kTcp
+                     : pidx == 1 ? net::Protocol::kUdp
+                                 : net::Protocol::kIcmp;
+    at += 3;
+    p.ttl = static_cast<std::uint8_t>(
+        std::clamp(std::round(in[at] * 255.0), 1.0, 255.0));
+    p.size = static_cast<std::uint32_t>(
+        std::clamp(std::round(raw_size),
+                   static_cast<double>(net::min_packet_size(p.key.protocol)),
+                   65535.0));
+    if (p.key.protocol == net::Protocol::kIcmp) {
+      p.key.src_port = 0;
+      p.key.dst_port = 0;
+    }
+    return p;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CtganFlow
+
+void CtganFlow::fit(const net::FlowTrace& trace) {
+  if (trace.empty()) throw std::invalid_argument("CtganFlow::fit: empty");
+  Rng rng(seed_);
+  std::vector<double> ts_v, dur_v, pkt_v, byt_v;
+  for (const auto& r : trace.records) {
+    ts_v.push_back(r.start_time);
+    dur_v.push_back(r.duration);
+    pkt_v.push_back(static_cast<double>(r.packets));
+    byt_v.push_back(static_cast<double>(r.bytes));
+  }
+  ts_.fit(ts_v, config_.modes, rng);
+  dur_.fit(dur_v, config_.modes, rng);
+  pkts_.fit(pkt_v, config_.modes, rng);
+  bytes_.fit(byt_v, config_.modes, rng);
+
+  const FlowLayout layout{&ts_, &dur_, &pkts_, &bytes_};
+  Matrix rows(trace.size(), layout.dim());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    layout.encode(trace.records[i], rows.row_ptr(i));
+  }
+  TabularGanConfig gcfg = config_.gan;
+  gcfg.condition = {{layout.proto_offset(), 3}};  // conditional vector: proto
+  gan_ = std::make_unique<TabularGan>(layout.segments(), gcfg, seed_ + 1);
+  gan_->fit(rows);
+}
+
+net::FlowTrace CtganFlow::generate(std::size_t n, Rng& rng) {
+  if (!gan_) throw std::logic_error("CtganFlow::generate: fit first");
+  const FlowLayout layout{&ts_, &dur_, &pkts_, &bytes_};
+  const Matrix rows = gan_->sample(n, rng);
+  net::FlowTrace out;
+  out.records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.records.push_back(layout.decode(rows.row_ptr(i)));
+  }
+  out.sort_by_time();
+  return out;
+}
+
+double CtganFlow::train_cpu_seconds() const {
+  return gan_ ? gan_->train_cpu_seconds() : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// CtganPacket
+
+void CtganPacket::fit(const net::PacketTrace& trace) {
+  if (trace.empty()) throw std::invalid_argument("CtganPacket::fit: empty");
+  Rng rng(seed_);
+  std::vector<double> ts_v, size_v;
+  for (const auto& p : trace.packets) {
+    ts_v.push_back(p.timestamp);
+    size_v.push_back(static_cast<double>(p.size));
+  }
+  ts_.fit(ts_v, config_.modes, rng);
+  size_.fit(size_v, config_.modes, rng);
+
+  const PacketLayout layout{&ts_, &size_};
+  Matrix rows(trace.size(), layout.dim());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    layout.encode(trace.packets[i], rows.row_ptr(i));
+  }
+  TabularGanConfig gcfg = config_.gan;
+  gcfg.condition = {{layout.proto_offset(), 3}};
+  gan_ = std::make_unique<TabularGan>(layout.segments(), gcfg, seed_ + 1);
+  gan_->fit(rows);
+}
+
+net::PacketTrace CtganPacket::generate(std::size_t n, Rng& rng) {
+  if (!gan_) throw std::logic_error("CtganPacket::generate: fit first");
+  const PacketLayout layout{&ts_, &size_};
+  const Matrix rows = gan_->sample(n, rng);
+  net::PacketTrace out;
+  out.packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.packets.push_back(layout.decode(rows.row_ptr(i)));
+  }
+  out.sort_by_time();
+  return out;
+}
+
+double CtganPacket::train_cpu_seconds() const {
+  return gan_ ? gan_->train_cpu_seconds() : 0.0;
+}
+
+}  // namespace netshare::gan

@@ -1,0 +1,79 @@
+// CTGAN baseline (Xu et al. 2019), adapted to header traces exactly as the
+// paper does (Sec. 6.1): IPs and ports bit-encoded with each bit a 2-class
+// categorical, other fields encoded by type (continuous via CTGAN's
+// mode-specific normalization, categoricals one-hot), conditional-vector
+// training on the protocol column.
+//
+// Being a per-record tabular model, it reproduces the baseline pathologies
+// the paper documents: no multi-packet flows (C1) and poor large-support
+// fields under min-max-style normalization (C2).
+#pragma once
+
+#include <vector>
+
+#include "gan/synthesizer.hpp"
+#include "gan/tabular_gan.hpp"
+
+namespace netshare::gan {
+
+// CTGAN's mode-specific normalization for one continuous column: k-means
+// modes over the training values; a value becomes (mode one-hot, scaled
+// offset within the mode).
+class ModeNormalizer {
+ public:
+  ModeNormalizer() = default;
+
+  void fit(const std::vector<double>& values, std::size_t modes, Rng& rng);
+
+  std::size_t width() const { return centers_.size() + 1; }
+  // Writes (mode one-hot, offset) into out[0 .. width()).
+  void encode(double value, double* out) const;
+  double decode(const double* in) const;
+
+  const std::vector<double>& centers() const { return centers_; }
+
+ private:
+  std::vector<double> centers_;
+  std::vector<double> spreads_;  // per-mode scale (>= epsilon)
+};
+
+struct CtganConfig {
+  TabularGanConfig gan;
+  std::size_t modes = 3;  // modes per continuous column
+};
+
+class CtganFlow : public FlowSynthesizer {
+ public:
+  explicit CtganFlow(CtganConfig config, std::uint64_t seed)
+      : config_(config), seed_(seed) {}
+
+  std::string name() const override { return "CTGAN"; }
+  void fit(const net::FlowTrace& trace) override;
+  net::FlowTrace generate(std::size_t n, Rng& rng) override;
+  double train_cpu_seconds() const override;
+
+ private:
+  CtganConfig config_;
+  std::uint64_t seed_;
+  std::unique_ptr<TabularGan> gan_;
+  ModeNormalizer ts_, dur_, pkts_, bytes_;
+};
+
+class CtganPacket : public PacketSynthesizer {
+ public:
+  explicit CtganPacket(CtganConfig config, std::uint64_t seed)
+      : config_(config), seed_(seed) {}
+
+  std::string name() const override { return "CTGAN"; }
+  void fit(const net::PacketTrace& trace) override;
+  net::PacketTrace generate(std::size_t n, Rng& rng) override;
+  double train_cpu_seconds() const override;
+
+ private:
+  CtganConfig config_;
+  std::uint64_t seed_;
+  std::unique_ptr<TabularGan> gan_;
+  ModeNormalizer ts_, size_;
+};
+
+}  // namespace netshare::gan

@@ -1,0 +1,413 @@
+#include "gan/doppelganger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stopwatch.hpp"
+#include "ml/serialize.hpp"
+
+namespace netshare::gan {
+
+using ml::Matrix;
+using ml::concat_cols;
+using ml::slice_rows;
+using ml::split_cols;
+using ml::stack_rows;
+
+namespace {
+constexpr std::size_t kFlagDims = 2;  // alive / done softmax
+
+std::vector<std::size_t> random_rows(std::size_t n, std::size_t batch,
+                                     Rng& rng) {
+  std::vector<std::size_t> rows(batch);
+  for (auto& r : rows) {
+    r = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+  return rows;
+}
+}  // namespace
+
+DoppelGanger::DoppelGanger(TimeSeriesSpec spec, DgConfig config,
+                           std::uint64_t seed)
+    : spec_(std::move(spec)), config_(config), rng_(seed) {
+  const std::size_t A = spec_.attribute_dim();
+  const std::size_t F = spec_.feature_dim();
+  const std::size_t step_dim = F + kFlagDims;
+  const std::size_t T = spec_.max_len;
+  const std::size_t disc_in = A + T * step_dim;
+
+  // Attribute generator MLP with a mixed head matching the attribute layout.
+  std::vector<std::size_t> attr_dims{config_.attr_noise_dim};
+  attr_dims.insert(attr_dims.end(), config_.attr_hidden.begin(),
+                   config_.attr_hidden.end());
+  attr_dims.push_back(A);
+  attr_gen_ = std::make_unique<ml::Mlp>(attr_dims, ml::Activation::kRelu,
+                                        spec_.attribute_segments, rng_);
+
+  rnn_ = std::make_unique<ml::Gru>(config_.feat_noise_dim + A,
+                                   config_.rnn_hidden, rng_);
+  out_linear_ =
+      std::make_unique<ml::Linear>(config_.rnn_hidden, step_dim, rng_);
+  std::vector<ml::OutputSegment> out_segments = spec_.feature_segments;
+  out_segments.push_back({ml::OutputSegment::Kind::kSoftmax, kFlagDims});
+  out_head_ = std::make_unique<ml::MixedHead>(std::move(out_segments));
+
+  std::vector<std::size_t> disc_dims{disc_in};
+  disc_dims.insert(disc_dims.end(), config_.disc_hidden.begin(),
+                   config_.disc_hidden.end());
+  disc_dims.push_back(1);
+  disc_ = std::make_unique<ml::Mlp>(disc_dims, ml::Activation::kLeakyRelu, rng_);
+
+  std::vector<std::size_t> aux_dims{A};
+  aux_dims.insert(aux_dims.end(), config_.aux_hidden.begin(),
+                  config_.aux_hidden.end());
+  aux_dims.push_back(1);
+  aux_disc_ =
+      std::make_unique<ml::Mlp>(aux_dims, ml::Activation::kLeakyRelu, rng_);
+
+  g_opt_ = std::make_unique<ml::Adam>(generator_params(), config_.lr);
+  d_opt_ = std::make_unique<ml::Adam>(discriminator_params(), config_.lr);
+  if (config_.dp) {
+    dp_agg_ = std::make_unique<privacy::DpSgdAggregator>(discriminator_params(),
+                                                         config_.dp_config);
+  }
+}
+
+std::vector<ml::Parameter*> DoppelGanger::generator_params() {
+  std::vector<ml::Parameter*> params = attr_gen_->parameters();
+  for (ml::Parameter* p : rnn_->parameters()) params.push_back(p);
+  for (ml::Parameter* p : out_linear_->parameters()) params.push_back(p);
+  return params;
+}
+
+std::vector<ml::Parameter*> DoppelGanger::discriminator_params() {
+  std::vector<ml::Parameter*> params = disc_->parameters();
+  for (ml::Parameter* p : aux_disc_->parameters()) params.push_back(p);
+  return params;
+}
+
+std::size_t DoppelGanger::flag_offset() const { return spec_.feature_dim(); }
+
+DoppelGanger::GenOutput DoppelGanger::generator_forward(std::size_t batch,
+                                                        Rng& rng) {
+  const std::size_t T = spec_.max_len;
+  GenOutput out;
+  Matrix za = Matrix::randn(batch, config_.attr_noise_dim, rng);
+  out.attributes = attr_gen_->forward(za);
+
+  std::vector<Matrix> xs;
+  xs.reserve(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    Matrix zt = Matrix::randn(batch, config_.feat_noise_dim, rng);
+    xs.push_back(concat_cols(zt, out.attributes));
+  }
+  const std::vector<Matrix> hs = rnn_->forward(xs);
+  Matrix stacked = stack_rows(hs);  // [T*B, H], t-major
+  Matrix heads = out_head_->forward(out_linear_->forward(stacked));
+
+  out.features.reserve(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    out.features.push_back(slice_rows(heads, t * batch, (t + 1) * batch));
+  }
+  return out;
+}
+
+void DoppelGanger::generator_backward(
+    const Matrix& attr_grad, const std::vector<Matrix>& feature_grads) {
+  const std::size_t T = spec_.max_len;
+  const std::size_t batch = attr_grad.rows();
+  Matrix g_stacked = stack_rows(feature_grads);  // [T*B, F+2]
+  Matrix gh = out_linear_->backward(out_head_->backward(g_stacked));
+
+  std::vector<Matrix> ghs;
+  ghs.reserve(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    ghs.push_back(slice_rows(gh, t * batch, (t + 1) * batch));
+  }
+  const std::vector<Matrix> gxs = rnn_->backward(ghs);
+
+  Matrix attr_total = attr_grad;
+  for (const Matrix& gx : gxs) {
+    auto [gz, ga] = split_cols(gx, config_.feat_noise_dim);
+    (void)gz;
+    attr_total += ga;
+  }
+  attr_gen_->backward(attr_total);
+}
+
+Matrix DoppelGanger::disc_input(const Matrix& attr,
+                                const std::vector<Matrix>& feats) const {
+  Matrix x = attr;
+  for (const Matrix& f : feats) x = concat_cols(x, f);
+  return x;
+}
+
+DoppelGanger::GenOutput DoppelGanger::real_batch(
+    const TimeSeriesDataset& data, const std::vector<std::size_t>& rows) const {
+  const std::size_t T = spec_.max_len;
+  const std::size_t F = spec_.feature_dim();
+  GenOutput out;
+  out.attributes = Matrix(rows.size(), data.attributes.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double* src = data.attributes.row_ptr(rows[i]);
+    std::copy(src, src + data.attributes.cols(), out.attributes.row_ptr(i));
+  }
+  out.features.assign(T, Matrix(rows.size(), F + kFlagDims));
+  for (std::size_t t = 0; t < T; ++t) {
+    Matrix& step = out.features[t];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::size_t r = rows[i];
+      const bool alive = t < data.lengths[r];
+      if (alive && t < data.features.size()) {
+        const double* src = data.features[t].row_ptr(r);
+        std::copy(src, src + F, step.row_ptr(i));
+      }
+      step(i, F) = alive ? 1.0 : 0.0;
+      step(i, F + 1) = alive ? 0.0 : 1.0;
+    }
+  }
+  return out;
+}
+
+namespace {
+// Assembles the two-point Lipschitz-penalty gradient rows for a stacked
+// critic output. Rows [p1_begin, p1_begin+B) and [p2_begin, p2_begin+B)
+// hold the two interpolates per pair; `pair_dist[i]` is ||x1_i - x2_i||.
+void add_lipschitz_grads(const Matrix& scores, std::size_t p1_begin,
+                         std::size_t p2_begin, std::size_t batch,
+                         const std::vector<double>& pair_dist, double weight,
+                         Matrix& grad_out) {
+  for (std::size_t i = 0; i < batch; ++i) {
+    const double d = std::max(pair_dist[i], 1e-8);
+    const double slope = (scores(p1_begin + i, 0) - scores(p2_begin + i, 0)) / d;
+    const double excess = std::fabs(slope) - 1.0;
+    if (excess > 0.0) {
+      const double g = 2.0 * excess * (slope > 0 ? 1.0 : -1.0) * weight /
+                       (static_cast<double>(batch) * d);
+      grad_out(p1_begin + i, 0) += g;
+      grad_out(p2_begin + i, 0) -= g;
+    }
+  }
+}
+
+// Builds per-pair interpolates x1, x2 between matching rows of real/fake.
+void make_interpolates(const Matrix& xr, const Matrix& xf, Rng& rng,
+                       Matrix& x1, Matrix& x2, std::vector<double>& dist) {
+  const std::size_t batch = xr.rows();
+  x1 = Matrix(batch, xr.cols());
+  x2 = Matrix(batch, xr.cols());
+  dist.assign(batch, 0.0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const double e1 = rng.uniform();
+    const double e2 = rng.uniform();
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < xr.cols(); ++j) {
+      const double r = xr(i, j), f = xf(i, j);
+      x1(i, j) = e1 * r + (1.0 - e1) * f;
+      x2(i, j) = e2 * r + (1.0 - e2) * f;
+      const double d = x1(i, j) - x2(i, j);
+      d2 += d * d;
+    }
+    dist[i] = std::sqrt(d2);
+  }
+}
+}  // namespace
+
+void DoppelGanger::discriminator_update(const TimeSeriesDataset& data,
+                                        Rng& rng) {
+  const std::size_t B = std::min(config_.batch_size, data.num_samples());
+  const auto rows = random_rows(data.num_samples(), B, rng);
+  GenOutput real = real_batch(data, rows);
+  GenOutput fake = generator_forward(B, rng);
+
+  const Matrix xr = disc_input(real.attributes, real.features);
+  const Matrix xf = disc_input(fake.attributes, fake.features);
+  Matrix x1, x2;
+  std::vector<double> dist;
+  make_interpolates(xr, xf, rng, x1, x2, dist);
+
+  // One batched critic pass over [real; fake; x1; x2].
+  Matrix big = stack_rows({xr, xf, x1, x2});
+  disc_->zero_grad();
+  const Matrix scores = disc_->forward(big);
+  Matrix gs(4 * B, 1);
+  const double inv_b = 1.0 / static_cast<double>(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    gs(i, 0) = -inv_b;      // maximize D(real)
+    gs(B + i, 0) = inv_b;   // minimize D(fake)
+  }
+  add_lipschitz_grads(scores, 2 * B, 3 * B, B, dist, config_.lipschitz_weight,
+                      gs);
+  disc_->backward(gs);
+
+  // Auxiliary critic on attributes only.
+  Matrix a1, a2;
+  std::vector<double> adist;
+  make_interpolates(real.attributes, fake.attributes, rng, a1, a2, adist);
+  Matrix abig = stack_rows({real.attributes, fake.attributes, a1, a2});
+  aux_disc_->zero_grad();
+  const Matrix ascores = aux_disc_->forward(abig);
+  Matrix gas(4 * B, 1);
+  for (std::size_t i = 0; i < B; ++i) {
+    gas(i, 0) = -inv_b * config_.aux_weight;
+    gas(B + i, 0) = inv_b * config_.aux_weight;
+  }
+  add_lipschitz_grads(ascores, 2 * B, 3 * B, B, adist,
+                      config_.lipschitz_weight * config_.aux_weight, gas);
+  aux_disc_->backward(gas);
+
+  ml::clip_grad_norm(discriminator_params(), config_.grad_clip);
+  d_opt_->step();
+}
+
+void DoppelGanger::discriminator_update_dp(const TimeSeriesDataset& data,
+                                           Rng& rng) {
+  const std::size_t B = std::min(config_.batch_size, data.num_samples());
+  const auto rows = random_rows(data.num_samples(), B, rng);
+  GenOutput fake = generator_forward(B, rng);
+  const Matrix xf_all = disc_input(fake.attributes, fake.features);
+
+  for (ml::Parameter* p : discriminator_params()) p->zero_grad();
+  for (std::size_t i = 0; i < B; ++i) {
+    GenOutput real = real_batch(data, {rows[i]});
+    const Matrix xr = disc_input(real.attributes, real.features);
+    const Matrix xf = slice_rows(xf_all, i, i + 1);
+    Matrix x1, x2;
+    std::vector<double> dist;
+    make_interpolates(xr, xf, rng, x1, x2, dist);
+
+    Matrix big = stack_rows({xr, xf, x1, x2});
+    const Matrix scores = disc_->forward(big);
+    Matrix gs(4, 1);
+    gs(0, 0) = -1.0;
+    gs(1, 0) = 1.0;
+    add_lipschitz_grads(scores, 2, 3, 1, dist, config_.lipschitz_weight, gs);
+    disc_->backward(gs);
+
+    Matrix a1, a2;
+    std::vector<double> adist;
+    make_interpolates(real.attributes, slice_rows(fake.attributes, i, i + 1),
+                      rng, a1, a2, adist);
+    Matrix abig = stack_rows({real.attributes,
+                              slice_rows(fake.attributes, i, i + 1), a1, a2});
+    const Matrix ascores = aux_disc_->forward(abig);
+    Matrix gas(4, 1);
+    gas(0, 0) = -config_.aux_weight;
+    gas(1, 0) = config_.aux_weight;
+    add_lipschitz_grads(ascores, 2, 3, 1, adist,
+                        config_.lipschitz_weight * config_.aux_weight, gas);
+    aux_disc_->backward(gas);
+
+    dp_agg_->accumulate_example();
+  }
+  dp_agg_->finalize_batch(B, rng);
+  ++dp_steps_;
+  d_opt_->step();
+}
+
+void DoppelGanger::generator_update(Rng& rng) {
+  const std::size_t B = config_.batch_size;
+  GenOutput fake = generator_forward(B, rng);
+  const Matrix xf = disc_input(fake.attributes, fake.features);
+
+  disc_->forward(xf);
+  const double inv_b = 1.0 / static_cast<double>(B);
+  Matrix gin = disc_->backward(Matrix(B, 1, -inv_b));
+
+  // Split the critic's input gradient into attribute / per-step pieces.
+  auto [attr_grad, rest] = split_cols(gin, spec_.attribute_dim());
+  const std::size_t step_dim = spec_.feature_dim() + kFlagDims;
+  std::vector<Matrix> fgrads;
+  fgrads.reserve(spec_.max_len);
+  Matrix remaining = rest;
+  for (std::size_t t = 0; t < spec_.max_len; ++t) {
+    auto [head, tail] = split_cols(remaining, step_dim);
+    fgrads.push_back(std::move(head));
+    remaining = std::move(tail);
+  }
+
+  aux_disc_->forward(fake.attributes);
+  Matrix ga = aux_disc_->backward(Matrix(B, 1, -config_.aux_weight * inv_b));
+  attr_grad += ga;
+
+  for (ml::Parameter* p : generator_params()) p->zero_grad();
+  generator_backward(attr_grad, fgrads);
+  ml::clip_grad_norm(generator_params(), config_.grad_clip);
+  g_opt_->step();
+}
+
+void DoppelGanger::fit(const TimeSeriesDataset& data) {
+  fit(data, config_.iterations);
+}
+
+void DoppelGanger::fit(const TimeSeriesDataset& data, int iterations) {
+  if (data.num_samples() == 0) {
+    throw std::invalid_argument("DoppelGanger::fit: empty dataset");
+  }
+  if (data.features.size() != spec_.max_len) {
+    throw std::invalid_argument("DoppelGanger::fit: max_len mismatch");
+  }
+  const double cpu0 = thread_cpu_seconds();
+  for (int it = 0; it < iterations; ++it) {
+    for (int d = 0; d < config_.d_steps_per_g; ++d) {
+      if (config_.dp) {
+        discriminator_update_dp(data, rng_);
+      } else {
+        discriminator_update(data, rng_);
+      }
+    }
+    generator_update(rng_);
+  }
+  train_cpu_seconds_ += thread_cpu_seconds() - cpu0;
+}
+
+GeneratedSeries DoppelGanger::sample(std::size_t n, Rng& rng) {
+  const std::size_t T = spec_.max_len;
+  const std::size_t F = spec_.feature_dim();
+  GeneratedSeries out;
+  out.spec = spec_;
+  out.attributes = Matrix(n, spec_.attribute_dim());
+  out.features.assign(T, Matrix(n, F));
+  out.lengths.assign(n, T);
+
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t b = std::min(config_.batch_size, n - done);
+    GenOutput gen = generator_forward(b, rng);
+    for (std::size_t i = 0; i < b; ++i) {
+      const std::size_t row = done + i;
+      const double* asrc = gen.attributes.row_ptr(i);
+      std::copy(asrc, asrc + spec_.attribute_dim(), out.attributes.row_ptr(row));
+      // Length = first step whose alive-flag probability drops below 0.5.
+      std::size_t len = T;
+      for (std::size_t t = 0; t < T; ++t) {
+        if (gen.features[t](i, F) < 0.5) {
+          len = std::max<std::size_t>(1, t);
+          break;
+        }
+      }
+      out.lengths[row] = len;
+      for (std::size_t t = 0; t < len; ++t) {
+        const double* fsrc = gen.features[t].row_ptr(i);
+        std::copy(fsrc, fsrc + F, out.features[t].row_ptr(row));
+      }
+    }
+    done += b;
+  }
+  return out;
+}
+
+std::vector<double> DoppelGanger::snapshot() {
+  std::vector<ml::Parameter*> all = generator_params();
+  for (ml::Parameter* p : discriminator_params()) all.push_back(p);
+  return ml::snapshot_parameters(all);
+}
+
+void DoppelGanger::restore(const std::vector<double>& snapshot) {
+  std::vector<ml::Parameter*> all = generator_params();
+  for (ml::Parameter* p : discriminator_params()) all.push_back(p);
+  ml::restore_parameters(all, snapshot);
+}
+
+}  // namespace netshare::gan

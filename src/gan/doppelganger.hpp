@@ -1,0 +1,119 @@
+// DoppelGANger-style time-series GAN (Lin et al., IMC 2020), configured per
+// the paper's Appendix C: MLP metadata (attribute) generator, GRU
+// measurement generator with 2-way softmax generation flags, Wasserstein
+// loss, auxiliary discriminator on attributes, [0,1] normalization, no
+// packing, no auto-normalization.
+//
+// Substitution note (DESIGN.md): the WGAN-GP gradient penalty is replaced by
+// a two-point Lipschitz penalty on pairs of random interpolates, which
+// penalizes the same constraint without second-order backprop.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gan/timeseries.hpp"
+#include "ml/gru.hpp"
+#include "ml/mlp.hpp"
+#include "ml/optim.hpp"
+#include "privacy/dp_sgd.hpp"
+
+namespace netshare::gan {
+
+struct DgConfig {
+  std::size_t attr_noise_dim = 8;
+  std::size_t feat_noise_dim = 8;
+  std::vector<std::size_t> attr_hidden = {64, 64};
+  std::size_t rnn_hidden = 48;
+  std::vector<std::size_t> disc_hidden = {96, 96};
+  std::vector<std::size_t> aux_hidden = {48};
+
+  int iterations = 300;
+  std::size_t batch_size = 64;
+  int d_steps_per_g = 2;
+  double lr = 1e-3;
+  double lipschitz_weight = 10.0;
+  double aux_weight = 1.0;
+  double grad_clip = 5.0;
+
+  // Differentially-private training: DP-SGD on the discriminators (the only
+  // components touching real data; generator updates are post-processing).
+  bool dp = false;
+  privacy::DpSgdConfig dp_config;
+};
+
+class DoppelGanger {
+ public:
+  DoppelGanger(TimeSeriesSpec spec, DgConfig config, std::uint64_t seed);
+
+  // Trains (or, when called on a restored model, fine-tunes) for
+  // config.iterations on `data`.
+  void fit(const TimeSeriesDataset& data);
+  // Same, with an explicit iteration count (fine-tuning uses fewer).
+  void fit(const TimeSeriesDataset& data, int iterations);
+
+  // Samples n synthetic series.
+  GeneratedSeries sample(std::size_t n, Rng& rng);
+
+  // Warm-start support (Insights 3 and 4).
+  std::vector<double> snapshot();
+  void restore(const std::vector<double>& snapshot);
+
+  // Cumulative CPU-seconds spent inside fit() (Fig. 4's scalability axis).
+  double train_cpu_seconds() const { return train_cpu_seconds_; }
+  // Number of DP-SGD steps taken so far (for the accountant).
+  std::size_t dp_steps() const { return dp_steps_; }
+
+  const TimeSeriesSpec& spec() const { return spec_; }
+  const DgConfig& config() const { return config_; }
+
+ private:
+  struct GenOutput {
+    ml::Matrix attributes;             // B x A
+    std::vector<ml::Matrix> features;  // T of B x (F+2), incl. gen flags
+  };
+
+  // Forward pass of the generator with caches retained for backward.
+  GenOutput generator_forward(std::size_t batch, Rng& rng);
+  // Backprop through the generator given dLoss/d(attr) and dLoss/d(features).
+  void generator_backward(const ml::Matrix& attr_grad,
+                          const std::vector<ml::Matrix>& feature_grads);
+
+  // Flattens (attr, features) into the discriminator input [B, A + T*(F+2)].
+  ml::Matrix disc_input(const ml::Matrix& attr,
+                        const std::vector<ml::Matrix>& feats) const;
+  // Builds a real minibatch (with gen flags appended) from the dataset.
+  GenOutput real_batch(const TimeSeriesDataset& data,
+                       const std::vector<std::size_t>& rows) const;
+
+  void discriminator_update(const TimeSeriesDataset& data, Rng& rng);
+  void discriminator_update_dp(const TimeSeriesDataset& data, Rng& rng);
+  void generator_update(Rng& rng);
+
+  std::size_t flag_offset() const;  // column of the alive flag within a step
+
+  TimeSeriesSpec spec_;
+  DgConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<ml::Mlp> attr_gen_;
+  std::unique_ptr<ml::Gru> rnn_;
+  std::unique_ptr<ml::Linear> out_linear_;
+  std::unique_ptr<ml::MixedHead> out_head_;
+  std::unique_ptr<ml::Mlp> disc_;
+  std::unique_ptr<ml::Mlp> aux_disc_;
+
+  std::unique_ptr<ml::Adam> g_opt_;
+  std::unique_ptr<ml::Adam> d_opt_;
+  std::unique_ptr<privacy::DpSgdAggregator> dp_agg_;
+
+  double train_cpu_seconds_ = 0.0;
+  std::size_t dp_steps_ = 0;
+
+  std::vector<ml::Parameter*> generator_params();
+  std::vector<ml::Parameter*> discriminator_params();
+};
+
+}  // namespace netshare::gan

@@ -1,0 +1,154 @@
+#include "gan/ewgan_gp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stopwatch.hpp"
+
+namespace netshare::gan {
+
+using embed::Token;
+using embed::TokenKind;
+using ml::Matrix;
+using ml::OutputSegment;
+
+namespace {
+
+std::uint32_t log2_bucket(double v) {
+  return static_cast<std::uint32_t>(std::floor(std::log2(std::max(1.0, v))));
+}
+double log2_bucket_center(std::uint32_t b) {
+  return std::pow(2.0, static_cast<double>(b) + 0.5);
+}
+
+// Field order within a row: srcIP, dstIP, sport, dport, proto, pkts, bytes,
+// duration, start time.
+constexpr std::size_t kFields = 9;
+constexpr TokenKind kFieldKind[kFields] = {
+    TokenKind::kIp,       TokenKind::kIp,    TokenKind::kPort,
+    TokenKind::kPort,     TokenKind::kProtocol, TokenKind::kPackets,
+    TokenKind::kBytes,    TokenKind::kDuration, TokenKind::kStartTime,
+};
+
+}  // namespace
+
+std::vector<Token> EwganGpFlow::tokenize(const net::FlowRecord& r) const {
+  std::vector<Token> t(kFields);
+  t[0] = {TokenKind::kIp, r.key.src_ip.value()};
+  t[1] = {TokenKind::kIp, r.key.dst_ip.value()};
+  t[2] = {TokenKind::kPort, r.key.src_port};
+  t[3] = {TokenKind::kPort, r.key.dst_port};
+  t[4] = {TokenKind::kProtocol, static_cast<std::uint32_t>(r.key.protocol)};
+  t[5] = {TokenKind::kPackets, log2_bucket(static_cast<double>(r.packets))};
+  t[6] = {TokenKind::kBytes, log2_bucket(static_cast<double>(r.bytes))};
+  t[7] = {TokenKind::kDuration, log2_bucket(r.duration * 1e3 + 1.0)};
+  const auto ts_bucket = static_cast<std::uint32_t>(
+      std::clamp((r.start_time - t0_) / t_bucket_, 0.0,
+                 static_cast<double>(config_.time_buckets - 1)));
+  t[8] = {TokenKind::kStartTime, ts_bucket};
+  return t;
+}
+
+void EwganGpFlow::fit(const net::FlowTrace& trace) {
+  if (trace.empty()) throw std::invalid_argument("EwganGpFlow::fit: empty");
+  const double cpu0 = thread_cpu_seconds();
+  t0_ = trace.start_time();
+  t_bucket_ = std::max(1e-6, (trace.end_time() - t0_) /
+                                 static_cast<double>(config_.time_buckets));
+
+  // Train the extended IP2Vec on the training data itself.
+  std::vector<std::vector<Token>> sentences;
+  sentences.reserve(trace.size());
+  for (const auto& r : trace.records) sentences.push_back(tokenize(r));
+  embed::Ip2Vec::Config ecfg;
+  ecfg.dim = config_.embed_dim;
+  ecfg.epochs = config_.embed_epochs;
+  Rng erng(seed_);
+  embedding_.train(sentences, ecfg, erng);
+
+  // Normalization range over the whole learned vocabulary.
+  emb_lo_ = 1e30;
+  emb_hi_ = -1e30;
+  for (const auto& s : sentences) {
+    for (const Token& t : s) {
+      for (double v : embedding_.embed(t)) {
+        emb_lo_ = std::min(emb_lo_, v);
+        emb_hi_ = std::max(emb_hi_, v);
+      }
+    }
+    break;  // one sentence covers typical range; widen below
+  }
+  // Widen using a sample of sentences for robustness.
+  for (std::size_t i = 0; i < sentences.size(); i += 17) {
+    for (const Token& t : sentences[i]) {
+      for (double v : embedding_.embed(t)) {
+        emb_lo_ = std::min(emb_lo_, v);
+        emb_hi_ = std::max(emb_hi_, v);
+      }
+    }
+  }
+  if (emb_hi_ <= emb_lo_) emb_hi_ = emb_lo_ + 1.0;
+
+  // Encode rows as concatenated normalized embeddings.
+  const std::size_t d = config_.embed_dim;
+  Matrix rows(trace.size(), kFields * d);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto tokens = tokenize(trace.records[i]);
+    double* row = rows.row_ptr(i);
+    for (std::size_t f = 0; f < kFields; ++f) {
+      const auto v = embedding_.embed(tokens[f]);
+      for (std::size_t k = 0; k < d; ++k) {
+        row[f * d + k] =
+            std::clamp((v[k] - emb_lo_) / (emb_hi_ - emb_lo_), 0.0, 1.0);
+      }
+    }
+  }
+  train_cpu_seconds_ = thread_cpu_seconds() - cpu0;
+
+  std::vector<OutputSegment> segments{
+      {OutputSegment::Kind::kSigmoid, kFields * d}};
+  gan_ = std::make_unique<TabularGan>(segments, config_.gan, seed_ + 1);
+  gan_->fit(rows);
+}
+
+net::FlowTrace EwganGpFlow::generate(std::size_t n, Rng& rng) {
+  if (!gan_) throw std::logic_error("EwganGpFlow::generate: fit first");
+  const std::size_t d = config_.embed_dim;
+  const Matrix rows = gan_->sample(n, rng);
+  net::FlowTrace out;
+  out.records.reserve(n);
+  std::vector<double> v(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = rows.row_ptr(i);
+    Token tokens[kFields];
+    for (std::size_t f = 0; f < kFields; ++f) {
+      for (std::size_t k = 0; k < d; ++k) {
+        v[k] = emb_lo_ + row[f * d + k] * (emb_hi_ - emb_lo_);
+      }
+      tokens[f] = embedding_.nearest(v, kFieldKind[f]);
+    }
+    net::FlowRecord r;
+    r.key.src_ip = net::Ipv4Address(tokens[0].value);
+    r.key.dst_ip = net::Ipv4Address(tokens[1].value);
+    r.key.src_port = static_cast<std::uint16_t>(tokens[2].value);
+    r.key.dst_port = static_cast<std::uint16_t>(tokens[3].value);
+    r.key.protocol = static_cast<net::Protocol>(tokens[4].value);
+    r.packets = static_cast<std::uint64_t>(
+        std::max(1.0, std::round(log2_bucket_center(tokens[5].value))));
+    r.bytes = static_cast<std::uint64_t>(
+        std::max(1.0, std::round(log2_bucket_center(tokens[6].value))));
+    r.duration =
+        std::max(0.0, (log2_bucket_center(tokens[7].value) - 1.0) * 1e-3);
+    r.start_time =
+        t0_ + (static_cast<double>(tokens[8].value) + rng.uniform()) * t_bucket_;
+    out.records.push_back(r);
+  }
+  out.sort_by_time();
+  return out;
+}
+
+double EwganGpFlow::train_cpu_seconds() const {
+  return train_cpu_seconds_ + (gan_ ? gan_->train_cpu_seconds() : 0.0);
+}
+
+}  // namespace netshare::gan

@@ -1,0 +1,183 @@
+#include "gan/packet_gans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "embed/bit_encoding.hpp"
+#include "embed/transforms.hpp"
+
+namespace netshare::gan {
+
+using ml::Matrix;
+using ml::OutputSegment;
+
+namespace {
+
+// Byte-level row: [srcIP 4B | dstIP 4B | sport 2B | dport 2B | size 2B |
+//                  ttl 1B | proto one-hot 3 | (ts 1, if modeled)]
+constexpr std::size_t kByteCols = 4 + 4 + 2 + 2 + 2 + 1;
+
+std::size_t row_dim(bool with_ts) { return kByteCols + 3 + (with_ts ? 1 : 0); }
+std::size_t proto_offset() { return kByteCols; }
+
+void encode_packet(const net::PacketRecord& p, bool with_ts, double t0,
+                   double t_span, double* out) {
+  std::size_t at = 0;
+  auto put = [&](const std::vector<double>& v) {
+    std::copy(v.begin(), v.end(), out + at);
+    at += v.size();
+  };
+  put(embed::ip_to_bytes(p.key.src_ip));
+  put(embed::ip_to_bytes(p.key.dst_ip));
+  put(embed::port_to_bytes(p.key.src_port));
+  put(embed::port_to_bytes(p.key.dst_port));
+  put({static_cast<double>(p.size >> 8) / 255.0,
+       static_cast<double>(p.size & 0xff) / 255.0});
+  out[at++] = static_cast<double>(p.ttl) / 255.0;
+  const std::size_t pidx = p.key.protocol == net::Protocol::kTcp   ? 0
+                           : p.key.protocol == net::Protocol::kUdp ? 1
+                                                                   : 2;
+  out[at + pidx] = 1.0;
+  at += 3;
+  if (with_ts) {
+    out[at] = std::clamp((p.timestamp - t0) / t_span, 0.0, 1.0);
+  }
+}
+
+net::PacketRecord decode_packet(const double* in, bool with_ts, double t0,
+                                double t_span) {
+  net::PacketRecord p;
+  std::size_t at = 0;
+  p.key.src_ip = embed::bytes_to_ip(std::span<const double>(in + at, 4));
+  at += 4;
+  p.key.dst_ip = embed::bytes_to_ip(std::span<const double>(in + at, 4));
+  at += 4;
+  p.key.src_port = embed::bytes_to_port(std::span<const double>(in + at, 2));
+  at += 2;
+  p.key.dst_port = embed::bytes_to_port(std::span<const double>(in + at, 2));
+  at += 2;
+  const auto hi = static_cast<std::uint32_t>(
+      std::lround(std::clamp(in[at], 0.0, 1.0) * 255.0));
+  const auto lo = static_cast<std::uint32_t>(
+      std::lround(std::clamp(in[at + 1], 0.0, 1.0) * 255.0));
+  at += 2;
+  p.ttl = static_cast<std::uint8_t>(
+      std::clamp(std::round(in[at] * 255.0), 1.0, 255.0));
+  ++at;
+  const std::size_t pidx =
+      embed::one_hot_decode(std::span<const double>(in + at, 3));
+  p.key.protocol = pidx == 0   ? net::Protocol::kTcp
+                   : pidx == 1 ? net::Protocol::kUdp
+                               : net::Protocol::kIcmp;
+  at += 3;
+  p.size = std::clamp<std::uint32_t>((hi << 8) | lo,
+                                     net::min_packet_size(p.key.protocol),
+                                     net::kMaxPacketSize);
+  if (p.key.protocol == net::Protocol::kIcmp) {
+    p.key.src_port = 0;
+    p.key.dst_port = 0;
+  }
+  if (with_ts) {
+    p.timestamp = t0 + std::clamp(in[at], 0.0, 1.0) * t_span;
+  }
+  return p;
+}
+
+std::vector<OutputSegment> row_segments(bool with_ts) {
+  std::vector<OutputSegment> s{{OutputSegment::Kind::kSigmoid, kByteCols},
+                               {OutputSegment::Kind::kSoftmax, 3}};
+  if (with_ts) s.push_back({OutputSegment::Kind::kSigmoid, 1});
+  return s;
+}
+
+}  // namespace
+
+BytePacketGan::BytePacketGan(PacketGanKind kind, PacketGanConfig config,
+                             std::uint64_t seed)
+    : kind_(kind), config_(config), seed_(seed) {}
+
+std::string BytePacketGan::name() const {
+  switch (kind_) {
+    case PacketGanKind::kPacGan:
+      return "PAC-GAN";
+    case PacketGanKind::kPacketCgan:
+      return "PacketCGAN";
+    case PacketGanKind::kFlowWgan:
+      return "Flow-WGAN";
+  }
+  return "?";
+}
+
+void BytePacketGan::fit(const net::PacketTrace& trace) {
+  if (trace.empty()) throw std::invalid_argument("BytePacketGan::fit: empty");
+  const bool with_ts = models_timestamps();
+
+  // Timestamp models.
+  double sum = 0.0, sq = 0.0;
+  double lo = trace.packets.front().timestamp, hi = lo;
+  for (const auto& p : trace.packets) {
+    sum += p.timestamp;
+    sq += p.timestamp * p.timestamp;
+    lo = std::min(lo, p.timestamp);
+    hi = std::max(hi, p.timestamp);
+  }
+  const double n = static_cast<double>(trace.size());
+  ts_mean_ = sum / n;
+  ts_std_ = std::sqrt(std::max(1e-12, sq / n - ts_mean_ * ts_mean_));
+  t0_ = lo;
+  t_span_ = std::max(1e-9, hi - lo);
+
+  Matrix rows(trace.size(), row_dim(with_ts));
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    encode_packet(trace.packets[i], with_ts, t0_, t_span_, rows.row_ptr(i));
+  }
+
+  TabularGanConfig gcfg = config_.gan;
+  if (kind_ == PacketGanKind::kPacketCgan) {
+    gcfg.condition = {{proto_offset(), 3}};
+  }
+  if (kind_ == PacketGanKind::kFlowWgan) {
+    gcfg.weight_clip = true;
+  }
+  gan_ = std::make_unique<TabularGan>(row_segments(with_ts), gcfg, seed_ + 1);
+  gan_->fit(rows);
+}
+
+net::PacketTrace BytePacketGan::generate(std::size_t n, Rng& rng) {
+  if (!gan_) throw std::logic_error("BytePacketGan::generate: fit first");
+  const bool with_ts = models_timestamps();
+  const Matrix rows = gan_->sample(n, rng);
+  net::PacketTrace out;
+  out.packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::PacketRecord p = decode_packet(rows.row_ptr(i), with_ts, t0_, t_span_);
+    if (!with_ts) {
+      // PAC-GAN: timestamp sampled from the fitted Gaussian, out-of-band.
+      p.timestamp = std::max(0.0, rng.normal(ts_mean_, ts_std_));
+    }
+    out.packets.push_back(p);
+  }
+  out.sort_by_time();
+  return out;
+}
+
+double BytePacketGan::train_cpu_seconds() const {
+  return gan_ ? gan_->train_cpu_seconds() : 0.0;
+}
+
+std::unique_ptr<PacketSynthesizer> make_pac_gan(PacketGanConfig config,
+                                                std::uint64_t seed) {
+  return std::make_unique<BytePacketGan>(PacketGanKind::kPacGan, config, seed);
+}
+std::unique_ptr<PacketSynthesizer> make_packet_cgan(PacketGanConfig config,
+                                                    std::uint64_t seed) {
+  return std::make_unique<BytePacketGan>(PacketGanKind::kPacketCgan, config,
+                                         seed);
+}
+std::unique_ptr<PacketSynthesizer> make_flow_wgan(PacketGanConfig config,
+                                                  std::uint64_t seed) {
+  return std::make_unique<BytePacketGan>(PacketGanKind::kFlowWgan, config, seed);
+}
+
+}  // namespace netshare::gan

@@ -1,0 +1,58 @@
+// Packet-level GAN baselines (Sec. 6.1), all per-packet tabular models over
+// byte-level encodings — which is precisely why none of them can generate
+// multi-packet flows (challenge C1 / Fig. 1b):
+//
+//  * PAC-GAN (Cheng 2019): encodes each packet as a byte grid ("greyscale
+//    image"); timestamps are NOT modeled — they are drawn out-of-band from a
+//    Gaussian fitted to the training timestamps, exactly as the paper
+//    describes. (CNN generator simplified to an MLP; DESIGN.md.)
+//  * PacketCGAN (Wang et al. 2020): conditional GAN over byte vectors,
+//    conditioned on the protocol class; timestamps appended during training.
+//  * Flow-WGAN (Han et al. 2019): Wasserstein GAN with weight clipping over
+//    byte-level embeddings; timestamps appended during training.
+#pragma once
+
+#include <memory>
+
+#include "gan/synthesizer.hpp"
+#include "gan/tabular_gan.hpp"
+
+namespace netshare::gan {
+
+struct PacketGanConfig {
+  TabularGanConfig gan;
+};
+
+enum class PacketGanKind { kPacGan, kPacketCgan, kFlowWgan };
+
+class BytePacketGan : public PacketSynthesizer {
+ public:
+  BytePacketGan(PacketGanKind kind, PacketGanConfig config, std::uint64_t seed);
+
+  std::string name() const override;
+  void fit(const net::PacketTrace& trace) override;
+  net::PacketTrace generate(std::size_t n, Rng& rng) override;
+  double train_cpu_seconds() const override;
+
+ private:
+  bool models_timestamps() const { return kind_ != PacketGanKind::kPacGan; }
+
+  PacketGanKind kind_;
+  PacketGanConfig config_;
+  std::uint64_t seed_;
+  std::unique_ptr<TabularGan> gan_;
+  // PAC-GAN's out-of-band Gaussian timestamp model.
+  double ts_mean_ = 0.0, ts_std_ = 1.0;
+  // Timestamp normalization when modeled in-band.
+  double t0_ = 0.0, t_span_ = 1.0;
+};
+
+// Convenience factories.
+std::unique_ptr<PacketSynthesizer> make_pac_gan(PacketGanConfig config,
+                                                std::uint64_t seed);
+std::unique_ptr<PacketSynthesizer> make_packet_cgan(PacketGanConfig config,
+                                                    std::uint64_t seed);
+std::unique_ptr<PacketSynthesizer> make_flow_wgan(PacketGanConfig config,
+                                                  std::uint64_t seed);
+
+}  // namespace netshare::gan

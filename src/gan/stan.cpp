@@ -1,0 +1,291 @@
+#include "gan/stan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/stopwatch.hpp"
+#include "net/ports.hpp"
+#include "ml/loss.hpp"
+
+namespace netshare::gan {
+
+using ml::Matrix;
+
+namespace {
+
+std::size_t log2_class(double v, std::size_t num_classes) {
+  const auto b = static_cast<std::size_t>(
+      std::floor(std::log2(std::max(1.0, v))));
+  return std::min(b, num_classes - 1);
+}
+double log2_class_center(std::size_t cls) {
+  return std::pow(2.0, static_cast<double>(cls) + 0.5);
+}
+
+// Log-spaced buckets for a positive quantity with known max.
+std::size_t log_bucket(double v, double max_v, std::size_t buckets) {
+  const double x = std::log1p(std::max(0.0, v)) / std::log1p(max_v);
+  return std::min(static_cast<std::size_t>(x * static_cast<double>(buckets)),
+                  buckets - 1);
+}
+double log_bucket_center(std::size_t cls, double max_v, std::size_t buckets) {
+  const double x = (static_cast<double>(cls) + 0.5) /
+                   static_cast<double>(buckets);
+  return std::expm1(x * std::log1p(max_v));
+}
+
+}  // namespace
+
+std::vector<std::size_t> StanFlow::field_widths() const {
+  return {dport_classes(), kProtoClasses, kPktClasses, kByteClasses,
+          kDurClasses, kGapClasses};
+}
+
+std::size_t StanFlow::record_width() const {
+  std::size_t w = 0;
+  for (std::size_t f : field_widths()) w += f;
+  return w;
+}
+
+std::size_t StanFlow::dport_class(std::uint16_t port) const {
+  for (std::size_t i = 0; i < service_port_table_.size(); ++i) {
+    if (service_port_table_[i] == port) return i;
+  }
+  // Ephemeral bucket by range.
+  const std::size_t bucket =
+      static_cast<std::size_t>(port) * config_.ephemeral_buckets / 65536;
+  return config_.service_ports + std::min(bucket, config_.ephemeral_buckets - 1);
+}
+
+std::uint16_t StanFlow::sample_dport(std::size_t cls, Rng& rng) const {
+  if (cls < service_port_table_.size()) return service_port_table_[cls];
+  if (cls < config_.service_ports) return 80;  // padded class
+  const std::size_t bucket = cls - config_.service_ports;
+  const std::size_t lo = bucket * 65536 / config_.ephemeral_buckets;
+  const std::size_t hi = (bucket + 1) * 65536 / config_.ephemeral_buckets - 1;
+  return static_cast<std::uint16_t>(rng.uniform_int(
+      static_cast<std::int64_t>(std::max<std::size_t>(lo, 1024)),
+      static_cast<std::int64_t>(hi)));
+}
+
+void StanFlow::fit(const net::FlowTrace& trace) {
+  if (trace.empty()) throw std::invalid_argument("StanFlow::fit: empty");
+  const double cpu0 = thread_cpu_seconds();
+  Rng rng(seed_);
+
+  // Learn the top-K service ports from the data.
+  std::map<std::uint16_t, std::size_t> port_counts;
+  for (const auto& r : trace.records) {
+    if (net::is_service_port(r.key.dst_port)) port_counts[r.key.dst_port]++;
+  }
+  std::vector<std::pair<std::size_t, std::uint16_t>> ranked;
+  for (const auto& [p, c] : port_counts) ranked.push_back({c, p});
+  std::sort(ranked.rbegin(), ranked.rend());
+  service_port_table_.clear();
+  for (std::size_t i = 0; i < std::min(config_.service_ports, ranked.size());
+       ++i) {
+    service_port_table_.push_back(ranked[i].second);
+  }
+
+  // Pools: hosts/destinations are drawn uniformly from the DISTINCT address
+  // sets of the real data (the paper: "we randomly draw host IPs from the
+  // real data") — which loses the popularity structure, one of STAN's
+  // documented shortcomings.
+  host_pool_.clear();
+  dst_pool_.clear();
+  start_time_pool_.clear();
+  std::unordered_map<std::uint32_t, bool> seen_src, seen_dst;
+  for (const auto& r : trace.records) {
+    if (seen_src.emplace(r.key.src_ip.value(), true).second) {
+      host_pool_.push_back(r.key.src_ip.value());
+    }
+    if (seen_dst.emplace(r.key.dst_ip.value(), true).second) {
+      dst_pool_.push_back(r.key.dst_ip.value());
+    }
+    start_time_pool_.push_back(r.start_time);
+    max_duration_ = std::max(max_duration_, r.duration);
+  }
+
+  // Group by host, ordered by time.
+  net::FlowTrace sorted = trace;
+  sorted.sort_by_time();
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_host;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    by_host[sorted.records[i].key.src_ip.value()].push_back(i);
+  }
+  records_per_host_pool_.clear();
+  for (const auto& [h, idx] : by_host) {
+    (void)h;
+    records_per_host_pool_.push_back(idx.size());
+    for (std::size_t k = 1; k < idx.size(); ++k) {
+      max_gap_ = std::max(max_gap_, sorted.records[idx[k]].start_time -
+                                        sorted.records[idx[k - 1]].start_time);
+    }
+  }
+
+  // Build autoregressive training examples.
+  const auto widths = field_widths();
+  const std::size_t rec_w = record_width();
+  auto encode_record = [&](const net::FlowRecord& r, double gap, double* out) {
+    std::size_t at = 0;
+    out[at + dport_class(r.key.dst_port)] = 1.0;
+    at += widths[0];
+    const std::size_t pidx = r.key.protocol == net::Protocol::kTcp   ? 0
+                             : r.key.protocol == net::Protocol::kUdp ? 1
+                                                                     : 2;
+    out[at + pidx] = 1.0;
+    at += widths[1];
+    out[at + log2_class(static_cast<double>(r.packets), kPktClasses)] = 1.0;
+    at += widths[2];
+    out[at + log2_class(static_cast<double>(r.bytes), kByteClasses)] = 1.0;
+    at += widths[3];
+    out[at + log_bucket(r.duration, max_duration_, kDurClasses)] = 1.0;
+    at += widths[4];
+    out[at + log_bucket(gap, max_gap_, kGapClasses)] = 1.0;
+  };
+  auto record_labels = [&](const net::FlowRecord& r, double gap) {
+    return std::vector<std::size_t>{
+        dport_class(r.key.dst_port),
+        static_cast<std::size_t>(r.key.protocol == net::Protocol::kTcp ? 0
+                                 : r.key.protocol == net::Protocol::kUdp ? 1
+                                                                         : 2),
+        log2_class(static_cast<double>(r.packets), kPktClasses),
+        log2_class(static_cast<double>(r.bytes), kByteClasses),
+        log_bucket(r.duration, max_duration_, kDurClasses),
+        log_bucket(gap, max_gap_, kGapClasses)};
+  };
+
+  // Per-field example sets: input = [prev record one-hots | current record
+  // one-hots of earlier fields], label = this field's class.
+  std::vector<std::vector<std::vector<double>>> inputs(widths.size());
+  std::vector<std::vector<std::size_t>> labels(widths.size());
+  for (const auto& [h, idx] : by_host) {
+    (void)h;
+    std::vector<double> prev(rec_w, 0.0);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      const auto& r = sorted.records[idx[k]];
+      const double gap =
+          k + 1 < idx.size()
+              ? sorted.records[idx[k + 1]].start_time - r.start_time
+              : 0.0;
+      std::vector<double> cur(rec_w, 0.0);
+      encode_record(r, gap, cur.data());
+      const auto labs = record_labels(r, gap);
+      std::size_t at = 0;
+      for (std::size_t f = 0; f < widths.size(); ++f) {
+        std::vector<double> in(prev);
+        in.insert(in.end(), cur.begin(), cur.begin() + static_cast<long>(at));
+        in.resize(rec_w + rec_w, 0.0);  // pad partial to fixed width
+        inputs[f].push_back(std::move(in));
+        labels[f].push_back(labs[f]);
+        at += widths[f];
+      }
+      prev = cur;
+    }
+  }
+
+  // One MLP per field.
+  field_nets_.clear();
+  std::vector<std::unique_ptr<ml::Adam>> opts;
+  for (std::size_t f = 0; f < widths.size(); ++f) {
+    field_nets_.push_back(std::make_unique<ml::Mlp>(
+        std::vector<std::size_t>{2 * rec_w, config_.hidden, widths[f]},
+        ml::Activation::kRelu, rng));
+    opts.push_back(
+        std::make_unique<ml::Adam>(field_nets_[f]->parameters(), config_.lr));
+  }
+
+  // Minibatch cross-entropy training.
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t f = 0; f < widths.size(); ++f) {
+      const auto perm = rng.permutation(inputs[f].size());
+      for (std::size_t b = 0; b < perm.size(); b += config_.batch_size) {
+        const std::size_t bs = std::min(config_.batch_size, perm.size() - b);
+        Matrix x(bs, 2 * rec_w);
+        std::vector<std::size_t> y(bs);
+        for (std::size_t i = 0; i < bs; ++i) {
+          const auto& in = inputs[f][perm[b + i]];
+          std::copy(in.begin(), in.end(), x.row_ptr(i));
+          y[i] = labels[f][perm[b + i]];
+        }
+        const Matrix logits = field_nets_[f]->forward(x);
+        Matrix grad;
+        ml::softmax_cross_entropy_loss(logits, y, &grad);
+        field_nets_[f]->zero_grad();
+        field_nets_[f]->backward(grad);
+        opts[f]->step();
+      }
+    }
+  }
+  train_cpu_seconds_ += thread_cpu_seconds() - cpu0;
+}
+
+net::FlowTrace StanFlow::generate(std::size_t n, Rng& rng) {
+  if (field_nets_.empty()) throw std::logic_error("StanFlow::generate: fit first");
+  const auto widths = field_widths();
+  const std::size_t rec_w = record_width();
+  net::FlowTrace out;
+  out.records.reserve(n);
+
+  auto sample_from = [&](const Matrix& logits) {
+    // Softmax sampling.
+    const Matrix probs = ml::softmax_rows(logits);
+    std::vector<double> w(probs.cols());
+    for (std::size_t j = 0; j < probs.cols(); ++j) w[j] = probs(0, j);
+    return rng.categorical(w);
+  };
+
+  while (out.size() < n) {
+    const auto host = host_pool_[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(host_pool_.size()) - 1))];
+    std::size_t seq = records_per_host_pool_[static_cast<std::size_t>(
+        rng.uniform_int(0,
+                        static_cast<std::int64_t>(records_per_host_pool_.size()) - 1))];
+    seq = std::min(seq, n - out.size());
+    double t = start_time_pool_[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(start_time_pool_.size()) - 1))];
+
+    std::vector<double> prev(rec_w, 0.0);
+    for (std::size_t k = 0; k < seq; ++k) {
+      std::vector<double> cur(rec_w, 0.0);
+      std::vector<std::size_t> cls(widths.size());
+      std::size_t at = 0;
+      for (std::size_t f = 0; f < widths.size(); ++f) {
+        Matrix x(1, 2 * rec_w);
+        std::copy(prev.begin(), prev.end(), x.row_ptr(0));
+        std::copy(cur.begin(), cur.begin() + static_cast<long>(at),
+                  x.row_ptr(0) + rec_w);
+        cls[f] = sample_from(field_nets_[f]->forward(x));
+        cur[at + cls[f]] = 1.0;
+        at += widths[f];
+      }
+
+      net::FlowRecord r;
+      r.key.src_ip = net::Ipv4Address(host);
+      r.key.dst_ip = net::Ipv4Address(dst_pool_[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(dst_pool_.size()) - 1))]);
+      r.key.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+      r.key.dst_port = sample_dport(cls[0], rng);
+      r.key.protocol = cls[1] == 0   ? net::Protocol::kTcp
+                       : cls[1] == 1 ? net::Protocol::kUdp
+                                     : net::Protocol::kIcmp;
+      r.packets = static_cast<std::uint64_t>(
+          std::max(1.0, std::round(log2_class_center(cls[2]))));
+      r.bytes = static_cast<std::uint64_t>(
+          std::max(1.0, std::round(log2_class_center(cls[3]))));
+      r.duration = log_bucket_center(cls[4], max_duration_, kDurClasses);
+      r.start_time = t;
+      out.records.push_back(r);
+
+      t += log_bucket_center(cls[5], max_gap_, kGapClasses);
+      prev = cur;
+    }
+  }
+  out.sort_by_time();
+  return out;
+}
+
+}  // namespace netshare::gan

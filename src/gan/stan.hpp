@@ -1,0 +1,71 @@
+// STAN baseline (Xu et al. 2020): an autoregressive neural NetFlow
+// synthesizer. Records are grouped by host (source IP); within a host,
+// each successive record's fields are predicted field-by-field by small
+// neural networks conditioned on the previous record and the fields already
+// generated for the current record. Following the paper's evaluation setup,
+// host IPs (and destination IPs) are drawn from the real data.
+//
+// Fields are discretized: destination port into top-service classes plus
+// ephemeral buckets, counters into log2 buckets, times into log buckets.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gan/synthesizer.hpp"
+#include "ml/mlp.hpp"
+#include "ml/optim.hpp"
+
+namespace netshare::gan {
+
+struct StanConfig {
+  std::size_t hidden = 64;
+  int epochs = 6;
+  std::size_t batch_size = 64;
+  double lr = 1e-3;
+  std::size_t service_ports = 16;    // top-K service port classes
+  std::size_t ephemeral_buckets = 16;
+};
+
+class StanFlow : public FlowSynthesizer {
+ public:
+  StanFlow(StanConfig config, std::uint64_t seed)
+      : config_(config), seed_(seed) {}
+
+  std::string name() const override { return "STAN"; }
+  void fit(const net::FlowTrace& trace) override;
+  net::FlowTrace generate(std::size_t n, Rng& rng) override;
+  double train_cpu_seconds() const override { return train_cpu_seconds_; }
+
+ private:
+  // Field layout (in autoregressive order).
+  std::size_t dport_classes() const {
+    return config_.service_ports + config_.ephemeral_buckets;
+  }
+  static constexpr std::size_t kProtoClasses = 3;
+  static constexpr std::size_t kPktClasses = 21;   // log2 buckets
+  static constexpr std::size_t kByteClasses = 31;  // log2 buckets
+  static constexpr std::size_t kDurClasses = 16;   // log buckets
+  static constexpr std::size_t kGapClasses = 16;   // log buckets
+
+  std::vector<std::size_t> field_widths() const;
+  std::size_t record_width() const;
+
+  std::size_t dport_class(std::uint16_t port) const;
+  std::uint16_t sample_dport(std::size_t cls, Rng& rng) const;
+
+  StanConfig config_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<ml::Mlp>> field_nets_;
+  std::vector<std::uint16_t> service_port_table_;  // learned top-K
+  // Empirical pools sampled at generation time (per the paper's setup).
+  std::vector<std::uint32_t> host_pool_;
+  std::vector<std::uint32_t> dst_pool_;
+  std::vector<std::size_t> records_per_host_pool_;
+  std::vector<double> start_time_pool_;
+  double max_duration_ = 1.0;
+  double max_gap_ = 1.0;
+  double train_cpu_seconds_ = 0.0;
+};
+
+}  // namespace netshare::gan

@@ -1,0 +1,32 @@
+// Common interfaces for trace synthesizers — NetShare and every baseline
+// implement these, so the evaluation harness can treat them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "net/trace.hpp"
+
+namespace netshare::gan {
+
+class FlowSynthesizer {
+ public:
+  virtual ~FlowSynthesizer() = default;
+  virtual std::string name() const = 0;
+  virtual void fit(const net::FlowTrace& trace) = 0;
+  virtual net::FlowTrace generate(std::size_t n, Rng& rng) = 0;
+  // Thread-CPU seconds spent in fit() (Fig. 4 scalability axis).
+  virtual double train_cpu_seconds() const = 0;
+};
+
+class PacketSynthesizer {
+ public:
+  virtual ~PacketSynthesizer() = default;
+  virtual std::string name() const = 0;
+  virtual void fit(const net::PacketTrace& trace) = 0;
+  virtual net::PacketTrace generate(std::size_t n, Rng& rng) = 0;
+  virtual double train_cpu_seconds() const = 0;
+};
+
+}  // namespace netshare::gan

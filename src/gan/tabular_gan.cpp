@@ -1,0 +1,207 @@
+#include "gan/tabular_gan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stopwatch.hpp"
+
+namespace netshare::gan {
+
+using ml::Matrix;
+using ml::concat_cols;
+using ml::split_cols;
+using ml::stack_rows;
+
+namespace {
+std::vector<std::size_t> random_rows(std::size_t n, std::size_t batch,
+                                     Rng& rng) {
+  std::vector<std::size_t> rows(batch);
+  for (auto& r : rows) {
+    r = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+  return rows;
+}
+
+Matrix take_rows(const Matrix& m, const std::vector<std::size_t>& idx) {
+  Matrix out(idx.size(), m.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const double* src = m.row_ptr(idx[i]);
+    std::copy(src, src + m.cols(), out.row_ptr(i));
+  }
+  return out;
+}
+}  // namespace
+
+TabularGan::TabularGan(std::vector<ml::OutputSegment> segments,
+                       TabularGanConfig config, std::uint64_t seed)
+    : segments_(std::move(segments)), config_(config), rng_(seed) {
+  std::size_t dim = 0;
+  for (const auto& s : segments_) dim += s.width;
+  const std::size_t cond_width =
+      config_.condition ? config_.condition->second : 0;
+
+  std::vector<std::size_t> gen_dims{config_.noise_dim + cond_width};
+  gen_dims.insert(gen_dims.end(), config_.gen_hidden.begin(),
+                  config_.gen_hidden.end());
+  gen_dims.push_back(dim);
+  gen_ = std::make_unique<ml::Mlp>(gen_dims, ml::Activation::kRelu, segments_,
+                                   rng_);
+
+  std::vector<std::size_t> disc_dims{dim + cond_width};
+  disc_dims.insert(disc_dims.end(), config_.disc_hidden.begin(),
+                   config_.disc_hidden.end());
+  disc_dims.push_back(1);
+  disc_ = std::make_unique<ml::Mlp>(disc_dims, ml::Activation::kLeakyRelu, rng_);
+
+  g_opt_ = std::make_unique<ml::Adam>(gen_->parameters(), config_.lr);
+  d_opt_ = std::make_unique<ml::Adam>(disc_->parameters(), config_.lr);
+}
+
+std::size_t TabularGan::row_dim() const {
+  std::size_t dim = 0;
+  for (const auto& s : segments_) dim += s.width;
+  return dim;
+}
+
+Matrix TabularGan::cond_rows(const Matrix& rows,
+                             const std::vector<std::size_t>& idx) const {
+  const auto [off, width] = *config_.condition;
+  Matrix cond(idx.size(), width);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const double* src = rows.row_ptr(idx[i]) + off;
+    std::copy(src, src + width, cond.row_ptr(i));
+  }
+  return cond;
+}
+
+void TabularGan::fit(const Matrix& rows) {
+  if (rows.rows() == 0 || rows.cols() != row_dim()) {
+    throw std::invalid_argument("TabularGan::fit: bad input shape");
+  }
+  train_rows_ = rows;
+  const double cpu0 = thread_cpu_seconds();
+  const std::size_t B = std::min(config_.batch_size, rows.rows());
+  const double inv_b = 1.0 / static_cast<double>(B);
+
+  for (int it = 0; it < config_.iterations; ++it) {
+    for (int d = 0; d < config_.d_steps_per_g; ++d) {
+      const auto idx = random_rows(rows.rows(), B, rng_);
+      Matrix real = take_rows(rows, idx);
+      Matrix cond;
+      if (config_.condition) cond = cond_rows(rows, idx);
+
+      Matrix noise = Matrix::randn(B, config_.noise_dim, rng_);
+      Matrix gin = config_.condition ? concat_cols(noise, cond) : noise;
+      Matrix fake = gen_->forward(gin);
+
+      Matrix dreal = config_.condition ? concat_cols(real, cond) : real;
+      Matrix dfake = config_.condition ? concat_cols(fake, cond) : fake;
+
+      // Two-point interpolates for the Lipschitz penalty.
+      Matrix x1(B, dreal.cols()), x2(B, dreal.cols());
+      std::vector<double> dist(B, 0.0);
+      for (std::size_t i = 0; i < B; ++i) {
+        const double e1 = rng_.uniform(), e2 = rng_.uniform();
+        double d2 = 0.0;
+        for (std::size_t j = 0; j < dreal.cols(); ++j) {
+          x1(i, j) = e1 * dreal(i, j) + (1 - e1) * dfake(i, j);
+          x2(i, j) = e2 * dreal(i, j) + (1 - e2) * dfake(i, j);
+          const double dd = x1(i, j) - x2(i, j);
+          d2 += dd * dd;
+        }
+        dist[i] = std::sqrt(d2);
+      }
+
+      Matrix big = stack_rows({dreal, dfake, x1, x2});
+      disc_->zero_grad();
+      const Matrix scores = disc_->forward(big);
+      Matrix gs(4 * B, 1);
+      for (std::size_t i = 0; i < B; ++i) {
+        gs(i, 0) = -inv_b;
+        gs(B + i, 0) = inv_b;
+        if (!config_.weight_clip) {
+          const double dd = std::max(dist[i], 1e-8);
+          const double slope = (scores(2 * B + i, 0) - scores(3 * B + i, 0)) / dd;
+          const double excess = std::fabs(slope) - 1.0;
+          if (excess > 0.0) {
+            const double g = 2.0 * excess * (slope > 0 ? 1.0 : -1.0) *
+                             config_.lipschitz_weight * inv_b / dd;
+            gs(2 * B + i, 0) += g;
+            gs(3 * B + i, 0) -= g;
+          }
+        }
+      }
+      disc_->backward(gs);
+      ml::clip_grad_norm(disc_->parameters(), config_.grad_clip);
+      d_opt_->step();
+      if (config_.weight_clip) {
+        ml::clip_weights(disc_->parameters(), config_.weight_clip_c);
+      }
+    }
+
+    // Generator step.
+    const auto idx = random_rows(rows.rows(), B, rng_);
+    Matrix cond;
+    if (config_.condition) cond = cond_rows(rows, idx);
+    Matrix noise = Matrix::randn(B, config_.noise_dim, rng_);
+    Matrix gin = config_.condition ? concat_cols(noise, cond) : noise;
+    Matrix fake = gen_->forward(gin);
+    Matrix dfake = config_.condition ? concat_cols(fake, cond) : fake;
+
+    disc_->forward(dfake);
+    Matrix grad_full = disc_->backward(Matrix(B, 1, -inv_b));
+    auto [grad_fake, grad_cond_part] = split_cols(grad_full, fake.cols());
+    (void)grad_cond_part;
+
+    if (config_.condition) {
+      // Conditional consistency: push the generated conditional segment
+      // toward the sampled condition (CTGAN's generator CE loss).
+      const auto [off, width] = *config_.condition;
+      for (std::size_t i = 0; i < B; ++i) {
+        for (std::size_t j = 0; j < width; ++j) {
+          const double p = fake(i, off + j);
+          const double t = cond(i, j);
+          grad_fake(i, off + j) +=
+              config_.condition_loss_weight * (p - t) * inv_b;
+        }
+      }
+    }
+
+    gen_->zero_grad();
+    gen_->backward(grad_fake);
+    ml::clip_grad_norm(gen_->parameters(), config_.grad_clip);
+    g_opt_->step();
+  }
+  train_cpu_seconds_ += thread_cpu_seconds() - cpu0;
+}
+
+Matrix TabularGan::sample(std::size_t n, Rng& rng) {
+  if (train_rows_.rows() == 0) {
+    throw std::logic_error("TabularGan::sample: fit first");
+  }
+  Matrix out(n, row_dim());
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t b = std::min(config_.batch_size, n - done);
+    Matrix noise = Matrix::randn(b, config_.noise_dim, rng);
+    Matrix gin = noise;
+    if (config_.condition) {
+      const auto idx = random_rows(train_rows_.rows(), b, rng);
+      gin = concat_cols(noise, cond_rows(train_rows_, idx));
+    }
+    const Matrix fake = gen_forward(gin);
+    for (std::size_t i = 0; i < b; ++i) {
+      const double* src = fake.row_ptr(i);
+      std::copy(src, src + fake.cols(), out.row_ptr(done + i));
+    }
+    done += b;
+  }
+  return out;
+}
+
+Matrix TabularGan::gen_forward(const Matrix& noise_and_cond) {
+  return gen_->forward(noise_and_cond);
+}
+
+}  // namespace netshare::gan

@@ -1,0 +1,71 @@
+// Generic tabular WGAN over fixed-width encoded rows — the engine behind the
+// CTGAN, PAC-GAN, PacketCGAN and Flow-WGAN baselines. Supports the original
+// WGAN weight-clipping regime (Flow-WGAN) and the two-point Lipschitz
+// penalty (see DESIGN.md), plus optional conditioning on a categorical
+// segment (PacketCGAN / CTGAN's conditional vector).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/mlp.hpp"
+#include "ml/optim.hpp"
+
+namespace netshare::gan {
+
+struct TabularGanConfig {
+  std::size_t noise_dim = 16;
+  std::vector<std::size_t> gen_hidden = {96, 96};
+  std::vector<std::size_t> disc_hidden = {96, 96};
+  int iterations = 400;
+  std::size_t batch_size = 64;
+  int d_steps_per_g = 2;
+  double lr = 1e-3;
+  double grad_clip = 5.0;
+
+  // Lipschitz control: penalty weight, or original-WGAN weight clipping.
+  double lipschitz_weight = 10.0;
+  bool weight_clip = false;
+  double weight_clip_c = 0.05;
+
+  // Conditioning: when set, the (softmax) segment starting at
+  // `cond_offset` with width `cond_width` acts as the conditional vector —
+  // sampled from real rows, fed to the generator, and appended to the
+  // critic input.
+  std::optional<std::pair<std::size_t, std::size_t>> condition;
+  double condition_loss_weight = 1.0;
+};
+
+class TabularGan {
+ public:
+  TabularGan(std::vector<ml::OutputSegment> segments, TabularGanConfig config,
+             std::uint64_t seed);
+
+  // Trains on encoded rows [N, D] where D matches the segment widths.
+  void fit(const ml::Matrix& rows);
+
+  // Samples n rows; conditions are drawn from the training marginal.
+  ml::Matrix sample(std::size_t n, Rng& rng);
+
+  double train_cpu_seconds() const { return train_cpu_seconds_; }
+  std::size_t row_dim() const;
+
+ private:
+  ml::Matrix gen_forward(const ml::Matrix& noise_and_cond);
+  ml::Matrix cond_rows(const ml::Matrix& rows,
+                       const std::vector<std::size_t>& idx) const;
+
+  std::vector<ml::OutputSegment> segments_;
+  TabularGanConfig config_;
+  Rng rng_;
+  std::unique_ptr<ml::Mlp> gen_;
+  std::unique_ptr<ml::Mlp> disc_;
+  std::unique_ptr<ml::Adam> g_opt_;
+  std::unique_ptr<ml::Adam> d_opt_;
+  ml::Matrix train_rows_;  // kept for conditional sampling
+  double train_cpu_seconds_ = 0.0;
+};
+
+}  // namespace netshare::gan

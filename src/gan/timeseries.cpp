@@ -1,0 +1,30 @@
+#include "gan/timeseries.hpp"
+
+#include <stdexcept>
+
+namespace netshare::gan {
+
+TimeSeriesDataset TimeSeriesDataset::take(
+    const std::vector<std::size_t>& rows) const {
+  TimeSeriesDataset out;
+  out.spec = spec;
+  out.attributes = ml::Matrix(rows.size(), attributes.cols());
+  out.features.assign(features.size(),
+                      ml::Matrix(rows.size(),
+                                 features.empty() ? 0 : features[0].cols()));
+  out.lengths.resize(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t r = rows[i];
+    if (r >= num_samples()) throw std::out_of_range("TimeSeriesDataset::take");
+    const double* src = attributes.row_ptr(r);
+    std::copy(src, src + attributes.cols(), out.attributes.row_ptr(i));
+    for (std::size_t t = 0; t < features.size(); ++t) {
+      const double* fsrc = features[t].row_ptr(r);
+      std::copy(fsrc, fsrc + features[t].cols(), out.features[t].row_ptr(i));
+    }
+    out.lengths[i] = lengths[r];
+  }
+  return out;
+}
+
+}  // namespace netshare::gan

@@ -1,0 +1,76 @@
+#include "metrics/consistency.hpp"
+
+#include "net/ports.hpp"
+
+namespace netshare::metrics {
+
+namespace {
+
+bool test1_ok(const net::FiveTuple& key) {
+  return !key.src_ip.is_multicast() && !key.src_ip.is_broadcast_prefix() &&
+         !key.dst_ip.is_zero_prefix();
+}
+
+bool test2_ok(net::Protocol proto, std::uint64_t packets, std::uint64_t bytes) {
+  if (packets == 0) return false;
+  const std::uint64_t min_size = net::min_packet_size(proto);
+  return bytes >= min_size * packets &&
+         bytes <= static_cast<std::uint64_t>(net::kMaxPacketSize) * packets;
+}
+
+bool test3_ok(const net::FiveTuple& key) {
+  // Check both ports: if either is a well-known single-protocol port, the
+  // protocol must comply.
+  for (std::uint16_t port : {key.src_port, key.dst_port}) {
+    if (auto pinned = net::well_known_port_protocol(port)) {
+      if (*pinned != key.protocol) return false;
+    }
+  }
+  return true;
+}
+
+double ratio(std::size_t ok, std::size_t total) {
+  return total == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(total);
+}
+
+}  // namespace
+
+ConsistencyResult check_flow_consistency(const net::FlowTrace& trace) {
+  ConsistencyResult res;
+  std::size_t ok1 = 0, ok2 = 0, ok3 = 0;
+  for (const auto& r : trace.records) {
+    ok1 += test1_ok(r.key);
+    ok2 += test2_ok(r.key.protocol, r.packets, r.bytes);
+    ok3 += test3_ok(r.key);
+  }
+  res.test1_ip_validity = ratio(ok1, trace.size());
+  res.test2_bytes_vs_packets = ratio(ok2, trace.size());
+  res.test3_port_protocol = ratio(ok3, trace.size());
+  res.test4_min_packet_size = 1.0;  // not applicable to NetFlow
+  return res;
+}
+
+ConsistencyResult check_packet_consistency(const net::PacketTrace& trace) {
+  ConsistencyResult res;
+  std::size_t ok1 = 0, ok3 = 0, ok4 = 0;
+  for (const auto& p : trace.packets) {
+    ok1 += test1_ok(p.key);
+    ok3 += test3_ok(p.key);
+    ok4 += p.size >= net::min_packet_size(p.key.protocol) &&
+           p.size <= net::kMaxPacketSize;
+  }
+  res.test1_ip_validity = ratio(ok1, trace.size());
+  res.test3_port_protocol = ratio(ok3, trace.size());
+  res.test4_min_packet_size = ratio(ok4, trace.size());
+
+  // Test 2 on the per-flow aggregates of the packet trace.
+  std::size_t ok2 = 0;
+  const auto aggs = net::aggregate_flows(trace);
+  for (const auto& a : aggs) {
+    ok2 += test2_ok(a.key.protocol, a.packets, a.bytes);
+  }
+  res.test2_bytes_vs_packets = ratio(ok2, aggs.size());
+  return res;
+}
+
+}  // namespace netshare::metrics

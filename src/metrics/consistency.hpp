@@ -1,0 +1,22 @@
+// Protocol-compliance checks from the paper's Appendix B (Tables 6, 7):
+// each returns the fraction of records passing the test.
+#pragma once
+
+#include "net/trace.hpp"
+
+namespace netshare::metrics {
+
+struct ConsistencyResult {
+  double test1_ip_validity = 0.0;      // src not multicast/broadcast, dst not 0.x
+  double test2_bytes_vs_packets = 0.0; // per-protocol byte/packet bounds
+  double test3_port_protocol = 0.0;    // well-known port implies protocol
+  double test4_min_packet_size = 0.0;  // PCAP only
+};
+
+// NetFlow checks (Tests 1-3; Test 4 is PCAP-only and reported as 1.0).
+ConsistencyResult check_flow_consistency(const net::FlowTrace& trace);
+
+// PCAP checks (Tests 1, 3, 4 per packet; Test 2 over per-flow aggregates).
+ConsistencyResult check_packet_consistency(const net::PacketTrace& trace);
+
+}  // namespace netshare::metrics

@@ -1,0 +1,84 @@
+#include "metrics/divergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::metrics {
+
+Pmf empirical_pmf(std::span<const std::uint64_t> values) {
+  Pmf pmf;
+  if (values.empty()) return pmf;
+  for (std::uint64_t v : values) pmf[v] += 1.0;
+  const double n = static_cast<double>(values.size());
+  for (auto& [k, p] : pmf) p /= n;
+  return pmf;
+}
+
+Pmf rank_frequency_pmf(std::span<const std::uint64_t> values) {
+  Pmf by_value = empirical_pmf(values);
+  std::vector<double> freqs;
+  freqs.reserve(by_value.size());
+  for (const auto& [k, p] : by_value) freqs.push_back(p);
+  std::sort(freqs.begin(), freqs.end(), std::greater<>());
+  Pmf by_rank;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    by_rank[i] = freqs[i];
+  }
+  return by_rank;
+}
+
+double jsd(const Pmf& p, const Pmf& q) {
+  auto kl_to_mixture = [](const Pmf& a, const Pmf& b) {
+    double kl = 0.0;
+    for (const auto& [k, pa] : a) {
+      if (pa <= 0.0) continue;
+      auto it = b.find(k);
+      const double pb = it == b.end() ? 0.0 : it->second;
+      const double m = 0.5 * (pa + pb);
+      kl += pa * std::log2(pa / m);
+    }
+    return kl;
+  };
+  return 0.5 * kl_to_mixture(p, q) + 0.5 * kl_to_mixture(q, p);
+}
+
+double emd_1d(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("emd_1d: empty sample set");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Integrate |F_a(x) - F_b(x)| over the merged breakpoints.
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t ia = 0, ib = 0;
+  double emd = 0.0;
+  double prev = std::min(a[0], b[0]);
+  while (ia < a.size() || ib < b.size()) {
+    const double xa = ia < a.size() ? a[ia] : std::numeric_limits<double>::infinity();
+    const double xb = ib < b.size() ? b[ib] : std::numeric_limits<double>::infinity();
+    const double x = std::min(xa, xb);
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    emd += std::fabs(fa - fb) * (x - prev);
+    prev = x;
+    if (xa <= xb) ++ia;
+    if (xb <= xa) ++ib;
+  }
+  return emd;
+}
+
+std::vector<double> normalize_emds(std::span<const double> emds) {
+  std::vector<double> out(emds.size(), 0.1);
+  if (emds.empty()) return out;
+  const auto [lo_it, hi_it] = std::minmax_element(emds.begin(), emds.end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (hi <= lo) return out;
+  for (std::size_t i = 0; i < emds.size(); ++i) {
+    out[i] = 0.1 + 0.8 * (emds[i] - lo) / (hi - lo);
+  }
+  return out;
+}
+
+}  // namespace netshare::metrics

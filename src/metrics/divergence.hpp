@@ -1,0 +1,38 @@
+// Distribution distance metrics used throughout the evaluation:
+// Jensen-Shannon divergence for categorical fields and Earth Mover's
+// Distance (1-D Wasserstein) for continuous fields, following the paper's
+// metric choices (Sec. 6.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace netshare::metrics {
+
+// Normalized histogram over integer-keyed categories.
+using Pmf = std::map<std::uint64_t, double>;
+
+// Builds a PMF from raw categorical observations.
+Pmf empirical_pmf(std::span<const std::uint64_t> values);
+
+// Rank-frequency profile: the sorted (descending) frequency vector, as a PMF
+// over rank indices. The paper's SA/DA metric compares address popularity
+// profiles this way.
+Pmf rank_frequency_pmf(std::span<const std::uint64_t> values);
+
+// Jensen-Shannon divergence in bits, in [0, 1]. Missing keys count as 0.
+double jsd(const Pmf& p, const Pmf& q);
+
+// Earth Mover's Distance (Wasserstein-1) between two empirical 1-D sample
+// sets = integral of |CDF_a - CDF_b| (the paper's footnote 7 geometric
+// interpretation). Inputs need not be sorted or equal-sized.
+double emd_1d(std::vector<double> a, std::vector<double> b);
+
+// Per-field EMD normalization across models: affinely maps the values of
+// each field (across all models) to [0.1, 0.9], per the paper's footnote 1.
+// Degenerate (all-equal) inputs map to 0.1.
+std::vector<double> normalize_emds(std::span<const double> emds);
+
+}  // namespace netshare::metrics

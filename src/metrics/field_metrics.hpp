@@ -1,0 +1,38 @@
+// Per-field fidelity suite (Sec. 6.2 Finding 1): JSD on categorical fields
+// (SA, DA, SP, DP, PR) and EMD on continuous fields (NetFlow: TS, TD, PKT,
+// BYT; PCAP: PS, PAT, FS).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "metrics/divergence.hpp"
+#include "net/trace.hpp"
+
+namespace netshare::metrics {
+
+struct FidelityReport {
+  // Field name -> JSD (categorical) or raw EMD (continuous).
+  std::map<std::string, double> jsd;
+  std::map<std::string, double> emd;
+
+  double mean_jsd() const;
+  // Mean of raw EMDs (per-field normalization across models is applied by
+  // normalize_reports, since it needs all models' values).
+  double mean_raw_emd() const;
+};
+
+// Compares real vs synthetic NetFlow traces on the paper's NetFlow fields.
+FidelityReport compare_flows(const net::FlowTrace& real,
+                             const net::FlowTrace& synthetic);
+
+// Compares real vs synthetic packet traces on the paper's PCAP fields.
+FidelityReport compare_packets(const net::PacketTrace& real,
+                               const net::PacketTrace& synthetic);
+
+// Applies the paper's per-field [0.1, 0.9] EMD normalization across a set of
+// models' reports and returns each model's mean normalized EMD.
+std::vector<double> mean_normalized_emds(
+    const std::vector<FidelityReport>& reports);
+
+}  // namespace netshare::metrics

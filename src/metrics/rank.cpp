@@ -1,0 +1,54 @@
+#include "metrics/rank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace netshare::metrics {
+
+std::vector<double> midranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return values[i] < values[j];
+  });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mid = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = mid;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("spearman: size mismatch");
+  if (a.size() < 2) throw std::invalid_argument("spearman: need >= 2 pairs");
+  const std::vector<double> ra = midranks(a);
+  const std::vector<double> rb = midranks(b);
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = ra[i] - ma;
+    const double db = rb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace netshare::metrics

@@ -1,0 +1,17 @@
+// Spearman's rank correlation — the paper's order-preservation metric for
+// downstream tasks (Tables 3 and 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace netshare::metrics {
+
+// Average ranks with ties (1-based midranks).
+std::vector<double> midranks(std::span<const double> values);
+
+// Spearman's rho between paired observations; throws on size mismatch or
+// n < 2. Returns a value in [-1, 1] (0 if either side is constant).
+double spearman(std::span<const double> a, std::span<const double> b);
+
+}  // namespace netshare::metrics

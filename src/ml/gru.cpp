@@ -1,0 +1,143 @@
+#include "ml/gru.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::ml {
+
+namespace {
+Matrix sigmoid(Matrix x) {
+  for (auto& v : x.data()) v = 1.0 / (1.0 + std::exp(-v));
+  return x;
+}
+Matrix tanh_m(Matrix x) {
+  for (auto& v : x.data()) v = std::tanh(v);
+  return x;
+}
+}  // namespace
+
+Gru::Gru(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wxz_(Matrix::randn(input_dim, hidden_dim, rng,
+                         std::sqrt(1.0 / static_cast<double>(input_dim)))),
+      whz_(Matrix::randn(hidden_dim, hidden_dim, rng,
+                         std::sqrt(1.0 / static_cast<double>(hidden_dim)))),
+      bz_(Matrix::zeros(1, hidden_dim)),
+      wxr_(Matrix::randn(input_dim, hidden_dim, rng,
+                         std::sqrt(1.0 / static_cast<double>(input_dim)))),
+      whr_(Matrix::randn(hidden_dim, hidden_dim, rng,
+                         std::sqrt(1.0 / static_cast<double>(hidden_dim)))),
+      br_(Matrix::zeros(1, hidden_dim)),
+      wxc_(Matrix::randn(input_dim, hidden_dim, rng,
+                         std::sqrt(1.0 / static_cast<double>(input_dim)))),
+      whc_(Matrix::randn(hidden_dim, hidden_dim, rng,
+                         std::sqrt(1.0 / static_cast<double>(hidden_dim)))),
+      bc_(Matrix::zeros(1, hidden_dim)) {}
+
+std::vector<Matrix> Gru::forward(const std::vector<Matrix>& xs) {
+  if (xs.empty()) throw std::invalid_argument("Gru::forward: empty sequence");
+  const std::size_t batch = xs[0].rows();
+  Matrix h = Matrix::zeros(batch, hidden_dim_);
+  cache_.clear();
+  cache_.reserve(xs.size());
+  std::vector<Matrix> hs;
+  hs.reserve(xs.size());
+  for (const Matrix& x : xs) {
+    if (x.cols() != input_dim_) {
+      throw std::invalid_argument("Gru::forward: input dim mismatch");
+    }
+    Matrix z = sigmoid(add_row_broadcast(
+        matmul(x, wxz_.value) + matmul(h, whz_.value), bz_.value));
+    Matrix r = sigmoid(add_row_broadcast(
+        matmul(x, wxr_.value) + matmul(h, whr_.value), br_.value));
+    Matrix rh = hadamard(r, h);
+    Matrix c = tanh_m(add_row_broadcast(
+        matmul(x, wxc_.value) + matmul(rh, whc_.value), bc_.value));
+    // h_t = (1-z) ⊙ h_prev + z ⊙ c
+    Matrix h_next(batch, hidden_dim_);
+    for (std::size_t i = 0; i < h_next.size(); ++i) {
+      h_next.data()[i] = (1.0 - z.data()[i]) * h.data()[i] +
+                         z.data()[i] * c.data()[i];
+    }
+    cache_.push_back({x, h, z, r, c});
+    h = h_next;
+    hs.push_back(h);
+  }
+  return hs;
+}
+
+std::vector<Matrix> Gru::backward(const std::vector<Matrix>& grad_hs) {
+  const std::size_t T = cache_.size();
+  if (grad_hs.size() != T) {
+    throw std::invalid_argument("Gru::backward: grad count mismatch");
+  }
+  const std::size_t batch = cache_[0].x.rows();
+  std::vector<Matrix> grad_xs(T);
+  Matrix dh_carry = Matrix::zeros(batch, hidden_dim_);
+
+  for (std::size_t ti = T; ti-- > 0;) {
+    const StepCache& s = cache_[ti];
+    Matrix dh = grad_hs[ti] + dh_carry;
+
+    // Gate gradients (pre-activation).
+    Matrix daz(batch, hidden_dim_);  // through z
+    Matrix dac(batch, hidden_dim_);  // through candidate c
+    Matrix dh_prev(batch, hidden_dim_);
+    for (std::size_t i = 0; i < dh.size(); ++i) {
+      const double z = s.z.data()[i];
+      const double c = s.c.data()[i];
+      const double hp = s.h_prev.data()[i];
+      const double g = dh.data()[i];
+      daz.data()[i] = g * (c - hp) * z * (1.0 - z);
+      dac.data()[i] = g * z * (1.0 - c * c);
+      dh_prev.data()[i] = g * (1.0 - z);
+    }
+
+    // Candidate path: ac = x Wxc + (r ⊙ h_prev) Whc + bc.
+    Matrix drh = matmul_trans_b(dac, whc_.value);
+    Matrix dar(batch, hidden_dim_);
+    for (std::size_t i = 0; i < drh.size(); ++i) {
+      const double r = s.r.data()[i];
+      const double hp = s.h_prev.data()[i];
+      dar.data()[i] = drh.data()[i] * hp * r * (1.0 - r);
+      dh_prev.data()[i] += drh.data()[i] * r;
+    }
+
+    // Parameter gradients.
+    wxz_.grad += matmul_trans_a(s.x, daz);
+    whz_.grad += matmul_trans_a(s.h_prev, daz);
+    bz_.grad += sum_rows(daz);
+    wxr_.grad += matmul_trans_a(s.x, dar);
+    whr_.grad += matmul_trans_a(s.h_prev, dar);
+    br_.grad += sum_rows(dar);
+    wxc_.grad += matmul_trans_a(s.x, dac);
+    {
+      Matrix rh = hadamard(s.r, s.h_prev);
+      whc_.grad += matmul_trans_a(rh, dac);
+    }
+    bc_.grad += sum_rows(dac);
+
+    // Input gradient.
+    Matrix dx = matmul_trans_b(daz, wxz_.value);
+    dx += matmul_trans_b(dar, wxr_.value);
+    dx += matmul_trans_b(dac, wxc_.value);
+    grad_xs[ti] = std::move(dx);
+
+    // Hidden-state gradient to previous step.
+    dh_prev += matmul_trans_b(daz, whz_.value);
+    dh_prev += matmul_trans_b(dar, whr_.value);
+    dh_carry = std::move(dh_prev);
+  }
+  return grad_xs;
+}
+
+std::vector<Parameter*> Gru::parameters() {
+  return {&wxz_, &whz_, &bz_, &wxr_, &whr_, &br_, &wxc_, &whc_, &bc_};
+}
+
+void Gru::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+}  // namespace netshare::ml

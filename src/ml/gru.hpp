@@ -1,0 +1,45 @@
+// GRU recurrent layer with full backpropagation-through-time — the
+// measurement generator of the DoppelGANger-style time-series GAN.
+#pragma once
+
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace netshare::ml {
+
+// Sequences are std::vector<Matrix> of length T; each element is
+// [batch, features]. The hidden state starts at zero.
+class Gru {
+ public:
+  Gru(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  // Runs the full sequence; returns hidden states h_1..h_T and caches
+  // everything backward() needs.
+  std::vector<Matrix> forward(const std::vector<Matrix>& xs);
+
+  // BPTT. grad_hs[t] is dLoss/dh_t (zero matrices allowed). Accumulates
+  // parameter gradients and returns dLoss/dx_t for each step.
+  std::vector<Matrix> backward(const std::vector<Matrix>& grad_hs);
+
+  std::vector<Parameter*> parameters();
+  void zero_grad();
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  struct StepCache {
+    Matrix x, h_prev, z, r, c;
+  };
+
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  // Update gate z, reset gate r, candidate c.
+  Parameter wxz_, whz_, bz_;
+  Parameter wxr_, whr_, br_;
+  Parameter wxc_, whc_, bc_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace netshare::ml

@@ -1,0 +1,179 @@
+#include "ml/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::ml {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
+    : w_(Matrix::randn(in, out, rng, std::sqrt(2.0 / static_cast<double>(in)))),
+      b_(Matrix::zeros(1, out)) {}
+
+Matrix Linear::forward(const Matrix& x) {
+  x_cache_ = x;
+  return add_row_broadcast(matmul(x, w_.value), b_.value);
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  w_.grad += matmul_trans_a(x_cache_, grad_out);
+  b_.grad += sum_rows(grad_out);
+  return matmul_trans_b(grad_out, w_.value);
+}
+
+Matrix ActivationLayer::forward(const Matrix& x) {
+  x_cache_ = x;
+  Matrix y = x;
+  switch (kind_) {
+    case Activation::kRelu:
+      for (auto& v : y.data()) v = v > 0 ? v : 0.0;
+      break;
+    case Activation::kLeakyRelu:
+      for (auto& v : y.data()) v = v > 0 ? v : slope_ * v;
+      break;
+    case Activation::kTanh:
+      for (auto& v : y.data()) v = std::tanh(v);
+      break;
+    case Activation::kSigmoid:
+      for (auto& v : y.data()) v = 1.0 / (1.0 + std::exp(-v));
+      break;
+    case Activation::kIdentity:
+      break;
+  }
+  y_cache_ = y;
+  return y;
+}
+
+Matrix ActivationLayer::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  switch (kind_) {
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (x_cache_.data()[i] <= 0) g.data()[i] = 0.0;
+      }
+      break;
+    case Activation::kLeakyRelu:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (x_cache_.data()[i] <= 0) g.data()[i] *= slope_;
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const double y = y_cache_.data()[i];
+        g.data()[i] *= 1.0 - y * y;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const double y = y_cache_.data()[i];
+        g.data()[i] *= y * (1.0 - y);
+      }
+      break;
+    case Activation::kIdentity:
+      break;
+  }
+  return g;
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix y = logits;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double* row = y.row_ptr(i);
+    const double mx = *std::max_element(row, row + y.cols());
+    double sum = 0.0;
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    for (std::size_t j = 0; j < y.cols(); ++j) row[j] /= sum;
+  }
+  return y;
+}
+
+std::size_t MixedHead::width() const {
+  std::size_t w = 0;
+  for (const auto& s : segments_) w += s.width;
+  return w;
+}
+
+Matrix MixedHead::forward(const Matrix& x) {
+  if (x.cols() != width()) {
+    throw std::invalid_argument("MixedHead::forward: width mismatch");
+  }
+  Matrix y = x;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double* row = y.row_ptr(i);
+    std::size_t at = 0;
+    for (const auto& seg : segments_) {
+      switch (seg.kind) {
+        case OutputSegment::Kind::kSoftmax: {
+          const double mx = *std::max_element(row + at, row + at + seg.width);
+          double sum = 0.0;
+          for (std::size_t j = 0; j < seg.width; ++j) {
+            row[at + j] = std::exp(row[at + j] - mx);
+            sum += row[at + j];
+          }
+          for (std::size_t j = 0; j < seg.width; ++j) row[at + j] /= sum;
+          break;
+        }
+        case OutputSegment::Kind::kSigmoid:
+          for (std::size_t j = 0; j < seg.width; ++j) {
+            row[at + j] = 1.0 / (1.0 + std::exp(-row[at + j]));
+          }
+          break;
+        case OutputSegment::Kind::kTanh:
+          for (std::size_t j = 0; j < seg.width; ++j) {
+            row[at + j] = std::tanh(row[at + j]);
+          }
+          break;
+        case OutputSegment::Kind::kIdentity:
+          break;
+      }
+      at += seg.width;
+    }
+  }
+  y_cache_ = y;
+  return y;
+}
+
+Matrix MixedHead::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    double* grow = g.row_ptr(i);
+    const double* yrow = y_cache_.row_ptr(i);
+    std::size_t at = 0;
+    for (const auto& seg : segments_) {
+      switch (seg.kind) {
+        case OutputSegment::Kind::kSoftmax: {
+          // Jacobian-vector product: g_j = y_j * (g_j - sum_k g_k y_k).
+          double dot = 0.0;
+          for (std::size_t j = 0; j < seg.width; ++j) {
+            dot += grow[at + j] * yrow[at + j];
+          }
+          for (std::size_t j = 0; j < seg.width; ++j) {
+            grow[at + j] = yrow[at + j] * (grow[at + j] - dot);
+          }
+          break;
+        }
+        case OutputSegment::Kind::kSigmoid:
+          for (std::size_t j = 0; j < seg.width; ++j) {
+            const double y = yrow[at + j];
+            grow[at + j] *= y * (1.0 - y);
+          }
+          break;
+        case OutputSegment::Kind::kTanh:
+          for (std::size_t j = 0; j < seg.width; ++j) {
+            const double y = yrow[at + j];
+            grow[at + j] *= 1.0 - y * y;
+          }
+          break;
+        case OutputSegment::Kind::kIdentity:
+          break;
+      }
+      at += seg.width;
+    }
+  }
+  return g;
+}
+
+}  // namespace netshare::ml

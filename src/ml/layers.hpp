@@ -1,0 +1,103 @@
+// Module interface and elementary layers with manual backprop.
+//
+// Convention: inputs/outputs are [batch, features]. forward() caches what
+// backward() needs; backward() accumulates parameter gradients (so several
+// forward/backward passes between optimizer steps sum up, which WGAN critic
+// training relies on) and returns the gradient w.r.t. its input (so the
+// generator receives gradients *through* the discriminator).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace netshare::ml {
+
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  explicit Parameter(Matrix v) : value(std::move(v)) {
+    grad = Matrix::zeros(value.rows(), value.cols());
+  }
+  void zero_grad() { grad.fill(0.0); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual Matrix forward(const Matrix& x) = 0;
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+};
+
+// y = x W + b, W: [in, out], b: [1, out].
+class Linear : public Module {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&w_, &b_}; }
+
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+ private:
+  Parameter w_;
+  Parameter b_;
+  Matrix x_cache_;
+};
+
+enum class Activation { kRelu, kLeakyRelu, kTanh, kSigmoid, kIdentity };
+
+// Elementwise activation layer.
+class ActivationLayer : public Module {
+ public:
+  explicit ActivationLayer(Activation kind, double leaky_slope = 0.2)
+      : kind_(kind), slope_(leaky_slope) {}
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+
+ private:
+  Activation kind_;
+  double slope_;
+  Matrix y_cache_;  // activations (enough to compute every supported grad)
+  Matrix x_cache_;  // pre-activations (needed for relu family)
+};
+
+// Stable row-wise softmax as a pure function (used by losses and MixedHead).
+Matrix softmax_rows(const Matrix& logits);
+
+// Output head for mixed records: consecutive column segments are each given
+// a softmax (categorical one-hot groups), sigmoid (bounded continuous /
+// generation flags), tanh, or identity. This mirrors DoppelGANger's output
+// layer over metadata + measurements.
+struct OutputSegment {
+  enum class Kind { kSoftmax, kSigmoid, kTanh, kIdentity } kind;
+  std::size_t width;
+};
+
+class MixedHead : public Module {
+ public:
+  explicit MixedHead(std::vector<OutputSegment> segments)
+      : segments_(std::move(segments)) {}
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+
+  std::size_t width() const;
+  const std::vector<OutputSegment>& segments() const { return segments_; }
+
+ private:
+  std::vector<OutputSegment> segments_;
+  Matrix y_cache_;
+};
+
+}  // namespace netshare::ml

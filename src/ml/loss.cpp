@@ -1,0 +1,81 @@
+#include "ml/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/layers.hpp"
+
+namespace netshare::ml {
+
+double mse_loss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  if (pred.rows() != target.rows() || pred.cols() != target.cols()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  const double n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  if (grad) *grad = Matrix(pred.rows(), pred.cols());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+    if (grad) grad->data()[i] = 2.0 * d / n;
+  }
+  return loss / n;
+}
+
+double bce_with_logits_loss(const Matrix& logits, const Matrix& target,
+                            Matrix* grad) {
+  if (logits.rows() != target.rows() || logits.cols() != target.cols()) {
+    throw std::invalid_argument("bce_with_logits_loss: shape mismatch");
+  }
+  const double n = static_cast<double>(logits.size());
+  double loss = 0.0;
+  if (grad) *grad = Matrix(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double x = logits.data()[i];
+    const double t = target.data()[i];
+    // log(1+exp(-|x|)) + max(x,0) - x*t  (stable form)
+    loss += std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0) - x * t;
+    if (grad) {
+      const double sig = 1.0 / (1.0 + std::exp(-x));
+      grad->data()[i] = (sig - t) / n;
+    }
+  }
+  return loss / n;
+}
+
+double softmax_cross_entropy_loss(const Matrix& logits,
+                                  const std::vector<std::size_t>& labels,
+                                  Matrix* grad) {
+  if (labels.size() != logits.rows()) {
+    throw std::invalid_argument("softmax_cross_entropy_loss: label count");
+  }
+  Matrix probs = softmax_rows(logits);
+  const double n = static_cast<double>(logits.rows());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    if (labels[i] >= logits.cols()) {
+      throw std::invalid_argument("softmax_cross_entropy_loss: label range");
+    }
+    loss -= std::log(std::max(probs(i, labels[i]), 1e-12));
+  }
+  if (grad) {
+    *grad = probs;
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+      (*grad)(i, labels[i]) -= 1.0;
+    }
+    *grad *= 1.0 / n;
+  }
+  return loss / n;
+}
+
+double mean_score(const Matrix& scores) {
+  double s = 0.0;
+  for (double v : scores.data()) s += v;
+  return scores.size() ? s / static_cast<double>(scores.size()) : 0.0;
+}
+
+Matrix fill_like(const Matrix& m, double value) {
+  return Matrix(m.rows(), m.cols(), value);
+}
+
+}  // namespace netshare::ml

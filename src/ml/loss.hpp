@@ -1,0 +1,29 @@
+// Losses. Each returns the scalar loss and writes dLoss/dInput so callers
+// can feed it straight into Module::backward.
+#pragma once
+
+#include "ml/matrix.hpp"
+
+namespace netshare::ml {
+
+// Mean squared error over all elements; grad is w.r.t. `pred`.
+double mse_loss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+// Binary cross-entropy on logits (numerically stable); target in {0,1}.
+double bce_with_logits_loss(const Matrix& logits, const Matrix& target,
+                            Matrix* grad);
+
+// Softmax cross-entropy on logits against integer class labels (one label
+// per row). Returns mean loss; grad is w.r.t. logits.
+double softmax_cross_entropy_loss(const Matrix& logits,
+                                  const std::vector<std::size_t>& labels,
+                                  Matrix* grad);
+
+// Wasserstein critic objective pieces: the critic maximizes
+// E[D(real)] − E[D(fake)], i.e. minimizes the negation. These helpers
+// produce the gradient of the *mean* critic output with sign baked in.
+// scores: [batch, 1].
+double mean_score(const Matrix& scores);
+Matrix fill_like(const Matrix& m, double value);
+
+}  // namespace netshare::ml

@@ -1,0 +1,196 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::ml {
+
+namespace {
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+}  // namespace
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, Rng& rng,
+                     double scale) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.normal() * scale;
+  return m;
+}
+
+Matrix Matrix::uniform(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                       double hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_, "Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_, "Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // ikj order for cache-friendly access to b and c rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_trans_a(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_trans_a: row mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_ptr(k);
+    const double* brow = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_trans_b(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_trans_b: col mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_ptr(i);
+    double* crow = c.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_ptr(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard: shape mismatch");
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  return c;
+}
+
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
+  require(row.rows() == 1 && row.cols() == a.cols(),
+          "add_row_broadcast: row must be 1 x cols(a)");
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    double* crow = c.row_ptr(i);
+    const double* r = row.row_ptr(0);
+    for (std::size_t j = 0; j < c.cols(); ++j) crow[j] += r[j];
+  }
+  return c;
+}
+
+Matrix sum_rows(const Matrix& a) {
+  Matrix s(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_ptr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) s(0, j) += arow[j];
+  }
+  return s;
+}
+
+Matrix concat_cols(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "concat_cols: row mismatch");
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.row_ptr(i);
+    const double* arow = a.row_ptr(i);
+    const double* brow = b.row_ptr(i);
+    std::copy(arow, arow + a.cols(), crow);
+    std::copy(brow, brow + b.cols(), crow + a.cols());
+  }
+  return c;
+}
+
+std::pair<Matrix, Matrix> split_cols(const Matrix& a, std::size_t k) {
+  require(k <= a.cols(), "split_cols: k out of range");
+  Matrix left(a.rows(), k), right(a.rows(), a.cols() - k);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_ptr(i);
+    std::copy(arow, arow + k, left.row_ptr(i));
+    std::copy(arow + k, arow + a.cols(), right.row_ptr(i));
+  }
+  return {std::move(left), std::move(right)};
+}
+
+Matrix slice_rows(const Matrix& a, std::size_t begin, std::size_t end) {
+  require(begin <= end && end <= a.rows(), "slice_rows: range out of bounds");
+  Matrix c(end - begin, a.cols());
+  for (std::size_t i = begin; i < end; ++i) {
+    const double* arow = a.row_ptr(i);
+    std::copy(arow, arow + a.cols(), c.row_ptr(i - begin));
+  }
+  return c;
+}
+
+Matrix take_row(const Matrix& a, std::size_t r) { return slice_rows(a, r, r + 1); }
+
+Matrix stack_rows(const std::vector<Matrix>& rows) {
+  require(!rows.empty(), "stack_rows: empty input");
+  std::size_t total = 0;
+  for (const auto& r : rows) {
+    require(r.cols() == rows[0].cols(), "stack_rows: col mismatch");
+    total += r.rows();
+  }
+  Matrix c(total, rows[0].cols());
+  std::size_t at = 0;
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      const double* row = r.row_ptr(i);
+      std::copy(row, row + r.cols(), c.row_ptr(at++));
+    }
+  }
+  return c;
+}
+
+double frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  for (double v : a.data()) s += v * v;
+  return std::sqrt(s);
+}
+
+double mean(const Matrix& a) {
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : a.data()) s += v;
+  return s / static_cast<double>(a.size());
+}
+
+}  // namespace netshare::ml

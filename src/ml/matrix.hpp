@@ -1,0 +1,91 @@
+// Dense row-major matrix over double — the numeric workhorse for the GAN
+// substrate. Minimal by design: exactly the operations the models need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace netshare::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0);
+  }
+  // Gaussian init with given scale (He/Xavier handled by callers).
+  static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      double scale = 1.0);
+  static Matrix uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                        double lo, double hi);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// C = A (r×k) * B (k×c)
+Matrix matmul(const Matrix& a, const Matrix& b);
+// C = Aᵀ (k×r→r×k)ᵀ * B — i.e. matmul(transpose(a), b) without materializing.
+Matrix matmul_trans_a(const Matrix& a, const Matrix& b);
+// C = A * Bᵀ
+Matrix matmul_trans_b(const Matrix& a, const Matrix& b);
+
+Matrix transpose(const Matrix& a);
+// Elementwise product.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+// Adds a 1×c row vector to every row of a (bias broadcast).
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row);
+// Sums rows into a 1×c vector (bias gradient).
+Matrix sum_rows(const Matrix& a);
+// Horizontal concatenation [a | b].
+Matrix concat_cols(const Matrix& a, const Matrix& b);
+// Splits columns at k: returns ([:, :k], [:, k:]).
+std::pair<Matrix, Matrix> split_cols(const Matrix& a, std::size_t k);
+// Extracts rows [begin, end).
+Matrix slice_rows(const Matrix& a, std::size_t begin, std::size_t end);
+// Extracts a single row as 1×c.
+Matrix take_row(const Matrix& a, std::size_t r);
+// Stacks 1×c rows into an n×c matrix.
+Matrix stack_rows(const std::vector<Matrix>& rows);
+
+double frobenius_norm(const Matrix& a);
+double mean(const Matrix& a);
+
+}  // namespace netshare::ml

@@ -1,0 +1,56 @@
+#include "ml/mlp.hpp"
+
+#include <stdexcept>
+
+namespace netshare::ml {
+
+void Mlp::build_hidden(const std::vector<std::size_t>& dims, Activation hidden,
+                       Rng& rng) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need >= 2 dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    if (i + 2 < dims.size()) {
+      layers_.push_back(std::make_unique<ActivationLayer>(hidden));
+    }
+  }
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden, Rng& rng) {
+  build_hidden(dims, hidden, rng);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden,
+         Activation output, Rng& rng) {
+  build_hidden(dims, hidden, rng);
+  layers_.push_back(std::make_unique<ActivationLayer>(output));
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden,
+         std::vector<OutputSegment> output_segments, Rng& rng) {
+  build_hidden(dims, hidden, rng);
+  layers_.push_back(std::make_unique<MixedHead>(std::move(output_segments)));
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Matrix Mlp::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Mlp::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace netshare::ml

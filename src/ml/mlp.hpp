@@ -1,0 +1,34 @@
+// Multi-layer perceptron assembled from Linear + activation layers, with an
+// optional MixedHead output (for generators emitting one-hot groups +
+// bounded continuous fields).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace netshare::ml {
+
+class Mlp : public Module {
+ public:
+  // dims = {in, h1, ..., out}; hidden activations after every layer but the
+  // last; `output` optionally appends an activation or mixed head.
+  Mlp(const std::vector<std::size_t>& dims, Activation hidden, Rng& rng);
+  Mlp(const std::vector<std::size_t>& dims, Activation hidden,
+      Activation output, Rng& rng);
+  Mlp(const std::vector<std::size_t>& dims, Activation hidden,
+      std::vector<OutputSegment> output_segments, Rng& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+
+ private:
+  void build_hidden(const std::vector<std::size_t>& dims, Activation hidden,
+                    Rng& rng);
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace netshare::ml

@@ -1,0 +1,82 @@
+#include "ml/optim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netshare::ml {
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.push_back(Matrix::zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (momentum_ > 0.0) {
+      velocity_[i] *= momentum_;
+      velocity_[i] += p.grad;
+      p.value -= lr_ * velocity_[i];
+    } else {
+      p.value -= lr_ * p.grad;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.push_back(Matrix::zeros(p->value.rows(), p->value.cols()));
+    v_.push_back(Matrix::zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    auto& m = m_[i].data();
+    auto& v = v_[i].data();
+    auto& g = p.grad.data();
+    auto& w = p.value.data();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
+  double sq = 0.0;
+  for (const Parameter* p : params) {
+    for (double g : p->grad.data()) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Parameter* p : params) {
+      for (double& g : p->grad.data()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+void clip_weights(const std::vector<Parameter*>& params, double c) {
+  for (Parameter* p : params) {
+    for (double& w : p->value.data()) w = std::clamp(w, -c, c);
+  }
+}
+
+}  // namespace netshare::ml

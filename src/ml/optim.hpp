@@ -1,0 +1,60 @@
+// Optimizers and gradient utilities.
+#pragma once
+
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace netshare::ml {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the accumulated gradients (does not zero them).
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr = 1e-3, double beta1 = 0.5,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+// Global-norm gradient clipping across all parameters; returns the pre-clip
+// norm. No-op if the norm is already <= max_norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+// Weight clipping to [-c, c] (original WGAN; used by the Flow-WGAN baseline).
+void clip_weights(const std::vector<Parameter*>& params, double c);
+
+}  // namespace netshare::ml

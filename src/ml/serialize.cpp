@@ -1,0 +1,59 @@
+#include "ml/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace netshare::ml {
+
+std::vector<double> snapshot_parameters(const std::vector<Parameter*>& params) {
+  std::vector<double> flat;
+  std::size_t total = 0;
+  for (const Parameter* p : params) total += p->value.size();
+  flat.reserve(total);
+  for (const Parameter* p : params) {
+    flat.insert(flat.end(), p->value.data().begin(), p->value.data().end());
+  }
+  return flat;
+}
+
+void restore_parameters(const std::vector<Parameter*>& params,
+                        const std::vector<double>& snapshot) {
+  std::size_t at = 0;
+  for (Parameter* p : params) {
+    if (at + p->value.size() > snapshot.size()) {
+      throw std::invalid_argument("restore_parameters: snapshot too small");
+    }
+    std::copy(snapshot.begin() + static_cast<std::ptrdiff_t>(at),
+              snapshot.begin() + static_cast<std::ptrdiff_t>(at + p->value.size()),
+              p->value.data().begin());
+    at += p->value.size();
+  }
+  if (at != snapshot.size()) {
+    throw std::invalid_argument("restore_parameters: snapshot size mismatch");
+  }
+}
+
+void save_snapshot_file(const std::vector<double>& snapshot,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_snapshot_file: cannot open " + path);
+  const std::uint64_t n = snapshot.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(snapshot.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+std::vector<double> load_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_snapshot_file: cannot open " + path);
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  std::vector<double> flat(n);
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!in) throw std::runtime_error("load_snapshot_file: truncated " + path);
+  return flat;
+}
+
+}  // namespace netshare::ml

@@ -1,0 +1,26 @@
+// Flat parameter (de)serialization — the mechanism behind NetShare's
+// fine-tuning warm starts (Insights 3 and 4): train a seed model, snapshot
+// its parameters, load them into per-chunk models before fine-tuning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace netshare::ml {
+
+// Concatenates all parameter values into one flat vector.
+std::vector<double> snapshot_parameters(const std::vector<Parameter*>& params);
+
+// Loads a snapshot produced by snapshot_parameters into an identically-shaped
+// parameter list. Throws std::invalid_argument on size mismatch.
+void restore_parameters(const std::vector<Parameter*>& params,
+                        const std::vector<double>& snapshot);
+
+// Simple binary file round trip for model checkpoints.
+void save_snapshot_file(const std::vector<double>& snapshot,
+                        const std::string& path);
+std::vector<double> load_snapshot_file(const std::string& path);
+
+}  // namespace netshare::ml

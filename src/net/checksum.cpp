@@ -1,0 +1,34 @@
+#include "net/checksum.hpp"
+
+namespace netshare::net {
+
+void ChecksumAccumulator::add(const std::uint8_t* data, std::size_t len) {
+  std::size_t i = 0;
+  if (odd_ && len > 0) {
+    // Complete the previously-pending high byte with this buffer's first byte.
+    sum_ += data[0];
+    i = 1;
+    odd_ = false;
+  }
+  for (; i + 1 < len; i += 2) {
+    sum_ += (std::uint64_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < len) {
+    sum_ += std::uint64_t{data[i]} << 8;
+    odd_ = true;
+  }
+}
+
+std::uint16_t ChecksumAccumulator::finalize() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
+  ChecksumAccumulator acc;
+  acc.add(data, len);
+  return acc.finalize();
+}
+
+}  // namespace netshare::net

@@ -1,0 +1,25 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace netshare::net {
+
+// One's-complement sum of 16-bit words over `len` bytes (odd trailing byte is
+// zero-padded), folded and complemented per RFC 1071.
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len);
+
+// Incremental accumulator form: fold partial sums from multiple buffers
+// (e.g. pseudo-header + TCP header) before finalizing.
+class ChecksumAccumulator {
+ public:
+  void add(const std::uint8_t* data, std::size_t len);
+  std::uint16_t finalize() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true if an odd byte is pending alignment
+};
+
+}  // namespace netshare::net

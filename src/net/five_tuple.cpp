@@ -1,0 +1,36 @@
+#include "net/five_tuple.hpp"
+
+#include <tuple>
+
+namespace netshare::net {
+
+bool operator<(const FiveTuple& a, const FiveTuple& b) {
+  return std::tie(a.src_ip, a.dst_ip, a.src_port, a.dst_port, a.protocol) <
+         std::tie(b.src_ip, b.dst_ip, b.src_port, b.dst_port, b.protocol);
+}
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint64_t FiveTuple::hash() const {
+  std::uint64_t h = splitmix64((std::uint64_t{src_ip.value()} << 32) |
+                               dst_ip.value());
+  h = splitmix64(h ^ ((std::uint64_t{src_port} << 32) |
+                      (std::uint64_t{dst_port} << 8) |
+                      static_cast<std::uint64_t>(protocol)));
+  return h;
+}
+
+std::string FiveTuple::to_string() const {
+  return src_ip.to_string() + ":" + std::to_string(src_port) + " -> " +
+         dst_ip.to_string() + ":" + std::to_string(dst_port) + " " +
+         protocol_name(protocol);
+}
+
+}  // namespace netshare::net

@@ -1,0 +1,50 @@
+// The IP 5-tuple (src/dst address, src/dst port, protocol) — the flow key
+// used throughout NetShare's flow split and the sketching substrate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ipv4.hpp"
+
+namespace netshare::net {
+
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol protocol = Protocol::kTcp;
+
+  friend bool operator==(const FiveTuple& a, const FiveTuple& b) {
+    return a.src_ip == b.src_ip && a.dst_ip == b.dst_ip &&
+           a.src_port == b.src_port && a.dst_port == b.dst_port &&
+           a.protocol == b.protocol;
+  }
+  friend bool operator!=(const FiveTuple& a, const FiveTuple& b) {
+    return !(a == b);
+  }
+  // Lexicographic order, for use as a map key / deterministic sorting.
+  friend bool operator<(const FiveTuple& a, const FiveTuple& b);
+
+  // 64-bit mix of all five fields (splitmix-style); stable across runs.
+  std::uint64_t hash() const;
+
+  std::string to_string() const;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const {
+    return static_cast<std::size_t>(t.hash());
+  }
+};
+
+}  // namespace netshare::net
+
+template <>
+struct std::hash<netshare::net::FiveTuple> {
+  std::size_t operator()(const netshare::net::FiveTuple& t) const {
+    return static_cast<std::size_t>(t.hash());
+  }
+};

@@ -1,0 +1,60 @@
+#include "net/flow_collector.hpp"
+
+#include <unordered_map>
+
+namespace netshare::net {
+
+namespace {
+struct ActiveFlow {
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+FlowRecord export_record(const FiveTuple& key, const ActiveFlow& f) {
+  FlowRecord r;
+  r.key = key;
+  r.start_time = f.first_ts;
+  r.duration = f.last_ts - f.first_ts;
+  r.packets = f.packets;
+  r.bytes = f.bytes;
+  return r;
+}
+}  // namespace
+
+FlowTrace FlowCollector::collect(PacketTrace trace) const {
+  trace.sort_by_time();
+  FlowTrace out;
+  std::unordered_map<FiveTuple, ActiveFlow> active;
+  active.reserve(trace.size());
+
+  for (const auto& p : trace.packets) {
+    auto it = active.find(p.key);
+    if (it != active.end()) {
+      ActiveFlow& f = it->second;
+      const bool inactive_expired =
+          p.timestamp - f.last_ts > config_.inactive_timeout_s;
+      const bool active_expired =
+          p.timestamp - f.first_ts > config_.active_timeout_s;
+      if (inactive_expired || active_expired) {
+        out.records.push_back(export_record(p.key, f));
+        f = ActiveFlow{};
+        f.first_ts = p.timestamp;
+      }
+      f.last_ts = p.timestamp;
+      f.packets += 1;
+      f.bytes += p.size;
+    } else {
+      active.emplace(p.key,
+                     ActiveFlow{p.timestamp, p.timestamp, 1, p.size});
+    }
+  }
+  for (const auto& [key, f] : active) {
+    out.records.push_back(export_record(key, f));
+  }
+  out.sort_by_time();
+  return out;
+}
+
+}  // namespace netshare::net

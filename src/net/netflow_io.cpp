@@ -1,0 +1,91 @@
+#include "net/netflow_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace netshare::net {
+
+namespace {
+constexpr char kHeader[] =
+    "start_time,duration,src_ip,dst_ip,src_port,dst_port,protocol,packets,"
+    "bytes,label,attack_type";
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+Protocol protocol_from_string(const std::string& s) {
+  if (s == "TCP") return Protocol::kTcp;
+  if (s == "UDP") return Protocol::kUdp;
+  if (s == "ICMP") return Protocol::kIcmp;
+  throw std::runtime_error("netflow csv: unknown protocol '" + s + "'");
+}
+}  // namespace
+
+void write_netflow_csv(const FlowTrace& trace, std::ostream& out) {
+  // Full round-trip precision for the time fields.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kHeader << '\n';
+  for (const auto& r : trace.records) {
+    out << r.start_time << ',' << r.duration << ',' << r.key.src_ip.to_string()
+        << ',' << r.key.dst_ip.to_string() << ',' << r.key.src_port << ','
+        << r.key.dst_port << ',' << protocol_name(r.key.protocol) << ','
+        << r.packets << ',' << r.bytes << ',' << (r.is_attack ? 1 : 0) << ','
+        << attack_type_name(r.attack_type) << '\n';
+  }
+}
+
+void write_netflow_csv_file(const FlowTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_netflow_csv_file: cannot open " + path);
+  write_netflow_csv(trace, out);
+}
+
+FlowTrace read_netflow_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("netflow csv: missing or unexpected header row");
+  }
+  FlowTrace trace;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto f = split_csv_row(line);
+    if (f.size() != 11) {
+      throw std::runtime_error("netflow csv: bad column count at line " +
+                               std::to_string(line_no));
+    }
+    FlowRecord r;
+    r.start_time = std::stod(f[0]);
+    r.duration = std::stod(f[1]);
+    r.key.src_ip = Ipv4Address::parse(f[2]);
+    r.key.dst_ip = Ipv4Address::parse(f[3]);
+    r.key.src_port = static_cast<std::uint16_t>(std::stoul(f[4]));
+    r.key.dst_port = static_cast<std::uint16_t>(std::stoul(f[5]));
+    r.key.protocol = protocol_from_string(f[6]);
+    r.packets = std::stoull(f[7]);
+    r.bytes = std::stoull(f[8]);
+    r.is_attack = f[9] == "1";
+    r.attack_type = attack_type_from_name(f[10]);
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+FlowTrace read_netflow_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_netflow_csv_file: cannot open " + path);
+  return read_netflow_csv(in);
+}
+
+}  // namespace netshare::net

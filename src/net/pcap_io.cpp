@@ -1,0 +1,166 @@
+#include "net/pcap_io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace netshare::net {
+
+namespace {
+
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint32_t kLinktypeRaw = 101;       // raw IPv4/IPv6
+
+// pcap is host-endian by convention; we fix little-endian on the wire for
+// portability of generated files.
+void put_le32(std::ostream& out, std::uint32_t v) {
+  std::array<char, 4> b{static_cast<char>(v), static_cast<char>(v >> 8),
+                        static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(b.data(), b.size());
+}
+void put_le16(std::ostream& out, std::uint16_t v) {
+  std::array<char, 2> b{static_cast<char>(v), static_cast<char>(v >> 8)};
+  out.write(b.data(), b.size());
+}
+
+std::uint32_t get_le32(std::istream& in) {
+  std::array<unsigned char, 4> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  return std::uint32_t{b[0]} | (std::uint32_t{b[1]} << 8) |
+         (std::uint32_t{b[2]} << 16) | (std::uint32_t{b[3]} << 24);
+}
+
+// Builds the on-wire bytes for one record: IPv4 header + minimal L4 header,
+// zero payload up to min(total_length, snaplen).
+std::vector<std::uint8_t> build_packet_bytes(const PacketRecord& rec,
+                                             std::uint32_t snaplen) {
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(rec.size, kMaxPacketSize));
+  ip.ttl = rec.ttl;
+  ip.protocol = rec.key.protocol;
+  ip.src = rec.key.src_ip;
+  ip.dst = rec.key.dst_ip;
+
+  std::vector<std::uint8_t> bytes;
+  auto ip_bytes = ip.serialize();
+  bytes.insert(bytes.end(), ip_bytes.begin(), ip_bytes.end());
+
+  if (rec.key.protocol == Protocol::kTcp) {
+    TcpHeaderLite tcp;
+    tcp.src_port = rec.key.src_port;
+    tcp.dst_port = rec.key.dst_port;
+    tcp.flags = rec.tcp_flags;
+    auto l4 = tcp.serialize();
+    bytes.insert(bytes.end(), l4.begin(), l4.end());
+  } else if (rec.key.protocol == Protocol::kUdp) {
+    UdpHeaderLite udp;
+    udp.src_port = rec.key.src_port;
+    udp.dst_port = rec.key.dst_port;
+    udp.length = static_cast<std::uint16_t>(
+        std::max<std::uint32_t>(8, ip.total_length - Ipv4Header::kSize));
+    auto l4 = udp.serialize();
+    bytes.insert(bytes.end(), l4.begin(), l4.end());
+  }
+
+  std::size_t wire_len = std::max<std::size_t>(bytes.size(), ip.total_length);
+  bytes.resize(std::min<std::size_t>(wire_len, snaplen), 0);
+  return bytes;
+}
+
+}  // namespace
+
+void write_pcap(const PacketTrace& trace, std::ostream& out,
+                std::uint32_t snaplen) {
+  // Global header.
+  put_le32(out, kPcapMagic);
+  put_le16(out, 2);  // version major
+  put_le16(out, 4);  // version minor
+  put_le32(out, 0);  // thiszone
+  put_le32(out, 0);  // sigfigs
+  put_le32(out, snaplen);
+  put_le32(out, kLinktypeRaw);
+
+  for (const auto& rec : trace.packets) {
+    const auto bytes = build_packet_bytes(rec, snaplen);
+    const double ts = std::max(0.0, rec.timestamp);
+    const auto sec = static_cast<std::uint32_t>(ts);
+    const auto usec = static_cast<std::uint32_t>(
+        std::llround((ts - std::floor(ts)) * 1e6) % 1000000);
+    put_le32(out, sec);
+    put_le32(out, usec);
+    put_le32(out, static_cast<std::uint32_t>(bytes.size()));  // captured len
+    put_le32(out, std::max<std::uint32_t>(
+                      rec.size, static_cast<std::uint32_t>(bytes.size())));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
+void write_pcap_file(const PacketTrace& trace, const std::string& path,
+                     std::uint32_t snaplen) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pcap_file: cannot open " + path);
+  write_pcap(trace, out, snaplen);
+}
+
+PacketTrace read_pcap(std::istream& in) {
+  if (get_le32(in) != kPcapMagic) {
+    throw std::runtime_error("read_pcap: bad magic (expect LE microsecond pcap)");
+  }
+  in.ignore(2 + 2 + 4 + 4);  // version, thiszone, sigfigs
+  (void)get_le32(in);        // snaplen
+  const std::uint32_t linktype = get_le32(in);
+  if (linktype != kLinktypeRaw) {
+    throw std::runtime_error("read_pcap: unsupported linktype");
+  }
+
+  PacketTrace trace;
+  for (;;) {
+    const std::uint32_t sec = get_le32(in);
+    if (!in) break;  // clean EOF
+    const std::uint32_t usec = get_le32(in);
+    const std::uint32_t caplen = get_le32(in);
+    const std::uint32_t wirelen = get_le32(in);
+    if (!in) throw std::runtime_error("read_pcap: truncated record header");
+
+    std::vector<std::uint8_t> bytes(caplen);
+    in.read(reinterpret_cast<char*>(bytes.data()), caplen);
+    if (!in) throw std::runtime_error("read_pcap: truncated record body");
+
+    Ipv4Header ip = Ipv4Header::parse(bytes.data(), bytes.size());
+    PacketRecord rec;
+    rec.timestamp = static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
+    rec.size = std::max(wirelen, static_cast<std::uint32_t>(ip.total_length));
+    rec.ttl = ip.ttl;
+    rec.key.src_ip = ip.src;
+    rec.key.dst_ip = ip.dst;
+    rec.key.protocol = ip.protocol;
+    const std::size_t l4_off = Ipv4Header::kSize;
+    if ((ip.protocol == Protocol::kTcp || ip.protocol == Protocol::kUdp) &&
+        bytes.size() >= l4_off + 4) {
+      rec.key.src_port =
+          static_cast<std::uint16_t>((bytes[l4_off] << 8) | bytes[l4_off + 1]);
+      rec.key.dst_port = static_cast<std::uint16_t>((bytes[l4_off + 2] << 8) |
+                                                    bytes[l4_off + 3]);
+    }
+    if (ip.protocol == Protocol::kTcp && bytes.size() >= l4_off + 14) {
+      rec.tcp_flags = bytes[l4_off + 13];
+    }
+    trace.packets.push_back(rec);
+  }
+  return trace;
+}
+
+PacketTrace read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pcap_file: cannot open " + path);
+  return read_pcap(in);
+}
+
+}  // namespace netshare::net

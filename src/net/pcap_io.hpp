@@ -1,0 +1,28 @@
+// Binary libpcap file reader/writer.
+//
+// Synthetic packet traces are materialized as genuine pcap files (magic
+// 0xa1b2c3d4, LINKTYPE_RAW) containing real IPv4 + TCP/UDP headers with
+// valid RFC 1071 checksums, so tools like tcpdump can consume them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/trace.hpp"
+
+namespace netshare::net {
+
+// Writes `trace` as a pcap file. Each record becomes an IPv4 packet with a
+// TCP or UDP header (per the record's protocol); payload bytes are zero and
+// only header-relevant bytes up to `snaplen` are stored.
+void write_pcap(const PacketTrace& trace, std::ostream& out,
+                std::uint32_t snaplen = 96);
+void write_pcap_file(const PacketTrace& trace, const std::string& path,
+                     std::uint32_t snaplen = 96);
+
+// Reads a pcap file produced by write_pcap (LINKTYPE_RAW, microsecond
+// timestamps). Throws std::runtime_error on malformed input.
+PacketTrace read_pcap(std::istream& in);
+PacketTrace read_pcap_file(const std::string& path);
+
+}  // namespace netshare::net

@@ -1,0 +1,44 @@
+#include "net/ports.hpp"
+
+namespace netshare::net {
+
+namespace {
+struct PortProto {
+  std::uint16_t port;
+  Protocol protocol;
+};
+
+// Conventional single-protocol service ports. DNS (53) and NTP (123) are
+// overwhelmingly UDP in backbone traffic; the web/mail/file-transfer ports
+// are TCP.
+constexpr PortProto kWellKnown[] = {
+    {20, Protocol::kTcp},   {21, Protocol::kTcp},  {22, Protocol::kTcp},
+    {23, Protocol::kTcp},   {25, Protocol::kTcp},  {53, Protocol::kUdp},
+    {80, Protocol::kTcp},   {110, Protocol::kTcp}, {123, Protocol::kUdp},
+    {143, Protocol::kTcp},  {161, Protocol::kUdp}, {443, Protocol::kTcp},
+    {445, Protocol::kTcp},  {993, Protocol::kTcp}, {995, Protocol::kTcp},
+    {3306, Protocol::kTcp}, {3389, Protocol::kTcp}, {5060, Protocol::kUdp},
+    {8080, Protocol::kTcp},
+};
+}  // namespace
+
+std::optional<Protocol> well_known_port_protocol(std::uint16_t port) {
+  for (const auto& e : kWellKnown) {
+    if (e.port == port) return e.protocol;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::uint16_t, Protocol>> common_port_protocol_pairs() {
+  std::vector<std::pair<std::uint16_t, Protocol>> pairs;
+  pairs.reserve(std::size(kWellKnown) + 64);
+  for (const auto& e : kWellKnown) pairs.emplace_back(e.port, e.protocol);
+  // Ephemeral ports appear with both TCP and UDP on a backbone.
+  for (std::uint32_t p = 1024; p <= 65535; p += 1024) {
+    pairs.emplace_back(static_cast<std::uint16_t>(p), Protocol::kTcp);
+    pairs.emplace_back(static_cast<std::uint16_t>(p), Protocol::kUdp);
+  }
+  return pairs;
+}
+
+}  // namespace netshare::net

@@ -1,0 +1,25 @@
+// Well-known service port knowledge used by the workload simulator, the
+// IP2Vec decode step, and the paper's protocol-compliance Test 3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace netshare::net {
+
+// Service ports are < 1024 by IANA convention (the paper's Fig. 3 focuses on
+// learning these).
+constexpr bool is_service_port(std::uint16_t port) { return port < 1024; }
+
+// If the port conventionally pins one L4 protocol (e.g. 80/TCP, 53/UDP),
+// returns it; otherwise nullopt. Used by validity Test 3.
+std::optional<Protocol> well_known_port_protocol(std::uint16_t port);
+
+// The (port, protocol) combinations a public backbone trace would cover —
+// used to build the public IP2Vec vocabulary (Insight 2).
+std::vector<std::pair<std::uint16_t, Protocol>> common_port_protocol_pairs();
+
+}  // namespace netshare::net

@@ -1,0 +1,55 @@
+#include "net/records.hpp"
+
+#include <stdexcept>
+
+namespace netshare::net {
+
+std::string attack_type_name(AttackType t) {
+  switch (t) {
+    case AttackType::kNone:
+      return "none";
+    case AttackType::kDos:
+      return "dos";
+    case AttackType::kBruteForce:
+      return "bruteforce";
+    case AttackType::kPortScan:
+      return "portscan";
+    case AttackType::kBackdoor:
+      return "backdoor";
+    case AttackType::kDdos:
+      return "ddos";
+    case AttackType::kInjection:
+      return "injection";
+    case AttackType::kMitm:
+      return "mitm";
+    case AttackType::kPassword:
+      return "password";
+    case AttackType::kRansomware:
+      return "ransomware";
+    case AttackType::kScanning:
+      return "scanning";
+    case AttackType::kXss:
+      return "xss";
+  }
+  return "none";
+}
+
+AttackType attack_type_from_name(const std::string& name) {
+  static const struct {
+    const char* name;
+    AttackType type;
+  } kTable[] = {
+      {"none", AttackType::kNone},           {"dos", AttackType::kDos},
+      {"bruteforce", AttackType::kBruteForce}, {"portscan", AttackType::kPortScan},
+      {"backdoor", AttackType::kBackdoor},   {"ddos", AttackType::kDdos},
+      {"injection", AttackType::kInjection}, {"mitm", AttackType::kMitm},
+      {"password", AttackType::kPassword},   {"ransomware", AttackType::kRansomware},
+      {"scanning", AttackType::kScanning},   {"xss", AttackType::kXss},
+  };
+  for (const auto& e : kTable) {
+    if (name == e.name) return e.type;
+  }
+  throw std::invalid_argument("attack_type_from_name: unknown '" + name + "'");
+}
+
+}  // namespace netshare::net

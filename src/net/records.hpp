@@ -1,0 +1,61 @@
+// Packet- and flow-header records: the two input formats of the paper
+// (PCAP-style packet headers, NetFlow-style flow headers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+
+namespace netshare::net {
+
+// Attack taxonomy covering the labeled datasets in the paper:
+// CIDDS (DoS, brute force, port scan) and TON_IoT (nine IoT attack types).
+enum class AttackType : std::uint8_t {
+  kNone = 0,
+  kDos,
+  kBruteForce,
+  kPortScan,
+  kBackdoor,
+  kDdos,
+  kInjection,
+  kMitm,
+  kPassword,
+  kRansomware,
+  kScanning,
+  kXss,
+};
+
+std::string attack_type_name(AttackType t);
+AttackType attack_type_from_name(const std::string& name);
+
+// One packet-header record: IPv4 header fields of interest plus the arrival
+// timestamp and L4 ports (TCP/UDP only), per the paper's packet-trace scope.
+struct PacketRecord {
+  double timestamp = 0.0;  // seconds since trace start
+  FiveTuple key;
+  std::uint32_t size = 40;  // total IP packet length in bytes
+  std::uint8_t ttl = 64;
+  std::uint8_t tcp_flags = 0x10;
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
+};
+
+// One flow-header record with the 11 NetFlow fields the paper evaluates:
+// 5-tuple, start time, duration, packets, bytes, label, attack type.
+struct FlowRecord {
+  FiveTuple key;
+  double start_time = 0.0;  // seconds since trace start
+  double duration = 0.0;    // seconds
+  std::uint64_t packets = 1;
+  std::uint64_t bytes = 40;
+  bool is_attack = false;
+  AttackType attack_type = AttackType::kNone;
+
+  double end_time() const { return start_time + duration; }
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+}  // namespace netshare::net

@@ -1,0 +1,153 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace netshare::net {
+
+namespace {
+
+template <typename Record>
+double min_time(const std::vector<Record>& v, double (*get)(const Record&)) {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const auto& r : v) lo = std::min(lo, get(r));
+  return v.empty() ? 0.0 : lo;
+}
+
+template <typename Record>
+double max_time(const std::vector<Record>& v, double (*get)(const Record&)) {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& r : v) hi = std::max(hi, get(r));
+  return v.empty() ? 0.0 : hi;
+}
+
+// Shared first-seen-order grouping for packet and flow records.
+template <typename Record>
+std::vector<std::pair<FiveTuple, std::vector<std::size_t>>> group_records(
+    const std::vector<Record>& records) {
+  std::vector<std::pair<FiveTuple, std::vector<std::size_t>>> groups;
+  std::unordered_map<FiveTuple, std::size_t> index;
+  index.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const FiveTuple& key = records[i].key;
+    auto [it, inserted] = index.try_emplace(key, groups.size());
+    if (inserted) groups.push_back({key, {}});
+    groups[it->second].second.push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+void PacketTrace::sort_by_time() {
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const PacketRecord& a, const PacketRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+double PacketTrace::start_time() const {
+  return min_time<PacketRecord>(packets,
+                                [](const PacketRecord& p) { return p.timestamp; });
+}
+
+double PacketTrace::end_time() const {
+  return max_time<PacketRecord>(packets,
+                                [](const PacketRecord& p) { return p.timestamp; });
+}
+
+std::vector<PacketTrace> PacketTrace::split_epochs(double epoch_seconds) const {
+  std::vector<PacketTrace> epochs;
+  if (packets.empty() || epoch_seconds <= 0) return epochs;
+  const double t0 = start_time();
+  for (const auto& p : packets) {
+    auto e = static_cast<std::size_t>(std::floor((p.timestamp - t0) / epoch_seconds));
+    if (e >= epochs.size()) epochs.resize(e + 1);
+    epochs[e].packets.push_back(p);
+  }
+  return epochs;
+}
+
+PacketTrace PacketTrace::merge(const std::vector<PacketTrace>& epochs) {
+  PacketTrace out;
+  std::size_t total = 0;
+  for (const auto& e : epochs) total += e.size();
+  out.packets.reserve(total);
+  for (const auto& e : epochs) {
+    out.packets.insert(out.packets.end(), e.packets.begin(), e.packets.end());
+  }
+  out.sort_by_time();
+  return out;
+}
+
+std::vector<std::pair<FiveTuple, std::vector<std::size_t>>>
+PacketTrace::group_by_flow() const {
+  return group_records(packets);
+}
+
+void FlowTrace::sort_by_time() {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const FlowRecord& a, const FlowRecord& b) {
+                     return a.start_time < b.start_time;
+                   });
+}
+
+double FlowTrace::start_time() const {
+  return min_time<FlowRecord>(records,
+                              [](const FlowRecord& r) { return r.start_time; });
+}
+
+double FlowTrace::end_time() const {
+  return max_time<FlowRecord>(records,
+                              [](const FlowRecord& r) { return r.end_time(); });
+}
+
+std::vector<FlowTrace> FlowTrace::split_epochs(double epoch_seconds) const {
+  std::vector<FlowTrace> epochs;
+  if (records.empty() || epoch_seconds <= 0) return epochs;
+  const double t0 = start_time();
+  for (const auto& r : records) {
+    auto e = static_cast<std::size_t>(std::floor((r.start_time - t0) / epoch_seconds));
+    if (e >= epochs.size()) epochs.resize(e + 1);
+    epochs[e].records.push_back(r);
+  }
+  return epochs;
+}
+
+FlowTrace FlowTrace::merge(const std::vector<FlowTrace>& epochs) {
+  FlowTrace out;
+  std::size_t total = 0;
+  for (const auto& e : epochs) total += e.size();
+  out.records.reserve(total);
+  for (const auto& e : epochs) {
+    out.records.insert(out.records.end(), e.records.begin(), e.records.end());
+  }
+  out.sort_by_time();
+  return out;
+}
+
+std::vector<std::pair<FiveTuple, std::vector<std::size_t>>>
+FlowTrace::group_by_flow() const {
+  return group_records(records);
+}
+
+std::vector<FlowAggregate> aggregate_flows(const PacketTrace& trace) {
+  std::vector<FlowAggregate> aggs;
+  std::unordered_map<FiveTuple, std::size_t> index;
+  index.reserve(trace.packets.size());
+  for (const auto& p : trace.packets) {
+    auto [it, inserted] = index.try_emplace(p.key, aggs.size());
+    if (inserted) {
+      aggs.push_back({p.key, p.timestamp, p.timestamp, 0, 0});
+    }
+    FlowAggregate& a = aggs[it->second];
+    a.first_seen = std::min(a.first_seen, p.timestamp);
+    a.last_seen = std::max(a.last_seen, p.timestamp);
+    a.packets += 1;
+    a.bytes += p.size;
+  }
+  return aggs;
+}
+
+}  // namespace netshare::net

@@ -1,0 +1,57 @@
+#include "privacy/accountant.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netshare::privacy {
+
+namespace {
+// RDP of one subsampled Gaussian step at order alpha (small-q bound).
+double rdp_step(double q, double sigma, double alpha) {
+  return q * q * alpha / (sigma * sigma);
+}
+}  // namespace
+
+DpBudget compute_epsilon(double q, double sigma, std::size_t steps,
+                         double delta) {
+  if (q <= 0.0 || q > 1.0) throw std::invalid_argument("compute_epsilon: q");
+  if (sigma <= 0.0) throw std::invalid_argument("compute_epsilon: sigma");
+  if (delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("compute_epsilon: delta");
+  }
+  DpBudget best;
+  best.epsilon = std::numeric_limits<double>::infinity();
+  const double log_inv_delta = std::log(1.0 / delta);
+  for (double alpha = 1.25; alpha <= 512.0; alpha *= 1.1) {
+    const double rdp = static_cast<double>(steps) * rdp_step(q, sigma, alpha);
+    const double eps = rdp + log_inv_delta / (alpha - 1.0);
+    if (eps < best.epsilon) {
+      best.epsilon = eps;
+      best.best_order = alpha;
+    }
+  }
+  return best;
+}
+
+double noise_multiplier_for_epsilon(double target_epsilon, double q,
+                                    std::size_t steps, double delta) {
+  if (target_epsilon <= 0.0) {
+    throw std::invalid_argument("noise_multiplier_for_epsilon: target");
+  }
+  double lo = 1e-3, hi = 1e6;
+  if (compute_epsilon(q, hi, steps, delta).epsilon > target_epsilon) {
+    return hi;  // even enormous noise cannot reach the target
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (compute_epsilon(q, mid, steps, delta).epsilon > target_epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace netshare::privacy

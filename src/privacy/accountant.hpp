@@ -1,0 +1,30 @@
+// Rényi-DP accountant for the subsampled Gaussian mechanism.
+//
+// Uses the standard small-sampling-rate RDP bound for DP-SGD
+// (eps_RDP(alpha) ~= steps * q^2 * alpha / sigma^2, cf. Abadi et al. /
+// Mironov) and converts to (eps, delta)-DP by minimizing over orders. This
+// matches the accounting style of tensorflow-privacy closely enough to
+// reproduce the paper's epsilon sweeps (Fig. 5, Table 5).
+#pragma once
+
+#include <cstddef>
+
+namespace netshare::privacy {
+
+struct DpBudget {
+  double epsilon = 0.0;
+  double best_order = 0.0;  // the RDP order achieving the minimum
+};
+
+// epsilon consumed after `steps` DP-SGD iterations with sampling rate q and
+// noise multiplier sigma, at the given delta. q in (0,1], sigma > 0.
+DpBudget compute_epsilon(double q, double sigma, std::size_t steps,
+                         double delta);
+
+// Smallest noise multiplier that keeps epsilon(q, sigma, steps, delta) <=
+// target_epsilon (binary search; returns +inf-like large sigma if even huge
+// noise cannot reach it).
+double noise_multiplier_for_epsilon(double target_epsilon, double q,
+                                    std::size_t steps, double delta);
+
+}  // namespace netshare::privacy

@@ -1,0 +1,47 @@
+#include "privacy/dp_sgd.hpp"
+
+#include <cmath>
+
+namespace netshare::privacy {
+
+DpSgdAggregator::DpSgdAggregator(std::vector<ml::Parameter*> params,
+                                 DpSgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  sum_.reserve(params_.size());
+  for (ml::Parameter* p : params_) {
+    sum_.push_back(ml::Matrix::zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void DpSgdAggregator::accumulate_example() {
+  double sq = 0.0;
+  for (const ml::Parameter* p : params_) {
+    for (double g : p->grad.data()) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  const double scale =
+      norm > config_.clip_norm && norm > 0.0 ? config_.clip_norm / norm : 1.0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& acc = sum_[i].data();
+    auto& g = params_[i]->grad.data();
+    for (std::size_t j = 0; j < acc.size(); ++j) {
+      acc[j] += g[j] * scale;
+      g[j] = 0.0;
+    }
+  }
+}
+
+void DpSgdAggregator::finalize_batch(std::size_t batch_size, Rng& rng) {
+  const double stddev = config_.noise_multiplier * config_.clip_norm;
+  const double inv_b = 1.0 / static_cast<double>(batch_size);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& acc = sum_[i].data();
+    auto& g = params_[i]->grad.data();
+    for (std::size_t j = 0; j < acc.size(); ++j) {
+      g[j] = (acc[j] + rng.normal(0.0, stddev)) * inv_b;
+      acc[j] = 0.0;
+    }
+  }
+}
+
+}  // namespace netshare::privacy

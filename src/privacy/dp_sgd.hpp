@@ -1,0 +1,44 @@
+// DP-SGD: per-example gradient clipping + Gaussian noise (Abadi et al. 2016),
+// the mechanism the paper uses for differentially-private GAN training (C4,
+// Insight 4).
+//
+// Usage per batch:
+//   for each example: zero grads, forward/backward one example,
+//                     trainer.accumulate_example();
+//   trainer.finalize_batch(batch_size, rng);   // grads now noisy average
+//   optimizer.step();
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/layers.hpp"
+
+namespace netshare::privacy {
+
+struct DpSgdConfig {
+  double clip_norm = 1.0;        // per-example L2 clip C
+  double noise_multiplier = 1.0; // sigma; noise stddev is sigma * C
+};
+
+class DpSgdAggregator {
+ public:
+  DpSgdAggregator(std::vector<ml::Parameter*> params, DpSgdConfig config);
+
+  // Clips the currently-accumulated (single-example) gradients to clip_norm
+  // and adds them to the internal sum; zeroes the parameter grads.
+  void accumulate_example();
+
+  // Writes (sum + N(0, sigma^2 C^2 I)) / batch_size into the parameter grads
+  // and resets the sum.
+  void finalize_batch(std::size_t batch_size, Rng& rng);
+
+  const DpSgdConfig& config() const { return config_; }
+
+ private:
+  std::vector<ml::Parameter*> params_;
+  DpSgdConfig config_;
+  std::vector<ml::Matrix> sum_;
+};
+
+}  // namespace netshare::privacy

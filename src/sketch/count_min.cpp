@@ -1,0 +1,52 @@
+#include "sketch/count_min.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace netshare::sketch {
+
+std::uint64_t sketch_hash(std::uint64_t key, std::uint64_t seed) {
+  std::uint64_t x = key ^ (seed * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+CountMinSketch::CountMinSketch(std::size_t depth, std::size_t width,
+                               std::uint64_t seed)
+    : depth_(depth), width_(width), seed_(seed),
+      counters_(depth * width, 0) {
+  if (depth == 0 || width == 0) {
+    throw std::invalid_argument("CountMinSketch: zero dimension");
+  }
+}
+
+void CountMinSketch::update(std::uint64_t key, std::uint64_t count) {
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const std::size_t col = sketch_hash(key, seed_ + d) % width_;
+    counters_[d * width_ + col] += count;
+  }
+}
+
+double CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const std::size_t col = sketch_hash(key, seed_ + d) % width_;
+    best = std::min(best, counters_[d * width_ + col]);
+  }
+  return static_cast<double>(best);
+}
+
+std::size_t CountMinSketch::memory_bytes() const {
+  return counters_.size() * sizeof(std::uint64_t);
+}
+
+void CountMinSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+}  // namespace netshare::sketch

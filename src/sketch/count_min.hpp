@@ -1,0 +1,30 @@
+// Count-Min Sketch (Cormode & Muthukrishnan 2005).
+#pragma once
+
+#include <vector>
+
+#include "sketch/sketch.hpp"
+
+namespace netshare::sketch {
+
+class CountMinSketch : public Sketch {
+ public:
+  CountMinSketch(std::size_t depth, std::size_t width, std::uint64_t seed = 1);
+
+  std::string name() const override { return "CMS"; }
+  void update(std::uint64_t key, std::uint64_t count = 1) override;
+  double estimate(std::uint64_t key) const override;
+  std::size_t memory_bytes() const override;
+  void clear() override;
+
+  std::size_t depth() const { return depth_; }
+  std::size_t width() const { return width_; }
+
+ private:
+  std::size_t depth_;
+  std::size_t width_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> counters_;  // depth x width
+};
+
+}  // namespace netshare::sketch

@@ -1,0 +1,55 @@
+#include "sketch/count_sketch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace netshare::sketch {
+
+CountSketch::CountSketch(std::size_t depth, std::size_t width,
+                         std::uint64_t seed)
+    : depth_(depth), width_(width), seed_(seed), counters_(depth * width, 0.0) {
+  if (depth == 0 || width == 0) {
+    throw std::invalid_argument("CountSketch: zero dimension");
+  }
+}
+
+void CountSketch::update(std::uint64_t key, std::uint64_t count) {
+  update_scaled(key, static_cast<double>(count));
+}
+
+void CountSketch::update_scaled(std::uint64_t key, double amount) {
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const std::uint64_t h = sketch_hash(key, seed_ + d);
+    const std::size_t col = h % width_;
+    const double sign = (h >> 63) ? 1.0 : -1.0;
+    counters_[d * width_ + col] += sign * amount;
+  }
+}
+
+double CountSketch::signed_estimate(std::uint64_t key) const {
+  std::vector<double> vals(depth_);
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const std::uint64_t h = sketch_hash(key, seed_ + d);
+    const std::size_t col = h % width_;
+    const double sign = (h >> 63) ? 1.0 : -1.0;
+    vals[d] = sign * counters_[d * width_ + col];
+  }
+  std::nth_element(vals.begin(), vals.begin() + static_cast<long>(depth_ / 2),
+                   vals.end());
+  return vals[depth_ / 2];
+}
+
+double CountSketch::estimate(std::uint64_t key) const {
+  return std::max(0.0, signed_estimate(key));
+}
+
+std::size_t CountSketch::memory_bytes() const {
+  return counters_.size() * sizeof(double);
+}
+
+void CountSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+}
+
+}  // namespace netshare::sketch

@@ -1,0 +1,33 @@
+// Count Sketch (Charikar, Chen, Farach-Colton 2002): sign hashes + median
+// estimator, unbiased.
+#pragma once
+
+#include <vector>
+
+#include "sketch/sketch.hpp"
+
+namespace netshare::sketch {
+
+class CountSketch : public Sketch {
+ public:
+  CountSketch(std::size_t depth, std::size_t width, std::uint64_t seed = 1);
+
+  std::string name() const override { return "CS"; }
+  void update(std::uint64_t key, std::uint64_t count = 1) override;
+  double estimate(std::uint64_t key) const override;
+  std::size_t memory_bytes() const override;
+  void clear() override;
+
+  // Signed (unclamped) estimate — used internally by UnivMon.
+  double signed_estimate(std::uint64_t key) const;
+  // Scaled update used by NitroSketch.
+  void update_scaled(std::uint64_t key, double amount);
+
+ private:
+  std::size_t depth_;
+  std::size_t width_;
+  std::uint64_t seed_;
+  std::vector<double> counters_;
+};
+
+}  // namespace netshare::sketch

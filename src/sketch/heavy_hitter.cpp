@@ -1,0 +1,57 @@
+#include "sketch/heavy_hitter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netshare::sketch {
+
+std::vector<std::uint64_t> extract_keys(const net::PacketTrace& trace,
+                                        HeavyHitterKey kind) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(trace.size());
+  for (const auto& p : trace.packets) {
+    switch (kind) {
+      case HeavyHitterKey::kDstIp:
+        keys.push_back(p.key.dst_ip.value());
+        break;
+      case HeavyHitterKey::kSrcIp:
+        keys.push_back(p.key.src_ip.value());
+        break;
+      case HeavyHitterKey::kFiveTuple:
+        keys.push_back(p.key.hash());
+        break;
+    }
+  }
+  return keys;
+}
+
+HeavyHitterReport evaluate_heavy_hitters(Sketch& sketch,
+                                         std::span<const std::uint64_t> keys,
+                                         double threshold_fraction) {
+  if (keys.empty()) throw std::invalid_argument("evaluate_heavy_hitters: empty");
+  sketch.clear();
+  std::unordered_map<std::uint64_t, std::uint64_t> exact;
+  exact.reserve(keys.size());
+  for (std::uint64_t k : keys) {
+    sketch.update(k);
+    exact[k] += 1;
+  }
+  const double threshold =
+      threshold_fraction * static_cast<double>(keys.size());
+
+  HeavyHitterReport report;
+  double err_sum = 0.0;
+  for (const auto& [key, count] : exact) {
+    if (static_cast<double>(count) < threshold) continue;
+    ++report.num_heavy;
+    const double est = sketch.estimate(key);
+    err_sum += std::fabs(est - static_cast<double>(count)) /
+               static_cast<double>(count);
+  }
+  if (report.num_heavy > 0) {
+    report.mean_relative_error = err_sum / static_cast<double>(report.num_heavy);
+  }
+  return report;
+}
+
+}  // namespace netshare::sketch

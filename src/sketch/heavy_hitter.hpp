@@ -1,0 +1,34 @@
+// Heavy-hitter count-estimation harness (the paper's App. #2, Fig. 13):
+// stream keys into a sketch, then measure the sketch's mean relative error
+// over the true heavy hitters (keys above a threshold fraction of the
+// stream).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/trace.hpp"
+#include "sketch/sketch.hpp"
+
+namespace netshare::sketch {
+
+// Key extraction per the paper's Fig. 13 setups.
+enum class HeavyHitterKey { kDstIp, kSrcIp, kFiveTuple };
+
+std::vector<std::uint64_t> extract_keys(const net::PacketTrace& trace,
+                                        HeavyHitterKey kind);
+
+struct HeavyHitterReport {
+  std::size_t num_heavy = 0;           // true heavy hitters found
+  double mean_relative_error = 0.0;    // sketch count error over true HHs
+};
+
+// Streams keys into the sketch (clearing it first) and evaluates estimates
+// against exact counts for all keys whose true count >= threshold_fraction
+// of the stream length.
+HeavyHitterReport evaluate_heavy_hitters(Sketch& sketch,
+                                         std::span<const std::uint64_t> keys,
+                                         double threshold_fraction);
+
+}  // namespace netshare::sketch

@@ -1,0 +1,74 @@
+#include "sketch/nitrosketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace netshare::sketch {
+
+NitroSketch::NitroSketch(std::size_t depth, std::size_t width,
+                         double sample_prob, std::uint64_t seed)
+    : depth_(depth), width_(width), prob_(sample_prob), seed_(seed),
+      rng_(seed ^ 0x5bd1e995), counters_(depth * width, 0.0),
+      next_(depth, 0) {
+  if (depth == 0 || width == 0) {
+    throw std::invalid_argument("NitroSketch: zero dimension");
+  }
+  if (sample_prob <= 0.0 || sample_prob > 1.0) {
+    throw std::invalid_argument("NitroSketch: sample_prob out of (0,1]");
+  }
+  for (std::size_t d = 0; d < depth_; ++d) arm_row(d);
+}
+
+void NitroSketch::arm_row(std::size_t d) {
+  // Geometric(p) number of updates until the row samples again.
+  if (prob_ >= 1.0) {
+    next_[d] = 0;
+    return;
+  }
+  const double u = std::max(1e-12, rng_.uniform());
+  next_[d] = static_cast<long>(std::floor(std::log(u) / std::log1p(-prob_)));
+}
+
+void NitroSketch::update(std::uint64_t key, std::uint64_t count) {
+  // Per NitroSketch, each row samples updates independently with prob p and
+  // adds count/p when it fires.
+  for (std::uint64_t c = 0; c < count; ++c) {
+    for (std::size_t d = 0; d < depth_; ++d) {
+      if (next_[d] > 0) {
+        --next_[d];
+        continue;
+      }
+      const std::uint64_t h = sketch_hash(key, seed_ + d);
+      const std::size_t col = h % width_;
+      const double sign = (h >> 63) ? 1.0 : -1.0;
+      counters_[d * width_ + col] += sign / prob_;
+      arm_row(d);
+    }
+  }
+}
+
+double NitroSketch::estimate(std::uint64_t key) const {
+  std::vector<double> vals(depth_);
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const std::uint64_t h = sketch_hash(key, seed_ + d);
+    const std::size_t col = h % width_;
+    const double sign = (h >> 63) ? 1.0 : -1.0;
+    vals[d] = sign * counters_[d * width_ + col];
+  }
+  std::nth_element(vals.begin(), vals.begin() + static_cast<long>(depth_ / 2),
+                   vals.end());
+  return std::max(0.0, vals[depth_ / 2]);
+}
+
+std::size_t NitroSketch::memory_bytes() const {
+  return counters_.size() * sizeof(double);
+}
+
+void NitroSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+  for (std::size_t d = 0; d < depth_; ++d) arm_row(d);
+}
+
+}  // namespace netshare::sketch

@@ -1,0 +1,39 @@
+// NitroSketch (Liu et al., SIGCOMM 2019): Count Sketch with geometrically
+// sampled counter updates scaled by 1/p, trading per-packet cost for
+// slightly higher (still unbiased) variance — designed for software
+// switches. This implementation uses the "always-line-rate" mode with a
+// fixed sampling probability.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sketch/count_sketch.hpp"
+
+namespace netshare::sketch {
+
+class NitroSketch : public Sketch {
+ public:
+  NitroSketch(std::size_t depth, std::size_t width, double sample_prob,
+              std::uint64_t seed = 1);
+
+  std::string name() const override { return "NitroSketch"; }
+  void update(std::uint64_t key, std::uint64_t count = 1) override;
+  double estimate(std::uint64_t key) const override;
+  std::size_t memory_bytes() const override;
+  void clear() override;
+
+  double sample_prob() const { return prob_; }
+
+ private:
+  // Geometric skipping per row: next_[d] counts updates until row d samples.
+  void arm_row(std::size_t d);
+
+  std::size_t depth_;
+  std::size_t width_;
+  double prob_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::vector<double> counters_;
+  std::vector<long> next_;  // per-row countdown of updates to skip
+};
+
+}  // namespace netshare::sketch

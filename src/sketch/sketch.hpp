@@ -1,0 +1,26 @@
+// Common interface for the sketch-based telemetry substrate (App. #2 of the
+// paper's downstream tasks): frequency estimation over a key stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace netshare::sketch {
+
+class Sketch {
+ public:
+  virtual ~Sketch() = default;
+  virtual std::string name() const = 0;
+  // Adds `count` occurrences of `key`.
+  virtual void update(std::uint64_t key, std::uint64_t count = 1) = 0;
+  // Point estimate of the key's total count (may be negative for
+  // sign-based sketches before clamping; implementations clamp to >= 0).
+  virtual double estimate(std::uint64_t key) const = 0;
+  virtual std::size_t memory_bytes() const = 0;
+  virtual void clear() = 0;
+};
+
+// Pairwise-ish hashing used by all sketches: splitmix over (seed, key).
+std::uint64_t sketch_hash(std::uint64_t key, std::uint64_t seed);
+
+}  // namespace netshare::sketch

@@ -1,0 +1,81 @@
+#include "sketch/univmon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netshare::sketch {
+
+UnivMon::UnivMon(std::size_t levels, std::size_t depth, std::size_t width,
+                 std::uint64_t seed)
+    : seed_(seed) {
+  if (levels == 0) throw std::invalid_argument("UnivMon: zero levels");
+  sketches_.reserve(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    sketches_.emplace_back(depth, width, seed + 101 * l);
+  }
+  level_keys_.resize(levels);
+}
+
+bool UnivMon::sampled_at(std::uint64_t key, std::size_t level) const {
+  if (level == 0) return true;
+  const std::uint64_t h = sketch_hash(key, seed_ ^ 0xabcdef);
+  // Key survives to level l iff its l lowest sampling bits are all 1.
+  const std::uint64_t mask = (std::uint64_t{1} << level) - 1;
+  return (h & mask) == mask;
+}
+
+void UnivMon::update(std::uint64_t key, std::uint64_t count) {
+  for (std::size_t l = 0; l < sketches_.size(); ++l) {
+    if (!sampled_at(key, l)) break;
+    sketches_[l].update(key, count);
+    level_keys_[l].insert(key);
+  }
+}
+
+double UnivMon::estimate(std::uint64_t key) const {
+  return sketches_[0].estimate(key);
+}
+
+std::size_t UnivMon::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : sketches_) total += s.memory_bytes();
+  return total;
+}
+
+void UnivMon::clear() {
+  for (auto& s : sketches_) s.clear();
+  for (auto& ks : level_keys_) ks.clear();
+}
+
+double UnivMon::g_sum(const std::function<double(double)>& g) const {
+  // Bottom-up recursion: Y_L = sum over level-L HHs of g(w);
+  // Y_l = 2*Y_{l+1} + sum over level-l HHs of g(w)*(1 - 2*I[sampled at l+1]).
+  const std::size_t L = sketches_.size();
+  auto top_keys = [&](std::size_t l) {
+    std::vector<std::pair<double, std::uint64_t>> ranked;
+    for (std::uint64_t key : level_keys_[l]) {
+      ranked.push_back({sketches_[l].estimate(key), key});
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    if (ranked.size() > kTopK) ranked.resize(kTopK);
+    return ranked;
+  };
+
+  double y = 0.0;
+  for (const auto& [w, key] : top_keys(L - 1)) {
+    (void)key;
+    if (w > 0) y += g(w);
+  }
+  for (std::size_t l = L - 1; l-- > 0;) {
+    double yl = 2.0 * y;
+    for (const auto& [w, key] : top_keys(l)) {
+      if (w <= 0) continue;
+      const double indicator = sampled_at(key, l + 1) ? 1.0 : 0.0;
+      yl += g(w) * (1.0 - 2.0 * indicator);
+    }
+    y = std::max(0.0, yl);
+  }
+  return y;
+}
+
+}  // namespace netshare::sketch

@@ -1,0 +1,47 @@
+// UnivMon (Liu et al., SIGCOMM 2016): universal sketching via L levels of
+// Count Sketches over progressively hash-sampled substreams. Supports point
+// queries (level-0 Count Sketch) and G-sum estimation via the bottom-up
+// recursion Y_l = g(w_l) applied to per-level heavy hitters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "sketch/count_sketch.hpp"
+
+namespace netshare::sketch {
+
+class UnivMon : public Sketch {
+ public:
+  UnivMon(std::size_t levels, std::size_t depth, std::size_t width,
+          std::uint64_t seed = 1);
+
+  std::string name() const override { return "UnivMon"; }
+  void update(std::uint64_t key, std::uint64_t count = 1) override;
+  double estimate(std::uint64_t key) const override;
+  std::size_t memory_bytes() const override;
+  void clear() override;
+
+  // Estimates sum over distinct keys of g(count) using the universal
+  // sketching recursion over per-level heavy hitters.
+  double g_sum(const std::function<double(double)>& g) const;
+
+  std::size_t levels() const { return sketches_.size(); }
+
+ private:
+  // True iff the key survives sampling down to level l (l leading hash bits
+  // are all 1).
+  bool sampled_at(std::uint64_t key, std::size_t level) const;
+
+  std::uint64_t seed_;
+  std::vector<CountSketch> sketches_;
+  // Per-level key tracking for the top-k heavy hitters used by g_sum
+  // (software implementation keeps exact key sets per level, as the
+  // reference implementation's heap does).
+  std::vector<std::unordered_set<std::uint64_t>> level_keys_;
+  static constexpr std::size_t kTopK = 32;
+};
+
+}  // namespace netshare::sketch

@@ -1,0 +1,242 @@
+// Tests for the baseline synthesizers: CTGAN, E-WGAN-GP, STAN, PAC-GAN,
+// PacketCGAN, Flow-WGAN — including the structural pathologies the paper
+// documents (per-packet baselines never produce multi-packet flows).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/presets.hpp"
+#include "gan/ctgan.hpp"
+#include "gan/ewgan_gp.hpp"
+#include "gan/packet_gans.hpp"
+#include "gan/stan.hpp"
+#include "metrics/field_metrics.hpp"
+
+namespace netshare::gan {
+namespace {
+
+TabularGanConfig quick_gan() {
+  TabularGanConfig cfg;
+  cfg.iterations = 80;
+  cfg.batch_size = 32;
+  cfg.gen_hidden = {48, 48};
+  cfg.disc_hidden = {48, 48};
+  return cfg;
+}
+
+TEST(ModeNormalizer, RoundTripsWithinModeSpread) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.normal(10.0, 1.0));
+  for (int i = 0; i < 300; ++i) values.push_back(rng.normal(100.0, 5.0));
+  ModeNormalizer norm;
+  norm.fit(values, 2, rng);
+  std::vector<double> buf(norm.width());
+  for (double v : {9.0, 11.0, 95.0, 105.0}) {
+    norm.encode(v, buf.data());
+    EXPECT_NEAR(norm.decode(buf.data()), v, 3.0) << v;
+  }
+}
+
+TEST(ModeNormalizer, FindsSeparatedModes) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.normal(0.0, 0.1));
+  for (int i = 0; i < 200; ++i) values.push_back(rng.normal(50.0, 0.1));
+  ModeNormalizer norm;
+  norm.fit(values, 2, rng);
+  ASSERT_EQ(norm.centers().size(), 2u);
+  EXPECT_NEAR(norm.centers()[0], 0.0, 1.0);
+  EXPECT_NEAR(norm.centers()[1], 50.0, 1.0);
+}
+
+TEST(ModeNormalizer, RejectsEmpty) {
+  ModeNormalizer norm;
+  Rng rng(3);
+  EXPECT_THROW(norm.fit({}, 3, rng), std::invalid_argument);
+}
+
+TEST(TabularGan, LearnsSimpleMarginal) {
+  // One softmax(2) with skew {0.8, 0.2} + one sigmoid around 0.3.
+  Rng data_rng(4);
+  ml::Matrix rows(400, 3);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const std::size_t c = data_rng.bernoulli(0.8) ? 0 : 1;
+    rows(i, c) = 1.0;
+    rows(i, 2) = std::clamp(0.3 + data_rng.normal(0.0, 0.05), 0.0, 1.0);
+  }
+  TabularGanConfig cfg = quick_gan();
+  cfg.iterations = 250;
+  TabularGan gan({{ml::OutputSegment::Kind::kSoftmax, 2},
+                  {ml::OutputSegment::Kind::kSigmoid, 1}},
+                 cfg, 5);
+  gan.fit(rows);
+  Rng rng(6);
+  const ml::Matrix syn = gan.sample(400, rng);
+  double c0 = 0.0, mean2 = 0.0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    c0 += syn(i, 0) > syn(i, 1) ? 1.0 / 400 : 0.0;
+    mean2 += syn(i, 2) / 400;
+  }
+  EXPECT_GT(c0, 0.5);
+  EXPECT_NEAR(mean2, 0.3, 0.15);
+}
+
+TEST(TabularGan, SampleBeforeFitThrows) {
+  TabularGan gan({{ml::OutputSegment::Kind::kSigmoid, 2}}, quick_gan(), 7);
+  Rng rng(8);
+  EXPECT_THROW(gan.sample(2, rng), std::logic_error);
+}
+
+TEST(TabularGan, ConditionalSamplingMatchesMarginal) {
+  // Condition on a softmax(2) column whose real marginal is {0.7, 0.3}.
+  Rng data_rng(9);
+  ml::Matrix rows(500, 3);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const std::size_t c = data_rng.bernoulli(0.7) ? 0 : 1;
+    rows(i, c) = 1.0;
+    rows(i, 2) = 0.5;
+  }
+  TabularGanConfig cfg = quick_gan();
+  cfg.condition = {{0, 2}};
+  TabularGan gan({{ml::OutputSegment::Kind::kSoftmax, 2},
+                  {ml::OutputSegment::Kind::kSigmoid, 1}},
+                 cfg, 10);
+  gan.fit(rows);
+  Rng rng(11);
+  const ml::Matrix syn = gan.sample(600, rng);
+  double c0 = 0.0;
+  for (std::size_t i = 0; i < 600; ++i) {
+    c0 += syn(i, 0) > syn(i, 1) ? 1.0 / 600 : 0.0;
+  }
+  EXPECT_NEAR(c0, 0.7, 0.2);
+}
+
+class FlowBaselines : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bundle_ = datagen::make_dataset(datagen::DatasetId::kCidds, 600, 12);
+  }
+  datagen::DatasetBundle bundle_;
+};
+
+TEST_F(FlowBaselines, CtganGeneratesValidRecords) {
+  CtganConfig cfg;
+  cfg.gan = quick_gan();
+  CtganFlow model(cfg, 13);
+  model.fit(bundle_.flows);
+  EXPECT_GT(model.train_cpu_seconds(), 0.0);
+  Rng rng(14);
+  const auto syn = model.generate(300, rng);
+  ASSERT_EQ(syn.size(), 300u);
+  for (const auto& r : syn.records) {
+    EXPECT_GE(r.packets, 1u);
+    EXPECT_GE(r.bytes, 1u);
+    EXPECT_GE(r.duration, 0.0);
+  }
+}
+
+TEST_F(FlowBaselines, EwganGeneratesFromTrainingVocabulary) {
+  EwganConfig cfg;
+  cfg.gan = quick_gan();
+  EwganGpFlow model(cfg, 15);
+  model.fit(bundle_.flows);
+  Rng rng(16);
+  const auto syn = model.generate(300, rng);
+  ASSERT_EQ(syn.size(), 300u);
+  // Key (non-)privacy property: every synthetic IP is a training-set IP.
+  std::set<std::uint32_t> train_ips;
+  for (const auto& r : bundle_.flows.records) {
+    train_ips.insert(r.key.src_ip.value());
+    train_ips.insert(r.key.dst_ip.value());
+  }
+  for (const auto& r : syn.records) {
+    EXPECT_TRUE(train_ips.count(r.key.src_ip.value()));
+    EXPECT_TRUE(train_ips.count(r.key.dst_ip.value()));
+  }
+}
+
+TEST_F(FlowBaselines, StanGeneratesHostGroupedRecords) {
+  StanConfig cfg;
+  cfg.epochs = 2;
+  StanFlow model(cfg, 17);
+  model.fit(bundle_.flows);
+  EXPECT_GT(model.train_cpu_seconds(), 0.0);
+  Rng rng(18);
+  const auto syn = model.generate(300, rng);
+  ASSERT_EQ(syn.size(), 300u);
+  // Hosts drawn from real data.
+  std::set<std::uint32_t> train_srcs;
+  for (const auto& r : bundle_.flows.records) {
+    train_srcs.insert(r.key.src_ip.value());
+  }
+  for (const auto& r : syn.records) {
+    EXPECT_TRUE(train_srcs.count(r.key.src_ip.value()));
+    EXPECT_GE(r.packets, 1u);
+  }
+}
+
+TEST_F(FlowBaselines, GenerateBeforeFitThrows) {
+  Rng rng(19);
+  CtganFlow ctgan({quick_gan(), 3}, 20);
+  EXPECT_THROW(ctgan.generate(2, rng), std::logic_error);
+  EwganGpFlow ewgan({quick_gan(), 4, 2, 32}, 21);
+  EXPECT_THROW(ewgan.generate(2, rng), std::logic_error);
+  StanFlow stan({}, 22);
+  EXPECT_THROW(stan.generate(2, rng), std::logic_error);
+}
+
+class PacketBaselines : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bundle_ = datagen::make_dataset(datagen::DatasetId::kCaida, 1200, 23);
+  }
+  datagen::DatasetBundle bundle_;
+};
+
+TEST_F(PacketBaselines, AllThreeGenerateValidPackets) {
+  PacketGanConfig cfg{quick_gan()};
+  for (auto factory : {&make_pac_gan, &make_packet_cgan, &make_flow_wgan}) {
+    auto model = factory(cfg, 24);
+    model->fit(bundle_.packets);
+    Rng rng(25);
+    const auto syn = model->generate(400, rng);
+    ASSERT_EQ(syn.size(), 400u) << model->name();
+    for (const auto& p : syn.packets) {
+      EXPECT_GE(p.size, net::min_packet_size(p.key.protocol)) << model->name();
+      EXPECT_GE(p.timestamp, 0.0) << model->name();
+    }
+  }
+}
+
+TEST_F(PacketBaselines, PerPacketModelsProduceSingletonFlows) {
+  // The paper's C1/Fig. 1b: per-packet tabular baselines essentially never
+  // generate two packets with the same 5-tuple.
+  PacketGanConfig cfg{quick_gan()};
+  auto model = make_pac_gan(cfg, 26);
+  model->fit(bundle_.packets);
+  Rng rng(27);
+  const auto syn = model->generate(500, rng);
+  const auto aggs = net::aggregate_flows(syn);
+  std::size_t multi = 0;
+  for (const auto& a : aggs) multi += a.packets > 1;
+  EXPECT_LT(multi, aggs.size() / 20);  // overwhelmingly singletons
+}
+
+TEST_F(PacketBaselines, PacGanTimestampsAreGaussianFitted) {
+  PacketGanConfig cfg{quick_gan()};
+  auto model = make_pac_gan(cfg, 28);
+  model->fit(bundle_.packets);
+  Rng rng(29);
+  const auto syn = model->generate(800, rng);
+  double mean = 0.0;
+  for (const auto& p : syn.packets) mean += p.timestamp / 800.0;
+  double real_mean = 0.0;
+  for (const auto& p : bundle_.packets.packets) {
+    real_mean += p.timestamp / static_cast<double>(bundle_.packets.size());
+  }
+  EXPECT_NEAR(mean, real_mean, 8.0);
+}
+
+}  // namespace
+}  // namespace netshare::gan

@@ -1,0 +1,224 @@
+// Tests for the workload simulator substrate: samplers, presets, attack
+// signatures, and the structural properties the paper's experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "datagen/presets.hpp"
+#include "metrics/consistency.hpp"
+#include "net/ports.hpp"
+
+namespace netshare::datagen {
+namespace {
+
+TEST(ZipfSampler, ProbabilitiesSumToOneAndDecay) {
+  ZipfSampler z(100, 1.2);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) total += z.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(z.probability(0), z.probability(1));
+  EXPECT_GT(z.probability(1), z.probability(50));
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchTheory) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(1);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[z.sample(rng)]++;
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{5}}) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.probability(k), 0.01);
+  }
+}
+
+TEST(ZipfSampler, RejectsEmptySupport) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Distributions, ParetoRespectsScaleAndTail) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(sample_pareto(rng, 10.0, 1.5), 10.0);
+  }
+}
+
+TEST(Distributions, LognormalMedianNearExpMu) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(sample_lognormal(rng, 2.0, 0.5));
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  EXPECT_NEAR(v[v.size() / 2], std::exp(2.0), 0.3);
+}
+
+TEST(Distributions, HeavyTailCapsAtMax) {
+  Rng rng(4);
+  HeavyTailConfig cfg{1.0, 1.0, 0.5, 100.0, 0.5, 1e4};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(sample_heavy_tail(rng, cfg), 1e4);
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int c0 = 0, c2 = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const auto k = rng.categorical(w);
+    ASSERT_NE(k, 1u);
+    if (k == 0) ++c0;
+    if (k == 2) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c0) / 40000, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(c2) / 40000, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(6);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(7);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(AttackSignatures, AllTypesHaveSignatures) {
+  using net::AttackType;
+  for (auto t : {AttackType::kDos, AttackType::kDdos, AttackType::kBruteForce,
+                 AttackType::kPortScan, AttackType::kBackdoor,
+                 AttackType::kInjection, AttackType::kMitm,
+                 AttackType::kPassword, AttackType::kRansomware,
+                 AttackType::kScanning, AttackType::kXss}) {
+    const AttackSignature s = attack_signature(t);
+    EXPECT_EQ(s.type, t);
+    EXPECT_FALSE(s.dst_ports.empty());
+    EXPECT_GE(s.burst_flows, 1);
+  }
+  EXPECT_THROW(attack_signature(AttackType::kNone), std::invalid_argument);
+}
+
+TEST(TraceSimulator, GeneratesRequestedPacketBudget) {
+  TraceSimulator sim(preset_config(DatasetId::kCaida));
+  Rng rng(8);
+  const auto labeled = sim.generate_packets(5000, rng);
+  EXPECT_GE(labeled.packets.size(), 5000u);
+}
+
+TEST(TraceSimulator, PacketsAreTimeSorted) {
+  TraceSimulator sim(preset_config(DatasetId::kCaida));
+  Rng rng(9);
+  const auto labeled = sim.generate_packets(2000, rng);
+  for (std::size_t i = 1; i < labeled.packets.size(); ++i) {
+    EXPECT_LE(labeled.packets.packets[i - 1].timestamp,
+              labeled.packets.packets[i].timestamp);
+  }
+}
+
+TEST(TraceSimulator, PacketSizesRespectProtocolMinimums) {
+  TraceSimulator sim(preset_config(DatasetId::kDc));
+  Rng rng(10);
+  const auto labeled = sim.generate_packets(3000, rng);
+  for (const auto& p : labeled.packets.packets) {
+    EXPECT_GE(p.size, net::min_packet_size(p.key.protocol));
+    EXPECT_LE(p.size, 1500u);
+  }
+}
+
+TEST(TraceSimulator, WellKnownPortsGetCompliantProtocols) {
+  TraceSimulator sim(preset_config(DatasetId::kUgr16));
+  Rng rng(11);
+  const auto flows = sim.generate_flows(1500, rng);
+  const auto res = metrics::check_flow_consistency(flows);
+  EXPECT_GT(res.test3_port_protocol, 0.97);
+  EXPECT_GT(res.test1_ip_validity, 0.99);
+  EXPECT_GT(res.test2_bytes_vs_packets, 0.99);
+}
+
+TEST(TraceSimulator, FlowSizeIsHeavyTailed) {
+  TraceSimulator sim(preset_config(DatasetId::kCaida));
+  Rng rng(12);
+  const auto labeled = sim.generate_packets(20000, rng);
+  const auto aggs = net::aggregate_flows(labeled.packets);
+  std::size_t singletons = 0, elephants = 0;
+  for (const auto& a : aggs) {
+    if (a.packets <= 2) ++singletons;
+    if (a.packets >= 50) ++elephants;
+  }
+  // Mice are plentiful, elephants exist.
+  EXPECT_GT(singletons, aggs.size() / 5);
+  EXPECT_GT(elephants, 0u);
+}
+
+TEST(TraceSimulator, TonHasRoughlyPaperAttackShare) {
+  const auto bundle = make_dataset(DatasetId::kTon, 3000, 13);
+  std::size_t attacks = 0;
+  std::set<net::AttackType> types;
+  for (const auto& r : bundle.flows.records) {
+    if (r.is_attack) {
+      ++attacks;
+      types.insert(r.attack_type);
+    }
+  }
+  const double share = static_cast<double>(attacks) /
+                       static_cast<double>(bundle.flows.size());
+  // Paper: 34.93% attacks over nine types.
+  EXPECT_GT(share, 0.15);
+  EXPECT_LT(share, 0.60);
+  EXPECT_GE(types.size(), 7u);
+}
+
+TEST(Presets, EveryDatasetGenerates) {
+  for (auto id : {DatasetId::kUgr16, DatasetId::kCidds, DatasetId::kTon,
+                  DatasetId::kCaida, DatasetId::kDc, DatasetId::kCa,
+                  DatasetId::kCaidaPub, DatasetId::kDcPub}) {
+    const auto bundle = make_dataset(id, 500, 14);
+    EXPECT_GE(bundle.size(), 500u) << dataset_name(id);
+    EXPECT_EQ(bundle.is_pcap, dataset_is_pcap(id));
+    if (bundle.is_pcap) {
+      EXPECT_FALSE(bundle.packets.empty());
+      EXPECT_TRUE(bundle.flows.empty());
+    } else {
+      EXPECT_FALSE(bundle.flows.empty());
+    }
+  }
+}
+
+TEST(Presets, DeterministicUnderSameSeed) {
+  const auto a = make_dataset(DatasetId::kCidds, 400, 77);
+  const auto b = make_dataset(DatasetId::kCidds, 400, 77);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows.records[i], b.flows.records[i]);
+  }
+}
+
+TEST(Presets, DifferentSeedsDiffer) {
+  const auto a = make_dataset(DatasetId::kCidds, 400, 1);
+  const auto b = make_dataset(DatasetId::kCidds, 400, 2);
+  bool any_diff = a.flows.size() != b.flows.size();
+  for (std::size_t i = 0; !any_diff && i < a.flows.size(); ++i) {
+    any_diff = !(a.flows.records[i] == b.flows.records[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Presets, CollectorProducesRepeatedFiveTuples) {
+  // The Fig. 1a phenomenon: some 5-tuples appear in multiple NetFlow records.
+  const auto bundle = make_dataset(DatasetId::kUgr16, 3000, 15);
+  const auto groups = bundle.flows.group_by_flow();
+  std::size_t multi = 0;
+  for (const auto& [key, idx] : groups) {
+    if (idx.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0u);
+}
+
+}  // namespace
+}  // namespace netshare::datagen

@@ -1,0 +1,176 @@
+// Tests for field encodings: bit/byte codecs, transforms, IP2Vec.
+#include <gtest/gtest.h>
+
+#include "datagen/presets.hpp"
+#include "embed/bit_encoding.hpp"
+#include "embed/ip2vec.hpp"
+#include "embed/transforms.hpp"
+
+namespace netshare::embed {
+namespace {
+
+TEST(BitEncoding, IpRoundTripExhaustiveOctets) {
+  for (std::uint32_t v : {0u, 1u, 0x7f000001u, 0xc0a80101u, 0xffffffffu}) {
+    const net::Ipv4Address ip(v);
+    EXPECT_EQ(bits_to_ip(ip_to_bits(ip)), ip);
+  }
+}
+
+TEST(BitEncoding, PortRoundTrip) {
+  for (std::uint16_t p : {std::uint16_t{0}, std::uint16_t{1}, std::uint16_t{80},
+                          std::uint16_t{1024}, std::uint16_t{65535}}) {
+    EXPECT_EQ(bits_to_port(port_to_bits(p)), p);
+  }
+}
+
+TEST(BitEncoding, SoftBitsDecodeByThreshold) {
+  auto bits = port_to_bits(80);
+  for (auto& b : bits) b = b > 0.5 ? 0.9 : 0.1;  // GAN-style soft outputs
+  EXPECT_EQ(bits_to_port(bits), 80);
+}
+
+TEST(BitEncoding, RejectsWrongWidth) {
+  std::vector<double> short_vec(5, 0.0);
+  EXPECT_THROW(bits_to_ip(short_vec), std::invalid_argument);
+  EXPECT_THROW(bits_to_port(short_vec), std::invalid_argument);
+}
+
+TEST(ByteEncoding, RoundTrips) {
+  const net::Ipv4Address ip(10, 20, 30, 40);
+  EXPECT_EQ(bytes_to_ip(ip_to_bytes(ip)), ip);
+  EXPECT_EQ(bytes_to_port(port_to_bytes(8080)), 8080);
+}
+
+TEST(LogTransform, MapsToUnitIntervalMonotonically) {
+  LogTransform t(1e8);
+  EXPECT_DOUBLE_EQ(t.encode(0.0), 0.0);
+  EXPECT_NEAR(t.encode(1e8), 1.0, 1e-12);
+  EXPECT_LT(t.encode(100.0), t.encode(1000.0));
+  // Small values occupy a substantial share of the coded range — the whole
+  // point of the log transform for large-support fields (Insight 2).
+  EXPECT_GT(t.encode(1000.0), 0.3);
+}
+
+TEST(LogTransform, RoundTripAccuracy) {
+  LogTransform t(1e6);
+  for (double x : {0.0, 1.0, 42.0, 9999.0, 1e6}) {
+    EXPECT_NEAR(t.decode(t.encode(x)), x, 1e-6 * (1.0 + x));
+  }
+}
+
+TEST(LogTransform, DecodesClampedInput) {
+  LogTransform t(100.0);
+  EXPECT_DOUBLE_EQ(t.decode(-0.5), 0.0);
+  EXPECT_NEAR(t.decode(1.5), 100.0, 1e-9);
+}
+
+TEST(MinMaxTransform, FitAndRoundTrip) {
+  const std::vector<double> data{3.0, 7.0, 5.0, 9.0};
+  const auto t = MinMaxTransform::fit(data);
+  EXPECT_DOUBLE_EQ(t.encode(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.encode(9.0), 1.0);
+  EXPECT_NEAR(t.decode(t.encode(5.0)), 5.0, 1e-12);
+}
+
+TEST(MinMaxTransform, DegenerateRangeIsSafe) {
+  const std::vector<double> data{4.0, 4.0};
+  const auto t = MinMaxTransform::fit(data);
+  EXPECT_NO_THROW(t.encode(4.0));
+}
+
+TEST(OneHot, RoundTripAndSoftDecode) {
+  const auto v = one_hot(2, 5);
+  EXPECT_EQ(one_hot_decode(v), 2u);
+  const std::vector<double> soft{0.1, 0.2, 0.6, 0.05, 0.05};
+  EXPECT_EQ(one_hot_decode(soft), 2u);
+  EXPECT_THROW(one_hot(5, 5), std::invalid_argument);
+}
+
+class Ip2VecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto pub = datagen::make_dataset(datagen::DatasetId::kCaidaPub, 3000, 21);
+    auto sentences = sentences_from_packets(pub.packets);
+    Rng rng(22);
+    Ip2Vec::Config cfg;
+    cfg.dim = 8;
+    cfg.epochs = 2;
+    model_.train(sentences, cfg, rng);
+  }
+  Ip2Vec model_;
+};
+
+TEST_F(Ip2VecTest, VocabularyCoversCommonServicePorts) {
+  for (std::uint32_t port : {53u, 80u, 443u}) {
+    EXPECT_TRUE(model_.contains({TokenKind::kPort, port})) << port;
+  }
+  EXPECT_TRUE(model_.contains(
+      {TokenKind::kProtocol, static_cast<std::uint32_t>(net::Protocol::kTcp)}));
+}
+
+TEST_F(Ip2VecTest, EmbedNearestRoundTripsInVocabTokens) {
+  // The key decode property: the NN of a token's own embedding is the token.
+  for (std::uint32_t port : {53u, 80u, 443u}) {
+    const Token t{TokenKind::kPort, port};
+    const auto v = model_.embed(t);
+    EXPECT_EQ(model_.nearest(v, TokenKind::kPort), t);
+  }
+}
+
+TEST_F(Ip2VecTest, NearestRespectsKind) {
+  const Token t{TokenKind::kPort, 80};
+  const auto v = model_.embed(t);
+  const Token p = model_.nearest(v, TokenKind::kProtocol);
+  EXPECT_EQ(p.kind, TokenKind::kProtocol);
+}
+
+TEST_F(Ip2VecTest, OovThrows) {
+  EXPECT_THROW(model_.embed({TokenKind::kPort, 64999}), std::out_of_range);
+}
+
+TEST(Ip2Vec, PortsCooccurringWithSameProtocolClusterTogether) {
+  // Two TCP service ports should be closer to each other than a TCP port is
+  // to a UDP port, because they share protocol context words.
+  net::FlowTrace trace;
+  Rng rng(23);
+  for (int i = 0; i < 1200; ++i) {
+    net::FlowRecord r;
+    r.key.src_ip = net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i % 17));
+    r.key.dst_ip = net::Ipv4Address(10, 0, 1, static_cast<std::uint8_t>(i % 13));
+    r.key.src_port = static_cast<std::uint16_t>(1024 + (i * 31) % 1000);
+    switch (i % 3) {
+      case 0:
+        r.key.dst_port = 80;
+        r.key.protocol = net::Protocol::kTcp;
+        break;
+      case 1:
+        r.key.dst_port = 443;
+        r.key.protocol = net::Protocol::kTcp;
+        break;
+      default:
+        r.key.dst_port = 53;
+        r.key.protocol = net::Protocol::kUdp;
+        break;
+    }
+    trace.records.push_back(r);
+  }
+  Ip2Vec model;
+  Ip2Vec::Config cfg;
+  cfg.dim = 8;
+  cfg.epochs = 6;
+  model.train(sentences_from_flows(trace), cfg, rng);
+
+  auto dist = [&](std::uint32_t a, std::uint32_t b) {
+    const auto va = model.embed({TokenKind::kPort, a});
+    const auto vb = model.embed({TokenKind::kPort, b});
+    double d = 0.0;
+    for (std::size_t k = 0; k < va.size(); ++k) {
+      d += (va[k] - vb[k]) * (va[k] - vb[k]);
+    }
+    return d;
+  };
+  EXPECT_LT(dist(80, 443), dist(80, 53));
+}
+
+}  // namespace
+}  // namespace netshare::embed

@@ -1,0 +1,113 @@
+// Tests for the evaluation harness: reporting utilities, model sets, and the
+// fit+generate runners (at tiny training budgets).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datagen/presets.hpp"
+#include "eval/fidelity.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+
+namespace netshare::eval {
+namespace {
+
+EvalOptions tiny_options() {
+  EvalOptions opt;
+  opt.gan_iterations = 20;
+  opt.netshare_seed_iters = 20;
+  opt.netshare_ft_iters = 8;
+  opt.netshare_chunks = 2;
+  opt.max_seq_len = 4;
+  return opt;
+}
+
+TEST(TextTable, AlignsColumnsAndPrintsSeparator) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"longer-name", "2.5"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable table({"m", "a", "b"});
+  const std::vector<double> vals{1.23456, 7.0};
+  table.add_row("x", vals, 2);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_NE(out.str().find("7.00"), std::string::npos);
+}
+
+TEST(Report, CdfPrintsQuantiles) {
+  std::ostringstream out;
+  print_cdf(out, "test", {1.0, 2.0, 3.0, 4.0});
+  EXPECT_NE(out.str().find("p50"), std::string::npos);
+  EXPECT_NE(out.str().find("p99"), std::string::npos);
+}
+
+TEST(Report, CdfHandlesEmpty) {
+  std::ostringstream out;
+  print_cdf(out, "empty", {});
+  EXPECT_NE(out.str().find("no samples"), std::string::npos);
+}
+
+TEST(Harness, StandardModelSetsHaveExpectedNames) {
+  const auto opt = tiny_options();
+  const auto flow = standard_flow_models(opt);
+  ASSERT_EQ(flow.size(), 4u);
+  EXPECT_EQ(flow[0]->name(), "NetShare");
+  EXPECT_EQ(flow[1]->name(), "CTGAN");
+  EXPECT_EQ(flow[2]->name(), "E-WGAN-GP");
+  EXPECT_EQ(flow[3]->name(), "STAN");
+
+  const auto packet = standard_packet_models(opt);
+  ASSERT_EQ(packet.size(), 5u);
+  EXPECT_EQ(packet[0]->name(), "NetShare");
+  EXPECT_EQ(packet[4]->name(), "Flow-WGAN");
+}
+
+TEST(Harness, V0OptionAppendsModel) {
+  auto opt = tiny_options();
+  opt.include_netshare_v0 = true;
+  const auto flow = standard_flow_models(opt);
+  EXPECT_EQ(flow.back()->name(), "NetShare-V0");
+}
+
+TEST(Harness, RunFlowModelsProducesRequestedSizes) {
+  const auto opt = tiny_options();
+  const auto bundle = datagen::make_dataset(datagen::DatasetId::kCidds, 300, 1);
+  auto runs = run_flow_models(standard_flow_models(opt), bundle.flows, 200, 2);
+  ASSERT_EQ(runs.size(), 4u);
+  for (const auto& run : runs) {
+    EXPECT_EQ(run.synthetic.size(), 200u) << run.name;
+    EXPECT_GT(run.cpu_seconds, 0.0) << run.name;
+  }
+}
+
+TEST(Harness, FidelityFigureRunsOnBothTraceKinds) {
+  const auto opt = tiny_options();
+  std::ostringstream out;
+  const auto flow_result =
+      fidelity_figure(out, datagen::DatasetId::kCidds, 250, opt, 3);
+  EXPECT_EQ(flow_result.model_names.size(), 4u);
+  EXPECT_EQ(flow_result.mean_jsd.size(), 4u);
+  const auto pkt_result =
+      fidelity_figure(out, datagen::DatasetId::kDc, 400, opt, 4);
+  EXPECT_EQ(pkt_result.model_names.size(), 5u);
+  EXPECT_NE(out.str().find("JSD"), std::string::npos);
+  EXPECT_NE(out.str().find("Normalized EMD"), std::string::npos);
+}
+
+TEST(Harness, ScaledRespectsMinimumOfOne) {
+  EXPECT_GE(scaled(1), 1);
+  EXPECT_GE(scaled(1000), 1);
+}
+
+}  // namespace
+}  // namespace netshare::eval

@@ -1,0 +1,207 @@
+// Tests for the fidelity metric suite: JSD, EMD, Spearman, per-field
+// reports, and protocol-compliance checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/presets.hpp"
+#include "metrics/consistency.hpp"
+#include "metrics/field_metrics.hpp"
+#include "metrics/rank.hpp"
+
+namespace netshare::metrics {
+namespace {
+
+TEST(Jsd, IdenticalDistributionsGiveZero) {
+  const std::vector<std::uint64_t> v{1, 1, 2, 3, 3, 3};
+  const Pmf p = empirical_pmf(v);
+  EXPECT_NEAR(jsd(p, p), 0.0, 1e-12);
+}
+
+TEST(Jsd, DisjointDistributionsGiveOneBit) {
+  const std::vector<std::uint64_t> a{1, 1, 2};
+  const std::vector<std::uint64_t> b{3, 4, 4};
+  EXPECT_NEAR(jsd(empirical_pmf(a), empirical_pmf(b)), 1.0, 1e-12);
+}
+
+TEST(Jsd, IsSymmetric) {
+  const std::vector<std::uint64_t> a{1, 1, 2, 5};
+  const std::vector<std::uint64_t> b{1, 2, 2, 2, 9};
+  const Pmf pa = empirical_pmf(a), pb = empirical_pmf(b);
+  EXPECT_NEAR(jsd(pa, pb), jsd(pb, pa), 1e-12);
+}
+
+TEST(Jsd, BetweenZeroAndOne) {
+  const std::vector<std::uint64_t> a{1, 2, 3, 4, 4, 4, 7};
+  const std::vector<std::uint64_t> b{2, 2, 3, 8};
+  const double d = jsd(empirical_pmf(a), empirical_pmf(b));
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(RankFrequencyPmf, IgnoresIdentityKeepsProfile) {
+  // {a:2, b:1} and {x:2, y:1} have identical popularity profiles.
+  const std::vector<std::uint64_t> a{10, 10, 20};
+  const std::vector<std::uint64_t> b{777, 777, 888};
+  EXPECT_NEAR(jsd(rank_frequency_pmf(a), rank_frequency_pmf(b)), 0.0, 1e-12);
+}
+
+TEST(Emd, IdenticalSamplesGiveZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_NEAR(emd_1d(a, a), 0.0, 1e-12);
+}
+
+TEST(Emd, PointMassesGiveDistance) {
+  // EMD between delta(0) and delta(5) is 5.
+  EXPECT_NEAR(emd_1d({0.0, 0.0}, {5.0, 5.0}), 5.0, 1e-12);
+}
+
+TEST(Emd, ShiftInvarianceProperty) {
+  // EMD(a, a + c) == c for any constant shift.
+  const std::vector<double> a{1.0, 4.0, 9.0, 16.0};
+  std::vector<double> b = a;
+  for (auto& x : b) x += 3.0;
+  EXPECT_NEAR(emd_1d(a, b), 3.0, 1e-9);
+}
+
+TEST(Emd, HandlesUnequalSampleCounts) {
+  // {0,2} vs {1}: |F_a - F_b| is 0.5 on [0,1) and 0.5 on [1,2) -> 1.0.
+  EXPECT_NEAR(emd_1d({0.0, 2.0}, {1.0}), 1.0, 1e-12);
+}
+
+TEST(Emd, RejectsEmpty) {
+  EXPECT_THROW(emd_1d({}, {1.0}), std::invalid_argument);
+}
+
+TEST(NormalizeEmds, MapsToPointOnePointNine) {
+  const std::vector<double> v{2.0, 4.0, 6.0};
+  const auto n = normalize_emds(v);
+  EXPECT_NEAR(n[0], 0.1, 1e-12);
+  EXPECT_NEAR(n[1], 0.5, 1e-12);
+  EXPECT_NEAR(n[2], 0.9, 1e-12);
+}
+
+TEST(NormalizeEmds, DegenerateInputsGoToFloor) {
+  const std::vector<double> v{3.0, 3.0};
+  const auto n = normalize_emds(v);
+  EXPECT_NEAR(n[0], 0.1, 1e-12);
+  EXPECT_NEAR(n[1], 0.1, 1e-12);
+}
+
+TEST(Spearman, PerfectAgreementIsOne) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{10, 20, 30, 40, 50};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, PerfectReversalIsMinusOne) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{8, 6, 4, 2};
+  EXPECT_NEAR(spearman(a, b), -1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTiesWithMidranks) {
+  const std::vector<double> a{1, 2, 2, 3};
+  const std::vector<double> b{1, 2, 2, 3};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, ConstantSideGivesZero) {
+  const std::vector<double> a{1, 1, 1};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman(a, b), 0.0);
+}
+
+TEST(Spearman, RejectsMismatchedSizes) {
+  EXPECT_THROW(spearman(std::vector<double>{1.0},
+                        std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Midranks, AssignsAverageRankToTies) {
+  const std::vector<double> v{10.0, 20.0, 20.0, 30.0};
+  const auto r = midranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(FieldMetrics, SelfComparisonIsNearZero) {
+  const auto bundle = datagen::make_dataset(datagen::DatasetId::kUgr16, 1000, 31);
+  const auto rep = compare_flows(bundle.flows, bundle.flows);
+  EXPECT_NEAR(rep.mean_jsd(), 0.0, 1e-12);
+  EXPECT_NEAR(rep.mean_raw_emd(), 0.0, 1e-12);
+}
+
+TEST(FieldMetrics, IndependentSeedsAreClose) {
+  // Two draws of the same preset should be much closer than different
+  // presets. (CIDDS is used as the "same" pair: its small address pool makes
+  // the rank-frequency profiles stable at this sample size.)
+  const auto a = datagen::make_dataset(datagen::DatasetId::kCidds, 1500, 32);
+  const auto b = datagen::make_dataset(datagen::DatasetId::kCidds, 1500, 33);
+  const auto c = datagen::make_dataset(datagen::DatasetId::kTon, 1500, 34);
+  const auto same = compare_flows(a.flows, b.flows);
+  const auto diff = compare_flows(a.flows, c.flows);
+  EXPECT_LT(same.mean_jsd(), diff.mean_jsd());
+}
+
+TEST(FieldMetrics, ReportsContainExpectedFields) {
+  const auto fl = datagen::make_dataset(datagen::DatasetId::kCidds, 500, 35);
+  const auto rep = compare_flows(fl.flows, fl.flows);
+  for (const char* f : {"SA", "DA", "SP", "DP", "PR"}) {
+    EXPECT_TRUE(rep.jsd.count(f)) << f;
+  }
+  for (const char* f : {"TS", "TD", "PKT", "BYT"}) {
+    EXPECT_TRUE(rep.emd.count(f)) << f;
+  }
+
+  const auto pc = datagen::make_dataset(datagen::DatasetId::kCaida, 800, 36);
+  const auto prep = compare_packets(pc.packets, pc.packets);
+  for (const char* f : {"PS", "PAT", "FS"}) {
+    EXPECT_TRUE(prep.emd.count(f)) << f;
+  }
+}
+
+TEST(FieldMetrics, MeanNormalizedEmdOrdersModels) {
+  const auto real = datagen::make_dataset(datagen::DatasetId::kUgr16, 1200, 37);
+  const auto close = datagen::make_dataset(datagen::DatasetId::kUgr16, 1200, 38);
+  const auto far = datagen::make_dataset(datagen::DatasetId::kTon, 1200, 39);
+  std::vector<FidelityReport> reports{compare_flows(real.flows, close.flows),
+                                      compare_flows(real.flows, far.flows)};
+  const auto means = mean_normalized_emds(reports);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_LT(means[0], means[1]);
+}
+
+TEST(Consistency, SimulatedTracesAreHighlyCompliant) {
+  const auto fl = datagen::make_dataset(datagen::DatasetId::kUgr16, 1500, 40);
+  const auto res = check_flow_consistency(fl.flows);
+  EXPECT_GT(res.test1_ip_validity, 0.99);
+  EXPECT_GT(res.test2_bytes_vs_packets, 0.99);
+  EXPECT_GT(res.test3_port_protocol, 0.97);
+
+  const auto pc = datagen::make_dataset(datagen::DatasetId::kCaida, 2000, 41);
+  const auto pres = check_packet_consistency(pc.packets);
+  EXPECT_GT(pres.test1_ip_validity, 0.99);
+  EXPECT_GT(pres.test4_min_packet_size, 0.999);
+}
+
+TEST(Consistency, DetectsViolations) {
+  net::FlowTrace t;
+  net::FlowRecord bad;
+  bad.key.src_ip = net::Ipv4Address(230, 0, 0, 1);  // multicast source
+  bad.key.dst_ip = net::Ipv4Address(0, 1, 2, 3);    // 0.x destination
+  bad.key.dst_port = 80;
+  bad.key.protocol = net::Protocol::kUdp;  // violates 80/TCP
+  bad.packets = 10;
+  bad.bytes = 1;  // violates byte/packet bound
+  t.records.push_back(bad);
+  const auto res = check_flow_consistency(t);
+  EXPECT_DOUBLE_EQ(res.test1_ip_validity, 0.0);
+  EXPECT_DOUBLE_EQ(res.test2_bytes_vs_packets, 0.0);
+  EXPECT_DOUBLE_EQ(res.test3_port_protocol, 0.0);
+}
+
+}  // namespace
+}  // namespace netshare::metrics

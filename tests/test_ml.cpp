@@ -1,0 +1,350 @@
+// Tests for the ML substrate, including finite-difference gradient checks of
+// every differentiable module (Linear, activations, MixedHead, MLP, GRU).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "ml/gru.hpp"
+#include "ml/loss.hpp"
+#include "ml/mlp.hpp"
+#include "ml/optim.hpp"
+#include "ml/serialize.hpp"
+
+namespace netshare::ml {
+namespace {
+
+TEST(Matrix, BasicOpsAndShapes) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(2, 3, 2.0);
+  Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+  c *= 2.0;
+  EXPECT_DOUBLE_EQ(c(1, 2), 6.0);
+  EXPECT_THROW(a += Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulMatchesHandComputation) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, TransposedMatmulsAgreeWithExplicitTranspose) {
+  Rng rng(7);
+  const Matrix a = Matrix::randn(4, 3, rng);
+  const Matrix b = Matrix::randn(4, 5, rng);
+  const Matrix ta = matmul_trans_a(a, b);  // a^T b: [3,5]
+  const Matrix ref_a = matmul(transpose(a), b);
+  for (std::size_t i = 0; i < ta.rows(); ++i) {
+    for (std::size_t j = 0; j < ta.cols(); ++j) {
+      EXPECT_NEAR(ta(i, j), ref_a(i, j), 1e-12);
+    }
+  }
+  const Matrix x = Matrix::randn(2, 3, rng);
+  const Matrix y = Matrix::randn(4, 3, rng);
+  const Matrix xy = matmul_trans_b(x, y);  // x y^T: [2,4]
+  const Matrix ref_xy = matmul(x, transpose(y));
+  for (std::size_t i = 0; i < xy.rows(); ++i) {
+    for (std::size_t j = 0; j < xy.cols(); ++j) {
+      EXPECT_NEAR(xy(i, j), ref_xy(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, ConcatSplitRoundTrip) {
+  Rng rng(3);
+  Matrix a = Matrix::randn(3, 2, rng);
+  Matrix b = Matrix::randn(3, 4, rng);
+  const Matrix c = concat_cols(a, b);
+  auto [l, r] = split_cols(c, 2);
+  EXPECT_EQ(l, a);
+  EXPECT_EQ(r, b);
+}
+
+TEST(Matrix, StackSliceRoundTrip) {
+  Rng rng(4);
+  std::vector<Matrix> parts{Matrix::randn(2, 3, rng), Matrix::randn(2, 3, rng)};
+  const Matrix stacked = stack_rows(parts);
+  EXPECT_EQ(slice_rows(stacked, 0, 2), parts[0]);
+  EXPECT_EQ(slice_rows(stacked, 2, 4), parts[1]);
+}
+
+// --- finite-difference gradient checking helpers ---------------------------
+
+// Checks dLoss/dInput of a module against central differences, where
+// Loss = sum(output .* coeff) for a fixed random coeff matrix.
+void check_input_gradient(Module& module, const Matrix& x, Rng& rng,
+                          double tol = 1e-5) {
+  const Matrix y0 = module.forward(x);
+  Matrix coeff = Matrix::randn(y0.rows(), y0.cols(), rng);
+  const Matrix gin = module.backward(coeff);
+
+  const double h = 1e-6;
+  for (std::size_t idx = 0; idx < x.size(); idx += std::max<std::size_t>(1, x.size() / 23)) {
+    Matrix xp = x, xm = x;
+    xp.data()[idx] += h;
+    xm.data()[idx] -= h;
+    double fp = 0.0, fm = 0.0;
+    {
+      const Matrix yp = module.forward(xp);
+      for (std::size_t i = 0; i < yp.size(); ++i) fp += yp.data()[i] * coeff.data()[i];
+      const Matrix ym = module.forward(xm);
+      for (std::size_t i = 0; i < ym.size(); ++i) fm += ym.data()[i] * coeff.data()[i];
+    }
+    const double numeric = (fp - fm) / (2 * h);
+    EXPECT_NEAR(gin.data()[idx], numeric, tol) << "input index " << idx;
+  }
+}
+
+// Checks dLoss/dParam for every parameter of a module.
+void check_param_gradients(Module& module, const Matrix& x, Rng& rng,
+                           double tol = 1e-5) {
+  const Matrix y0 = module.forward(x);
+  Matrix coeff = Matrix::randn(y0.rows(), y0.cols(), rng);
+  module.zero_grad();
+  module.backward(coeff);
+
+  for (Parameter* p : module.parameters()) {
+    for (std::size_t idx = 0; idx < p->value.size();
+         idx += std::max<std::size_t>(1, p->value.size() / 11)) {
+      const double h = 1e-6;
+      const double orig = p->value.data()[idx];
+      p->value.data()[idx] = orig + h;
+      const Matrix yp = module.forward(x);
+      p->value.data()[idx] = orig - h;
+      const Matrix ym = module.forward(x);
+      p->value.data()[idx] = orig;
+      double fp = 0.0, fm = 0.0;
+      for (std::size_t i = 0; i < yp.size(); ++i) {
+        fp += yp.data()[i] * coeff.data()[i];
+        fm += ym.data()[i] * coeff.data()[i];
+      }
+      const double numeric = (fp - fm) / (2 * h);
+      EXPECT_NEAR(p->grad.data()[idx], numeric, tol) << "param index " << idx;
+    }
+  }
+}
+
+TEST(GradCheck, LinearInputAndParams) {
+  Rng rng(11);
+  Linear lin(4, 3, rng);
+  const Matrix x = Matrix::randn(5, 4, rng);
+  check_input_gradient(lin, x, rng);
+  check_param_gradients(lin, x, rng);
+}
+
+TEST(GradCheck, Activations) {
+  Rng rng(12);
+  for (Activation act : {Activation::kLeakyRelu, Activation::kTanh,
+                         Activation::kSigmoid, Activation::kIdentity}) {
+    ActivationLayer layer(act);
+    const Matrix x = Matrix::randn(4, 6, rng);
+    check_input_gradient(layer, x, rng);
+  }
+}
+
+TEST(GradCheck, MixedHeadAllSegmentKinds) {
+  Rng rng(13);
+  MixedHead head({{OutputSegment::Kind::kSoftmax, 3},
+                  {OutputSegment::Kind::kSigmoid, 2},
+                  {OutputSegment::Kind::kTanh, 1},
+                  {OutputSegment::Kind::kIdentity, 2}});
+  const Matrix x = Matrix::randn(4, 8, rng);
+  check_input_gradient(head, x, rng);
+}
+
+TEST(GradCheck, MlpEndToEnd) {
+  Rng rng(14);
+  Mlp mlp({5, 8, 7, 2}, Activation::kTanh, rng);
+  const Matrix x = Matrix::randn(3, 5, rng);
+  check_input_gradient(mlp, x, rng, 1e-4);
+  check_param_gradients(mlp, x, rng, 1e-4);
+}
+
+TEST(GradCheck, GruBptt) {
+  Rng rng(15);
+  const std::size_t in = 3, hidden = 4, T = 3, B = 2;
+  Gru gru(in, hidden, rng);
+
+  std::vector<Matrix> xs;
+  for (std::size_t t = 0; t < T; ++t) xs.push_back(Matrix::randn(B, in, rng));
+  std::vector<Matrix> coeff;
+  {
+    auto hs = gru.forward(xs);
+    for (const auto& h : hs) coeff.push_back(Matrix::randn(h.rows(), h.cols(), rng));
+  }
+
+  auto loss_of = [&](const std::vector<Matrix>& inputs) {
+    const auto hs = gru.forward(inputs);
+    double f = 0.0;
+    for (std::size_t t = 0; t < hs.size(); ++t) {
+      for (std::size_t i = 0; i < hs[t].size(); ++i) {
+        f += hs[t].data()[i] * coeff[t].data()[i];
+      }
+    }
+    return f;
+  };
+
+  gru.forward(xs);
+  gru.zero_grad();
+  const auto gxs = gru.backward(coeff);
+
+  const double h = 1e-6;
+  // Input gradients.
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t idx = 0; idx < xs[t].size(); ++idx) {
+      auto xp = xs, xm = xs;
+      xp[t].data()[idx] += h;
+      xm[t].data()[idx] -= h;
+      const double numeric = (loss_of(xp) - loss_of(xm)) / (2 * h);
+      EXPECT_NEAR(gxs[t].data()[idx], numeric, 1e-5)
+          << "t=" << t << " idx=" << idx;
+    }
+  }
+  // Parameter gradients (sample a few entries of each).
+  gru.forward(xs);
+  gru.zero_grad();
+  gru.backward(coeff);
+  for (Parameter* p : gru.parameters()) {
+    for (std::size_t idx = 0; idx < p->value.size();
+         idx += std::max<std::size_t>(1, p->value.size() / 7)) {
+      const double orig = p->value.data()[idx];
+      p->value.data()[idx] = orig + h;
+      const double fp = loss_of(xs);
+      p->value.data()[idx] = orig - h;
+      const double fm = loss_of(xs);
+      p->value.data()[idx] = orig;
+      EXPECT_NEAR(p->grad.data()[idx], (fp - fm) / (2 * h), 1e-5);
+    }
+  }
+}
+
+TEST(Losses, MseGradientMatchesFiniteDifference) {
+  Rng rng(16);
+  const Matrix pred = Matrix::randn(3, 2, rng);
+  const Matrix target = Matrix::randn(3, 2, rng);
+  Matrix grad;
+  mse_loss(pred, target, &grad);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    Matrix p = pred;
+    p.data()[i] += h;
+    const double fp = mse_loss(p, target, nullptr);
+    p.data()[i] -= 2 * h;
+    const double fm = mse_loss(p, target, nullptr);
+    EXPECT_NEAR(grad.data()[i], (fp - fm) / (2 * h), 1e-6);
+  }
+}
+
+TEST(Losses, BceWithLogitsIsStableAtExtremes) {
+  Matrix logits(1, 2);
+  logits(0, 0) = 500.0;
+  logits(0, 1) = -500.0;
+  Matrix target(1, 2);
+  target(0, 0) = 1.0;
+  target(0, 1) = 0.0;
+  Matrix grad;
+  const double loss = bce_with_logits_loss(logits, target, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-9);
+}
+
+TEST(Losses, SoftmaxCrossEntropyGradCheck) {
+  Rng rng(17);
+  const Matrix logits = Matrix::randn(4, 3, rng);
+  const std::vector<std::size_t> labels{0, 2, 1, 2};
+  Matrix grad;
+  softmax_cross_entropy_loss(logits, labels, &grad);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix l = logits;
+    l.data()[i] += h;
+    const double fp = softmax_cross_entropy_loss(l, labels, nullptr);
+    l.data()[i] -= 2 * h;
+    const double fm = softmax_cross_entropy_loss(l, labels, nullptr);
+    EXPECT_NEAR(grad.data()[i], (fp - fm) / (2 * h), 1e-6);
+  }
+}
+
+TEST(Optim, SgdDecreasesQuadratic) {
+  // Minimize ||w||^2 by hand-fed gradients.
+  Parameter w(Matrix(1, 3, 2.0));
+  Sgd opt({&w}, 0.1);
+  for (int i = 0; i < 100; ++i) {
+    w.zero_grad();
+    for (std::size_t j = 0; j < 3; ++j) w.grad(0, j) = 2.0 * w.value(0, j);
+    opt.step();
+  }
+  EXPECT_LT(frobenius_norm(w.value), 1e-5);
+}
+
+TEST(Optim, AdamDecreasesQuadratic) {
+  Parameter w(Matrix(1, 3, 2.0));
+  Adam opt({&w}, 0.05);
+  for (int i = 0; i < 400; ++i) {
+    w.zero_grad();
+    for (std::size_t j = 0; j < 3; ++j) w.grad(0, j) = 2.0 * w.value(0, j);
+    opt.step();
+  }
+  EXPECT_LT(frobenius_norm(w.value), 1e-3);
+}
+
+TEST(Optim, ClipGradNormScalesDown) {
+  Parameter w(Matrix(1, 4, 0.0));
+  w.grad.fill(3.0);  // norm = 6
+  const double pre = clip_grad_norm({&w}, 1.0);
+  EXPECT_NEAR(pre, 6.0, 1e-12);
+  double sq = 0.0;
+  for (double g : w.grad.data()) sq += g * g;
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-9);
+}
+
+TEST(Optim, ClipGradNormNoOpWhenSmall) {
+  Parameter w(Matrix(1, 4, 0.0));
+  w.grad.fill(0.1);
+  clip_grad_norm({&w}, 10.0);
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 0.1);
+}
+
+TEST(Optim, WeightClippingClampsValues) {
+  Parameter w(Matrix(2, 2, 0.0));
+  w.value(0, 0) = 5.0;
+  w.value(1, 1) = -5.0;
+  clip_weights({&w}, 0.01);
+  EXPECT_DOUBLE_EQ(w.value(0, 0), 0.01);
+  EXPECT_DOUBLE_EQ(w.value(1, 1), -0.01);
+}
+
+TEST(Serialize, SnapshotRestoreRoundTrip) {
+  Rng rng(18);
+  Mlp a({3, 5, 2}, Activation::kRelu, rng);
+  Mlp b({3, 5, 2}, Activation::kRelu, rng);
+  const auto snap = snapshot_parameters(a.parameters());
+  restore_parameters(b.parameters(), snap);
+  const Matrix x = Matrix::randn(2, 3, rng);
+  EXPECT_EQ(a.forward(x), b.forward(x));
+}
+
+TEST(Serialize, RestoreRejectsWrongSize) {
+  Rng rng(19);
+  Mlp a({3, 5, 2}, Activation::kRelu, rng);
+  std::vector<double> tiny(3, 0.0);
+  EXPECT_THROW(restore_parameters(a.parameters(), tiny), std::invalid_argument);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::vector<double> snap{1.0, -2.5, 3.25};
+  const std::string path = "/tmp/netshare_test_snapshot.bin";
+  save_snapshot_file(snap, path);
+  EXPECT_EQ(load_snapshot_file(path), snap);
+}
+
+}  // namespace
+}  // namespace netshare::ml

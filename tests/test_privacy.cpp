@@ -1,0 +1,115 @@
+// Tests for the DP substrate: DP-SGD clipping/noising and the RDP accountant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "privacy/accountant.hpp"
+#include "privacy/dp_sgd.hpp"
+
+namespace netshare::privacy {
+namespace {
+
+TEST(DpSgd, ClipsLargePerExampleGradients) {
+  ml::Parameter w(ml::Matrix(1, 4, 0.0));
+  DpSgdAggregator agg({&w}, {1.0, 0.0});  // no noise
+  w.grad.fill(10.0);                      // norm 20 -> clipped to 1
+  agg.accumulate_example();
+  Rng rng(1);
+  agg.finalize_batch(1, rng);
+  double sq = 0.0;
+  for (double g : w.grad.data()) sq += g * g;
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-9);
+}
+
+TEST(DpSgd, SmallGradientsPassUnclipped) {
+  ml::Parameter w(ml::Matrix(1, 4, 0.0));
+  DpSgdAggregator agg({&w}, {10.0, 0.0});
+  w.grad.fill(0.5);  // norm 1 < 10
+  agg.accumulate_example();
+  Rng rng(2);
+  agg.finalize_batch(1, rng);
+  EXPECT_NEAR(w.grad(0, 0), 0.5, 1e-12);
+}
+
+TEST(DpSgd, AveragesAcrossBatch) {
+  ml::Parameter w(ml::Matrix(1, 2, 0.0));
+  DpSgdAggregator agg({&w}, {100.0, 0.0});
+  w.grad.fill(1.0);
+  agg.accumulate_example();
+  w.grad.fill(3.0);
+  agg.accumulate_example();
+  Rng rng(3);
+  agg.finalize_batch(2, rng);
+  EXPECT_NEAR(w.grad(0, 0), 2.0, 1e-12);
+}
+
+TEST(DpSgd, NoiseHasExpectedScale) {
+  ml::Parameter w(ml::Matrix(1, 2000, 0.0));
+  const double sigma = 2.0, clip = 1.0;
+  DpSgdAggregator agg({&w}, {clip, sigma});
+  // Zero gradient: output should be pure noise with stddev sigma*clip/B.
+  agg.accumulate_example();
+  Rng rng(4);
+  const std::size_t B = 4;
+  agg.finalize_batch(B, rng);
+  double var = 0.0;
+  for (double g : w.grad.data()) var += g * g;
+  var /= static_cast<double>(w.grad.size());
+  const double expect_sd = sigma * clip / static_cast<double>(B);
+  EXPECT_NEAR(std::sqrt(var), expect_sd, 0.1 * expect_sd);
+}
+
+TEST(DpSgd, SumResetsBetweenBatches) {
+  ml::Parameter w(ml::Matrix(1, 2, 0.0));
+  DpSgdAggregator agg({&w}, {100.0, 0.0});
+  w.grad.fill(5.0);
+  agg.accumulate_example();
+  Rng rng(5);
+  agg.finalize_batch(1, rng);
+  // Second batch with zero grads must not see the first batch's sum.
+  w.zero_grad();
+  agg.accumulate_example();
+  agg.finalize_batch(1, rng);
+  EXPECT_NEAR(w.grad(0, 0), 0.0, 1e-12);
+}
+
+TEST(Accountant, EpsilonIncreasesWithSteps) {
+  const double e1 = compute_epsilon(0.01, 1.0, 100, 1e-5).epsilon;
+  const double e2 = compute_epsilon(0.01, 1.0, 10000, 1e-5).epsilon;
+  EXPECT_LT(e1, e2);
+}
+
+TEST(Accountant, EpsilonDecreasesWithNoise) {
+  const double e1 = compute_epsilon(0.01, 0.5, 1000, 1e-5).epsilon;
+  const double e2 = compute_epsilon(0.01, 4.0, 1000, 1e-5).epsilon;
+  EXPECT_GT(e1, e2);
+}
+
+TEST(Accountant, EpsilonIncreasesWithSamplingRate) {
+  const double e1 = compute_epsilon(0.001, 1.0, 1000, 1e-5).epsilon;
+  const double e2 = compute_epsilon(0.1, 1.0, 1000, 1e-5).epsilon;
+  EXPECT_LT(e1, e2);
+}
+
+TEST(Accountant, RejectsBadArguments) {
+  EXPECT_THROW(compute_epsilon(0.0, 1.0, 10, 1e-5), std::invalid_argument);
+  EXPECT_THROW(compute_epsilon(0.5, 0.0, 10, 1e-5), std::invalid_argument);
+  EXPECT_THROW(compute_epsilon(0.5, 1.0, 10, 2.0), std::invalid_argument);
+}
+
+TEST(Accountant, NoiseSearchInvertsEpsilon) {
+  const double q = 0.02;
+  const std::size_t steps = 500;
+  const double delta = 1e-5;
+  for (double target : {1.0, 10.0, 100.0}) {
+    const double sigma = noise_multiplier_for_epsilon(target, q, steps, delta);
+    const double achieved = compute_epsilon(q, sigma, steps, delta).epsilon;
+    EXPECT_LE(achieved, target * 1.001);
+    // And not grossly over-noised:
+    const double loose = compute_epsilon(q, sigma * 0.8, steps, delta).epsilon;
+    EXPECT_GT(loose, target * 0.999);
+  }
+}
+
+}  // namespace
+}  // namespace netshare::privacy

@@ -1,0 +1,240 @@
+// Parameterized property-style sweeps over the library's core invariants:
+// codec round-trips over randomized values, checksum algebra across buffer
+// sizes, EMD metric axioms, Zipf normalization across exponents, sketch
+// guarantees across geometries, and DP accountant monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/distributions.hpp"
+#include "embed/bit_encoding.hpp"
+#include "embed/transforms.hpp"
+#include "metrics/divergence.hpp"
+#include "net/checksum.hpp"
+#include "net/flow_collector.hpp"
+#include "privacy/accountant.hpp"
+#include "sketch/count_min.hpp"
+
+namespace netshare {
+namespace {
+
+// --- Codec round-trips over randomized inputs -------------------------------
+
+class BitCodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitCodecProperty, IpRoundTripsForRandomAddresses) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffLL));
+    const net::Ipv4Address ip(v);
+    EXPECT_EQ(embed::bits_to_ip(embed::ip_to_bits(ip)), ip);
+    EXPECT_EQ(embed::bytes_to_ip(embed::ip_to_bytes(ip)), ip);
+  }
+}
+
+TEST_P(BitCodecProperty, PortRoundTripsForRandomPorts) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto p = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    EXPECT_EQ(embed::bits_to_port(embed::port_to_bits(p)), p);
+    EXPECT_EQ(embed::bytes_to_port(embed::port_to_bytes(p)), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitCodecProperty,
+                         ::testing::Values(1u, 17u, 7777u, 123456789u));
+
+// --- Log transform properties ----------------------------------------------
+
+class LogTransformProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogTransformProperty, MonotoneAndBounded) {
+  const embed::LogTransform t(GetParam());
+  double prev = -1.0;
+  for (double x = 0.0; x <= GetParam(); x += GetParam() / 37.0) {
+    const double y = t.encode(x);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+    EXPECT_GT(y, prev - 1e-12);  // non-decreasing
+    prev = y;
+    EXPECT_NEAR(t.decode(y), x, 1e-6 * (1.0 + x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxValues, LogTransformProperty,
+                         ::testing::Values(10.0, 1e3, 1e6, 1e9));
+
+// --- Checksum algebra across sizes and splits --------------------------------
+
+class ChecksumProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChecksumProperty, SplitInvariance) {
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> data(GetParam());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const std::uint16_t whole = net::internet_checksum(data.data(), data.size());
+  for (std::size_t cut : {std::size_t{0}, data.size() / 3, data.size() / 2,
+                          data.size()}) {
+    net::ChecksumAccumulator acc;
+    acc.add(data.data(), cut);
+    acc.add(data.data() + cut, data.size() - cut);
+    EXPECT_EQ(acc.finalize(), whole) << "cut=" << cut;
+  }
+}
+
+TEST_P(ChecksumProperty, VerificationDetectsSingleBitFlips) {
+  Rng rng(GetParam() + 99);
+  std::vector<std::uint8_t> data(GetParam());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const std::uint16_t sum = net::internet_checksum(data.data(), data.size());
+  // Append the checksum; total must verify to zero; a bit flip must not.
+  std::vector<std::uint8_t> with_sum = data;
+  with_sum.push_back(static_cast<std::uint8_t>(sum >> 8));
+  with_sum.push_back(static_cast<std::uint8_t>(sum & 0xff));
+  // Only even-length payloads keep the appended checksum word-aligned.
+  if (data.size() % 2 == 0) {
+    EXPECT_EQ(net::internet_checksum(with_sum.data(), with_sum.size()), 0);
+    with_sum[data.size() / 2] ^= 0x10;
+    EXPECT_NE(net::internet_checksum(with_sum.data(), with_sum.size()), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChecksumProperty,
+                         ::testing::Values(2u, 20u, 21u, 64u, 1499u, 1500u));
+
+// --- EMD metric axioms -------------------------------------------------------
+
+class EmdProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmdProperty, SymmetryNonNegativityIdentity) {
+  Rng rng(GetParam());
+  std::vector<double> a, b;
+  for (int i = 0; i < 150; ++i) {
+    a.push_back(rng.normal(0.0, 2.0));
+    b.push_back(rng.normal(1.0, 1.0));
+  }
+  const double ab = metrics::emd_1d(a, b);
+  const double ba = metrics::emd_1d(b, a);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_NEAR(metrics::emd_1d(a, a), 0.0, 1e-12);
+}
+
+TEST_P(EmdProperty, TriangleInequalityOnSamples) {
+  Rng rng(GetParam() + 5);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.uniform(0, 10));
+    b.push_back(rng.uniform(5, 15));
+    c.push_back(rng.uniform(-5, 5));
+  }
+  EXPECT_LE(metrics::emd_1d(a, c),
+            metrics::emd_1d(a, b) + metrics::emd_1d(b, c) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmdProperty,
+                         ::testing::Values(3u, 31u, 314u, 3141u));
+
+// --- Zipf sampler across exponents -------------------------------------------
+
+class ZipfProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfProperty, PmfNormalizedAndMonotone) {
+  const datagen::ZipfSampler z(64, GetParam());
+  double total = 0.0;
+  double prev = 2.0;
+  for (std::size_t k = 0; k < 64; ++k) {
+    const double p = z.probability(k);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfProperty,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+// --- Count-Min guarantee across geometries ------------------------------------
+
+struct CmsGeometry {
+  std::size_t depth;
+  std::size_t width;
+};
+
+class CmsProperty : public ::testing::TestWithParam<CmsGeometry> {};
+
+TEST_P(CmsProperty, NeverUnderestimatesAnyKey) {
+  const auto [depth, width] = GetParam();
+  sketch::CountMinSketch cms(depth, width, 5);
+  Rng rng(6);
+  std::unordered_map<std::uint64_t, std::uint64_t> exact;
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = static_cast<std::uint64_t>(rng.uniform_int(0, 200));
+    cms.update(k);
+    exact[k]++;
+  }
+  for (const auto& [k, c] : exact) {
+    EXPECT_GE(cms.estimate(k), static_cast<double>(c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CmsProperty,
+                         ::testing::Values(CmsGeometry{1, 32},
+                                           CmsGeometry{3, 64},
+                                           CmsGeometry{5, 512},
+                                           CmsGeometry{8, 16}));
+
+// --- DP accountant monotonicity across budgets --------------------------------
+
+class AccountantProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(AccountantProperty, EpsilonMonotoneInSteps) {
+  const double sigma = GetParam();
+  double prev = 0.0;
+  for (std::size_t steps : {10u, 100u, 1000u, 10000u}) {
+    const double eps = privacy::compute_epsilon(0.02, sigma, steps, 1e-5).epsilon;
+    EXPECT_GT(eps, prev);
+    prev = eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, AccountantProperty,
+                         ::testing::Values(0.5, 1.0, 2.0, 8.0));
+
+// --- Flow collector conservation across timeout settings ----------------------
+
+class CollectorProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CollectorProperty, PacketsAndBytesAreConserved) {
+  Rng rng(42);
+  net::PacketTrace trace;
+  std::uint64_t total_bytes = 0;
+  for (int i = 0; i < 500; ++i) {
+    net::PacketRecord p;
+    p.timestamp = rng.uniform(0.0, 120.0);
+    p.key.src_ip = net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i % 7));
+    p.key.dst_ip = net::Ipv4Address(10, 0, 1, static_cast<std::uint8_t>(i % 5));
+    p.key.src_port = static_cast<std::uint16_t>(1000 + i % 11);
+    p.key.dst_port = 80;
+    p.key.protocol = net::Protocol::kTcp;
+    p.size = 40 + static_cast<std::uint32_t>(rng.uniform_int(0, 1000));
+    total_bytes += p.size;
+    trace.packets.push_back(p);
+  }
+  const net::FlowCollector collector({GetParam(), GetParam() * 3});
+  const auto flows = collector.collect(trace);
+  std::uint64_t pkts = 0, bytes = 0;
+  for (const auto& r : flows.records) {
+    pkts += r.packets;
+    bytes += r.bytes;
+  }
+  EXPECT_EQ(pkts, 500u);
+  EXPECT_EQ(bytes, total_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timeouts, CollectorProperty,
+                         ::testing::Values(0.5, 5.0, 15.0, 120.0));
+
+}  // namespace
+}  // namespace netshare

@@ -1,0 +1,189 @@
+// Tests for the sketching substrate: accuracy bounds, unbiasedness,
+// heavy-hitter harness, and UnivMon's G-sum recursion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "datagen/presets.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/count_sketch.hpp"
+#include "sketch/heavy_hitter.hpp"
+#include "sketch/nitrosketch.hpp"
+#include "sketch/univmon.hpp"
+
+namespace netshare::sketch {
+namespace {
+
+std::vector<std::uint64_t> zipf_stream(std::size_t n, std::size_t universe,
+                                       double alpha, std::uint64_t seed) {
+  datagen::ZipfSampler z(universe, alpha);
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = 1000 + z.sample(rng);
+  return keys;
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t> exact_counts(
+    const std::vector<std::uint64_t>& keys) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (auto k : keys) counts[k]++;
+  return counts;
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch cms(4, 256, 7);
+  const auto keys = zipf_stream(20000, 500, 1.1, 1);
+  for (auto k : keys) cms.update(k);
+  for (const auto& [k, c] : exact_counts(keys)) {
+    EXPECT_GE(cms.estimate(k), static_cast<double>(c)) << k;
+  }
+}
+
+TEST(CountMin, ErrorWithinEpsilonN) {
+  // Classic CMS guarantee: error <= e/width * N with probability 1-delta.
+  const std::size_t width = 512;
+  CountMinSketch cms(5, width, 8);
+  const auto keys = zipf_stream(30000, 400, 1.0, 2);
+  for (auto k : keys) cms.update(k);
+  const double bound =
+      std::exp(1.0) / static_cast<double>(width) * 30000.0;
+  std::size_t violations = 0;
+  const auto exact = exact_counts(keys);
+  for (const auto& [k, c] : exact) {
+    if (cms.estimate(k) - static_cast<double>(c) > bound) ++violations;
+  }
+  EXPECT_LE(violations, exact.size() / 50);
+}
+
+TEST(CountMin, WeightedUpdates) {
+  CountMinSketch cms(3, 64, 9);
+  cms.update(42, 100);
+  cms.update(42, 50);
+  EXPECT_GE(cms.estimate(42), 150.0);
+}
+
+TEST(CountMin, ClearResets) {
+  CountMinSketch cms(3, 64, 10);
+  cms.update(1, 10);
+  cms.clear();
+  EXPECT_DOUBLE_EQ(cms.estimate(1), 0.0);
+}
+
+TEST(CountMin, RejectsZeroDimensions) {
+  EXPECT_THROW(CountMinSketch(0, 8), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(8, 0), std::invalid_argument);
+}
+
+TEST(CountSketch, ApproximatelyUnbiasedOnHeavyKeys) {
+  const auto keys = zipf_stream(30000, 400, 1.1, 3);
+  const auto exact = exact_counts(keys);
+  // Average estimate across independent sketches approaches the true count.
+  const std::uint64_t heavy_key = 1000;  // rank-0 key
+  const double truth = static_cast<double>(exact.at(heavy_key));
+  double sum = 0.0;
+  const int reps = 10;
+  for (int r = 0; r < reps; ++r) {
+    CountSketch cs(5, 256, 100 + r);
+    for (auto k : keys) cs.update(k);
+    sum += cs.signed_estimate(heavy_key);
+  }
+  EXPECT_NEAR(sum / reps, truth, 0.15 * truth);
+}
+
+TEST(CountSketch, EstimateClampedNonNegative) {
+  CountSketch cs(3, 16, 11);
+  cs.update(5, 1);
+  for (std::uint64_t k = 100; k < 200; ++k) {
+    EXPECT_GE(cs.estimate(k), 0.0);
+  }
+}
+
+TEST(NitroSketch, MatchesCountSketchInExpectation) {
+  const auto keys = zipf_stream(40000, 300, 1.1, 4);
+  const auto exact = exact_counts(keys);
+  const std::uint64_t heavy_key = 1000;
+  const double truth = static_cast<double>(exact.at(heavy_key));
+  double sum = 0.0;
+  const int reps = 10;
+  for (int r = 0; r < reps; ++r) {
+    NitroSketch ns(5, 256, 0.2, 200 + r);
+    for (auto k : keys) ns.update(k);
+    sum += ns.estimate(heavy_key);
+  }
+  // Sampled updates keep the estimator unbiased, with higher variance.
+  EXPECT_NEAR(sum / reps, truth, 0.3 * truth);
+}
+
+TEST(NitroSketch, FullProbabilityDegeneratesToCountSketch) {
+  const auto keys = zipf_stream(5000, 100, 1.0, 5);
+  NitroSketch ns(5, 256, 1.0, 12);
+  CountSketch cs(5, 256, 12);  // same seed -> same hashes
+  for (auto k : keys) {
+    ns.update(k);
+    cs.update(k);
+  }
+  for (std::uint64_t k = 1000; k < 1010; ++k) {
+    EXPECT_NEAR(ns.estimate(k), cs.estimate(k), 1e-9);
+  }
+}
+
+TEST(NitroSketch, RejectsBadProbability) {
+  EXPECT_THROW(NitroSketch(3, 16, 0.0), std::invalid_argument);
+  EXPECT_THROW(NitroSketch(3, 16, 1.5), std::invalid_argument);
+}
+
+TEST(UnivMon, PointQueriesTrackHeavyKeys) {
+  UnivMon um(6, 5, 256, 13);
+  const auto keys = zipf_stream(30000, 300, 1.2, 6);
+  for (auto k : keys) um.update(k);
+  const auto exact = exact_counts(keys);
+  const double truth = static_cast<double>(exact.at(1000));
+  EXPECT_NEAR(um.estimate(1000), truth, 0.3 * truth);
+}
+
+TEST(UnivMon, GsumCardinalityIsReasonable) {
+  UnivMon um(8, 5, 512, 14);
+  // 64 distinct keys with equal weight.
+  for (std::uint64_t k = 0; k < 64; ++k) um.update(k, 100);
+  const double card = um.g_sum([](double) { return 1.0; });
+  EXPECT_GT(card, 16.0);
+  EXPECT_LT(card, 256.0);
+}
+
+TEST(UnivMon, LevelsSampleRoughlyHalf) {
+  UnivMon um(4, 3, 64, 15);
+  (void)um;  // construction-only check
+  EXPECT_EQ(um.levels(), 4u);
+}
+
+TEST(HeavyHitterHarness, PerfectSketchGivesZeroError) {
+  // CMS with huge width ~= exact counting.
+  CountMinSketch cms(4, 1 << 16, 16);
+  const auto keys = zipf_stream(20000, 100, 1.3, 7);
+  const auto report = evaluate_heavy_hitters(cms, keys, 0.001);
+  EXPECT_GT(report.num_heavy, 0u);
+  EXPECT_LT(report.mean_relative_error, 0.01);
+}
+
+TEST(HeavyHitterHarness, TinySketchGivesLargeError) {
+  CountMinSketch tiny(2, 8, 17);
+  const auto keys = zipf_stream(20000, 500, 1.0, 8);
+  const auto report = evaluate_heavy_hitters(tiny, keys, 0.001);
+  EXPECT_GT(report.mean_relative_error, 0.05);
+}
+
+TEST(HeavyHitterHarness, ExtractsKeysPerKind) {
+  const auto bundle = datagen::make_dataset(datagen::DatasetId::kCaida, 500, 18);
+  const auto dst = extract_keys(bundle.packets, HeavyHitterKey::kDstIp);
+  const auto src = extract_keys(bundle.packets, HeavyHitterKey::kSrcIp);
+  const auto ft = extract_keys(bundle.packets, HeavyHitterKey::kFiveTuple);
+  EXPECT_EQ(dst.size(), bundle.packets.size());
+  EXPECT_EQ(src.size(), bundle.packets.size());
+  EXPECT_EQ(ft.size(), bundle.packets.size());
+  EXPECT_NE(dst[0], src[0]);
+}
+
+}  // namespace
+}  // namespace netshare::sketch
