@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/netshare.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stopwatch.cpp" "src/CMakeFiles/netshare.dir/common/stopwatch.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/common/stopwatch.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/netshare.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/netshare.cpp" "src/CMakeFiles/netshare.dir/core/netshare.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/core/netshare.cpp.o.d"
+  "/root/repo/src/core/postprocess.cpp" "src/CMakeFiles/netshare.dir/core/postprocess.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/core/postprocess.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/CMakeFiles/netshare.dir/core/preprocess.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/core/preprocess.cpp.o.d"
+  "/root/repo/src/core/train.cpp" "src/CMakeFiles/netshare.dir/core/train.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/core/train.cpp.o.d"
+  "/root/repo/src/datagen/attacks.cpp" "src/CMakeFiles/netshare.dir/datagen/attacks.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/datagen/attacks.cpp.o.d"
+  "/root/repo/src/datagen/distributions.cpp" "src/CMakeFiles/netshare.dir/datagen/distributions.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/datagen/distributions.cpp.o.d"
+  "/root/repo/src/datagen/presets.cpp" "src/CMakeFiles/netshare.dir/datagen/presets.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/datagen/presets.cpp.o.d"
+  "/root/repo/src/datagen/workload.cpp" "src/CMakeFiles/netshare.dir/datagen/workload.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/datagen/workload.cpp.o.d"
+  "/root/repo/src/downstream/classifier.cpp" "src/CMakeFiles/netshare.dir/downstream/classifier.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/classifier.cpp.o.d"
+  "/root/repo/src/downstream/decision_tree.cpp" "src/CMakeFiles/netshare.dir/downstream/decision_tree.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/decision_tree.cpp.o.d"
+  "/root/repo/src/downstream/features.cpp" "src/CMakeFiles/netshare.dir/downstream/features.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/features.cpp.o.d"
+  "/root/repo/src/downstream/gradient_boosting.cpp" "src/CMakeFiles/netshare.dir/downstream/gradient_boosting.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/gradient_boosting.cpp.o.d"
+  "/root/repo/src/downstream/logistic_regression.cpp" "src/CMakeFiles/netshare.dir/downstream/logistic_regression.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/logistic_regression.cpp.o.d"
+  "/root/repo/src/downstream/mlp_classifier.cpp" "src/CMakeFiles/netshare.dir/downstream/mlp_classifier.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/mlp_classifier.cpp.o.d"
+  "/root/repo/src/downstream/netml.cpp" "src/CMakeFiles/netshare.dir/downstream/netml.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/netml.cpp.o.d"
+  "/root/repo/src/downstream/ocsvm.cpp" "src/CMakeFiles/netshare.dir/downstream/ocsvm.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/ocsvm.cpp.o.d"
+  "/root/repo/src/downstream/random_forest.cpp" "src/CMakeFiles/netshare.dir/downstream/random_forest.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/downstream/random_forest.cpp.o.d"
+  "/root/repo/src/embed/bit_encoding.cpp" "src/CMakeFiles/netshare.dir/embed/bit_encoding.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/embed/bit_encoding.cpp.o.d"
+  "/root/repo/src/embed/ip2vec.cpp" "src/CMakeFiles/netshare.dir/embed/ip2vec.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/embed/ip2vec.cpp.o.d"
+  "/root/repo/src/embed/transforms.cpp" "src/CMakeFiles/netshare.dir/embed/transforms.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/embed/transforms.cpp.o.d"
+  "/root/repo/src/eval/fidelity.cpp" "src/CMakeFiles/netshare.dir/eval/fidelity.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/eval/fidelity.cpp.o.d"
+  "/root/repo/src/eval/harness.cpp" "src/CMakeFiles/netshare.dir/eval/harness.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/eval/harness.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/netshare.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/eval/report.cpp.o.d"
+  "/root/repo/src/gan/ctgan.cpp" "src/CMakeFiles/netshare.dir/gan/ctgan.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/gan/ctgan.cpp.o.d"
+  "/root/repo/src/gan/doppelganger.cpp" "src/CMakeFiles/netshare.dir/gan/doppelganger.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/gan/doppelganger.cpp.o.d"
+  "/root/repo/src/gan/ewgan_gp.cpp" "src/CMakeFiles/netshare.dir/gan/ewgan_gp.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/gan/ewgan_gp.cpp.o.d"
+  "/root/repo/src/gan/packet_gans.cpp" "src/CMakeFiles/netshare.dir/gan/packet_gans.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/gan/packet_gans.cpp.o.d"
+  "/root/repo/src/gan/stan.cpp" "src/CMakeFiles/netshare.dir/gan/stan.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/gan/stan.cpp.o.d"
+  "/root/repo/src/gan/tabular_gan.cpp" "src/CMakeFiles/netshare.dir/gan/tabular_gan.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/gan/tabular_gan.cpp.o.d"
+  "/root/repo/src/gan/timeseries.cpp" "src/CMakeFiles/netshare.dir/gan/timeseries.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/gan/timeseries.cpp.o.d"
+  "/root/repo/src/metrics/consistency.cpp" "src/CMakeFiles/netshare.dir/metrics/consistency.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/metrics/consistency.cpp.o.d"
+  "/root/repo/src/metrics/divergence.cpp" "src/CMakeFiles/netshare.dir/metrics/divergence.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/metrics/divergence.cpp.o.d"
+  "/root/repo/src/metrics/field_metrics.cpp" "src/CMakeFiles/netshare.dir/metrics/field_metrics.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/metrics/field_metrics.cpp.o.d"
+  "/root/repo/src/metrics/rank.cpp" "src/CMakeFiles/netshare.dir/metrics/rank.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/metrics/rank.cpp.o.d"
+  "/root/repo/src/ml/gru.cpp" "src/CMakeFiles/netshare.dir/ml/gru.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/ml/gru.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/CMakeFiles/netshare.dir/ml/layers.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/ml/layers.cpp.o.d"
+  "/root/repo/src/ml/loss.cpp" "src/CMakeFiles/netshare.dir/ml/loss.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/ml/loss.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/CMakeFiles/netshare.dir/ml/matrix.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/netshare.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/optim.cpp" "src/CMakeFiles/netshare.dir/ml/optim.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/ml/optim.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/CMakeFiles/netshare.dir/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/ml/serialize.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/CMakeFiles/netshare.dir/net/checksum.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/checksum.cpp.o.d"
+  "/root/repo/src/net/five_tuple.cpp" "src/CMakeFiles/netshare.dir/net/five_tuple.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/five_tuple.cpp.o.d"
+  "/root/repo/src/net/flow_collector.cpp" "src/CMakeFiles/netshare.dir/net/flow_collector.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/flow_collector.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/netshare.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/netflow_io.cpp" "src/CMakeFiles/netshare.dir/net/netflow_io.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/netflow_io.cpp.o.d"
+  "/root/repo/src/net/pcap_io.cpp" "src/CMakeFiles/netshare.dir/net/pcap_io.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/pcap_io.cpp.o.d"
+  "/root/repo/src/net/ports.cpp" "src/CMakeFiles/netshare.dir/net/ports.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/ports.cpp.o.d"
+  "/root/repo/src/net/records.cpp" "src/CMakeFiles/netshare.dir/net/records.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/records.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/netshare.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/net/trace.cpp.o.d"
+  "/root/repo/src/privacy/accountant.cpp" "src/CMakeFiles/netshare.dir/privacy/accountant.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/privacy/accountant.cpp.o.d"
+  "/root/repo/src/privacy/dp_sgd.cpp" "src/CMakeFiles/netshare.dir/privacy/dp_sgd.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/privacy/dp_sgd.cpp.o.d"
+  "/root/repo/src/sketch/count_min.cpp" "src/CMakeFiles/netshare.dir/sketch/count_min.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/sketch/count_min.cpp.o.d"
+  "/root/repo/src/sketch/count_sketch.cpp" "src/CMakeFiles/netshare.dir/sketch/count_sketch.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/sketch/count_sketch.cpp.o.d"
+  "/root/repo/src/sketch/heavy_hitter.cpp" "src/CMakeFiles/netshare.dir/sketch/heavy_hitter.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/sketch/heavy_hitter.cpp.o.d"
+  "/root/repo/src/sketch/nitrosketch.cpp" "src/CMakeFiles/netshare.dir/sketch/nitrosketch.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/sketch/nitrosketch.cpp.o.d"
+  "/root/repo/src/sketch/univmon.cpp" "src/CMakeFiles/netshare.dir/sketch/univmon.cpp.o" "gcc" "src/CMakeFiles/netshare.dir/sketch/univmon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
