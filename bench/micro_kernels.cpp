@@ -1,0 +1,208 @@
+// Micro-benchmark of the blocked parallel matmul kernel layer against the
+// serial reference kernels, plus end-to-end DoppelGANger training
+// throughput, at 1/2/4/8 kernel threads. Emits BENCH_kernels.json (path
+// overridable via argv[1]) so later PRs have a perf trajectory to regress
+// against; the first recorded baseline is committed at the repo root and
+// referenced from EXPERIMENTS.md.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gan/doppelganger.hpp"
+#include "ml/kernels.hpp"
+#include "ml/matrix.hpp"
+
+using namespace netshare;
+using ml::Matrix;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Runs fn repeatedly until ~min_seconds of wall clock, returns best
+// per-iteration seconds (best-of is stabler than mean on a shared CI core).
+double time_best(const std::function<void()>& fn, double min_seconds = 0.3) {
+  fn();  // warm-up
+  double best = 1e100;
+  double total = 0.0;
+  while (total < min_seconds) {
+    const auto t0 = Clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s < best) best = s;
+    total += s;
+  }
+  return best;
+}
+
+double gflops(std::size_t r, std::size_t k, std::size_t c, double seconds) {
+  return 2.0 * static_cast<double>(r) * static_cast<double>(k) *
+         static_cast<double>(c) / seconds / 1e9;
+}
+
+const std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+struct MatmulRow {
+  std::size_t n;
+  double reference;
+  double kernel[4];  // GFLOP/s at kThreadCounts
+};
+
+MatmulRow bench_matmul(std::size_t n) {
+  Rng rng(2);
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  MatmulRow row{};
+  row.n = n;
+  row.reference =
+      gflops(n, n, n, time_best([&] { ml::reference::matmul(a, b); }));
+  for (int t = 0; t < 4; ++t) {
+    ml::kernels::KernelConfig cfg;
+    cfg.threads = kThreadCounts[t];
+    cfg.min_parallel_flops = 0;
+    ml::kernels::ConfigOverride guard(cfg);
+    row.kernel[t] = gflops(n, n, n, time_best([&] { ml::matmul(a, b); }));
+  }
+  return row;
+}
+
+// Shapes sized like the GRU/MLP hot paths (batch x hidden reductions).
+struct TransRow {
+  const char* name;
+  double reference;
+  double kernel[4];
+};
+
+TransRow bench_trans(bool trans_a) {
+  Rng rng(3);
+  const std::size_t n = 256;
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  TransRow row{};
+  row.name = trans_a ? "matmul_trans_a" : "matmul_trans_b";
+  const auto ref = [&] {
+    trans_a ? ml::reference::matmul_trans_a(a, b)
+            : ml::reference::matmul_trans_b(a, b);
+  };
+  row.reference = gflops(n, n, n, time_best(ref));
+  for (int t = 0; t < 4; ++t) {
+    ml::kernels::KernelConfig cfg;
+    cfg.threads = kThreadCounts[t];
+    cfg.min_parallel_flops = 0;
+    ml::kernels::ConfigOverride guard(cfg);
+    const auto run = [&] {
+      trans_a ? ml::matmul_trans_a(a, b) : ml::matmul_trans_b(a, b);
+    };
+    row.kernel[t] = gflops(n, n, n, time_best(run));
+  }
+  return row;
+}
+
+// End-to-end: DoppelGANger iterations/sec on a toy trace at each kernel
+// thread count. Training is bitwise identical across rows; only wall-clock
+// may differ.
+gan::TimeSeriesDataset toy_data(std::size_t n) {
+  gan::TimeSeriesSpec spec;
+  spec.attribute_segments = {{ml::OutputSegment::Kind::kSoftmax, 3},
+                             {ml::OutputSegment::Kind::kSigmoid, 1}};
+  spec.feature_segments = {{ml::OutputSegment::Kind::kSigmoid, 1}};
+  spec.max_len = 8;
+  gan::TimeSeriesDataset data;
+  data.spec = spec;
+  data.attributes = Matrix(n, 4);
+  data.features.assign(8, Matrix(n, 1));
+  data.lengths.resize(n);
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cat = rng.categorical({0.5, 0.3, 0.2});
+    data.attributes(i, cat) = 1.0;
+    data.attributes(i, 3) = rng.uniform(0.2, 0.8);
+    data.lengths[i] = 2 * cat + 1;
+    for (std::size_t t = 0; t < data.lengths[i]; ++t) {
+      data.features[t](i, 0) = rng.uniform(0.1, 0.9);
+    }
+  }
+  return data;
+}
+
+double bench_dg_iters_per_sec(std::size_t threads, int iterations) {
+  ml::kernels::KernelConfig cfg;
+  cfg.threads = threads;
+  cfg.min_parallel_flops = 0;
+  ml::kernels::ConfigOverride guard(cfg);
+  const gan::TimeSeriesDataset data = toy_data(256);
+  gan::DgConfig dg;  // paper-shaped defaults: rnn 48, disc {96,96}
+  gan::DoppelGanger model(data.spec, dg, 99);
+  const auto t0 = Clock::now();
+  model.fit(data, iterations);
+  const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return iterations / s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  const int dg_iterations = 20;
+
+  std::vector<MatmulRow> mm;
+  for (std::size_t n : {128, 256, 512}) {
+    mm.push_back(bench_matmul(n));
+    std::printf("matmul %zux%zux%zu: ref %.2f GFLOP/s, kernel@4t %.2f "
+                "GFLOP/s (%.2fx)\n",
+                n, n, n, mm.back().reference, mm.back().kernel[2],
+                mm.back().kernel[2] / mm.back().reference);
+  }
+  std::vector<TransRow> trans{bench_trans(true), bench_trans(false)};
+  for (const auto& row : trans) {
+    std::printf("%s 256: ref %.2f GFLOP/s, kernel@4t %.2f GFLOP/s (%.2fx)\n",
+                row.name, row.reference, row.kernel[2],
+                row.kernel[2] / row.reference);
+  }
+
+  double dg[4];
+  for (int t = 0; t < 4; ++t) {
+    dg[t] = bench_dg_iters_per_sec(kThreadCounts[t], dg_iterations);
+    std::printf("doppelganger @%zu kernel threads: %.2f iters/sec\n",
+                kThreadCounts[t], dg[t]);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"thread_counts\": [1, 2, 4, 8],\n");
+  std::fprintf(f, "  \"matmul_gflops\": [\n");
+  for (std::size_t i = 0; i < mm.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"size\": %zu, \"reference\": %.3f, "
+                 "\"kernel\": [%.3f, %.3f, %.3f, %.3f]}%s\n",
+                 mm[i].n, mm[i].reference, mm[i].kernel[0], mm[i].kernel[1],
+                 mm[i].kernel[2], mm[i].kernel[3],
+                 i + 1 < mm.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  for (const auto& row : trans) {
+    std::fprintf(f,
+                 "  \"%s_256_gflops\": {\"reference\": %.3f, "
+                 "\"kernel\": [%.3f, %.3f, %.3f, %.3f]},\n",
+                 row.name, row.reference, row.kernel[0], row.kernel[1],
+                 row.kernel[2], row.kernel[3]);
+  }
+  std::fprintf(f,
+               "  \"doppelganger_iters_per_sec\": {\"iterations\": %d, "
+               "\"kernel\": [%.3f, %.3f, %.3f, %.3f]}\n",
+               dg_iterations, dg[0], dg[1], dg[2], dg[3]);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_insights.dir/ablation_insights.cpp.o"
+  "CMakeFiles/ablation_insights.dir/ablation_insights.cpp.o.d"
+  "ablation_insights"
+  "ablation_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_flow_length.dir/fig01_flow_length.cpp.o"
+  "CMakeFiles/fig01_flow_length.dir/fig01_flow_length.cpp.o.d"
+  "fig01_flow_length"
+  "fig01_flow_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_flow_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_large_support.dir/fig02_large_support.cpp.o"
+  "CMakeFiles/fig02_large_support.dir/fig02_large_support.cpp.o.d"
+  "fig02_large_support"
+  "fig02_large_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_large_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_top_ports.dir/fig03_top_ports.cpp.o"
+  "CMakeFiles/fig03_top_ports.dir/fig03_top_ports.cpp.o.d"
+  "fig03_top_ports"
+  "fig03_top_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_top_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_privacy.dir/fig05_privacy.cpp.o"
+  "CMakeFiles/fig05_privacy.dir/fig05_privacy.cpp.o.d"
+  "fig05_privacy"
+  "fig05_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

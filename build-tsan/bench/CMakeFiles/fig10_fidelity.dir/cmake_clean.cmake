@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fidelity.dir/fig10_fidelity.cpp.o"
+  "CMakeFiles/fig10_fidelity.dir/fig10_fidelity.cpp.o.d"
+  "fig10_fidelity"
+  "fig10_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_prediction.dir/fig12_prediction.cpp.o"
+  "CMakeFiles/fig12_prediction.dir/fig12_prediction.cpp.o.d"
+  "fig12_prediction"
+  "fig12_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sketch.dir/fig13_sketch.cpp.o"
+  "CMakeFiles/fig13_sketch.dir/fig13_sketch.cpp.o.d"
+  "fig13_sketch"
+  "fig13_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

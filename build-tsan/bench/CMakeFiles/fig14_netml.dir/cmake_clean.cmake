@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_netml.dir/fig14_netml.cpp.o"
+  "CMakeFiles/fig14_netml.dir/fig14_netml.cpp.o.d"
+  "fig14_netml"
+  "fig14_netml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_netml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

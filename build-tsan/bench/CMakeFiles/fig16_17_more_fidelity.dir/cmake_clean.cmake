@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_17_more_fidelity.dir/fig16_17_more_fidelity.cpp.o"
+  "CMakeFiles/fig16_17_more_fidelity.dir/fig16_17_more_fidelity.cpp.o.d"
+  "fig16_17_more_fidelity"
+  "fig16_17_more_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_17_more_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_17_more_fidelity.
+# This may be replaced when dependencies are built.

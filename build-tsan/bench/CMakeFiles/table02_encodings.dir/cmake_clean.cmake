@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_encodings.dir/table02_encodings.cpp.o"
+  "CMakeFiles/table02_encodings.dir/table02_encodings.cpp.o.d"
+  "table02_encodings"
+  "table02_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_07_consistency.dir/table06_07_consistency.cpp.o"
+  "CMakeFiles/table06_07_consistency.dir/table06_07_consistency.cpp.o.d"
+  "table06_07_consistency"
+  "table06_07_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_07_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_sharing.dir/dp_sharing.cpp.o"
+  "CMakeFiles/dp_sharing.dir/dp_sharing.cpp.o.d"
+  "dp_sharing"
+  "dp_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

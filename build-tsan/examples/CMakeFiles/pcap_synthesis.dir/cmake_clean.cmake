@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_synthesis.dir/pcap_synthesis.cpp.o"
+  "CMakeFiles/pcap_synthesis.dir/pcap_synthesis.cpp.o.d"
+  "pcap_synthesis"
+  "pcap_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_eval.dir/telemetry_eval.cpp.o"
+  "CMakeFiles/telemetry_eval.dir/telemetry_eval.cpp.o.d"
+  "telemetry_eval"
+  "telemetry_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doppelganger.dir/test_doppelganger.cpp.o"
+  "CMakeFiles/test_doppelganger.dir/test_doppelganger.cpp.o.d"
+  "test_doppelganger"
+  "test_doppelganger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doppelganger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

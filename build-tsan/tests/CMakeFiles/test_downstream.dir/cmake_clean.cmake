@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_downstream.dir/test_downstream.cpp.o"
+  "CMakeFiles/test_downstream.dir/test_downstream.cpp.o.d"
+  "test_downstream"
+  "test_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

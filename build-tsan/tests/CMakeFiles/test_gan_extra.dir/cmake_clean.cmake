@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gan_extra.dir/test_gan_extra.cpp.o"
+  "CMakeFiles/test_gan_extra.dir/test_gan_extra.cpp.o.d"
+  "test_gan_extra"
+  "test_gan_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gan_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_extra.dir/test_pipeline_extra.cpp.o"
+  "CMakeFiles/test_pipeline_extra.dir/test_pipeline_extra.cpp.o.d"
+  "test_pipeline_extra"
+  "test_pipeline_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

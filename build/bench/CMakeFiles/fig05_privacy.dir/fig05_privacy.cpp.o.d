@@ -251,12 +251,12 @@ bench/CMakeFiles/fig05_privacy.dir/fig05_privacy.cpp.o: \
  /root/repo/src/ml/layers.hpp /root/repo/src/ml/matrix.hpp \
  /root/repo/src/ml/gru.hpp /root/repo/src/ml/mlp.hpp \
  /root/repo/src/ml/optim.hpp /root/repo/src/privacy/dp_sgd.hpp \
- /root/repo/src/core/preprocess.hpp /root/repo/src/embed/ip2vec.hpp \
- /usr/include/c++/12/span /root/repo/src/embed/transforms.hpp \
- /root/repo/src/core/train.hpp /root/repo/src/gan/ctgan.hpp \
- /root/repo/src/gan/synthesizer.hpp /root/repo/src/gan/tabular_gan.hpp \
- /root/repo/src/gan/ewgan_gp.hpp /root/repo/src/gan/packet_gans.hpp \
- /root/repo/src/gan/stan.hpp /root/repo/src/eval/report.hpp \
- /root/repo/src/metrics/field_metrics.hpp \
+ /root/repo/src/ml/kernels.hpp /root/repo/src/core/preprocess.hpp \
+ /root/repo/src/embed/ip2vec.hpp /usr/include/c++/12/span \
+ /root/repo/src/embed/transforms.hpp /root/repo/src/core/train.hpp \
+ /root/repo/src/gan/ctgan.hpp /root/repo/src/gan/synthesizer.hpp \
+ /root/repo/src/gan/tabular_gan.hpp /root/repo/src/gan/ewgan_gp.hpp \
+ /root/repo/src/gan/packet_gans.hpp /root/repo/src/gan/stan.hpp \
+ /root/repo/src/eval/report.hpp /root/repo/src/metrics/field_metrics.hpp \
  /root/repo/src/metrics/divergence.hpp \
  /root/repo/src/privacy/accountant.hpp

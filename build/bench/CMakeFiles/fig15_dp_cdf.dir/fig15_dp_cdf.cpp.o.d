@@ -251,10 +251,10 @@ bench/CMakeFiles/fig15_dp_cdf.dir/fig15_dp_cdf.cpp.o: \
  /root/repo/src/ml/layers.hpp /root/repo/src/ml/matrix.hpp \
  /root/repo/src/ml/gru.hpp /root/repo/src/ml/mlp.hpp \
  /root/repo/src/ml/optim.hpp /root/repo/src/privacy/dp_sgd.hpp \
- /root/repo/src/core/preprocess.hpp /root/repo/src/embed/ip2vec.hpp \
- /usr/include/c++/12/span /root/repo/src/embed/transforms.hpp \
- /root/repo/src/core/train.hpp /root/repo/src/gan/ctgan.hpp \
- /root/repo/src/gan/synthesizer.hpp /root/repo/src/gan/tabular_gan.hpp \
- /root/repo/src/gan/ewgan_gp.hpp /root/repo/src/gan/packet_gans.hpp \
- /root/repo/src/gan/stan.hpp /root/repo/src/eval/report.hpp \
- /root/repo/src/privacy/accountant.hpp
+ /root/repo/src/ml/kernels.hpp /root/repo/src/core/preprocess.hpp \
+ /root/repo/src/embed/ip2vec.hpp /usr/include/c++/12/span \
+ /root/repo/src/embed/transforms.hpp /root/repo/src/core/train.hpp \
+ /root/repo/src/gan/ctgan.hpp /root/repo/src/gan/synthesizer.hpp \
+ /root/repo/src/gan/tabular_gan.hpp /root/repo/src/gan/ewgan_gp.hpp \
+ /root/repo/src/gan/packet_gans.hpp /root/repo/src/gan/stan.hpp \
+ /root/repo/src/eval/report.hpp /root/repo/src/privacy/accountant.hpp

@@ -234,8 +234,9 @@ examples/CMakeFiles/pcap_synthesis.dir/pcap_synthesis.cpp.o: \
  /root/repo/src/ml/matrix.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/ml/gru.hpp /root/repo/src/ml/mlp.hpp \
  /root/repo/src/ml/optim.hpp /root/repo/src/privacy/dp_sgd.hpp \
- /root/repo/src/core/preprocess.hpp /root/repo/src/embed/ip2vec.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/ml/kernels.hpp /root/repo/src/core/preprocess.hpp \
+ /root/repo/src/embed/ip2vec.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \

@@ -344,13 +344,13 @@ tests/CMakeFiles/test_pipeline_extra.dir/test_pipeline_extra.cpp.o: \
  /root/repo/src/gan/timeseries.hpp /root/repo/src/ml/layers.hpp \
  /root/repo/src/ml/matrix.hpp /root/repo/src/ml/gru.hpp \
  /root/repo/src/ml/mlp.hpp /root/repo/src/ml/optim.hpp \
- /root/repo/src/privacy/dp_sgd.hpp /root/repo/src/core/preprocess.hpp \
- /root/repo/src/embed/ip2vec.hpp /usr/include/c++/12/span \
- /root/repo/src/net/trace.hpp /root/repo/src/net/records.hpp \
- /root/repo/src/net/five_tuple.hpp /root/repo/src/net/ipv4.hpp \
- /root/repo/src/embed/transforms.hpp /root/repo/src/core/train.hpp \
- /root/repo/src/datagen/presets.hpp /root/repo/src/datagen/workload.hpp \
- /root/repo/src/datagen/attacks.hpp \
+ /root/repo/src/privacy/dp_sgd.hpp /root/repo/src/ml/kernels.hpp \
+ /root/repo/src/core/preprocess.hpp /root/repo/src/embed/ip2vec.hpp \
+ /usr/include/c++/12/span /root/repo/src/net/trace.hpp \
+ /root/repo/src/net/records.hpp /root/repo/src/net/five_tuple.hpp \
+ /root/repo/src/net/ipv4.hpp /root/repo/src/embed/transforms.hpp \
+ /root/repo/src/core/train.hpp /root/repo/src/datagen/presets.hpp \
+ /root/repo/src/datagen/workload.hpp /root/repo/src/datagen/attacks.hpp \
  /root/repo/src/datagen/distributions.hpp \
  /root/repo/src/net/flow_collector.hpp \
  /root/repo/src/metrics/consistency.hpp /root/repo/src/net/netflow_io.hpp \

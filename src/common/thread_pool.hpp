@@ -1,5 +1,11 @@
 // Minimal fixed-size thread pool used for parallel chunk fine-tuning
-// (NetShare Insight 3) and multi-run evaluation harnesses.
+// (NetShare Insight 3), the blocked matmul kernels (ml/kernels.hpp), and
+// multi-run evaluation harnesses.
+//
+// Exception semantics: a throwing task never kills its worker — the
+// exception is captured in the task's future and rethrown from get().
+// Destruction semantics: the destructor drains the queue (all already
+// submitted tasks run) before joining the workers.
 #pragma once
 
 #include <condition_variable>
@@ -21,10 +27,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueue a task; the returned future resolves when it completes.
+  // Enqueue a task; the returned future resolves when it completes (or
+  // rethrows from get() if the task threw).
   std::future<void> submit(std::function<void()> task);
 
-  // Run fn(i) for i in [0, n) across the pool and wait for completion.
+  // Run fn(i) for i in [0, n) across the pool and wait for completion. If
+  // any invocation throws, every task still runs to completion (they share
+  // caller stack state) and the first exception is rethrown afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const { return workers_.size(); }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gan/doppelganger.hpp"
+#include "ml/kernels.hpp"
 
 namespace netshare::core {
 
@@ -22,10 +23,17 @@ struct NetShareConfig {
   std::size_t num_chunks = 5;     // M evenly time-spaced chunks
   int seed_iterations = 250;      // chunk-0 training
   int finetune_iterations = 80;   // per later chunk
-  std::size_t threads = 4;        // parallel fine-tuning
+  std::size_t threads = 4;        // total thread budget (chunks × kernels)
   bool netshare_v0 = false;       // monolithic: single model, no chunking
   bool naive_parallel = false;    // ablation: chunks without warm start
   bool use_flow_tags = true;      // ablation: cross-chunk flow tags
+
+  // --- matmul kernel layer (ml/kernels.hpp) ---
+  // kernels.threads == 0 defers to `threads` above during training: the seed
+  // phase gives the whole budget to the kernels, the fine-tune phase splits
+  // it between chunk workers and per-worker kernel threads (see
+  // ChunkedTrainer::fit). Parallel kernels are bitwise identical to serial.
+  ml::kernels::KernelConfig kernels;
 
   // --- Insight 4: differential privacy ---
   bool dp = false;

@@ -34,6 +34,16 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
     throw std::invalid_argument("ChunkedTrainer::fit: all chunks empty");
   }
 
+  // Thread budget (see core/config.hpp): while only the seed model trains,
+  // the whole budget goes to kernel-level parallelism; once chunks fine-tune
+  // concurrently it is split so chunk_workers × kernel_threads ≈ budget.
+  // Kernel results are bitwise identical at any thread count, so the split
+  // affects wall-clock only.
+  const std::size_t budget = std::max<std::size_t>(1, config_.threads);
+  ml::kernels::KernelConfig kernel_cfg = config_.kernels;
+  if (kernel_cfg.threads == 0) kernel_cfg.threads = budget;
+  ml::kernels::ConfigOverride seed_budget(kernel_cfg);
+
   const gan::DgConfig dg = chunk_config();
   models_[seed_chunk_] = std::make_unique<gan::DoppelGanger>(
       spec_, dg, config_.seed + seed_chunk_);
@@ -64,7 +74,12 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   }
   const int iters = config_.naive_parallel ? config_.seed_iterations
                                            : config_.finetune_iterations;
-  ThreadPool pool(std::min(config_.threads, todo.size()));
+  const std::size_t chunk_workers = std::min(budget, todo.size());
+  ml::kernels::KernelConfig finetune_cfg = kernel_cfg;
+  finetune_cfg.threads =
+      std::max<std::size_t>(1, kernel_cfg.threads / chunk_workers);
+  ml::kernels::ConfigOverride finetune_budget(finetune_cfg);
+  ThreadPool pool(chunk_workers);
   pool.parallel_for(todo.size(), [&](std::size_t i) {
     models_[todo[i]]->fit(chunks[todo[i]], iters);
   });

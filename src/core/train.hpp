@@ -2,6 +2,12 @@
 // first (non-empty) chunk, snapshot it, and fine-tune one model per
 // remaining chunk in parallel. Also hosts the DP path (Insight 4): restore a
 // public-data snapshot, then run DP-SGD fine-tuning.
+//
+// Thread budgeting: NetShareConfig::threads is the total budget. The seed
+// phase hands it all to the matmul kernel layer (ml/kernels.hpp); the
+// fine-tune phase splits it between chunk-level workers and per-worker
+// kernel threads. Determinism is unaffected — the kernels are bitwise
+// identical at any thread count.
 #pragma once
 
 #include <memory>

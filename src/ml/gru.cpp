@@ -47,20 +47,26 @@ std::vector<Matrix> Gru::forward(const std::vector<Matrix>& xs) {
     if (x.cols() != input_dim_) {
       throw std::invalid_argument("Gru::forward: input dim mismatch");
     }
-    Matrix z = sigmoid(add_row_broadcast(
-        matmul(x, wxz_.value) + matmul(h, whz_.value), bz_.value));
-    Matrix r = sigmoid(add_row_broadcast(
-        matmul(x, wxr_.value) + matmul(h, whr_.value), br_.value));
+    // All four products per gate go through the blocked kernel layer
+    // (ml/kernels.hpp); biases are added in place (same value order as
+    // add_row_broadcast, one temporary less per gate).
+    Matrix az = matmul(x, wxz_.value) + matmul(h, whz_.value);
+    add_row_broadcast_inplace(az, bz_.value);
+    Matrix z = sigmoid(std::move(az));
+    Matrix ar = matmul(x, wxr_.value) + matmul(h, whr_.value);
+    add_row_broadcast_inplace(ar, br_.value);
+    Matrix r = sigmoid(std::move(ar));
     Matrix rh = hadamard(r, h);
-    Matrix c = tanh_m(add_row_broadcast(
-        matmul(x, wxc_.value) + matmul(rh, whc_.value), bc_.value));
+    Matrix ac = matmul(x, wxc_.value) + matmul(rh, whc_.value);
+    add_row_broadcast_inplace(ac, bc_.value);
+    Matrix c = tanh_m(std::move(ac));
     // h_t = (1-z) ⊙ h_prev + z ⊙ c
     Matrix h_next(batch, hidden_dim_);
     for (std::size_t i = 0; i < h_next.size(); ++i) {
       h_next.data()[i] = (1.0 - z.data()[i]) * h.data()[i] +
                          z.data()[i] * c.data()[i];
     }
-    cache_.push_back({x, h, z, r, c});
+    cache_.push_back({x, h, z, r, c, std::move(rh)});
     h = h_next;
     hs.push_back(h);
   }
@@ -112,10 +118,7 @@ std::vector<Matrix> Gru::backward(const std::vector<Matrix>& grad_hs) {
     whr_.grad += matmul_trans_a(s.h_prev, dar);
     br_.grad += sum_rows(dar);
     wxc_.grad += matmul_trans_a(s.x, dac);
-    {
-      Matrix rh = hadamard(s.r, s.h_prev);
-      whc_.grad += matmul_trans_a(rh, dac);
-    }
+    whc_.grad += matmul_trans_a(s.rh, dac);  // r ⊙ h_prev cached by forward
     bc_.grad += sum_rows(dac);
 
     // Input gradient.

@@ -31,6 +31,7 @@ class Gru {
  private:
   struct StepCache {
     Matrix x, h_prev, z, r, c;
+    Matrix rh;  // r ⊙ h_prev, reused by backward's candidate-path grads
   };
 
   std::size_t input_dim_;

@@ -1,0 +1,245 @@
+// Blocked parallel matmul kernels. This translation unit is compiled with
+// aggressive per-file optimization flags (see src/CMakeLists.txt) but with
+// FP contraction disabled: every partial product is rounded (mul) and then
+// accumulated (add) exactly like the serial reference in matrix.cpp, which
+// is what makes the blocked/vectorized loops bitwise-reproducible.
+#include "ml/kernels.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace netshare::ml::kernels {
+namespace {
+
+std::mutex g_mutex;
+KernelConfig g_config;
+std::shared_ptr<ThreadPool> g_pool;  // lazily sized to effective_threads - 1
+
+// Set while a worker (or the caller) executes a panel; a kernel invoked from
+// inside a kernel task must not re-enter the pool (its tasks would queue
+// behind the panel that is waiting on them), so nested dispatch runs serial.
+thread_local bool tl_in_kernel_task = false;
+
+struct PanelFlag {
+  PanelFlag() { tl_in_kernel_task = true; }
+  ~PanelFlag() { tl_in_kernel_task = false; }
+};
+
+std::size_t env_threads() {
+  static const std::size_t cached = [] {
+    const char* s = std::getenv("NETSHARE_KERNEL_THREADS");
+    if (s == nullptr) return std::size_t{0};
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    return end == s ? std::size_t{0} : static_cast<std::size_t>(v);
+  }();
+  return cached;
+}
+
+std::size_t resolve_threads(const KernelConfig& cfg) {
+  if (cfg.threads > 0) return cfg.threads;
+  if (env_threads() > 0) return env_threads();
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// Callers hold their own shared_ptr so a concurrent set_config resize can
+// never destroy a pool that still has panels in flight.
+std::shared_ptr<ThreadPool> acquire_pool(std::size_t workers) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_pool || g_pool->size() != workers) {
+    g_pool = std::make_shared<ThreadPool>(workers);
+  }
+  return g_pool;
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+// Splits [0, rows) into contiguous panels and runs body(begin, end) on the
+// calling thread plus the shared pool. body must touch only output rows
+// [begin, end): that disjointness is the whole determinism argument — the
+// partition can change with the thread count without changing any element's
+// reduction order.
+template <typename Body>
+void run_row_panels(std::size_t rows, std::size_t flops, const Body& body) {
+  if (rows == 0) return;
+  std::size_t threads;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    threads = flops < g_config.min_parallel_flops ? 1
+                                                  : resolve_threads(g_config);
+  }
+  if (tl_in_kernel_task) threads = 1;
+  const std::size_t ntasks = std::min(threads, rows);
+  if (ntasks <= 1) {
+    body(std::size_t{0}, rows);
+    return;
+  }
+  auto pool = acquire_pool(ntasks - 1);
+  const std::size_t chunk = (rows + ntasks - 1) / ntasks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(ntasks - 1);
+  for (std::size_t t = 1; t < ntasks; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(rows, begin + chunk);
+    if (begin >= end) break;
+    futures.push_back(pool->submit([&body, begin, end] {
+      PanelFlag flag;
+      body(begin, end);
+    }));
+  }
+  {
+    PanelFlag flag;
+    body(std::size_t{0}, std::min(rows, chunk));
+  }
+  // Wait for every panel before returning (or rethrowing): the panels
+  // reference stack state of this frame.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace
+
+KernelConfig config() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_config;
+}
+
+void set_config(const KernelConfig& cfg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_config = cfg;
+}
+
+std::size_t effective_threads() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return resolve_threads(g_config);
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  require(a.cols() == b.rows(), "kernels::matmul: inner dimension mismatch");
+  require(c.rows() == a.rows() && c.cols() == b.cols(),
+          "kernels::matmul: output shape mismatch");
+  c.fill(0.0);
+  const KernelConfig cfg = config();
+  const std::size_t K = a.cols(), C = b.cols();
+  const std::size_t KB = std::max<std::size_t>(1, cfg.block_k);
+  const std::size_t JB = std::max<std::size_t>(1, cfg.block_j);
+  run_row_panels(a.rows(), 2 * a.rows() * K * C,
+                 [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t kk = 0; kk < K; kk += KB) {
+      const std::size_t kend = std::min(K, kk + KB);
+      for (std::size_t jj = 0; jj < C; jj += JB) {
+        const std::size_t jend = std::min(C, jj + JB);
+        for (std::size_t i = r0; i < r1; ++i) {
+          double* crow = c.row_ptr(i);
+          const double* arow = a.row_ptr(i);
+          for (std::size_t k = kk; k < kend; ++k) {
+            const double aik = arow[k];
+            if (aik == 0.0) continue;
+            const double* brow = b.row_ptr(k);
+            for (std::size_t j = jj; j < jend; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+void matmul_trans_a_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  require(a.rows() == b.rows(), "kernels::matmul_trans_a: row mismatch");
+  require(c.rows() == a.cols() && c.cols() == b.cols(),
+          "kernels::matmul_trans_a: output shape mismatch");
+  c.fill(0.0);
+  const KernelConfig cfg = config();
+  const std::size_t K = a.rows(), C = b.cols();
+  const std::size_t KB = std::max<std::size_t>(1, cfg.block_k);
+  const std::size_t JB = std::max<std::size_t>(1, cfg.block_j);
+  // Output rows are columns of A; a.row_ptr(k)[i] is contiguous in i, so the
+  // panel loop still streams A rows.
+  run_row_panels(a.cols(), 2 * K * a.cols() * C,
+                 [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t kk = 0; kk < K; kk += KB) {
+      const std::size_t kend = std::min(K, kk + KB);
+      for (std::size_t jj = 0; jj < C; jj += JB) {
+        const std::size_t jend = std::min(C, jj + JB);
+        for (std::size_t k = kk; k < kend; ++k) {
+          const double* arow = a.row_ptr(k);
+          const double* brow = b.row_ptr(k);
+          for (std::size_t i = r0; i < r1; ++i) {
+            const double aki = arow[i];
+            if (aki == 0.0) continue;
+            double* crow = c.row_ptr(i);
+            for (std::size_t j = jj; j < jend; ++j) crow[j] += aki * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+void matmul_trans_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  require(a.cols() == b.cols(), "kernels::matmul_trans_b: col mismatch");
+  require(c.rows() == a.rows() && c.cols() == b.rows(),
+          "kernels::matmul_trans_b: output shape mismatch");
+  const KernelConfig cfg = config();
+  const std::size_t K = a.cols(), C = b.rows();
+  const std::size_t JB = std::max<std::size_t>(1, cfg.block_j);
+  run_row_panels(a.rows(), 2 * a.rows() * K * C,
+                 [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t jj = 0; jj < C; jj += JB) {
+      const std::size_t jend = std::min(C, jj + JB);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double* arow = a.row_ptr(i);
+        double* crow = c.row_ptr(i);
+        std::size_t j = jj;
+        // Register blocking over four B rows: four independent dot products
+        // advance together, each still a plain ascending-k scalar reduction,
+        // so every element matches the reference dot product bitwise.
+        for (; j + 4 <= jend; j += 4) {
+          const double* b0 = b.row_ptr(j);
+          const double* b1 = b.row_ptr(j + 1);
+          const double* b2 = b.row_ptr(j + 2);
+          const double* b3 = b.row_ptr(j + 3);
+          double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+          for (std::size_t k = 0; k < K; ++k) {
+            const double ak = arow[k];
+            acc0 += ak * b0[k];
+            acc1 += ak * b1[k];
+            acc2 += ak * b2[k];
+            acc3 += ak * b3[k];
+          }
+          crow[j] = acc0;
+          crow[j + 1] = acc1;
+          crow[j + 2] = acc2;
+          crow[j + 3] = acc3;
+        }
+        for (; j < jend; ++j) {
+          const double* brow = b.row_ptr(j);
+          double acc = 0.0;
+          for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+          crow[j] = acc;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace netshare::ml::kernels

@@ -1,0 +1,62 @@
+// Cache-blocked, thread-pool-parallel matmul kernels — the hot path under
+// every GAN training step (GRU BPTT, MLP discriminators, baselines).
+//
+// Determinism contract (see DESIGN.md §5): for every output element the
+// reduction over the inner dimension runs in ascending-k order with one
+// rounding per partial product, exactly as in the serial reference kernels
+// in matrix.cpp, and parallel workers write disjoint row panels of the
+// output. Results are therefore bitwise identical to the serial reference
+// for any thread count, any block size, and any row partition. The kernel
+// translation unit is compiled without FP contraction so no FMA fuses the
+// multiply-add rounding steps away.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/matrix.hpp"
+
+namespace netshare::ml::kernels {
+
+// Process-wide kernel tuning. `threads == 0` resolves, in order, to the
+// NETSHARE_KERNEL_THREADS environment variable and then to
+// std::thread::hardware_concurrency(). Products whose flop count
+// (2*rows*inner*cols) falls below `min_parallel_flops` run serially on the
+// calling thread; parallelism never changes results, only wall-clock.
+struct KernelConfig {
+  std::size_t threads = 0;
+  std::size_t min_parallel_flops = 1u << 20;
+  std::size_t block_k = 64;   // inner-dimension tile (L1 reuse of the A row)
+  std::size_t block_j = 256;  // output-column tile (L2 reuse of the B panel)
+};
+
+// Reads / replaces the process-wide config. Replacing the thread count lazily
+// rebuilds the shared worker pool on the next parallel dispatch; in-flight
+// kernels keep the pool they started with.
+KernelConfig config();
+void set_config(const KernelConfig& cfg);
+
+// Thread count a parallel dispatch would use right now (>= 1).
+std::size_t effective_threads();
+
+// RAII override of the process-wide config (tests, trainer thread budgeting).
+class ConfigOverride {
+ public:
+  explicit ConfigOverride(const KernelConfig& cfg) : saved_(config()) {
+    set_config(cfg);
+  }
+  ~ConfigOverride() { set_config(saved_); }
+  ConfigOverride(const ConfigOverride&) = delete;
+  ConfigOverride& operator=(const ConfigOverride&) = delete;
+
+ private:
+  KernelConfig saved_;
+};
+
+// C = A (r×k) * B (k×c). `c` must be preshaped to r×c; it is overwritten.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
+// C = Aᵀ * B with A stored k×r (i.e. matmul(transpose(a), b)).
+void matmul_trans_a_into(const Matrix& a, const Matrix& b, Matrix& c);
+// C = A * Bᵀ.
+void matmul_trans_b_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+}  // namespace netshare::ml::kernels

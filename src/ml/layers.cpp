@@ -12,7 +12,11 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
 
 Matrix Linear::forward(const Matrix& x) {
   x_cache_ = x;
-  return add_row_broadcast(matmul(x, w_.value), b_.value);
+  // matmul dispatches to the blocked kernel layer; the bias is added in
+  // place afterwards (same value order as add_row_broadcast, one copy less).
+  Matrix y = matmul(x, w_.value);
+  add_row_broadcast_inplace(y, b_.value);
+  return y;
 }
 
 Matrix Linear::backward(const Matrix& grad_out) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/kernels.hpp"
+
 namespace netshare::ml {
 
 namespace {
@@ -41,6 +43,29 @@ Matrix& Matrix::operator*=(double s) {
   for (auto& v : data_) v *= s;
   return *this;
 }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  kernels::matmul_into(a, b, c);
+  return c;
+}
+
+Matrix matmul_trans_a(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_trans_a: row mismatch");
+  Matrix c(a.cols(), b.cols());
+  kernels::matmul_trans_a_into(a, b, c);
+  return c;
+}
+
+Matrix matmul_trans_b(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_trans_b: col mismatch");
+  Matrix c(a.rows(), b.rows());
+  kernels::matmul_trans_b_into(a, b, c);
+  return c;
+}
+
+namespace reference {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
@@ -90,6 +115,8 @@ Matrix matmul_trans_b(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+}  // namespace reference
+
 Matrix transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -106,15 +133,19 @@ Matrix hadamard(const Matrix& a, const Matrix& b) {
 }
 
 Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
+  Matrix c = a;
+  add_row_broadcast_inplace(c, row);
+  return c;
+}
+
+void add_row_broadcast_inplace(Matrix& a, const Matrix& row) {
   require(row.rows() == 1 && row.cols() == a.cols(),
           "add_row_broadcast: row must be 1 x cols(a)");
-  Matrix c = a;
-  for (std::size_t i = 0; i < c.rows(); ++i) {
-    double* crow = c.row_ptr(i);
-    const double* r = row.row_ptr(0);
-    for (std::size_t j = 0; j < c.cols(); ++j) crow[j] += r[j];
+  const double* r = row.row_ptr(0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* arow = a.row_ptr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) arow[j] += r[j];
   }
-  return c;
 }
 
 Matrix sum_rows(const Matrix& a) {

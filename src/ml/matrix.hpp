@@ -60,18 +60,32 @@ class Matrix {
   std::vector<double> data_;
 };
 
-// C = A (r×k) * B (k×c)
+// C = A (r×k) * B (k×c). Dispatches to the blocked (optionally parallel)
+// kernel layer in ml/kernels.hpp; results are bitwise identical to the
+// reference kernels below for every thread count.
 Matrix matmul(const Matrix& a, const Matrix& b);
 // C = Aᵀ (k×r→r×k)ᵀ * B — i.e. matmul(transpose(a), b) without materializing.
 Matrix matmul_trans_a(const Matrix& a, const Matrix& b);
 // C = A * Bᵀ
 Matrix matmul_trans_b(const Matrix& a, const Matrix& b);
 
+// Serial triple-loop kernels, kept verbatim from the original implementation.
+// They are the bitwise ground truth that tests/test_kernels.cpp checks the
+// blocked parallel kernels against and the baseline bench/micro_kernels.cpp
+// measures speedups over. Not for production use.
+namespace reference {
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix matmul_trans_a(const Matrix& a, const Matrix& b);
+Matrix matmul_trans_b(const Matrix& a, const Matrix& b);
+}  // namespace reference
+
 Matrix transpose(const Matrix& a);
 // Elementwise product.
 Matrix hadamard(const Matrix& a, const Matrix& b);
 // Adds a 1×c row vector to every row of a (bias broadcast).
 Matrix add_row_broadcast(const Matrix& a, const Matrix& row);
+// In-place variant — same values, no copy (hot path of Linear/GRU forward).
+void add_row_broadcast_inplace(Matrix& a, const Matrix& row);
 // Sums rows into a 1×c vector (bias gradient).
 Matrix sum_rows(const Matrix& a);
 // Horizontal concatenation [a | b].

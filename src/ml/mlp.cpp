@@ -47,6 +47,7 @@ Matrix Mlp::backward(const Matrix& grad_out) {
 
 std::vector<Parameter*> Mlp::parameters() {
   std::vector<Parameter*> params;
+  params.reserve(layers_.size() * 2);  // Linear contributes {W, b}
   for (auto& layer : layers_) {
     for (Parameter* p : layer->parameters()) params.push_back(p);
   }

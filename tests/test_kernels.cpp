@@ -1,0 +1,237 @@
+// Determinism/regression harness for the blocked parallel matmul kernels:
+// bitwise equivalence against the serial reference kernels across shapes and
+// thread counts, config plumbing, and a seeded end-to-end check that
+// DoppelGanger training is bit-for-bit unchanged by kernel parallelism.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gan/doppelganger.hpp"
+#include "ml/kernels.hpp"
+#include "ml/matrix.hpp"
+
+namespace netshare::ml {
+namespace {
+
+// Strict bitwise comparison: memcmp, not double ==, so that even a -0.0
+// versus +0.0 divergence (a reduction-order tell) fails the test.
+void expect_bitwise(const Matrix& got, const Matrix& want, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  EXPECT_EQ(std::memcmp(got.data().data(), want.data().data(),
+                        got.size() * sizeof(double)),
+            0)
+      << what << ": blocked kernel diverged from serial reference";
+}
+
+struct Shape {
+  std::size_t rows, inner, cols;
+  const char* label;
+};
+
+// Tall, wide, inner-dim 1, tile-aligned, and non-multiple-of-tile shapes
+// (default tiles are block_k=64, block_j=256).
+const Shape kShapes[] = {
+    {300, 8, 4, "tall"},
+    {6, 7, 301, "wide"},
+    {50, 1, 60, "inner-dim-1"},
+    {1, 17, 1, "single-row-col"},
+    {64, 64, 64, "tile-aligned"},
+    {130, 97, 203, "non-multiple-of-tile"},
+    {33, 200, 129, "k-spans-tiles"},
+};
+
+TEST(Kernels, BitwiseIdenticalToReferenceAcrossShapesAndThreads) {
+  Rng rng(101);
+  for (const Shape& s : kShapes) {
+    const Matrix a = Matrix::randn(s.rows, s.inner, rng);
+    const Matrix b = Matrix::randn(s.inner, s.cols, rng);
+    const Matrix at = Matrix::randn(s.inner, s.rows, rng);  // for trans_a
+    const Matrix bt = Matrix::randn(s.cols, s.inner, rng);  // for trans_b
+    const Matrix ref = reference::matmul(a, b);
+    const Matrix ref_ta = reference::matmul_trans_a(at, b);
+    const Matrix ref_tb = reference::matmul_trans_b(a, bt);
+    for (std::size_t threads = 1; threads <= 8; ++threads) {
+      kernels::KernelConfig cfg;
+      cfg.threads = threads;
+      cfg.min_parallel_flops = 0;  // force the parallel dispatch path
+      kernels::ConfigOverride guard(cfg);
+      SCOPED_TRACE(std::string(s.label) + " threads=" +
+                   std::to_string(threads));
+      expect_bitwise(matmul(a, b), ref, "matmul");
+      expect_bitwise(matmul_trans_a(at, b), ref_ta, "matmul_trans_a");
+      expect_bitwise(matmul_trans_b(a, bt), ref_tb, "matmul_trans_b");
+    }
+  }
+}
+
+TEST(Kernels, ZeroEntriesTakeTheSkipPathIdentically) {
+  Rng rng(102);
+  Matrix a = Matrix::randn(70, 66, rng);
+  Matrix b = Matrix::randn(66, 70, rng);
+  // Exact zeros exercise the aik == 0.0 skip branch shared with the seed
+  // kernels; a fully zero row exercises empty accumulation.
+  for (std::size_t k = 0; k < a.cols(); k += 3) a(7, k) = 0.0;
+  for (std::size_t k = 0; k < a.cols(); ++k) a(20, k) = 0.0;
+  kernels::KernelConfig cfg;
+  cfg.threads = 5;
+  cfg.min_parallel_flops = 0;
+  kernels::ConfigOverride guard(cfg);
+  expect_bitwise(matmul(a, b), reference::matmul(a, b), "matmul with zeros");
+  // trans_a reduces over rows of a: b2 must share a's row count.
+  const Matrix b2 = Matrix::randn(70, 50, rng);
+  expect_bitwise(matmul_trans_a(a, b2), reference::matmul_trans_a(a, b2),
+                 "matmul_trans_a with zeros");
+}
+
+TEST(Kernels, OddBlockSizesDoNotChangeResults) {
+  Rng rng(103);
+  const Matrix a = Matrix::randn(45, 83, rng);
+  const Matrix b = Matrix::randn(83, 61, rng);
+  const Matrix ref = reference::matmul(a, b);
+  for (std::size_t bk : {1u, 3u, 64u, 1000u}) {
+    kernels::KernelConfig cfg;
+    cfg.threads = 3;
+    cfg.min_parallel_flops = 0;
+    cfg.block_k = bk;
+    cfg.block_j = bk == 3 ? 7 : 128;
+    kernels::ConfigOverride guard(cfg);
+    SCOPED_TRACE("block_k=" + std::to_string(bk));
+    expect_bitwise(matmul(a, b), ref, "matmul");
+  }
+}
+
+TEST(Kernels, SerialFallbackBelowFlopThreshold) {
+  Rng rng(104);
+  const Matrix a = Matrix::randn(16, 16, rng);
+  const Matrix b = Matrix::randn(16, 16, rng);
+  kernels::KernelConfig cfg;
+  cfg.threads = 8;
+  cfg.min_parallel_flops = ~std::size_t{0};  // everything below threshold
+  kernels::ConfigOverride guard(cfg);
+  expect_bitwise(matmul(a, b), reference::matmul(a, b), "serial fallback");
+}
+
+TEST(Kernels, ConfigRoundTripAndOverrideRestore) {
+  const kernels::KernelConfig before = kernels::config();
+  {
+    kernels::KernelConfig cfg;
+    cfg.threads = 6;
+    cfg.block_k = 32;
+    kernels::ConfigOverride guard(cfg);
+    EXPECT_EQ(kernels::config().threads, 6u);
+    EXPECT_EQ(kernels::config().block_k, 32u);
+    EXPECT_EQ(kernels::effective_threads(), 6u);
+  }
+  EXPECT_EQ(kernels::config().threads, before.threads);
+  EXPECT_EQ(kernels::config().block_k, before.block_k);
+}
+
+TEST(Kernels, ConcurrentCallersShareThePoolSafely) {
+  // Several caller threads issuing parallel matmuls against the shared
+  // kernel pool at once — the situation ChunkedTrainer creates during
+  // parallel chunk fine-tuning. Run under NETSHARE_SANITIZE=thread this is
+  // the central race check.
+  kernels::KernelConfig cfg;
+  cfg.threads = 4;
+  cfg.min_parallel_flops = 0;
+  kernels::ConfigOverride guard(cfg);
+  std::vector<std::thread> callers;
+  std::vector<int> ok(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([t, &ok] {
+      Rng rng(200 + static_cast<std::uint64_t>(t));
+      const Matrix a = Matrix::randn(90, 70, rng);
+      const Matrix b = Matrix::randn(70, 80, rng);
+      const Matrix want = reference::matmul(a, b);
+      int good = 0;
+      for (int rep = 0; rep < 10; ++rep) {
+        const Matrix got = matmul(a, b);
+        good += std::memcmp(got.data().data(), want.data().data(),
+                            got.size() * sizeof(double)) == 0;
+      }
+      ok[static_cast<std::size_t>(t)] = good;
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (int good : ok) EXPECT_EQ(good, 10);
+}
+
+// --- end-to-end: GAN training is bitwise independent of kernel threads ----
+
+gan::TimeSeriesSpec tiny_spec() {
+  gan::TimeSeriesSpec spec;
+  spec.attribute_segments = {{OutputSegment::Kind::kSoftmax, 3},
+                             {OutputSegment::Kind::kSigmoid, 1}};
+  spec.feature_segments = {{OutputSegment::Kind::kSigmoid, 1}};
+  spec.max_len = 4;
+  return spec;
+}
+
+gan::TimeSeriesDataset tiny_data(std::size_t n) {
+  gan::TimeSeriesDataset data;
+  data.spec = tiny_spec();
+  data.attributes = Matrix(n, 4);
+  data.features.assign(4, Matrix(n, 1));
+  data.lengths.resize(n);
+  Rng rng(77);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cat = rng.categorical({0.5, 0.3, 0.2});
+    data.attributes(i, cat) = 1.0;
+    data.attributes(i, 3) = rng.uniform(0.2, 0.8);
+    data.lengths[i] = cat + 1;
+    for (std::size_t t = 0; t < data.lengths[i]; ++t) {
+      data.features[t](i, 0) = rng.uniform(0.1, 0.9);
+    }
+  }
+  return data;
+}
+
+std::vector<double> train_and_snapshot(std::size_t kernel_threads,
+                                       gan::GeneratedSeries* sampled) {
+  kernels::KernelConfig cfg;
+  cfg.threads = kernel_threads;
+  cfg.min_parallel_flops = kernel_threads > 1 ? 0 : cfg.min_parallel_flops;
+  kernels::ConfigOverride guard(cfg);
+
+  gan::DgConfig dg;
+  dg.attr_noise_dim = 4;
+  dg.feat_noise_dim = 4;
+  dg.attr_hidden = {16};
+  dg.rnn_hidden = 16;
+  dg.disc_hidden = {24};
+  dg.aux_hidden = {12};
+  dg.batch_size = 16;
+  gan::DoppelGanger model(tiny_spec(), dg, 1234);
+  model.fit(tiny_data(64), 25);
+  Rng sample_rng(55);
+  *sampled = model.sample(12, sample_rng);
+  return model.snapshot();
+}
+
+TEST(Kernels, DoppelGangerFitAndGenerateBitwiseIdenticalKernelsOnVsOff) {
+  gan::GeneratedSeries serial_out, parallel_out;
+  const std::vector<double> serial_snap = train_and_snapshot(1, &serial_out);
+  const std::vector<double> parallel_snap =
+      train_and_snapshot(8, &parallel_out);
+
+  ASSERT_EQ(serial_snap.size(), parallel_snap.size());
+  EXPECT_EQ(std::memcmp(serial_snap.data(), parallel_snap.data(),
+                        serial_snap.size() * sizeof(double)),
+            0)
+      << "training with parallel kernels changed the learned weights";
+
+  expect_bitwise(parallel_out.attributes, serial_out.attributes,
+                 "sampled attributes");
+  ASSERT_EQ(parallel_out.features.size(), serial_out.features.size());
+  for (std::size_t t = 0; t < serial_out.features.size(); ++t) {
+    expect_bitwise(parallel_out.features[t], serial_out.features[t],
+                   "sampled features");
+  }
+  EXPECT_EQ(parallel_out.lengths, serial_out.lengths);
+}
+
+}  // namespace
+}  // namespace netshare::ml

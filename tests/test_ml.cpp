@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include "ml/gru.hpp"
+#include "ml/kernels.hpp"
 #include "ml/loss.hpp"
 #include "ml/mlp.hpp"
 #include "ml/optim.hpp"
@@ -223,6 +225,119 @@ TEST(GradCheck, GruBptt) {
       p->value.data()[idx] = orig;
       EXPECT_NEAR(p->grad.data()[idx], (fp - fm) / (2 * h), 1e-5);
     }
+  }
+}
+
+// Batched BPTT through the blocked *parallel* kernels: same finite-difference
+// check as GruBptt, but with a batch and shapes big enough that every matmul
+// in forward and backward takes the multi-threaded dispatch path (the
+// per-module checks above run serial-sized problems).
+TEST(GradCheck, GruBpttBatchedThroughParallelKernels) {
+  kernels::KernelConfig kcfg;
+  kcfg.threads = 4;
+  kcfg.min_parallel_flops = 0;  // force parallel dispatch at any size
+  kernels::ConfigOverride kernel_guard(kcfg);
+
+  Rng rng(21);
+  const std::size_t in = 5, hidden = 7, T = 4, B = 8;
+  Gru gru(in, hidden, rng);
+
+  std::vector<Matrix> xs;
+  for (std::size_t t = 0; t < T; ++t) xs.push_back(Matrix::randn(B, in, rng));
+  std::vector<Matrix> coeff;
+  {
+    auto hs = gru.forward(xs);
+    for (const auto& h : hs) {
+      coeff.push_back(Matrix::randn(h.rows(), h.cols(), rng));
+    }
+  }
+
+  auto loss_of = [&](const std::vector<Matrix>& inputs) {
+    const auto hs = gru.forward(inputs);
+    double f = 0.0;
+    for (std::size_t t = 0; t < hs.size(); ++t) {
+      for (std::size_t i = 0; i < hs[t].size(); ++i) {
+        f += hs[t].data()[i] * coeff[t].data()[i];
+      }
+    }
+    return f;
+  };
+
+  gru.forward(xs);
+  gru.zero_grad();
+  const auto gxs = gru.backward(coeff);
+
+  const double h = 1e-6;
+  // Input gradients (sampled — the batched problem has many entries).
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t idx = 0; idx < xs[t].size();
+         idx += std::max<std::size_t>(1, xs[t].size() / 13)) {
+      auto xp = xs, xm = xs;
+      xp[t].data()[idx] += h;
+      xm[t].data()[idx] -= h;
+      const double numeric = (loss_of(xp) - loss_of(xm)) / (2 * h);
+      EXPECT_NEAR(gxs[t].data()[idx], numeric, 1e-4)
+          << "t=" << t << " idx=" << idx;
+    }
+  }
+  // Parameter gradients (sampled across all nine GRU parameters).
+  gru.forward(xs);
+  gru.zero_grad();
+  gru.backward(coeff);
+  for (Parameter* p : gru.parameters()) {
+    for (std::size_t idx = 0; idx < p->value.size();
+         idx += std::max<std::size_t>(1, p->value.size() / 7)) {
+      const double orig = p->value.data()[idx];
+      p->value.data()[idx] = orig + h;
+      const double fp = loss_of(xs);
+      p->value.data()[idx] = orig - h;
+      const double fm = loss_of(xs);
+      p->value.data()[idx] = orig;
+      EXPECT_NEAR(p->grad.data()[idx], (fp - fm) / (2 * h), 1e-4);
+    }
+  }
+}
+
+// The batched forward/backward must also be bitwise independent of the
+// kernel thread count (the GRU is the deepest matmul consumer).
+TEST(GradCheck, GruBatchedForwardBackwardBitwiseStableAcrossThreads) {
+  auto run = [](std::size_t threads) {
+    kernels::KernelConfig kcfg;
+    kcfg.threads = threads;
+    kcfg.min_parallel_flops = 0;
+    kernels::ConfigOverride kernel_guard(kcfg);
+    Rng rng(22);
+    Gru gru(6, 9, rng);
+    std::vector<Matrix> xs, coeff;
+    for (std::size_t t = 0; t < 5; ++t) {
+      xs.push_back(Matrix::randn(16, 6, rng));
+    }
+    auto hs = gru.forward(xs);
+    for (const auto& hmat : hs) {
+      coeff.push_back(Matrix::randn(hmat.rows(), hmat.cols(), rng));
+    }
+    gru.zero_grad();
+    auto gxs = gru.backward(coeff);
+    std::vector<double> flat;
+    for (const auto& hmat : hs) {
+      flat.insert(flat.end(), hmat.data().begin(), hmat.data().end());
+    }
+    for (const auto& g : gxs) {
+      flat.insert(flat.end(), g.data().begin(), g.data().end());
+    }
+    for (Parameter* p : gru.parameters()) {
+      flat.insert(flat.end(), p->grad.data().begin(), p->grad.data().end());
+    }
+    return flat;
+  };
+  const std::vector<double> serial = run(1);
+  for (std::size_t threads : {2u, 5u, 8u}) {
+    const std::vector<double> parallel = run(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(double)),
+              0)
+        << "threads=" << threads;
   }
 }
 

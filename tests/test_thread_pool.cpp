@@ -1,0 +1,103 @@
+// ThreadPool hardening tests: exception propagation through submit and
+// parallel_for, zero-task and fewer-tasks-than-threads edge cases, worker
+// survival after a throwing task, and destruction with queued work.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace netshare {
+namespace {
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WorkerSurvivesThrowingTask) {
+  ThreadPool pool(1);  // single worker: it must outlive the throwing task
+  auto bad = pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionAfterAllTasksRan) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  // Every task references `ran` (caller stack state), so parallel_for must
+  // not return — not even by throwing — until all of them have finished.
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&ran](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i % 7 == 3) throw std::runtime_error("bad index");
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForAllTasksThrowingStillTerminates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(16, [](std::size_t) { throw std::out_of_range("x"); }),
+      std::out_of_range);
+}
+
+TEST(ThreadPool, ParallelForZeroTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(0, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForFewerTasksThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> ran{0};
+  pool.parallel_for(3, [&ran](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(500, [&sum](std::size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 500u * 501u / 2u);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor runs with most tasks still queued behind the single worker.
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&ran](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+}  // namespace
+}  // namespace netshare
