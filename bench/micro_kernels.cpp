@@ -4,6 +4,7 @@
 // overridable via argv[1]) so later PRs have a perf trajectory to regress
 // against; the first recorded baseline is committed at the repo root and
 // referenced from EXPERIMENTS.md.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -129,7 +130,13 @@ gan::TimeSeriesDataset toy_data(std::size_t n) {
   return data;
 }
 
-double bench_dg_iters_per_sec(std::size_t threads, int iterations) {
+struct DgResult {
+  double iters_per_sec;
+  double allocs_per_iter;  // steady-state Matrix allocations per iteration
+};
+
+DgResult bench_dg_iters_per_sec(std::size_t threads, int warmup,
+                                int iterations) {
   ml::kernels::KernelConfig cfg;
   cfg.threads = threads;
   cfg.min_parallel_flops = 0;
@@ -137,17 +144,59 @@ double bench_dg_iters_per_sec(std::size_t threads, int iterations) {
   const gan::TimeSeriesDataset data = toy_data(256);
   gan::DgConfig dg;  // paper-shaped defaults: rnn 48, disc {96,96}
   gan::DoppelGanger model(data.spec, dg, 99);
+  // Warm-up iterations populate the workspace pools and module buffers so
+  // the timed window measures the steady state, not first-touch allocation.
+  model.fit(data, warmup);
+  ml::alloc_counter::reset();
   const auto t0 = Clock::now();
   model.fit(data, iterations);
   const double s = std::chrono::duration<double>(Clock::now() - t0).count();
-  return iterations / s;
+  return {iterations / s,
+          static_cast<double>(ml::alloc_counter::count()) / iterations};
+}
+
+// Fused GRU gate vs the unfused matmul + add + bias + activation
+// composition, at the paper-shaped GRU step (batch 64, input 12, hidden 48).
+double bench_gate(bool fused) {
+  Rng rng(5);
+  const Matrix x = Matrix::randn(64, 12, rng);
+  const Matrix wx = Matrix::randn(12, 48, rng);
+  const Matrix h = Matrix::randn(64, 48, rng);
+  const Matrix wh = Matrix::randn(48, 48, rng);
+  const Matrix bias = Matrix::randn(1, 48, rng);
+  Matrix scratch, out;
+  const double sec = time_best([&] {
+    if (fused) {
+      ml::kernels::gru_gate_into(x, wx, h, wh, bias,
+                                 ml::kernels::GateAct::kSigmoid, scratch, out);
+    } else {
+      Matrix u = ml::matmul(x, wx) + ml::matmul(h, wh);
+      ml::add_row_broadcast_inplace(u, bias);
+      ml::sigmoid_inplace(u);
+    }
+  });
+  return 1.0 / sec;  // gates/sec
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  const int dg_warmup = 3;
   const int dg_iterations = 20;
+
+  // Bench honesty: thread counts beyond the machine's cores measure
+  // oversubscription, not scaling — flag it up front and in the JSON.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t max_threads = 0;
+  for (std::size_t t : kThreadCounts) max_threads = std::max(max_threads, t);
+  const bool oversubscribed = hw > 0 && max_threads > hw;
+  if (oversubscribed) {
+    std::printf("WARNING: benchmarking up to %zu kernel threads on %u "
+                "core(s); multi-thread rows measure oversubscription, only "
+                "the 1-thread column is meaningful for regressions\n",
+                max_threads, hw);
+  }
 
   std::vector<MatmulRow> mm;
   for (std::size_t n : {128, 256, 512}) {
@@ -164,11 +213,17 @@ int main(int argc, char** argv) {
                 row.kernel[2] / row.reference);
   }
 
-  double dg[4];
+  const double gate_unfused = bench_gate(false);
+  const double gate_fused = bench_gate(true);
+  std::printf("gru gate 64x12x48: unfused %.0f/s, fused %.0f/s (%.2fx)\n",
+              gate_unfused, gate_fused, gate_fused / gate_unfused);
+
+  DgResult dg[4];
   for (int t = 0; t < 4; ++t) {
-    dg[t] = bench_dg_iters_per_sec(kThreadCounts[t], dg_iterations);
-    std::printf("doppelganger @%zu kernel threads: %.2f iters/sec\n",
-                kThreadCounts[t], dg[t]);
+    dg[t] = bench_dg_iters_per_sec(kThreadCounts[t], dg_warmup, dg_iterations);
+    std::printf("doppelganger @%zu kernel threads: %.2f iters/sec, "
+                "%.1f allocs/iter\n",
+                kThreadCounts[t], dg[t].iters_per_sec, dg[t].allocs_per_iter);
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -198,9 +253,21 @@ int main(int argc, char** argv) {
                  row.kernel[2], row.kernel[3]);
   }
   std::fprintf(f,
+               "  \"gru_gate_per_sec\": {\"unfused\": %.1f, \"fused\": %.1f},\n",
+               gate_unfused, gate_fused);
+  std::fprintf(f,
                "  \"doppelganger_iters_per_sec\": {\"iterations\": %d, "
-               "\"kernel\": [%.3f, %.3f, %.3f, %.3f]}\n",
-               dg_iterations, dg[0], dg[1], dg[2], dg[3]);
+               "\"warmup_iterations\": %d, "
+               "\"kernel\": [%.3f, %.3f, %.3f, %.3f]},\n",
+               dg_iterations, dg_warmup, dg[0].iters_per_sec,
+               dg[1].iters_per_sec, dg[2].iters_per_sec, dg[3].iters_per_sec);
+  std::fprintf(f,
+               "  \"doppelganger_allocs_per_iter\": [%.1f, %.1f, %.1f, %.1f]"
+               ",\n",
+               dg[0].allocs_per_iter, dg[1].allocs_per_iter,
+               dg[2].allocs_per_iter, dg[3].allocs_per_iter);
+  std::fprintf(f, "  \"thread_counts_exceed_cores\": %s\n",
+               oversubscribed ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());

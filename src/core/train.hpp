@@ -8,6 +8,10 @@
 // fine-tune phase splits it between chunk-level workers and per-worker
 // kernel threads. Determinism is unaffected — the kernels are bitwise
 // identical at any thread count.
+//
+// Memory: every DoppelGanger owns its own ml::Workspace allocation arena
+// (DESIGN.md §6), so the chunk models fine-tuning in parallel here never
+// share mutable scratch buffers — no locks, and TSan stays green.
 #pragma once
 
 #include <memory>

@@ -10,21 +10,20 @@
 namespace netshare::gan {
 
 using ml::Matrix;
-using ml::concat_cols;
-using ml::slice_rows;
-using ml::split_cols;
-using ml::stack_rows;
+using ml::concat_cols_into;
+using ml::randn_fill;
+using ml::slice_rows_into;
+using ml::stack_rows_into;
 
 namespace {
 constexpr std::size_t kFlagDims = 2;  // alive / done softmax
 
-std::vector<std::size_t> random_rows(std::size_t n, std::size_t batch,
-                                     Rng& rng) {
-  std::vector<std::size_t> rows(batch);
+void random_rows_into(std::size_t n, std::size_t batch, Rng& rng,
+                      std::vector<std::size_t>& rows) {
+  rows.resize(batch);
   for (auto& r : rows) {
     r = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
   }
-  return rows;
 }
 }  // namespace
 
@@ -89,73 +88,98 @@ std::vector<ml::Parameter*> DoppelGanger::discriminator_params() {
 
 std::size_t DoppelGanger::flag_offset() const { return spec_.feature_dim(); }
 
-DoppelGanger::GenOutput DoppelGanger::generator_forward(std::size_t batch,
-                                                        Rng& rng) {
+void DoppelGanger::generator_forward(std::size_t batch, Rng& rng,
+                                     GenOutput& out) {
   const std::size_t T = spec_.max_len;
-  GenOutput out;
-  Matrix za = Matrix::randn(batch, config_.attr_noise_dim, rng);
+  Matrix& za = ws_.get(batch, config_.attr_noise_dim);
+  randn_fill(za, rng);
   out.attributes = attr_gen_->forward(za);
 
-  std::vector<Matrix> xs;
-  xs.reserve(T);
+  xs_.resize(T);
   for (std::size_t t = 0; t < T; ++t) {
-    Matrix zt = Matrix::randn(batch, config_.feat_noise_dim, rng);
-    xs.push_back(concat_cols(zt, out.attributes));
+    Matrix& zt = ws_.get(batch, config_.feat_noise_dim);
+    randn_fill(zt, rng);
+    concat_cols_into(zt, out.attributes, xs_[t]);
   }
-  const std::vector<Matrix> hs = rnn_->forward(xs);
-  Matrix stacked = stack_rows(hs);  // [T*B, H], t-major
-  Matrix heads = out_head_->forward(out_linear_->forward(stacked));
+  const std::vector<Matrix>& hs = rnn_->forward(xs_);
+  Matrix& stacked = ws_.get(T * batch, rnn_->hidden_dim());
+  stack_rows_into(hs, stacked);  // [T*B, H], t-major
+  const Matrix& heads = out_head_->forward(out_linear_->forward(stacked));
 
-  out.features.reserve(T);
+  out.features.resize(T);
   for (std::size_t t = 0; t < T; ++t) {
-    out.features.push_back(slice_rows(heads, t * batch, (t + 1) * batch));
+    slice_rows_into(heads, t * batch, (t + 1) * batch, out.features[t]);
   }
-  return out;
 }
 
 void DoppelGanger::generator_backward(
     const Matrix& attr_grad, const std::vector<Matrix>& feature_grads) {
   const std::size_t T = spec_.max_len;
   const std::size_t batch = attr_grad.rows();
-  Matrix g_stacked = stack_rows(feature_grads);  // [T*B, F+2]
-  Matrix gh = out_linear_->backward(out_head_->backward(g_stacked));
+  const std::size_t A = spec_.attribute_dim();
+  Matrix& g_stacked = ws_.get(T * batch, feature_grads[0].cols());
+  stack_rows_into(feature_grads, g_stacked);  // [T*B, F+2]
+  const Matrix& gh = out_linear_->backward(out_head_->backward(g_stacked));
 
-  std::vector<Matrix> ghs;
-  ghs.reserve(T);
+  ghs_.resize(T);
   for (std::size_t t = 0; t < T; ++t) {
-    ghs.push_back(slice_rows(gh, t * batch, (t + 1) * batch));
+    slice_rows_into(gh, t * batch, (t + 1) * batch, ghs_[t]);
   }
-  const std::vector<Matrix> gxs = rnn_->backward(ghs);
+  const std::vector<Matrix>& gxs = rnn_->backward(ghs_);
 
-  Matrix attr_total = attr_grad;
+  // Accumulate the attribute columns of every step's input gradient; same
+  // element order (and rounding) as split_cols + operator+=, no temporaries.
+  Matrix& attr_total = ws_.get(batch, A);
+  attr_total = attr_grad;
+  const std::size_t nz = config_.feat_noise_dim;
   for (const Matrix& gx : gxs) {
-    auto [gz, ga] = split_cols(gx, config_.feat_noise_dim);
-    (void)gz;
-    attr_total += ga;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const double* src = gx.row_ptr(i) + nz;
+      double* dst = attr_total.row_ptr(i);
+      for (std::size_t j = 0; j < A; ++j) dst[j] += src[j];
+    }
   }
   attr_gen_->backward(attr_total);
 }
 
-Matrix DoppelGanger::disc_input(const Matrix& attr,
-                                const std::vector<Matrix>& feats) const {
-  Matrix x = attr;
-  for (const Matrix& f : feats) x = concat_cols(x, f);
-  return x;
+void DoppelGanger::disc_input_into(const Matrix& attr,
+                                   const std::vector<Matrix>& feats,
+                                   Matrix& x) const {
+  // Direct row assembly: the old concat_cols chain re-copied the growing
+  // prefix for every step (O(T^2) bytes); this writes each row once.
+  const std::size_t B = attr.rows();
+  const std::size_t A = attr.cols();
+  std::size_t width = A;
+  for (const Matrix& f : feats) width += f.cols();
+  x.resize(B, width);
+  for (std::size_t i = 0; i < B; ++i) {
+    double* dst = x.row_ptr(i);
+    const double* asrc = attr.row_ptr(i);
+    std::copy(asrc, asrc + A, dst);
+    std::size_t at = A;
+    for (const Matrix& f : feats) {
+      const double* fsrc = f.row_ptr(i);
+      std::copy(fsrc, fsrc + f.cols(), dst + at);
+      at += f.cols();
+    }
+  }
 }
 
-DoppelGanger::GenOutput DoppelGanger::real_batch(
-    const TimeSeriesDataset& data, const std::vector<std::size_t>& rows) const {
+void DoppelGanger::real_batch_into(const TimeSeriesDataset& data,
+                                   const std::vector<std::size_t>& rows,
+                                   GenOutput& out) const {
   const std::size_t T = spec_.max_len;
   const std::size_t F = spec_.feature_dim();
-  GenOutput out;
-  out.attributes = Matrix(rows.size(), data.attributes.cols());
+  out.attributes.resize(rows.size(), data.attributes.cols());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const double* src = data.attributes.row_ptr(rows[i]);
     std::copy(src, src + data.attributes.cols(), out.attributes.row_ptr(i));
   }
-  out.features.assign(T, Matrix(rows.size(), F + kFlagDims));
+  out.features.resize(T);
   for (std::size_t t = 0; t < T; ++t) {
     Matrix& step = out.features[t];
+    step.resize(rows.size(), F + kFlagDims);
+    step.fill(0.0);  // dead steps must read as zero features
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const std::size_t r = rows[i];
       const bool alive = t < data.lengths[r];
@@ -167,7 +191,6 @@ DoppelGanger::GenOutput DoppelGanger::real_batch(
       step(i, F + 1) = alive ? 0.0 : 1.0;
     }
   }
-  return out;
 }
 
 namespace {
@@ -192,11 +215,12 @@ void add_lipschitz_grads(const Matrix& scores, std::size_t p1_begin,
 }
 
 // Builds per-pair interpolates x1, x2 between matching rows of real/fake.
+// Out-params are resized in place (capacity reuse on repeated calls).
 void make_interpolates(const Matrix& xr, const Matrix& xf, Rng& rng,
                        Matrix& x1, Matrix& x2, std::vector<double>& dist) {
   const std::size_t batch = xr.rows();
-  x1 = Matrix(batch, xr.cols());
-  x2 = Matrix(batch, xr.cols());
+  x1.resize(batch, xr.cols());
+  x2.resize(batch, xr.cols());
   dist.assign(batch, 0.0);
   for (std::size_t i = 0; i < batch; ++i) {
     const double e1 = rng.uniform();
@@ -216,44 +240,45 @@ void make_interpolates(const Matrix& xr, const Matrix& xf, Rng& rng,
 
 void DoppelGanger::discriminator_update(const TimeSeriesDataset& data,
                                         Rng& rng) {
+  ws_.reset();
   const std::size_t B = std::min(config_.batch_size, data.num_samples());
-  const auto rows = random_rows(data.num_samples(), B, rng);
-  GenOutput real = real_batch(data, rows);
-  GenOutput fake = generator_forward(B, rng);
+  random_rows_into(data.num_samples(), B, rng, rows_);
+  real_batch_into(data, rows_, real_);
+  generator_forward(B, rng, fake_);
 
-  const Matrix xr = disc_input(real.attributes, real.features);
-  const Matrix xf = disc_input(fake.attributes, fake.features);
-  Matrix x1, x2;
-  std::vector<double> dist;
-  make_interpolates(xr, xf, rng, x1, x2, dist);
+  disc_input_into(real_.attributes, real_.features, xr_);
+  disc_input_into(fake_.attributes, fake_.features, xf_);
+  make_interpolates(xr_, xf_, rng, x1_, x2_, dist_);
 
   // One batched critic pass over [real; fake; x1; x2].
-  Matrix big = stack_rows({xr, xf, x1, x2});
+  Matrix& big = ws_.get(4 * B, xr_.cols());
+  stack_rows_into({&xr_, &xf_, &x1_, &x2_}, big);
   disc_->zero_grad();
-  const Matrix scores = disc_->forward(big);
-  Matrix gs(4 * B, 1);
+  const Matrix& scores = disc_->forward(big);
+  Matrix& gs = ws_.get(4 * B, 1);
+  gs.fill(0.0);
   const double inv_b = 1.0 / static_cast<double>(B);
   for (std::size_t i = 0; i < B; ++i) {
     gs(i, 0) = -inv_b;      // maximize D(real)
     gs(B + i, 0) = inv_b;   // minimize D(fake)
   }
-  add_lipschitz_grads(scores, 2 * B, 3 * B, B, dist, config_.lipschitz_weight,
+  add_lipschitz_grads(scores, 2 * B, 3 * B, B, dist_, config_.lipschitz_weight,
                       gs);
   disc_->backward(gs);
 
   // Auxiliary critic on attributes only.
-  Matrix a1, a2;
-  std::vector<double> adist;
-  make_interpolates(real.attributes, fake.attributes, rng, a1, a2, adist);
-  Matrix abig = stack_rows({real.attributes, fake.attributes, a1, a2});
+  make_interpolates(real_.attributes, fake_.attributes, rng, a1_, a2_, adist_);
+  Matrix& abig = ws_.get(4 * B, real_.attributes.cols());
+  stack_rows_into({&real_.attributes, &fake_.attributes, &a1_, &a2_}, abig);
   aux_disc_->zero_grad();
-  const Matrix ascores = aux_disc_->forward(abig);
-  Matrix gas(4 * B, 1);
+  const Matrix& ascores = aux_disc_->forward(abig);
+  Matrix& gas = ws_.get(4 * B, 1);
+  gas.fill(0.0);
   for (std::size_t i = 0; i < B; ++i) {
     gas(i, 0) = -inv_b * config_.aux_weight;
     gas(B + i, 0) = inv_b * config_.aux_weight;
   }
-  add_lipschitz_grads(ascores, 2 * B, 3 * B, B, adist,
+  add_lipschitz_grads(ascores, 2 * B, 3 * B, B, adist_,
                       config_.lipschitz_weight * config_.aux_weight, gas);
   aux_disc_->backward(gas);
 
@@ -263,39 +288,47 @@ void DoppelGanger::discriminator_update(const TimeSeriesDataset& data,
 
 void DoppelGanger::discriminator_update_dp(const TimeSeriesDataset& data,
                                            Rng& rng) {
+  // One reset for the whole update: xf_all / fake_ stay live through the
+  // per-example loop, so the pool must not be recycled inside it (the loop
+  // advances the cursors; the pool stabilizes after the first update).
+  ws_.reset();
   const std::size_t B = std::min(config_.batch_size, data.num_samples());
-  const auto rows = random_rows(data.num_samples(), B, rng);
-  GenOutput fake = generator_forward(B, rng);
-  const Matrix xf_all = disc_input(fake.attributes, fake.features);
+  random_rows_into(data.num_samples(), B, rng, rows_);
+  generator_forward(B, rng, fake_);
+  Matrix& xf_all = ws_.get(B, spec_.attribute_dim() +
+                                  spec_.max_len *
+                                      (spec_.feature_dim() + kFlagDims));
+  disc_input_into(fake_.attributes, fake_.features, xf_all);
 
   for (ml::Parameter* p : discriminator_params()) p->zero_grad();
+  row1_.resize(1);
   for (std::size_t i = 0; i < B; ++i) {
-    GenOutput real = real_batch(data, {rows[i]});
-    const Matrix xr = disc_input(real.attributes, real.features);
-    const Matrix xf = slice_rows(xf_all, i, i + 1);
-    Matrix x1, x2;
-    std::vector<double> dist;
-    make_interpolates(xr, xf, rng, x1, x2, dist);
+    row1_[0] = rows_[i];
+    real_batch_into(data, row1_, real_);
+    disc_input_into(real_.attributes, real_.features, xr_);
+    slice_rows_into(xf_all, i, i + 1, xf_);
+    make_interpolates(xr_, xf_, rng, x1_, x2_, dist_);
 
-    Matrix big = stack_rows({xr, xf, x1, x2});
-    const Matrix scores = disc_->forward(big);
-    Matrix gs(4, 1);
+    Matrix& big = ws_.get(4, xr_.cols());
+    stack_rows_into({&xr_, &xf_, &x1_, &x2_}, big);
+    const Matrix& scores = disc_->forward(big);
+    Matrix& gs = ws_.get(4, 1);
+    gs.fill(0.0);
     gs(0, 0) = -1.0;
     gs(1, 0) = 1.0;
-    add_lipschitz_grads(scores, 2, 3, 1, dist, config_.lipschitz_weight, gs);
+    add_lipschitz_grads(scores, 2, 3, 1, dist_, config_.lipschitz_weight, gs);
     disc_->backward(gs);
 
-    Matrix a1, a2;
-    std::vector<double> adist;
-    make_interpolates(real.attributes, slice_rows(fake.attributes, i, i + 1),
-                      rng, a1, a2, adist);
-    Matrix abig = stack_rows({real.attributes,
-                              slice_rows(fake.attributes, i, i + 1), a1, a2});
-    const Matrix ascores = aux_disc_->forward(abig);
-    Matrix gas(4, 1);
+    slice_rows_into(fake_.attributes, i, i + 1, fa_row_);
+    make_interpolates(real_.attributes, fa_row_, rng, a1_, a2_, adist_);
+    Matrix& abig = ws_.get(4, real_.attributes.cols());
+    stack_rows_into({&real_.attributes, &fa_row_, &a1_, &a2_}, abig);
+    const Matrix& ascores = aux_disc_->forward(abig);
+    Matrix& gas = ws_.get(4, 1);
+    gas.fill(0.0);
     gas(0, 0) = -config_.aux_weight;
     gas(1, 0) = config_.aux_weight;
-    add_lipschitz_grads(ascores, 2, 3, 1, adist,
+    add_lipschitz_grads(ascores, 2, 3, 1, adist_,
                         config_.lipschitz_weight * config_.aux_weight, gas);
     aux_disc_->backward(gas);
 
@@ -307,32 +340,43 @@ void DoppelGanger::discriminator_update_dp(const TimeSeriesDataset& data,
 }
 
 void DoppelGanger::generator_update(Rng& rng) {
+  ws_.reset();
   const std::size_t B = config_.batch_size;
-  GenOutput fake = generator_forward(B, rng);
-  const Matrix xf = disc_input(fake.attributes, fake.features);
+  generator_forward(B, rng, fake_);
+  disc_input_into(fake_.attributes, fake_.features, xf_);
 
-  disc_->forward(xf);
+  disc_->forward(xf_);
   const double inv_b = 1.0 / static_cast<double>(B);
-  Matrix gin = disc_->backward(Matrix(B, 1, -inv_b));
+  Matrix& gseed = ws_.get(B, 1);
+  gseed.fill(-inv_b);
+  const Matrix& gin = disc_->backward(gseed);
 
-  // Split the critic's input gradient into attribute / per-step pieces.
-  auto [attr_grad, rest] = split_cols(gin, spec_.attribute_dim());
+  // Split the critic's input gradient into attribute / per-step pieces by
+  // direct column copies (same elements as the old split_cols chain, without
+  // re-copying the shrinking remainder O(T) times).
+  const std::size_t A = spec_.attribute_dim();
   const std::size_t step_dim = spec_.feature_dim() + kFlagDims;
-  std::vector<Matrix> fgrads;
-  fgrads.reserve(spec_.max_len);
-  Matrix remaining = rest;
+  Matrix& attr_grad = ws_.get(B, A);
+  fgrads_.resize(spec_.max_len);
   for (std::size_t t = 0; t < spec_.max_len; ++t) {
-    auto [head, tail] = split_cols(remaining, step_dim);
-    fgrads.push_back(std::move(head));
-    remaining = std::move(tail);
+    fgrads_[t].resize(B, step_dim);
+  }
+  for (std::size_t i = 0; i < B; ++i) {
+    const double* src = gin.row_ptr(i);
+    std::copy(src, src + A, attr_grad.row_ptr(i));
+    for (std::size_t t = 0; t < spec_.max_len; ++t) {
+      const double* seg = src + A + t * step_dim;
+      std::copy(seg, seg + step_dim, fgrads_[t].row_ptr(i));
+    }
   }
 
-  aux_disc_->forward(fake.attributes);
-  Matrix ga = aux_disc_->backward(Matrix(B, 1, -config_.aux_weight * inv_b));
-  attr_grad += ga;
+  aux_disc_->forward(fake_.attributes);
+  Matrix& gaseed = ws_.get(B, 1);
+  gaseed.fill(-config_.aux_weight * inv_b);
+  attr_grad += aux_disc_->backward(gaseed);
 
   for (ml::Parameter* p : generator_params()) p->zero_grad();
-  generator_backward(attr_grad, fgrads);
+  generator_backward(attr_grad, fgrads_);
   ml::clip_grad_norm(generator_params(), config_.grad_clip);
   g_opt_->step();
 }
@@ -374,7 +418,9 @@ GeneratedSeries DoppelGanger::sample(std::size_t n, Rng& rng) {
   std::size_t done = 0;
   while (done < n) {
     const std::size_t b = std::min(config_.batch_size, n - done);
-    GenOutput gen = generator_forward(b, rng);
+    ws_.reset();
+    generator_forward(b, rng, fake_);
+    const GenOutput& gen = fake_;
     for (std::size_t i = 0; i < b; ++i) {
       const std::size_t row = done + i;
       const double* asrc = gen.attributes.row_ptr(i);

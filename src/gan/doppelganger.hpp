@@ -18,6 +18,7 @@
 #include "ml/gru.hpp"
 #include "ml/mlp.hpp"
 #include "ml/optim.hpp"
+#include "ml/workspace.hpp"
 #include "privacy/dp_sgd.hpp"
 
 namespace netshare::gan {
@@ -75,18 +76,22 @@ class DoppelGanger {
     std::vector<ml::Matrix> features;  // T of B x (F+2), incl. gen flags
   };
 
-  // Forward pass of the generator with caches retained for backward.
-  GenOutput generator_forward(std::size_t batch, Rng& rng);
+  // Forward pass of the generator with caches retained for backward; writes
+  // into `out` (a persistent member) so steady-state calls reuse capacity.
+  void generator_forward(std::size_t batch, Rng& rng, GenOutput& out);
   // Backprop through the generator given dLoss/d(attr) and dLoss/d(features).
   void generator_backward(const ml::Matrix& attr_grad,
                           const std::vector<ml::Matrix>& feature_grads);
 
-  // Flattens (attr, features) into the discriminator input [B, A + T*(F+2)].
-  ml::Matrix disc_input(const ml::Matrix& attr,
-                        const std::vector<ml::Matrix>& feats) const;
+  // Flattens (attr, features) into the discriminator input [B, A + T*(F+2)],
+  // assembling each output row directly (no intermediate concatenations).
+  void disc_input_into(const ml::Matrix& attr,
+                       const std::vector<ml::Matrix>& feats,
+                       ml::Matrix& x) const;
   // Builds a real minibatch (with gen flags appended) from the dataset.
-  GenOutput real_batch(const TimeSeriesDataset& data,
-                       const std::vector<std::size_t>& rows) const;
+  void real_batch_into(const TimeSeriesDataset& data,
+                       const std::vector<std::size_t>& rows,
+                       GenOutput& out) const;
 
   void discriminator_update(const TimeSeriesDataset& data, Rng& rng);
   void discriminator_update_dp(const TimeSeriesDataset& data, Rng& rng);
@@ -108,6 +113,19 @@ class DoppelGanger {
   std::unique_ptr<ml::Adam> g_opt_;
   std::unique_ptr<ml::Adam> d_opt_;
   std::unique_ptr<privacy::DpSgdAggregator> dp_agg_;
+
+  // Per-model allocation arena (DESIGN.md §6): reset at the top of every
+  // training update; owned by the model so chunk-parallel fine-tuning
+  // (core/train.cpp) never shares buffers across threads.
+  ml::Workspace ws_;
+  // Persistent batch buffers reused across iterations.
+  GenOutput real_, fake_;
+  std::vector<ml::Matrix> xs_;      // generator RNN inputs [z_t | attr]
+  std::vector<ml::Matrix> ghs_;     // per-step hidden-state gradients
+  std::vector<ml::Matrix> fgrads_;  // per-step feature gradients
+  ml::Matrix xr_, xf_, x1_, x2_, a1_, a2_, fa_row_;
+  std::vector<double> dist_, adist_;
+  std::vector<std::size_t> rows_, row1_;
 
   double train_cpu_seconds_ = 0.0;
   std::size_t dp_steps_ = 0;

@@ -2,19 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "ml/kernels.hpp"
 
 namespace netshare::ml {
-
-namespace {
-Matrix sigmoid(Matrix x) {
-  for (auto& v : x.data()) v = 1.0 / (1.0 + std::exp(-v));
-  return x;
-}
-Matrix tanh_m(Matrix x) {
-  for (auto& v : x.data()) v = std::tanh(v);
-  return x;
-}
-}  // namespace
 
 Gru::Gru(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
     : input_dim_(input_dim),
@@ -35,104 +27,126 @@ Gru::Gru(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
                          std::sqrt(1.0 / static_cast<double>(hidden_dim)))),
       bc_(Matrix::zeros(1, hidden_dim)) {}
 
-std::vector<Matrix> Gru::forward(const std::vector<Matrix>& xs) {
+const std::vector<Matrix>& Gru::forward(const std::vector<Matrix>& xs) {
   if (xs.empty()) throw std::invalid_argument("Gru::forward: empty sequence");
   const std::size_t batch = xs[0].rows();
-  Matrix h = Matrix::zeros(batch, hidden_dim_);
-  cache_.clear();
-  cache_.reserve(xs.size());
-  std::vector<Matrix> hs;
-  hs.reserve(xs.size());
-  for (const Matrix& x : xs) {
+  const std::size_t T = xs.size();
+  if (cache_.size() < T) cache_.resize(T);
+  hs_.resize(T);
+  steps_ = T;
+  h0_.resize(batch, hidden_dim_);
+  h0_.fill(0.0);
+  const Matrix* h = &h0_;
+  for (std::size_t t = 0; t < T; ++t) {
+    const Matrix& x = xs[t];
     if (x.cols() != input_dim_) {
       throw std::invalid_argument("Gru::forward: input dim mismatch");
     }
-    // All four products per gate go through the blocked kernel layer
-    // (ml/kernels.hpp); biases are added in place (same value order as
-    // add_row_broadcast, one temporary less per gate).
-    Matrix az = matmul(x, wxz_.value) + matmul(h, whz_.value);
-    add_row_broadcast_inplace(az, bz_.value);
-    Matrix z = sigmoid(std::move(az));
-    Matrix ar = matmul(x, wxr_.value) + matmul(h, whr_.value);
-    add_row_broadcast_inplace(ar, br_.value);
-    Matrix r = sigmoid(std::move(ar));
-    Matrix rh = hadamard(r, h);
-    Matrix ac = matmul(x, wxc_.value) + matmul(rh, whc_.value);
-    add_row_broadcast_inplace(ac, bc_.value);
-    Matrix c = tanh_m(std::move(ac));
+    StepCache& s = cache_[t];
+    s.x = x;
+    s.h_prev = *h;
+    // All four products per gate go through the blocked kernel layer via
+    // the fused gate (ml/kernels.hpp): pre-activation rounding sequence is
+    // identical to matmul + matmul + add + row-broadcast bias + activation.
+    using kernels::GateAct;
+    kernels::gru_gate_into(x, wxz_.value, *h, whz_.value, bz_.value,
+                           GateAct::kSigmoid, gate_scratch_, s.z);
+    kernels::gru_gate_into(x, wxr_.value, *h, whr_.value, br_.value,
+                           GateAct::kSigmoid, gate_scratch_, s.r);
+    hadamard_into(s.r, *h, s.rh);
+    kernels::gru_gate_into(x, wxc_.value, s.rh, whc_.value, bc_.value,
+                           GateAct::kTanh, gate_scratch_, s.c);
     // h_t = (1-z) ⊙ h_prev + z ⊙ c
-    Matrix h_next(batch, hidden_dim_);
+    Matrix& h_next = hs_[t];
+    h_next.resize(batch, hidden_dim_);
     for (std::size_t i = 0; i < h_next.size(); ++i) {
-      h_next.data()[i] = (1.0 - z.data()[i]) * h.data()[i] +
-                         z.data()[i] * c.data()[i];
+      h_next.data()[i] = (1.0 - s.z.data()[i]) * h->data()[i] +
+                         s.z.data()[i] * s.c.data()[i];
     }
-    cache_.push_back({x, h, z, r, c, std::move(rh)});
-    h = h_next;
-    hs.push_back(h);
+    h = &h_next;
   }
-  return hs;
+  return hs_;
 }
 
-std::vector<Matrix> Gru::backward(const std::vector<Matrix>& grad_hs) {
-  const std::size_t T = cache_.size();
+const std::vector<Matrix>& Gru::backward(const std::vector<Matrix>& grad_hs) {
+  const std::size_t T = steps_;
   if (grad_hs.size() != T) {
     throw std::invalid_argument("Gru::backward: grad count mismatch");
   }
   const std::size_t batch = cache_[0].x.rows();
-  std::vector<Matrix> grad_xs(T);
-  Matrix dh_carry = Matrix::zeros(batch, hidden_dim_);
+  grad_xs_.resize(T);
+  dh_carry_.resize(batch, hidden_dim_);
+  dh_carry_.fill(0.0);
 
   for (std::size_t ti = T; ti-- > 0;) {
     const StepCache& s = cache_[ti];
-    Matrix dh = grad_hs[ti] + dh_carry;
+    // dh = grad_hs[ti] + dh_carry, element order as Matrix::operator+.
+    dh_.resize(batch, hidden_dim_);
+    for (std::size_t i = 0; i < dh_.size(); ++i) {
+      dh_.data()[i] = grad_hs[ti].data()[i] + dh_carry_.data()[i];
+    }
 
     // Gate gradients (pre-activation).
-    Matrix daz(batch, hidden_dim_);  // through z
-    Matrix dac(batch, hidden_dim_);  // through candidate c
-    Matrix dh_prev(batch, hidden_dim_);
-    for (std::size_t i = 0; i < dh.size(); ++i) {
+    daz_.resize(batch, hidden_dim_);  // through z
+    dac_.resize(batch, hidden_dim_);  // through candidate c
+    dhp_.resize(batch, hidden_dim_);
+    for (std::size_t i = 0; i < dh_.size(); ++i) {
       const double z = s.z.data()[i];
       const double c = s.c.data()[i];
       const double hp = s.h_prev.data()[i];
-      const double g = dh.data()[i];
-      daz.data()[i] = g * (c - hp) * z * (1.0 - z);
-      dac.data()[i] = g * z * (1.0 - c * c);
-      dh_prev.data()[i] = g * (1.0 - z);
+      const double g = dh_.data()[i];
+      daz_.data()[i] = g * (c - hp) * z * (1.0 - z);
+      dac_.data()[i] = g * z * (1.0 - c * c);
+      dhp_.data()[i] = g * (1.0 - z);
     }
 
     // Candidate path: ac = x Wxc + (r ⊙ h_prev) Whc + bc.
-    Matrix drh = matmul_trans_b(dac, whc_.value);
-    Matrix dar(batch, hidden_dim_);
-    for (std::size_t i = 0; i < drh.size(); ++i) {
+    kernels::matmul_trans_b_into(dac_, whc_.value, drh_);
+    dar_.resize(batch, hidden_dim_);
+    for (std::size_t i = 0; i < drh_.size(); ++i) {
       const double r = s.r.data()[i];
       const double hp = s.h_prev.data()[i];
-      dar.data()[i] = drh.data()[i] * hp * r * (1.0 - r);
-      dh_prev.data()[i] += drh.data()[i] * r;
+      dar_.data()[i] = drh_.data()[i] * hp * r * (1.0 - r);
+      dhp_.data()[i] += drh_.data()[i] * r;
     }
 
-    // Parameter gradients.
-    wxz_.grad += matmul_trans_a(s.x, daz);
-    whz_.grad += matmul_trans_a(s.h_prev, daz);
-    bz_.grad += sum_rows(daz);
-    wxr_.grad += matmul_trans_a(s.x, dar);
-    whr_.grad += matmul_trans_a(s.h_prev, dar);
-    br_.grad += sum_rows(dar);
-    wxc_.grad += matmul_trans_a(s.x, dac);
-    whc_.grad += matmul_trans_a(s.rh, dac);  // r ⊙ h_prev cached by forward
-    bc_.grad += sum_rows(dac);
+    // Parameter gradients. Scratch-then-accumulate keeps the rounding
+    // sequence of the allocating `grad += matmul_trans_a(...)` path.
+    kernels::matmul_trans_a_into(s.x, daz_, pg_);
+    wxz_.grad += pg_;
+    kernels::matmul_trans_a_into(s.h_prev, daz_, pg_);
+    whz_.grad += pg_;
+    sum_rows_into(daz_, bg_);
+    bz_.grad += bg_;
+    kernels::matmul_trans_a_into(s.x, dar_, pg_);
+    wxr_.grad += pg_;
+    kernels::matmul_trans_a_into(s.h_prev, dar_, pg_);
+    whr_.grad += pg_;
+    sum_rows_into(dar_, bg_);
+    br_.grad += bg_;
+    kernels::matmul_trans_a_into(s.x, dac_, pg_);
+    wxc_.grad += pg_;
+    kernels::matmul_trans_a_into(s.rh, dac_, pg_);  // r ⊙ h_prev from forward
+    whc_.grad += pg_;
+    sum_rows_into(dac_, bg_);
+    bc_.grad += bg_;
 
     // Input gradient.
-    Matrix dx = matmul_trans_b(daz, wxz_.value);
-    dx += matmul_trans_b(dar, wxr_.value);
-    dx += matmul_trans_b(dac, wxc_.value);
-    grad_xs[ti] = std::move(dx);
+    Matrix& dx = grad_xs_[ti];
+    kernels::matmul_trans_b_into(daz_, wxz_.value, dx);
+    kernels::matmul_trans_b_into(dar_, wxr_.value, mm_);
+    dx += mm_;
+    kernels::matmul_trans_b_into(dac_, wxc_.value, mm_);
+    dx += mm_;
 
     // Hidden-state gradient to previous step.
-    dh_prev += matmul_trans_b(daz, whz_.value);
-    dh_prev += matmul_trans_b(dar, whr_.value);
-    dh_carry = std::move(dh_prev);
+    kernels::matmul_trans_b_into(daz_, whz_.value, mm_);
+    dhp_ += mm_;
+    kernels::matmul_trans_b_into(dar_, whr_.value, mm_);
+    dhp_ += mm_;
+    std::swap(dh_carry_, dhp_);
   }
-  return grad_xs;
+  return grad_xs_;
 }
 
 std::vector<Parameter*> Gru::parameters() {

@@ -10,17 +10,25 @@ namespace netshare::ml {
 
 // Sequences are std::vector<Matrix> of length T; each element is
 // [batch, features]. The hidden state starts at zero.
+//
+// forward()/backward() return references to member buffers, valid until the
+// next forward()/backward() call (see ml/layers.hpp). The per-step caches
+// and every backward scratch are persistent members reused across calls, so
+// with stable (T, batch) shapes the whole BPTT pass performs no heap
+// allocation after the first call. Gate pre-activations go through the
+// fused kernels::gru_gate_into, which is bitwise-identical to the unfused
+// matmul + add + bias + activation composition.
 class Gru {
  public:
   Gru(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
 
   // Runs the full sequence; returns hidden states h_1..h_T and caches
   // everything backward() needs.
-  std::vector<Matrix> forward(const std::vector<Matrix>& xs);
+  const std::vector<Matrix>& forward(const std::vector<Matrix>& xs);
 
   // BPTT. grad_hs[t] is dLoss/dh_t (zero matrices allowed). Accumulates
   // parameter gradients and returns dLoss/dx_t for each step.
-  std::vector<Matrix> backward(const std::vector<Matrix>& grad_hs);
+  const std::vector<Matrix>& backward(const std::vector<Matrix>& grad_hs);
 
   std::vector<Parameter*> parameters();
   void zero_grad();
@@ -40,7 +48,18 @@ class Gru {
   Parameter wxz_, whz_, bz_;
   Parameter wxr_, whr_, br_;
   Parameter wxc_, whc_, bc_;
+  // Persistent step caches; steps_ tracks the live prefix (cache_ may be
+  // longer than the last sequence).
   std::vector<StepCache> cache_;
+  std::size_t steps_ = 0;
+  // Forward buffers.
+  std::vector<Matrix> hs_;  // returned hidden states h_1..h_T
+  Matrix h0_;               // zero initial state
+  Matrix gate_scratch_;     // second-product scratch for gru_gate_into
+  // Backward buffers (see backward() for roles).
+  std::vector<Matrix> grad_xs_;
+  Matrix dh_, daz_, dac_, dar_, dhp_, drh_, dh_carry_;
+  Matrix pg_, bg_, mm_;
 };
 
 }  // namespace netshare::ml

@@ -135,8 +135,7 @@ std::size_t effective_threads() {
 
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   require(a.cols() == b.rows(), "kernels::matmul: inner dimension mismatch");
-  require(c.rows() == a.rows() && c.cols() == b.cols(),
-          "kernels::matmul: output shape mismatch");
+  c.resize(a.rows(), b.cols());
   c.fill(0.0);
   const KernelConfig cfg = config();
   const std::size_t K = a.cols(), C = b.cols();
@@ -151,7 +150,41 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
         for (std::size_t i = r0; i < r1; ++i) {
           double* crow = c.row_ptr(i);
           const double* arow = a.row_ptr(i);
-          for (std::size_t k = kk; k < kend; ++k) {
+          std::size_t k = kk;
+          // Four k-steps per pass over the c row: each element still takes
+          // its partial products one at a time in ascending-k order (mul
+          // rounded, then add rounded), so results match the one-k-at-a-time
+          // reference bitwise while c is loaded/stored 4x less often.
+          for (; k + 4 <= kend; k += 4) {
+            const double a0 = arow[k], a1 = arow[k + 1];
+            const double a2 = arow[k + 2], a3 = arow[k + 3];
+            if (a0 == 0.0 || a1 == 0.0 || a2 == 0.0 || a3 == 0.0) {
+              // The reference skips zero multiplicands entirely (c + 0*inf
+              // would differ); keep its per-k skip semantics on this block.
+              for (std::size_t k2 = k; k2 < k + 4; ++k2) {
+                const double aik = arow[k2];
+                if (aik == 0.0) continue;
+                const double* brow = b.row_ptr(k2);
+                for (std::size_t j = jj; j < jend; ++j) {
+                  crow[j] += aik * brow[j];
+                }
+              }
+              continue;
+            }
+            const double* b0 = b.row_ptr(k);
+            const double* b1 = b.row_ptr(k + 1);
+            const double* b2 = b.row_ptr(k + 2);
+            const double* b3 = b.row_ptr(k + 3);
+            for (std::size_t j = jj; j < jend; ++j) {
+              double t = crow[j];
+              t += a0 * b0[j];
+              t += a1 * b1[j];
+              t += a2 * b2[j];
+              t += a3 * b3[j];
+              crow[j] = t;
+            }
+          }
+          for (; k < kend; ++k) {
             const double aik = arow[k];
             if (aik == 0.0) continue;
             const double* brow = b.row_ptr(k);
@@ -165,8 +198,7 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
 
 void matmul_trans_a_into(const Matrix& a, const Matrix& b, Matrix& c) {
   require(a.rows() == b.rows(), "kernels::matmul_trans_a: row mismatch");
-  require(c.rows() == a.cols() && c.cols() == b.cols(),
-          "kernels::matmul_trans_a: output shape mismatch");
+  c.resize(a.cols(), b.cols());
   c.fill(0.0);
   const KernelConfig cfg = config();
   const std::size_t K = a.rows(), C = b.cols();
@@ -180,7 +212,43 @@ void matmul_trans_a_into(const Matrix& a, const Matrix& b, Matrix& c) {
       const std::size_t kend = std::min(K, kk + KB);
       for (std::size_t jj = 0; jj < C; jj += JB) {
         const std::size_t jend = std::min(C, jj + JB);
-        for (std::size_t k = kk; k < kend; ++k) {
+        std::size_t k = kk;
+        // Same 4-way k-unroll as matmul_into: per element the four partial
+        // products still land one at a time in ascending-k order.
+        for (; k + 4 <= kend; k += 4) {
+          const double* ak0 = a.row_ptr(k);
+          const double* ak1 = a.row_ptr(k + 1);
+          const double* ak2 = a.row_ptr(k + 2);
+          const double* ak3 = a.row_ptr(k + 3);
+          const double* bk0 = b.row_ptr(k);
+          const double* bk1 = b.row_ptr(k + 1);
+          const double* bk2 = b.row_ptr(k + 2);
+          const double* bk3 = b.row_ptr(k + 3);
+          for (std::size_t i = r0; i < r1; ++i) {
+            const double a0 = ak0[i], a1 = ak1[i], a2 = ak2[i], a3 = ak3[i];
+            double* crow = c.row_ptr(i);
+            if (a0 == 0.0 || a1 == 0.0 || a2 == 0.0 || a3 == 0.0) {
+              for (std::size_t k2 = k; k2 < k + 4; ++k2) {
+                const double aki = a.row_ptr(k2)[i];
+                if (aki == 0.0) continue;
+                const double* brow = b.row_ptr(k2);
+                for (std::size_t j = jj; j < jend; ++j) {
+                  crow[j] += aki * brow[j];
+                }
+              }
+              continue;
+            }
+            for (std::size_t j = jj; j < jend; ++j) {
+              double t = crow[j];
+              t += a0 * bk0[j];
+              t += a1 * bk1[j];
+              t += a2 * bk2[j];
+              t += a3 * bk3[j];
+              crow[j] = t;
+            }
+          }
+        }
+        for (; k < kend; ++k) {
           const double* arow = a.row_ptr(k);
           const double* brow = b.row_ptr(k);
           for (std::size_t i = r0; i < r1; ++i) {
@@ -197,8 +265,7 @@ void matmul_trans_a_into(const Matrix& a, const Matrix& b, Matrix& c) {
 
 void matmul_trans_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
   require(a.cols() == b.cols(), "kernels::matmul_trans_b: col mismatch");
-  require(c.rows() == a.rows() && c.cols() == b.rows(),
-          "kernels::matmul_trans_b: output shape mismatch");
+  c.resize(a.rows(), b.rows());
   const KernelConfig cfg = config();
   const std::size_t K = a.cols(), C = b.rows();
   const std::size_t JB = std::max<std::size_t>(1, cfg.block_j);
@@ -210,9 +277,42 @@ void matmul_trans_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
         const double* arow = a.row_ptr(i);
         double* crow = c.row_ptr(i);
         std::size_t j = jj;
-        // Register blocking over four B rows: four independent dot products
+        // Register blocking over eight/four B rows: independent dot products
         // advance together, each still a plain ascending-k scalar reduction,
-        // so every element matches the reference dot product bitwise.
+        // so every element matches the reference dot product bitwise. Eight
+        // concurrent accumulator chains hide the FP-add latency that bounds
+        // a single chain.
+        for (; j + 8 <= jend; j += 8) {
+          const double* b0 = b.row_ptr(j);
+          const double* b1 = b.row_ptr(j + 1);
+          const double* b2 = b.row_ptr(j + 2);
+          const double* b3 = b.row_ptr(j + 3);
+          const double* b4 = b.row_ptr(j + 4);
+          const double* b5 = b.row_ptr(j + 5);
+          const double* b6 = b.row_ptr(j + 6);
+          const double* b7 = b.row_ptr(j + 7);
+          double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+          double acc4 = 0.0, acc5 = 0.0, acc6 = 0.0, acc7 = 0.0;
+          for (std::size_t k = 0; k < K; ++k) {
+            const double ak = arow[k];
+            acc0 += ak * b0[k];
+            acc1 += ak * b1[k];
+            acc2 += ak * b2[k];
+            acc3 += ak * b3[k];
+            acc4 += ak * b4[k];
+            acc5 += ak * b5[k];
+            acc6 += ak * b6[k];
+            acc7 += ak * b7[k];
+          }
+          crow[j] = acc0;
+          crow[j + 1] = acc1;
+          crow[j + 2] = acc2;
+          crow[j + 3] = acc3;
+          crow[j + 4] = acc4;
+          crow[j + 5] = acc5;
+          crow[j + 6] = acc6;
+          crow[j + 7] = acc7;
+        }
         for (; j + 4 <= jend; j += 4) {
           const double* b0 = b.row_ptr(j);
           const double* b1 = b.row_ptr(j + 1);
@@ -240,6 +340,37 @@ void matmul_trans_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
       }
     }
   });
+}
+
+void gru_gate_into(const Matrix& x, const Matrix& wx, const Matrix& h,
+                   const Matrix& wh, const Matrix& bias, GateAct act,
+                   Matrix& scratch, Matrix& out) {
+  require(bias.rows() == 1 && bias.cols() == wx.cols(),
+          "kernels::gru_gate: bias must be 1 x cols(wx)");
+  require(wx.cols() == wh.cols(), "kernels::gru_gate: gate width mismatch");
+  matmul_into(x, wx, out);      // out     = x · Wx
+  matmul_into(h, wh, scratch);  // scratch = h · Wh
+  require(scratch.rows() == out.rows(),
+          "kernels::gru_gate: x/h batch mismatch");
+  // Epilogue, per element: (out + scratch) rounded, + bias rounded, then the
+  // activation — the exact rounding sequence of operator+ followed by
+  // add_row_broadcast_inplace followed by sigmoid/tanh on the allocating
+  // path, fused into one pass with no temporaries.
+  const double* brow = bias.row_ptr(0);
+  const std::size_t rows = out.rows(), cols = out.cols();
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* orow = out.row_ptr(i);
+    const double* srow = scratch.row_ptr(i);
+    if (act == GateAct::kSigmoid) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        orow[j] = detail::sigmoid1((orow[j] + srow[j]) + brow[j]);
+      }
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) {
+        orow[j] = std::tanh((orow[j] + srow[j]) + brow[j]);
+      }
+    }
+  }
 }
 
 }  // namespace netshare::ml::kernels

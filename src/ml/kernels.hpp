@@ -52,11 +52,33 @@ class ConfigOverride {
   KernelConfig saved_;
 };
 
-// C = A (r×k) * B (k×c). `c` must be preshaped to r×c; it is overwritten.
+// Destination-passing kernels. `c` is reshaped to the product shape via
+// Matrix::resize — after a one-iteration warm-up the reshape reuses capacity
+// and the call performs no heap allocation. `c` must not alias an input.
+// C = A (r×k) * B (k×c).
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
 // C = Aᵀ * B with A stored k×r (i.e. matmul(transpose(a), b)).
 void matmul_trans_a_into(const Matrix& a, const Matrix& b, Matrix& c);
 // C = A * Bᵀ.
 void matmul_trans_b_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+// Fused GRU gate: out = act(x·wx + h·wh + bias), written into caller-owned
+// buffers (out and a same-shaped scratch for the second product) with no
+// temporaries. Bitwise contract: the two products run through the blocked
+// matmul kernels above (ascending-k reduction, one rounding per partial
+// product); the epilogue then applies, per element, exactly the rounding
+// sequence of the unfused composition
+//   sigmoid/tanh(add_row_broadcast(matmul(x,wx) + matmul(h,wh), bias))
+// — one add of the two products, one bias add, one activation — so the
+// fused gate is memcmp-identical to the composed allocating path and to the
+// ml::reference::* kernels at every thread count. Lives in this
+// -ffp-contract=off translation unit because the two embedded matmuls need
+// the per-partial-product rounding guarantee like every other kernel here
+// (the adds-only epilogue has no mul+add pair to contract, but keeping the
+// whole fused path under one flag regime makes the guarantee auditable).
+enum class GateAct { kSigmoid, kTanh };
+void gru_gate_into(const Matrix& x, const Matrix& wx, const Matrix& h,
+                   const Matrix& wh, const Matrix& bias, GateAct act,
+                   Matrix& scratch, Matrix& out);
 
 }  // namespace netshare::ml::kernels

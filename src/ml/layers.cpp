@@ -4,52 +4,63 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/kernels.hpp"
+
 namespace netshare::ml {
 
 Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
     : w_(Matrix::randn(in, out, rng, std::sqrt(2.0 / static_cast<double>(in)))),
       b_(Matrix::zeros(1, out)) {}
 
-Matrix Linear::forward(const Matrix& x) {
+const Matrix& Linear::forward(const Matrix& x) {
   x_cache_ = x;
-  // matmul dispatches to the blocked kernel layer; the bias is added in
-  // place afterwards (same value order as add_row_broadcast, one copy less).
-  Matrix y = matmul(x, w_.value);
-  add_row_broadcast_inplace(y, b_.value);
-  return y;
+  // The product goes through the blocked kernel layer into the member
+  // buffer; the bias is added in place afterwards (same value order as
+  // add_row_broadcast). The matmul reads x_cache_, not x, so the call stays
+  // correct even if the caller passes this layer's own previous output.
+  kernels::matmul_into(x_cache_, w_.value, y_);
+  add_row_broadcast_inplace(y_, b_.value);
+  return y_;
 }
 
-Matrix Linear::backward(const Matrix& grad_out) {
-  w_.grad += matmul_trans_a(x_cache_, grad_out);
-  b_.grad += sum_rows(grad_out);
-  return matmul_trans_b(grad_out, w_.value);
+const Matrix& Linear::backward(const Matrix& grad_out) {
+  // Scratch-then-accumulate keeps the gradient rounding sequence of the
+  // allocating `grad += matmul_trans_a(...)` path.
+  kernels::matmul_trans_a_into(x_cache_, grad_out, gw_);
+  w_.grad += gw_;
+  sum_rows_into(grad_out, gb_);
+  b_.grad += gb_;
+  kernels::matmul_trans_b_into(grad_out, w_.value, gx_);
+  return gx_;
 }
 
-Matrix ActivationLayer::forward(const Matrix& x) {
-  x_cache_ = x;
-  Matrix y = x;
+const Matrix& ActivationLayer::forward(const Matrix& x) {
+  if (kind_ == Activation::kRelu || kind_ == Activation::kLeakyRelu) {
+    x_cache_ = x;  // only the relu family needs pre-activations in backward
+  }
+  y_cache_ = x;
   switch (kind_) {
     case Activation::kRelu:
-      for (auto& v : y.data()) v = v > 0 ? v : 0.0;
+      for (auto& v : y_cache_.data()) v = v > 0 ? v : 0.0;
       break;
     case Activation::kLeakyRelu:
-      for (auto& v : y.data()) v = v > 0 ? v : slope_ * v;
+      for (auto& v : y_cache_.data()) v = v > 0 ? v : slope_ * v;
       break;
     case Activation::kTanh:
-      for (auto& v : y.data()) v = std::tanh(v);
+      tanh_inplace(y_cache_);
       break;
     case Activation::kSigmoid:
-      for (auto& v : y.data()) v = 1.0 / (1.0 + std::exp(-v));
+      sigmoid_inplace(y_cache_);
       break;
     case Activation::kIdentity:
       break;
   }
-  y_cache_ = y;
-  return y;
+  return y_cache_;
 }
 
-Matrix ActivationLayer::backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
+const Matrix& ActivationLayer::backward(const Matrix& grad_out) {
+  Matrix& g = g_;
+  g = grad_out;
   switch (kind_) {
     case Activation::kRelu:
       for (std::size_t i = 0; i < g.size(); ++i) {
@@ -76,7 +87,7 @@ Matrix ActivationLayer::backward(const Matrix& grad_out) {
     case Activation::kIdentity:
       break;
   }
-  return g;
+  return g_;
 }
 
 Matrix softmax_rows(const Matrix& logits) {
@@ -100,11 +111,12 @@ std::size_t MixedHead::width() const {
   return w;
 }
 
-Matrix MixedHead::forward(const Matrix& x) {
+const Matrix& MixedHead::forward(const Matrix& x) {
   if (x.cols() != width()) {
     throw std::invalid_argument("MixedHead::forward: width mismatch");
   }
-  Matrix y = x;
+  Matrix& y = y_cache_;
+  y = x;
   for (std::size_t i = 0; i < y.rows(); ++i) {
     double* row = y.row_ptr(i);
     std::size_t at = 0;
@@ -136,12 +148,12 @@ Matrix MixedHead::forward(const Matrix& x) {
       at += seg.width;
     }
   }
-  y_cache_ = y;
-  return y;
+  return y_cache_;
 }
 
-Matrix MixedHead::backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
+const Matrix& MixedHead::backward(const Matrix& grad_out) {
+  Matrix& g = g_;
+  g = grad_out;
   for (std::size_t i = 0; i < g.rows(); ++i) {
     double* grow = g.row_ptr(i);
     const double* yrow = y_cache_.row_ptr(i);

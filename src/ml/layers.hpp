@@ -5,6 +5,13 @@
 // forward/backward passes between optimizer steps sum up, which WGAN critic
 // training relies on) and returns the gradient w.r.t. its input (so the
 // generator receives gradients *through* the discriminator).
+//
+// Buffer ownership (DESIGN.md §6): forward()/backward() return a const
+// reference to a buffer owned by the module, valid until the module's next
+// forward()/backward() call. Callers that need the value past that point
+// copy it (`Matrix y = m.forward(x)`); the training hot path chains the
+// references without copying. After a one-iteration warm-up with stable
+// shapes these calls perform no heap allocation.
 #pragma once
 
 #include <memory>
@@ -27,8 +34,8 @@ struct Parameter {
 class Module {
  public:
   virtual ~Module() = default;
-  virtual Matrix forward(const Matrix& x) = 0;
-  virtual Matrix backward(const Matrix& grad_out) = 0;
+  virtual const Matrix& forward(const Matrix& x) = 0;
+  virtual const Matrix& backward(const Matrix& grad_out) = 0;
   virtual std::vector<Parameter*> parameters() { return {}; }
 
   void zero_grad() {
@@ -41,8 +48,8 @@ class Linear : public Module {
  public:
   Linear(std::size_t in, std::size_t out, Rng& rng);
 
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  const Matrix& forward(const Matrix& x) override;
+  const Matrix& backward(const Matrix& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&w_, &b_}; }
 
   Parameter& weight() { return w_; }
@@ -52,6 +59,8 @@ class Linear : public Module {
   Parameter w_;
   Parameter b_;
   Matrix x_cache_;
+  Matrix y_;             // forward output buffer
+  Matrix gx_, gw_, gb_;  // backward output / parameter-grad scratch
 };
 
 enum class Activation { kRelu, kLeakyRelu, kTanh, kSigmoid, kIdentity };
@@ -62,14 +71,15 @@ class ActivationLayer : public Module {
   explicit ActivationLayer(Activation kind, double leaky_slope = 0.2)
       : kind_(kind), slope_(leaky_slope) {}
 
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  const Matrix& forward(const Matrix& x) override;
+  const Matrix& backward(const Matrix& grad_out) override;
 
  private:
   Activation kind_;
   double slope_;
-  Matrix y_cache_;  // activations (enough to compute every supported grad)
-  Matrix x_cache_;  // pre-activations (needed for relu family)
+  Matrix y_cache_;  // activations; doubles as the forward output buffer
+  Matrix x_cache_;  // pre-activations (kept only for the relu family)
+  Matrix g_;        // backward output buffer
 };
 
 // Stable row-wise softmax as a pure function (used by losses and MixedHead).
@@ -89,15 +99,16 @@ class MixedHead : public Module {
   explicit MixedHead(std::vector<OutputSegment> segments)
       : segments_(std::move(segments)) {}
 
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  const Matrix& forward(const Matrix& x) override;
+  const Matrix& backward(const Matrix& grad_out) override;
 
   std::size_t width() const;
   const std::vector<OutputSegment>& segments() const { return segments_; }
 
  private:
   std::vector<OutputSegment> segments_;
-  Matrix y_cache_;
+  Matrix y_cache_;  // activations; doubles as the forward output buffer
+  Matrix g_;        // backward output buffer
 };
 
 }  // namespace netshare::ml

@@ -1,5 +1,6 @@
 #include "ml/matrix.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -11,7 +12,38 @@ namespace {
 void require(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
 }
+
+std::atomic<std::uint64_t> g_matrix_allocs{0};
 }  // namespace
+
+namespace alloc_counter {
+void reset() { g_matrix_allocs.store(0, std::memory_order_relaxed); }
+std::uint64_t count() { return g_matrix_allocs.load(std::memory_order_relaxed); }
+}  // namespace alloc_counter
+
+namespace detail {
+void note_matrix_alloc() {
+  g_matrix_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  const std::size_t cap = data_.capacity();
+  data_ = other.data_;  // reuses existing storage when capacity suffices
+  if (data_.capacity() != cap) detail::note_matrix_alloc();
+  return *this;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  const std::size_t cap = data_.capacity();
+  data_.resize(rows * cols);
+  if (data_.capacity() != cap) detail::note_matrix_alloc();
+}
 
 Matrix Matrix::randn(std::size_t rows, std::size_t cols, Rng& rng,
                      double scale) {
@@ -45,22 +77,19 @@ Matrix& Matrix::operator*=(double s) {
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
-  Matrix c(a.rows(), b.cols());
+  Matrix c;
   kernels::matmul_into(a, b, c);
   return c;
 }
 
 Matrix matmul_trans_a(const Matrix& a, const Matrix& b) {
-  require(a.rows() == b.rows(), "matmul_trans_a: row mismatch");
-  Matrix c(a.cols(), b.cols());
+  Matrix c;
   kernels::matmul_trans_a_into(a, b, c);
   return c;
 }
 
 Matrix matmul_trans_b(const Matrix& a, const Matrix& b) {
-  require(a.cols() == b.cols(), "matmul_trans_b: col mismatch");
-  Matrix c(a.rows(), b.rows());
+  Matrix c;
   kernels::matmul_trans_b_into(a, b, c);
   return c;
 }
@@ -132,6 +161,15 @@ Matrix hadamard(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "hadamard_into: shape mismatch");
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+}
+
 Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
   Matrix c = a;
   add_row_broadcast_inplace(c, row);
@@ -157,17 +195,31 @@ Matrix sum_rows(const Matrix& a) {
   return s;
 }
 
-Matrix concat_cols(const Matrix& a, const Matrix& b) {
-  require(a.rows() == b.rows(), "concat_cols: row mismatch");
-  Matrix c(a.rows(), a.cols() + b.cols());
+void sum_rows_into(const Matrix& a, Matrix& out) {
+  out.resize(1, a.cols());
+  out.fill(0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.row_ptr(i);
+    const double* arow = a.row_ptr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) out(0, j) += arow[j];
+  }
+}
+
+Matrix concat_cols(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  concat_cols_into(a, b, c);
+  return c;
+}
+
+void concat_cols_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.rows() == b.rows(), "concat_cols: row mismatch");
+  out.resize(a.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = out.row_ptr(i);
     const double* arow = a.row_ptr(i);
     const double* brow = b.row_ptr(i);
     std::copy(arow, arow + a.cols(), crow);
     std::copy(brow, brow + b.cols(), crow + a.cols());
   }
-  return c;
 }
 
 std::pair<Matrix, Matrix> split_cols(const Matrix& a, std::size_t k) {
@@ -182,33 +234,74 @@ std::pair<Matrix, Matrix> split_cols(const Matrix& a, std::size_t k) {
 }
 
 Matrix slice_rows(const Matrix& a, std::size_t begin, std::size_t end) {
+  Matrix c;
+  slice_rows_into(a, begin, end, c);
+  return c;
+}
+
+void slice_rows_into(const Matrix& a, std::size_t begin, std::size_t end,
+                     Matrix& out) {
   require(begin <= end && end <= a.rows(), "slice_rows: range out of bounds");
-  Matrix c(end - begin, a.cols());
+  out.resize(end - begin, a.cols());
   for (std::size_t i = begin; i < end; ++i) {
     const double* arow = a.row_ptr(i);
-    std::copy(arow, arow + a.cols(), c.row_ptr(i - begin));
+    std::copy(arow, arow + a.cols(), out.row_ptr(i - begin));
   }
-  return c;
 }
 
 Matrix take_row(const Matrix& a, std::size_t r) { return slice_rows(a, r, r + 1); }
 
 Matrix stack_rows(const std::vector<Matrix>& rows) {
+  Matrix c;
+  stack_rows_into(rows, c);
+  return c;
+}
+
+void stack_rows_into(const std::vector<Matrix>& rows, Matrix& out) {
   require(!rows.empty(), "stack_rows: empty input");
   std::size_t total = 0;
   for (const auto& r : rows) {
     require(r.cols() == rows[0].cols(), "stack_rows: col mismatch");
     total += r.rows();
   }
-  Matrix c(total, rows[0].cols());
+  out.resize(total, rows[0].cols());
   std::size_t at = 0;
   for (const auto& r : rows) {
     for (std::size_t i = 0; i < r.rows(); ++i) {
       const double* row = r.row_ptr(i);
-      std::copy(row, row + r.cols(), c.row_ptr(at++));
+      std::copy(row, row + r.cols(), out.row_ptr(at++));
     }
   }
-  return c;
+}
+
+void stack_rows_into(std::initializer_list<const Matrix*> rows, Matrix& out) {
+  require(rows.size() > 0, "stack_rows: empty input");
+  const std::size_t cols = (*rows.begin())->cols();
+  std::size_t total = 0;
+  for (const Matrix* r : rows) {
+    require(r->cols() == cols, "stack_rows: col mismatch");
+    total += r->rows();
+  }
+  out.resize(total, cols);
+  std::size_t at = 0;
+  for (const Matrix* r : rows) {
+    for (std::size_t i = 0; i < r->rows(); ++i) {
+      const double* row = r->row_ptr(i);
+      std::copy(row, row + cols, out.row_ptr(at++));
+    }
+  }
+}
+
+void sigmoid_inplace(Matrix& a) {
+  for (auto& v : a.data()) v = detail::sigmoid1(v);
+}
+
+void tanh_inplace(Matrix& a) {
+  for (auto& v : a.data()) v = std::tanh(v);
+}
+
+void randn_fill(Matrix& m, Rng& rng, double scale) {
+  for (auto& v : m.data()) v = rng.normal() * scale;
 }
 
 double frobenius_norm(const Matrix& a) {

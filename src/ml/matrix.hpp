@@ -1,19 +1,58 @@
 // Dense row-major matrix over double — the numeric workhorse for the GAN
 // substrate. Minimal by design: exactly the operations the models need.
+//
+// Allocation discipline (DESIGN.md §6): the training hot path is built from
+// the destination-passing `*_into` / `*_inplace` variants below plus
+// `Matrix::resize`, which reshapes without reallocating whenever the
+// existing capacity suffices. Every heap (re)allocation of a matrix element
+// buffer is counted by the process-wide instrumentation in
+// `ml::alloc_counter`, which is how the zero-allocation steady-state
+// contract is measured rather than asserted.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
 
 namespace netshare::ml {
 
+// Process-wide matrix-buffer allocation counter. Counts one event per heap
+// (re)allocation performed on behalf of a Matrix element buffer —
+// construction with nonzero size, a copy that grows capacity, or a resize
+// past capacity. Relaxed atomics: always compiled in (the increment only
+// runs on actual allocation events, which the hot path has none of after
+// warm-up), safe to read from tests running threaded kernels.
+namespace alloc_counter {
+void reset();
+std::uint64_t count();
+}  // namespace alloc_counter
+
+namespace detail {
+void note_matrix_alloc();
+inline double sigmoid1(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+}  // namespace detail
+
 class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    if (!data_.empty()) detail::note_matrix_alloc();
+  }
+
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    if (!data_.empty()) detail::note_matrix_alloc();
+  }
+  Matrix(Matrix&&) noexcept = default;
+  // Copy assignment reuses the destination's capacity when it suffices (the
+  // steady-state case for layer caches); only a capacity growth counts as an
+  // allocation.
+  Matrix& operator=(const Matrix& other);
+  Matrix& operator=(Matrix&&) noexcept = default;
 
   static Matrix zeros(std::size_t rows, std::size_t cols) {
     return Matrix(rows, cols, 0.0);
@@ -28,6 +67,12 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+
+  // Reshapes to rows x cols, reusing the existing buffer when capacity
+  // allows (no allocation — the point of the pooled hot path). The element
+  // values are unspecified afterwards unless the shape is unchanged; callers
+  // overwrite or fill().
+  void resize(std::size_t rows, std::size_t cols);
 
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
@@ -98,6 +143,30 @@ Matrix slice_rows(const Matrix& a, std::size_t begin, std::size_t end);
 Matrix take_row(const Matrix& a, std::size_t r);
 // Stacks 1×c rows into an n×c matrix.
 Matrix stack_rows(const std::vector<Matrix>& rows);
+
+// --- destination-passing variants (zero-allocation steady state) ----------
+// Each writes the same values, in the same element order, as its allocating
+// counterpart above; `out` is reshaped via Matrix::resize (capacity-reusing)
+// and must not alias any input.
+void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out);
+void sum_rows_into(const Matrix& a, Matrix& out);
+void concat_cols_into(const Matrix& a, const Matrix& b, Matrix& out);
+void slice_rows_into(const Matrix& a, std::size_t begin, std::size_t end,
+                     Matrix& out);
+void stack_rows_into(const std::vector<Matrix>& rows, Matrix& out);
+// Row-stacks an explicit list of blocks (e.g. the critic's [real; fake;
+// interpolate1; interpolate2] batch) without building a vector of copies.
+void stack_rows_into(std::initializer_list<const Matrix*> rows, Matrix& out);
+
+// Elementwise activations, shared by ml/layers.cpp, the GRU, and the fused
+// gate kernel in ml/kernels.cpp (one definition of the scalar op each —
+// detail::sigmoid1 / std::tanh — so all paths round identically).
+void sigmoid_inplace(Matrix& a);
+void tanh_inplace(Matrix& a);
+
+// Overwrites m with standard normal draws scaled by `scale`, in the same
+// row-major draw order as Matrix::randn, without allocating.
+void randn_fill(Matrix& m, Rng& rng, double scale = 1.0);
 
 double frobenius_norm(const Matrix& a);
 double mean(const Matrix& a);

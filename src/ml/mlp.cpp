@@ -31,18 +31,20 @@ Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden,
   layers_.push_back(std::make_unique<MixedHead>(std::move(output_segments)));
 }
 
-Matrix Mlp::forward(const Matrix& x) {
-  Matrix h = x;
-  for (auto& layer : layers_) h = layer->forward(h);
-  return h;
+const Matrix& Mlp::forward(const Matrix& x) {
+  // Chain layer output references without copying; every layer owns its
+  // output buffer, so the returned reference is valid until the next call.
+  const Matrix* cur = &x;
+  for (auto& layer : layers_) cur = &layer->forward(*cur);
+  return *cur;
 }
 
-Matrix Mlp::backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
+const Matrix& Mlp::backward(const Matrix& grad_out) {
+  const Matrix* cur = &grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    cur = &(*it)->backward(*cur);
   }
-  return g;
+  return *cur;
 }
 
 std::vector<Parameter*> Mlp::parameters() {

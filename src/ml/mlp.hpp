@@ -21,8 +21,8 @@ class Mlp : public Module {
   Mlp(const std::vector<std::size_t>& dims, Activation hidden,
       std::vector<OutputSegment> output_segments, Rng& rng);
 
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  const Matrix& forward(const Matrix& x) override;
+  const Matrix& backward(const Matrix& grad_out) override;
   std::vector<Parameter*> parameters() override;
 
  private:

@@ -67,6 +67,97 @@ TEST(Kernels, BitwiseIdenticalToReferenceAcrossShapesAndThreads) {
   }
 }
 
+TEST(Kernels, IntoVariantsMatchAllocatingAndReferenceAcrossThreads) {
+  Rng rng(105);
+  for (const Shape& s : kShapes) {
+    const Matrix a = Matrix::randn(s.rows, s.inner, rng);
+    const Matrix b = Matrix::randn(s.inner, s.cols, rng);
+    const Matrix at = Matrix::randn(s.inner, s.rows, rng);
+    const Matrix bt = Matrix::randn(s.cols, s.inner, rng);
+    const Matrix ref = reference::matmul(a, b);
+    const Matrix ref_ta = reference::matmul_trans_a(at, b);
+    const Matrix ref_tb = reference::matmul_trans_b(a, bt);
+    // Start from a deliberately wrong-shaped buffer: the into-kernels must
+    // reshape it (capacity reuse) and still produce bitwise-identical output.
+    Matrix c(3, 7, 42.0);
+    for (std::size_t threads = 1; threads <= 8; ++threads) {
+      kernels::KernelConfig cfg;
+      cfg.threads = threads;
+      cfg.min_parallel_flops = 0;
+      kernels::ConfigOverride guard(cfg);
+      SCOPED_TRACE(std::string(s.label) + " threads=" +
+                   std::to_string(threads));
+      kernels::matmul_into(a, b, c);
+      expect_bitwise(c, ref, "matmul_into");
+      expect_bitwise(c, matmul(a, b), "matmul_into vs allocating");
+      kernels::matmul_trans_a_into(at, b, c);
+      expect_bitwise(c, ref_ta, "matmul_trans_a_into");
+      expect_bitwise(c, matmul_trans_a(at, b),
+                     "matmul_trans_a_into vs allocating");
+      kernels::matmul_trans_b_into(a, bt, c);
+      expect_bitwise(c, ref_tb, "matmul_trans_b_into");
+      expect_bitwise(c, matmul_trans_b(a, bt),
+                     "matmul_trans_b_into vs allocating");
+    }
+  }
+}
+
+TEST(Kernels, ElementwiseIntoHelpersMatchAllocatingCounterparts) {
+  Rng rng(108);
+  const Matrix a = Matrix::randn(37, 23, rng);
+  const Matrix b = Matrix::randn(37, 23, rng);
+  Matrix out(1, 1);  // wrong shape on purpose
+  hadamard_into(a, b, out);
+  expect_bitwise(out, hadamard(a, b), "hadamard_into");
+  sum_rows_into(a, out);
+  expect_bitwise(out, sum_rows(a), "sum_rows_into");
+  concat_cols_into(a, b, out);
+  expect_bitwise(out, concat_cols(a, b), "concat_cols_into");
+  slice_rows_into(a, 5, 21, out);
+  expect_bitwise(out, slice_rows(a, 5, 21), "slice_rows_into");
+  const std::vector<Matrix> pieces{a, b};
+  stack_rows_into(pieces, out);
+  expect_bitwise(out, stack_rows(pieces), "stack_rows_into");
+  Matrix out2(2, 2);
+  stack_rows_into({&a, &b}, out2);
+  expect_bitwise(out2, out, "stack_rows_into(initializer_list)");
+}
+
+TEST(Kernels, FusedGruGateMatchesUnfusedCompositionAcrossThreads) {
+  Rng rng(107);
+  const std::size_t batch = 33, in = 29, hid = 41;
+  const Matrix x = Matrix::randn(batch, in, rng);
+  const Matrix wx = Matrix::randn(in, hid, rng);
+  const Matrix h = Matrix::randn(batch, hid, rng);
+  const Matrix wh = Matrix::randn(hid, hid, rng);
+  const Matrix bias = Matrix::randn(1, hid, rng);
+  for (const auto act :
+       {kernels::GateAct::kSigmoid, kernels::GateAct::kTanh}) {
+    // Unfused composition on the serial reference kernels.
+    Matrix want = reference::matmul(x, wx);
+    want += reference::matmul(h, wh);
+    add_row_broadcast_inplace(want, bias);
+    if (act == kernels::GateAct::kSigmoid) {
+      sigmoid_inplace(want);
+    } else {
+      tanh_inplace(want);
+    }
+    Matrix scratch, out;
+    for (std::size_t threads = 1; threads <= 8; ++threads) {
+      kernels::KernelConfig cfg;
+      cfg.threads = threads;
+      cfg.min_parallel_flops = 0;
+      kernels::ConfigOverride guard(cfg);
+      SCOPED_TRACE(std::string(act == kernels::GateAct::kSigmoid
+                                   ? "sigmoid"
+                                   : "tanh") +
+                   " threads=" + std::to_string(threads));
+      kernels::gru_gate_into(x, wx, h, wh, bias, act, scratch, out);
+      expect_bitwise(out, want, "gru_gate_into");
+    }
+  }
+}
+
 TEST(Kernels, ZeroEntriesTakeTheSkipPathIdentically) {
   Rng rng(102);
   Matrix a = Matrix::randn(70, 66, rng);
