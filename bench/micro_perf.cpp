@@ -6,7 +6,9 @@
 
 #include "common/rng.hpp"
 #include "embed/bit_encoding.hpp"
+#include "gan/doppelganger.hpp"
 #include "ml/gru.hpp"
+#include "ml/kernels.hpp"
 #include "ml/matrix.hpp"
 #include "net/checksum.hpp"
 #include "net/ipv4.hpp"
@@ -101,6 +103,65 @@ static void BM_GruForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GruForward);
+
+// Generation path: batched sample_into vs the per-series path (batch 1),
+// each at 1 and 4 kernel threads. The model is trained once and shared —
+// sampling throughput does not depend on convergence.
+static gan::DoppelGanger& trained_sampler() {
+  static gan::DoppelGanger* model = [] {
+    gan::TimeSeriesSpec spec;
+    spec.attribute_segments = {{ml::OutputSegment::Kind::kSoftmax, 3},
+                               {ml::OutputSegment::Kind::kSigmoid, 1}};
+    spec.feature_segments = {{ml::OutputSegment::Kind::kSigmoid, 1}};
+    spec.max_len = 8;
+    gan::TimeSeriesDataset data;
+    data.spec = spec;
+    data.attributes = ml::Matrix(64, 4);
+    data.features.assign(8, ml::Matrix(64, 1));
+    data.lengths.resize(64);
+    Rng rng(78);
+    for (std::size_t i = 0; i < 64; ++i) {
+      const std::size_t cat = rng.categorical({0.5, 0.3, 0.2});
+      data.attributes(i, cat) = 1.0;
+      data.attributes(i, 3) = rng.uniform(0.2, 0.8);
+      data.lengths[i] = 2 * cat + 1;
+      for (std::size_t t = 0; t < data.lengths[i]; ++t) {
+        data.features[t](i, 0) = rng.uniform(0.1, 0.9);
+      }
+    }
+    auto* m = new gan::DoppelGanger(spec, gan::DgConfig{}, 4321);
+    m->fit(data, 2);
+    return m;
+  }();
+  return *model;
+}
+
+static void BM_DoppelGangerSample(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  ml::kernels::KernelConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(1));
+  cfg.min_parallel_flops = 0;
+  ml::kernels::ConfigOverride guard(cfg);
+  gan::DoppelGanger& model = trained_sampler();
+  constexpr std::size_t kSeries = 64;
+  gan::GeneratedSeries out;
+  model.sample_into(batched ? kSeries : 1, 7, 0, out);  // warm-up
+  for (auto _ : state) {
+    if (batched) {
+      model.sample_into(kSeries, 7, 0, out);
+    } else {
+      for (std::size_t i = 0; i < kSeries; ++i) model.sample_into(1, 7, i, out);
+    }
+    benchmark::DoNotOptimize(out.lengths.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kSeries);
+  state.SetLabel(batched ? "batched" : "per-series");
+}
+BENCHMARK(BM_DoppelGangerSample)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4});
 
 static void BM_IpBitCodec(benchmark::State& state) {
   const net::Ipv4Address ip(192, 168, 10, 20);

@@ -1,0 +1,252 @@
+// End-to-end pipeline benchmark: preprocess -> train -> generate ->
+// postprocess on a PCAP-preset trace, timed per stage, plus a gated
+// comparison of the generate stage on the new path (length-adaptive
+// sampling, chunk-parallel on the thread budget) against the serial
+// reference path (full-unroll sampler, one chunk at a time, one kernel
+// thread). Emits BENCH_pipeline.json (path overridable via argv[1]); the
+// committed baseline at the repo root is gated by
+// scripts/check_bench_regression (see EXPERIMENTS.md).
+//
+// Bench honesty: on this container hardware_concurrency() is 1, so thread
+// counts above 1 measure oversubscription, not scaling — which is why the
+// gated speedup does NOT come from threads. It comes from length-adaptive
+// early exit: the reference unrolls every series through all max_len RNN
+// steps (that was the only sampler before this path existed), while the
+// adaptive path stops each series at its sampled length and compacts the
+// batch, so compute is proportional to the total emitted length. Generated
+// series on this workload are far shorter than max_len, and the two paths
+// are bitwise identical (asserted in tests/test_generate.cpp), so the
+// speedup holds on any core count.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/postprocess.hpp"
+#include "core/preprocess.hpp"
+#include "core/train.hpp"
+#include "datagen/presets.hpp"
+#include "ml/kernels.hpp"
+#include "ml/matrix.hpp"
+
+using namespace netshare;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Best-of timing (stabler than mean on a shared CI core).
+double time_best(const std::function<void()>& fn, double min_seconds = 0.3) {
+  fn();  // warm-up
+  double best = 1e100;
+  double total = 0.0;
+  while (total < min_seconds) {
+    const auto t0 = Clock::now();
+    fn();
+    const double s = seconds_since(t0);
+    if (s < best) best = s;
+    total += s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  const std::size_t kRecords = 2000;
+  const std::size_t kSampleBatch = 64;
+
+  core::NetShareConfig config;
+  config.use_ip2vec_ports = false;  // keep the bench self-contained & fast
+  // The kCaida preset averages ~14.5 packets per flow, so the scaled-down
+  // max_seq_len default of 8 truncates nearly every flow; 16 keeps the
+  // bench workload representative of real per-flow series lengths.
+  config.max_seq_len = 16;
+  config.seed_iterations = 40;
+  config.finetune_iterations = 15;
+  config.threads = 4;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool oversubscribed = hw > 0 && config.threads > hw;
+  if (oversubscribed) {
+    std::printf("WARNING: pipeline requests a %zu-thread budget on %u "
+                "core(s); the budget is capped at the core count, so the "
+                "gated speedup reflects the length-adaptive sampler, not "
+                "thread scaling\n",
+                config.threads, hw);
+  }
+
+  const auto bundle =
+      datagen::make_dataset(datagen::DatasetId::kCaida, kRecords, 42);
+
+  // Stage 1: preprocess (fit normalizers + chunked encode).
+  auto t0 = Clock::now();
+  core::PacketEncoder encoder(config, nullptr);
+  encoder.fit(bundle.packets);
+  const auto datasets = encoder.encode(bundle.packets);
+  const double preprocess_sec = seconds_since(t0);
+
+  // Stage 2: train (seed chunk + parallel fine-tune).
+  t0 = Clock::now();
+  core::ChunkedTrainer trainer(encoder.spec(), config);
+  trainer.fit(datasets);
+  const double train_sec = seconds_since(t0);
+
+  // Stage 3: generate — chunk-parallel batched sampling, then decode.
+  const auto& chunks = encoder.chunks();
+  std::vector<std::size_t> counts(chunks.size(), 0);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    counts[c] = chunks[c].real_flows;
+  }
+  t0 = Clock::now();
+  std::vector<gan::GeneratedSeries> series;
+  trainer.sample_chunks(counts, 1234, series);
+  const double sample_sec = seconds_since(t0);
+  t0 = Clock::now();
+  net::PacketTrace synth;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (counts[c] == 0 || !trainer.has_model(c)) continue;
+    const net::PacketTrace part = encoder.decode(series[c], c);
+    synth.packets.insert(synth.packets.end(), part.packets.begin(),
+                         part.packets.end());
+  }
+  synth.sort_by_time();
+  const double decode_sec = seconds_since(t0);
+  const double generate_sec = sample_sec + decode_sec;
+
+  // Stage 4: postprocess (IP remap + port retrain + header repair, all on
+  // the 4-thread budget).
+  t0 = Clock::now();
+  net::PacketTrace post = core::remap_ips(synth, core::IpRemapConfig{},
+                                          config.threads);
+  Rng post_rng(99);
+  post = core::retrain_dst_ports(post, {{80, 0.6}, {443, 0.3}, {53, 0.1}},
+                                 post_rng, config.threads);
+  const core::RepairStats repair =
+      core::repair_packet_headers(post, config.threads);
+  const double postprocess_sec = seconds_since(t0);
+
+  // Gated generate comparison: the full generate stage (sample every chunk's
+  // count + decode + merge-sort) on the new path vs the serial reference.
+  net::PacketTrace gen_buf;
+  const auto decode_all = [&](const std::vector<gan::GeneratedSeries>& s) {
+    gen_buf.packets.clear();
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      if (counts[c] == 0 || !trainer.has_model(c)) continue;
+      const net::PacketTrace part = encoder.decode(s[c], c);
+      gen_buf.packets.insert(gen_buf.packets.end(), part.packets.begin(),
+                             part.packets.end());
+    }
+    gen_buf.sort_by_time();
+  };
+  const double parallel_gen_sec = time_best([&] {
+    trainer.sample_chunks(counts, 1234, series);
+    decode_all(series);
+  });
+  const std::size_t parallel_gen_packets = gen_buf.size();
+  std::vector<gan::GeneratedSeries> ref_series(chunks.size());
+  const double serial_gen_sec = time_best([&] {
+    ml::kernels::KernelConfig cfg;
+    cfg.threads = 1;
+    ml::kernels::ConfigOverride guard(cfg);
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      trainer.sample_chunk_reference_into(c, counts[c], 1234, 0,
+                                          ref_series[c]);
+    }
+    decode_all(ref_series);
+  });
+  if (gen_buf.size() != parallel_gen_packets) {
+    std::fprintf(stderr,
+                 "ERROR: serial reference decoded %zu packets, parallel "
+                 "path decoded %zu — paths diverged\n",
+                 gen_buf.size(), parallel_gen_packets);
+    return 1;
+  }
+  const double speedup = serial_gen_sec / parallel_gen_sec;
+
+  // Informational micro numbers on the seed-chunk model, plus the
+  // zero-allocation assertion on the adaptive path.
+  std::size_t c0 = 0;
+  while (c0 < chunks.size() && !trainer.has_model(c0)) ++c0;
+  gan::GeneratedSeries buf;
+  double batched_sec = 0.0;
+  double allocs_per_batch = 0.0;
+  {
+    ml::kernels::KernelConfig cfg;
+    cfg.threads = 1;
+    ml::kernels::ConfigOverride guard(cfg);
+    trainer.sample_chunk_into(c0, kSampleBatch, 7, 0, buf);  // warm-up
+    ml::alloc_counter::reset();
+    trainer.sample_chunk_into(c0, kSampleBatch, 7, 0, buf);
+    allocs_per_batch = static_cast<double>(ml::alloc_counter::count());
+    batched_sec = time_best(
+        [&] { trainer.sample_chunk_into(c0, kSampleBatch, 7, 0, buf); });
+  }
+  double per_series_sec = 0.0;
+  {
+    ml::kernels::KernelConfig cfg;
+    cfg.threads = 1;
+    ml::kernels::ConfigOverride guard(cfg);
+    per_series_sec = time_best([&] {
+      for (std::size_t i = 0; i < kSampleBatch; ++i) {
+        trainer.sample_chunk_into(c0, 1, 7, i, buf);
+      }
+    });
+  }
+
+  std::printf("preprocess  %.3fs\ntrain       %.3fs (cpu %.3fs)\n"
+              "generate    %.3fs (sample %.3fs + decode %.3fs, %zu packets)\n"
+              "postprocess %.3fs (%zu repairs, %zu checksum failures)\n",
+              preprocess_sec, train_sec, trainer.train_cpu_seconds(),
+              generate_sec, sample_sec, decode_sec, synth.size(),
+              postprocess_sec, repair.total_repairs(),
+              repair.checksum_failures);
+  std::printf("generate stage: serial reference %.4fs, adaptive+parallel "
+              "%.4fs (%.2fx), %zu packets\n",
+              serial_gen_sec, parallel_gen_sec, speedup, parallel_gen_packets);
+  std::printf("sample %zu series @1t: batched %.4fs, per-series %.4fs, "
+              "%.0f allocs/batch\n",
+              kSampleBatch, batched_sec, per_series_sec, allocs_per_batch);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"threads\": %zu,\n", config.threads);
+  std::fprintf(f, "  \"records\": %zu,\n", kRecords);
+  std::fprintf(f, "  \"generated_records\": %zu,\n", synth.size());
+  std::fprintf(f,
+               "  \"stages_sec\": {\"preprocess\": %.4f, \"train\": %.4f, "
+               "\"generate\": %.4f, \"postprocess\": %.4f},\n",
+               preprocess_sec, train_sec, generate_sec, postprocess_sec);
+  std::fprintf(f, "  \"train_cpu_sec\": %.4f,\n", trainer.train_cpu_seconds());
+  std::fprintf(f, "  \"generate_serial_sec\": %.6f,\n", serial_gen_sec);
+  std::fprintf(f, "  \"generate_parallel_sec\": %.6f,\n", parallel_gen_sec);
+  std::fprintf(f, "  \"generate_sample_batched_sec\": %.6f,\n", batched_sec);
+  std::fprintf(f, "  \"generate_sample_per_series_sec\": %.6f,\n",
+               per_series_sec);
+  std::fprintf(f, "  \"generate_decode_sec\": %.4f,\n", decode_sec);
+  std::fprintf(f, "  \"generate_speedup_4t\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"generate_allocs_per_batch\": %.1f,\n", allocs_per_batch);
+  std::fprintf(f, "  \"repair_total\": %zu,\n", repair.total_repairs());
+  std::fprintf(f, "  \"repair_checksum_failures\": %zu,\n",
+               repair.checksum_failures);
+  std::fprintf(f, "  \"thread_counts_exceed_cores\": %s\n",
+               oversubscribed ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -5,6 +5,16 @@
 
 namespace netshare {
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  // splitmix64: the stream-th output of the generator seeded at `seed`,
+  // computed directly (the generator's state advances by the golden-ratio
+  // increment, so output i is finalize(seed + (i+1)*phi)).
+  std::uint64_t x = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 std::size_t Rng::categorical(const std::vector<double>& weights) {
   if (weights.empty()) throw std::invalid_argument("categorical: empty weights");
   double total = std::accumulate(weights.begin(), weights.end(), 0.0);

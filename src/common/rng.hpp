@@ -4,11 +4,19 @@
 // seed) so that all experiments are reproducible; there is no global RNG.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>
 
 namespace netshare {
+
+// Counter-based stream derivation (splitmix64, Steele et al.): seed `seed`
+// indexed by counter `stream` yields a well-mixed 64-bit value. Used to give
+// every (chunk, series) its own independent RNG stream during generation, so
+// the noise a series draws does not depend on how callers batch or partition
+// the work — the foundation of the serial-vs-parallel bitwise guarantee.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
 
 // Thin wrapper over std::mt19937_64 with the handful of draws the library
 // needs. Copyable (copying forks the stream deterministically).
@@ -55,12 +63,66 @@ class Rng {
   // Derive a new independent Rng; advances this stream.
   Rng fork() { return Rng(engine_()); }
 
+  // Counter-based stream: the Rng for (seed, stream) is a pure function of
+  // its arguments (this call touches no shared state), so independent
+  // streams can be created in any order, from any thread.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_index) {
+    return Rng(mix_seed(seed, stream_index));
+  }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+// Cheap counter-based normal stream for the generation hot path. Rng::stream
+// pays a full mt19937_64 state init (~312 words) per stream, which dominates
+// noise staging when thousands of per-series streams are created per sampled
+// batch; NoiseStream is a single splitmix64 counter advanced per draw, with
+// Box–Muller pairs for normals. Like Rng::stream, the sequence is a pure
+// function of (seed, stream_index): creation order, batching, and threads
+// never affect the values — the foundation of the generation path's
+// serial-vs-parallel bitwise guarantee.
+class NoiseStream {
+ public:
+  NoiseStream(std::uint64_t seed, std::uint64_t stream_index)
+      : state_(mix_seed(seed, stream_index)) {}
+
+  // Standard normal draw (Box–Muller; every draw consumes exactly one or two
+  // counter steps, so the sequence is reproducible draw-by-draw).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    // Uniforms in (0, 1]: +1 before scaling keeps log() finite.
+    const double u1 =
+        (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+    const double u2 =
+        (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  std::uint64_t next_u64() {
+    // splitmix64 (Steele et al.): one add + finalizer per output.
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
 };
 
 }  // namespace netshare

@@ -5,6 +5,12 @@
 
 namespace netshare {
 
+namespace {
+thread_local bool tl_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return tl_pool_worker; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
   workers_.reserve(num_threads);
@@ -56,6 +62,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  tl_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -38,6 +38,12 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  // True when the calling thread is a worker of *any* ThreadPool. Lets code
+  // that is about to fan out (chunk-parallel sampling, parallel postprocess)
+  // detect that it is already running inside a parallel context and clamp
+  // its thread budget instead of oversubscribing the machine.
+  static bool on_worker_thread();
+
  private:
   void worker_loop();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "datagen/presets.hpp"
 #include "net/ports.hpp"
 
@@ -87,6 +88,73 @@ double records_per_flow(const ChunkInfo& c) {
                            static_cast<double>(c.real_flows));
 }
 
+// Number of flows to request in one deficit-loop round. The first round
+// sizes by the real records-per-flow ratio; later rounds request one flow
+// per missing record (each sample yields >= 1 record), guaranteeing
+// completion.
+std::size_t round_flows(std::size_t deficit, double rpf, bool first) {
+  return first ? std::max<std::size_t>(
+                     8, static_cast<std::size_t>(
+                            static_cast<double>(deficit) / rpf) + 1)
+               : std::max<std::size_t>(8, deficit);
+}
+
+// Fills each target chunk's sub-trace in parallel across chunk workers,
+// splitting the thread budget like ChunkedTrainer::fit. A chunk's sub-trace
+// is a pure function of (chunk index, targets[c], seed) — the sampler draws
+// from counter-based per-(chunk, series) streams and the decoder is const —
+// so any worker count produces bitwise-identical traces; serial generation
+// is just workers == 1.
+template <typename TraceT, typename RecordsOf, typename DecodeFn>
+TraceT generate_trace(const std::vector<ChunkInfo>& chunks,
+                      const std::vector<std::size_t>& targets, std::size_t n,
+                      std::uint64_t seed, const NetShareConfig& config,
+                      ChunkedTrainer& trainer, const RecordsOf& records_of,
+                      const DecodeFn& decode) {
+  std::vector<std::size_t> active;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (targets[c] > 0 && trainer.has_model(c)) active.push_back(c);
+  }
+  std::vector<TraceT> parts(chunks.size());
+  const std::size_t budget =
+      parallel_phase_budget(std::max<std::size_t>(1, config.threads));
+  const PhaseBudget split =
+      split_phase_budget(budget, active.size(), config.kernels);
+  ml::kernels::ConfigOverride guard(split.kernel_cfg);
+  run_parallel_tasks(split.workers, active.size(), [&](std::size_t ai) {
+    const std::size_t c = active[ai];
+    TraceT chunk_out;
+    const double rpf = std::min(records_per_flow(chunks[c]),
+                                static_cast<double>(config.max_seq_len));
+    bool first = true;
+    std::size_t series_at = 0;  // keeps stream indices unique across rounds
+    gan::GeneratedSeries series;
+    while (chunk_out.size() < targets[c]) {
+      const std::size_t flows =
+          round_flows(targets[c] - chunk_out.size(), rpf, first);
+      first = false;
+      trainer.sample_chunk_into(c, flows, seed, series_at, series);
+      series_at += flows;
+      const TraceT decoded = decode(series, c);
+      records_of(chunk_out).insert(records_of(chunk_out).end(),
+                                   records_of(decoded).begin(),
+                                   records_of(decoded).end());
+    }
+    chunk_out.sort_by_time();
+    if (chunk_out.size() > targets[c]) records_of(chunk_out).resize(targets[c]);
+    parts[c] = std::move(chunk_out);
+  });
+  TraceT out;
+  records_of(out).reserve(n + 64);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    records_of(out).insert(records_of(out).end(), records_of(parts[c]).begin(),
+                           records_of(parts[c]).end());
+  }
+  out.sort_by_time();
+  if (out.size() > n) records_of(out).resize(n);
+  return out;
+}
+
 }  // namespace
 
 net::FlowTrace NetShare::generate_flows(std::size_t n, Rng& rng) {
@@ -94,40 +162,12 @@ net::FlowTrace NetShare::generate_flows(std::size_t n, Rng& rng) {
     throw std::logic_error("NetShare::generate_flows: fit a flow trace first");
   }
   const auto& chunks = flow_encoder_->chunks();
-  const auto targets = record_targets(chunks, n);
-  net::FlowTrace out;
-  out.records.reserve(n + 64);
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    if (targets[c] == 0 || !trainer_->has_model(c)) continue;
-    net::FlowTrace chunk_out;
-    // First round sizes by the real records-per-flow ratio; later rounds
-    // request one flow per missing record (each sample yields >= 1 record),
-    // guaranteeing completion.
-    const double rpf =
-        std::min(records_per_flow(chunks[c]),
-                 static_cast<double>(config_.max_seq_len));
-    bool first = true;
-    while (chunk_out.size() < targets[c]) {
-      const std::size_t deficit = targets[c] - chunk_out.size();
-      const std::size_t flows =
-          first ? std::max<std::size_t>(
-                      8, static_cast<std::size_t>(
-                             static_cast<double>(deficit) / rpf) + 1)
-                : std::max<std::size_t>(8, deficit);
-      first = false;
-      const auto series = trainer_->sample_chunk(c, flows, rng);
-      const net::FlowTrace decoded = flow_encoder_->decode(series, c);
-      chunk_out.records.insert(chunk_out.records.end(),
-                               decoded.records.begin(), decoded.records.end());
-    }
-    chunk_out.sort_by_time();
-    if (chunk_out.size() > targets[c]) chunk_out.records.resize(targets[c]);
-    out.records.insert(out.records.end(), chunk_out.records.begin(),
-                       chunk_out.records.end());
-  }
-  out.sort_by_time();
-  if (out.size() > n) out.records.resize(n);
-  return out;
+  return generate_trace<net::FlowTrace>(
+      chunks, record_targets(chunks, n), n, rng.engine()(), config_, *trainer_,
+      [](auto& trace) -> auto& { return trace.records; },
+      [&](const gan::GeneratedSeries& series, std::size_t c) {
+        return flow_encoder_->decode(series, c);
+      });
 }
 
 net::PacketTrace NetShare::generate_packets(std::size_t n, Rng& rng) {
@@ -136,37 +176,12 @@ net::PacketTrace NetShare::generate_packets(std::size_t n, Rng& rng) {
         "NetShare::generate_packets: fit a packet trace first");
   }
   const auto& chunks = packet_encoder_->chunks();
-  const auto targets = record_targets(chunks, n);
-  net::PacketTrace out;
-  out.packets.reserve(n + 64);
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    if (targets[c] == 0 || !trainer_->has_model(c)) continue;
-    net::PacketTrace chunk_out;
-    const double rpf =
-        std::min(records_per_flow(chunks[c]),
-                 static_cast<double>(config_.max_seq_len));
-    bool first = true;
-    while (chunk_out.size() < targets[c]) {
-      const std::size_t deficit = targets[c] - chunk_out.size();
-      const std::size_t flows =
-          first ? std::max<std::size_t>(
-                      8, static_cast<std::size_t>(
-                             static_cast<double>(deficit) / rpf) + 1)
-                : std::max<std::size_t>(8, deficit);
-      first = false;
-      const auto series = trainer_->sample_chunk(c, flows, rng);
-      const net::PacketTrace decoded = packet_encoder_->decode(series, c);
-      chunk_out.packets.insert(chunk_out.packets.end(),
-                               decoded.packets.begin(), decoded.packets.end());
-    }
-    chunk_out.sort_by_time();
-    if (chunk_out.size() > targets[c]) chunk_out.packets.resize(targets[c]);
-    out.packets.insert(out.packets.end(), chunk_out.packets.begin(),
-                       chunk_out.packets.end());
-  }
-  out.sort_by_time();
-  if (out.size() > n) out.packets.resize(n);
-  return out;
+  return generate_trace<net::PacketTrace>(
+      chunks, record_targets(chunks, n), n, rng.engine()(), config_, *trainer_,
+      [](auto& trace) -> auto& { return trace.packets; },
+      [&](const gan::GeneratedSeries& series, std::size_t c) {
+        return packet_encoder_->decode(series, c);
+      });
 }
 
 double NetShare::train_cpu_seconds() const {

@@ -1,7 +1,11 @@
 #include "core/postprocess.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
+
+#include "core/parallel.hpp"
 
 namespace netshare::core {
 
@@ -9,6 +13,8 @@ namespace {
 
 // Assigns each distinct input address the next offset in the target subnet,
 // in first-seen order (preserves the rank structure of address popularity).
+// Build the table serially with map(), then apply concurrently with the
+// const lookup() — the table is immutable during the apply phase.
 class SubnetMapper {
  public:
   SubnetMapper(net::Ipv4Address base, int prefix_len) : base_(base.value()) {
@@ -25,12 +31,38 @@ class SubnetMapper {
     return net::Ipv4Address(base_ + (it->second % capacity_));
   }
 
+  net::Ipv4Address lookup(net::Ipv4Address ip) const {
+    return net::Ipv4Address(base_ + (table_.at(ip.value()) % capacity_));
+  }
+
  private:
   std::uint32_t base_;
   std::uint32_t capacity_;
   std::uint32_t next_ = 1;  // skip .0 (network address)
   std::unordered_map<std::uint32_t, std::uint32_t> table_;
 };
+
+// Two-phase remap shared by both trace types: phase 1 enumerates addresses
+// in record order (order-sensitive, serial); phase 2 rewrites keys through
+// the now-const tables across `threads` disjoint ranges.
+template <typename RecordVec>
+void remap_records(RecordVec& records, const IpRemapConfig& cfg,
+                   std::size_t threads) {
+  SubnetMapper src(cfg.src_base, cfg.src_prefix_len);
+  SubnetMapper dst(cfg.dst_base, cfg.dst_prefix_len);
+  for (const auto& r : records) {
+    src.map(r.key.src_ip);
+    dst.map(r.key.dst_ip);
+  }
+  parallel_ranges(parallel_phase_budget(std::max<std::size_t>(1, threads)),
+                  records.size(),
+                  [&](std::size_t, std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) {
+                      records[i].key.src_ip = src.lookup(records[i].key.src_ip);
+                      records[i].key.dst_ip = dst.lookup(records[i].key.dst_ip);
+                    }
+                  });
+}
 
 template <typename Dist>
 std::pair<std::vector<std::uint16_t>, std::vector<double>> split_dist(
@@ -47,51 +79,145 @@ std::pair<std::vector<std::uint16_t>, std::vector<double>> split_dist(
   return {std::move(ports), std::move(weights)};
 }
 
+// Record i draws from stream (seed, i): the port choice is a pure function
+// of (seed, i), so any range partition / thread count yields the same trace.
+template <typename RecordVec>
+void retrain_records(RecordVec& records,
+                     const std::map<std::uint16_t, double>& dist, Rng& rng,
+                     std::size_t threads) {
+  auto [ports, weights] = split_dist(dist);
+  const std::uint64_t seed = rng.engine()();
+  parallel_ranges(parallel_phase_budget(std::max<std::size_t>(1, threads)),
+                  records.size(),
+                  [&](std::size_t, std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) {
+                      Rng r = Rng::stream(seed, i);
+                      records[i].key.dst_port = ports[r.categorical(weights)];
+                    }
+                  });
+}
+
+RepairStats sum_stats(const std::vector<RepairStats>& parts) {
+  RepairStats total;
+  for (const auto& p : parts) {
+    total.size_clamped += p.size_clamped;
+    total.ttl_fixed += p.ttl_fixed;
+    total.ports_zeroed += p.ports_zeroed;
+    total.duration_fixed += p.duration_fixed;
+    total.packets_fixed += p.packets_fixed;
+    total.checksum_failures += p.checksum_failures;
+  }
+  return total;
+}
+
 }  // namespace
 
-net::FlowTrace remap_ips(const net::FlowTrace& trace, const IpRemapConfig& cfg) {
-  SubnetMapper src(cfg.src_base, cfg.src_prefix_len);
-  SubnetMapper dst(cfg.dst_base, cfg.dst_prefix_len);
+net::FlowTrace remap_ips(const net::FlowTrace& trace, const IpRemapConfig& cfg,
+                         std::size_t threads) {
   net::FlowTrace out = trace;
-  for (auto& r : out.records) {
-    r.key.src_ip = src.map(r.key.src_ip);
-    r.key.dst_ip = dst.map(r.key.dst_ip);
-  }
+  remap_records(out.records, cfg, threads);
   return out;
 }
 
 net::PacketTrace remap_ips(const net::PacketTrace& trace,
-                           const IpRemapConfig& cfg) {
-  SubnetMapper src(cfg.src_base, cfg.src_prefix_len);
-  SubnetMapper dst(cfg.dst_base, cfg.dst_prefix_len);
+                           const IpRemapConfig& cfg, std::size_t threads) {
   net::PacketTrace out = trace;
-  for (auto& p : out.packets) {
-    p.key.src_ip = src.map(p.key.src_ip);
-    p.key.dst_ip = dst.map(p.key.dst_ip);
-  }
+  remap_records(out.packets, cfg, threads);
   return out;
 }
 
 net::FlowTrace retrain_dst_ports(const net::FlowTrace& trace,
                                  const std::map<std::uint16_t, double>& dist,
-                                 Rng& rng) {
-  auto [ports, weights] = split_dist(dist);
+                                 Rng& rng, std::size_t threads) {
   net::FlowTrace out = trace;
-  for (auto& r : out.records) {
-    r.key.dst_port = ports[rng.categorical(weights)];
-  }
+  retrain_records(out.records, dist, rng, threads);
   return out;
 }
 
 net::PacketTrace retrain_dst_ports(const net::PacketTrace& trace,
                                    const std::map<std::uint16_t, double>& dist,
-                                   Rng& rng) {
-  auto [ports, weights] = split_dist(dist);
+                                   Rng& rng, std::size_t threads) {
   net::PacketTrace out = trace;
-  for (auto& p : out.packets) {
-    p.key.dst_port = ports[rng.categorical(weights)];
-  }
+  retrain_records(out.packets, dist, rng, threads);
   return out;
+}
+
+RepairStats repair_packet_headers(net::PacketTrace& trace,
+                                  std::size_t threads) {
+  auto& pkts = trace.packets;
+  const std::size_t workers =
+      parallel_phase_budget(std::max<std::size_t>(1, threads));
+  std::vector<RepairStats> parts(num_ranges(workers, pkts.size()));
+  parallel_ranges(workers, pkts.size(),
+                  [&](std::size_t range, std::size_t lo, std::size_t hi) {
+    RepairStats local;
+    for (std::size_t i = lo; i < hi; ++i) {
+      net::PacketRecord& p = pkts[i];
+      const std::uint32_t lo_size = net::min_packet_size(p.key.protocol);
+      if (p.size < lo_size || p.size > net::kMaxPacketSize) {
+        p.size = std::clamp(p.size, lo_size, net::kMaxPacketSize);
+        ++local.size_clamped;
+      }
+      if (p.ttl == 0) {
+        p.ttl = 1;
+        ++local.ttl_fixed;
+      }
+      if (p.key.protocol == net::Protocol::kIcmp &&
+          (p.key.src_port != 0 || p.key.dst_port != 0)) {
+        p.key.src_port = 0;
+        p.key.dst_port = 0;
+        ++local.ports_zeroed;
+      }
+      net::Ipv4Header h;
+      h.total_length = static_cast<std::uint16_t>(p.size);
+      h.ttl = p.ttl;
+      h.protocol = p.key.protocol;
+      h.src = p.key.src_ip;
+      h.dst = p.key.dst_ip;
+      const auto bytes = h.serialize();
+      const net::Ipv4Header parsed =
+          net::Ipv4Header::parse(bytes.data(), bytes.size());
+      if (!parsed.checksum_valid()) ++local.checksum_failures;
+    }
+    parts[range] = local;
+  });
+  return sum_stats(parts);
+}
+
+RepairStats repair_flow_fields(net::FlowTrace& trace, std::size_t threads) {
+  auto& recs = trace.records;
+  const std::size_t workers =
+      parallel_phase_budget(std::max<std::size_t>(1, threads));
+  std::vector<RepairStats> parts(num_ranges(workers, recs.size()));
+  parallel_ranges(workers, recs.size(),
+                  [&](std::size_t range, std::size_t lo, std::size_t hi) {
+    RepairStats local;
+    for (std::size_t i = lo; i < hi; ++i) {
+      net::FlowRecord& r = recs[i];
+      if (r.packets == 0) {
+        r.packets = 1;
+        ++local.packets_fixed;
+      }
+      const std::uint64_t min_bytes =
+          r.packets * net::min_packet_size(r.key.protocol);
+      if (r.bytes < min_bytes) {
+        r.bytes = min_bytes;
+        ++local.size_clamped;
+      }
+      if (r.duration < 0.0) {
+        r.duration = 0.0;
+        ++local.duration_fixed;
+      }
+      if (r.key.protocol == net::Protocol::kIcmp &&
+          (r.key.src_port != 0 || r.key.dst_port != 0)) {
+        r.key.src_port = 0;
+        r.key.dst_port = 0;
+        ++local.ports_zeroed;
+      }
+    }
+    parts[range] = local;
+  });
+  return sum_stats(parts);
 }
 
 }  // namespace netshare::core

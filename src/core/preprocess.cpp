@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "embed/bit_encoding.hpp"
 #include "net/ports.hpp"
 
@@ -323,8 +324,13 @@ std::vector<TimeSeriesDataset> FlowEncoder::encode(
     }
   }
 
+  // Chunk datasets are independent (disjoint writes; the codec and
+  // transforms are const), so they build in parallel under the configured
+  // thread budget with output identical to the serial loop.
   std::vector<TimeSeriesDataset> datasets(M);
-  for (std::size_t c = 0; c < M; ++c) {
+  const std::size_t workers = parallel_phase_budget(
+      std::max<std::size_t>(1, config_->threads));
+  run_parallel_tasks(std::min(workers, M), M, [&](std::size_t c) {
     TimeSeriesDataset& d = datasets[c];
     d.spec = sp;
     const std::size_t n = per_chunk[c].size();
@@ -364,7 +370,7 @@ std::vector<TimeSeriesDataset> FlowEncoder::encode(
         frow[4 + cls] = 1.0;
       }
     }
-  }
+  });
   return datasets;
 }
 
@@ -503,7 +509,11 @@ std::vector<TimeSeriesDataset> PacketEncoder::encode(
   }
 
   std::vector<TimeSeriesDataset> datasets(M);
-  for (std::size_t c = 0; c < M; ++c) {
+  // Chunk datasets are built independently (disjoint writes, const codec),
+  // so the per-chunk encode fans out like FlowEncoder::encode.
+  const std::size_t workers = parallel_phase_budget(
+      std::max<std::size_t>(1, config_->threads));
+  run_parallel_tasks(std::min(workers, M), M, [&](std::size_t c) {
     TimeSeriesDataset& d = datasets[c];
     d.spec = sp;
     const std::size_t n = per_chunk[c].size();
@@ -533,7 +543,7 @@ std::vector<TimeSeriesDataset> PacketEncoder::encode(
         frow[2] = static_cast<double>(p.ttl) / 255.0;
       }
     }
-  }
+  });
   return datasets;
 }
 

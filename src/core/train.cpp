@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "core/parallel.hpp"
 
 namespace netshare::core {
 
@@ -74,12 +75,10 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   }
   const int iters = config_.naive_parallel ? config_.seed_iterations
                                            : config_.finetune_iterations;
-  const std::size_t chunk_workers = std::min(budget, todo.size());
-  ml::kernels::KernelConfig finetune_cfg = kernel_cfg;
-  finetune_cfg.threads =
-      std::max<std::size_t>(1, kernel_cfg.threads / chunk_workers);
-  ml::kernels::ConfigOverride finetune_budget(finetune_cfg);
-  ThreadPool pool(chunk_workers);
+  const PhaseBudget split =
+      split_phase_budget(budget, todo.size(), config_.kernels);
+  ml::kernels::ConfigOverride finetune_budget(split.kernel_cfg);
+  ThreadPool pool(split.workers);
   pool.parallel_for(todo.size(), [&](std::size_t i) {
     models_[todo[i]]->fit(chunks[todo[i]], iters);
   });
@@ -87,14 +86,70 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
 
 gan::GeneratedSeries ChunkedTrainer::sample_chunk(std::size_t c, std::size_t n,
                                                   Rng& rng) {
+  gan::GeneratedSeries out;
+  sample_chunk_into(c, n, rng.engine()(), 0, out);
+  return out;
+}
+
+void ChunkedTrainer::sample_chunk_into(std::size_t c, std::size_t n,
+                                       std::uint64_t seed,
+                                       std::size_t first_series,
+                                       gan::GeneratedSeries& out) {
   if (!has_model(c)) {
-    gan::GeneratedSeries empty;
-    empty.spec = spec_;
-    empty.attributes = ml::Matrix(0, spec_.attribute_dim());
-    empty.features.assign(spec_.max_len, ml::Matrix(0, spec_.feature_dim()));
-    return empty;
+    out.spec = spec_;
+    out.attributes.resize(0, spec_.attribute_dim());
+    out.features.resize(spec_.max_len);
+    for (auto& step : out.features) step.resize(0, spec_.feature_dim());
+    out.lengths.clear();
+    return;
   }
-  return models_[c]->sample(n, rng);
+  models_[c]->sample_into(n, mix_seed(seed, c), first_series, out);
+}
+
+void ChunkedTrainer::sample_chunk_reference_into(std::size_t c, std::size_t n,
+                                                 std::uint64_t seed,
+                                                 std::size_t first_series,
+                                                 gan::GeneratedSeries& out) {
+  if (!has_model(c)) {
+    out.spec = spec_;
+    out.attributes.resize(0, spec_.attribute_dim());
+    out.features.resize(spec_.max_len);
+    for (auto& step : out.features) step.resize(0, spec_.feature_dim());
+    out.lengths.clear();
+    return;
+  }
+  models_[c]->sample_reference_into(n, mix_seed(seed, c), first_series, out);
+}
+
+void ChunkedTrainer::sample_chunks(const std::vector<std::size_t>& counts,
+                                   std::uint64_t seed,
+                                   std::vector<gan::GeneratedSeries>& out,
+                                   std::size_t thread_budget) {
+  if (counts.size() != models_.size()) {
+    throw std::invalid_argument(
+        "ChunkedTrainer::sample_chunks: counts size != num_chunks");
+  }
+  out.resize(models_.size());
+  std::vector<std::size_t> active;
+  for (std::size_t c = 0; c < models_.size(); ++c) {
+    if (counts[c] > 0 && has_model(c)) {
+      active.push_back(c);
+    } else {
+      sample_chunk_into(c, 0, seed, 0, out[c]);
+    }
+  }
+  const std::size_t budget = parallel_phase_budget(
+      thread_budget == 0 ? std::max<std::size_t>(1, config_.threads)
+                         : thread_budget);
+  const PhaseBudget split =
+      split_phase_budget(budget, active.size(), config_.kernels);
+  ml::kernels::ConfigOverride guard(split.kernel_cfg);
+  run_parallel_tasks(split.workers, active.size(), [&](std::size_t i) {
+    const std::size_t c = active[i];
+    // One model per task: sample_into is not thread-safe per instance, but
+    // distinct chunk models share no mutable state (per-model Workspace).
+    sample_chunk_into(c, counts[c], seed, 0, out[c]);
+  });
 }
 
 double ChunkedTrainer::train_cpu_seconds() const {

@@ -33,6 +33,33 @@ class ChunkedTrainer {
   // if the chunk had no data.
   gan::GeneratedSeries sample_chunk(std::size_t c, std::size_t n, Rng& rng);
 
+  // Deterministic stream-seeded sampling into caller-owned buffers: series
+  // `first_series + i` of chunk c draws from the counter-based stream
+  // (mix_seed(seed, c), first_series + i), so the output is a pure function
+  // of (c, seed, series index) — independent of batching, of call
+  // partitioning, and of worker/kernel thread counts. Zero steady-state
+  // Matrix allocations after a same-shape warm-up call.
+  void sample_chunk_into(std::size_t c, std::size_t n, std::uint64_t seed,
+                         std::size_t first_series, gan::GeneratedSeries& out);
+
+  // Same contract through the full-unroll reference sampler
+  // (DoppelGanger::sample_reference_into): bitwise identical to
+  // sample_chunk_into, kept as the serial baseline for bench/pipeline_e2e
+  // and the oracle in tests.
+  void sample_chunk_reference_into(std::size_t c, std::size_t n,
+                                   std::uint64_t seed,
+                                   std::size_t first_series,
+                                   gan::GeneratedSeries& out);
+
+  // Samples counts[c] series from every chunk model, splitting the thread
+  // budget between chunk workers and per-worker kernel threads exactly like
+  // fit() (see parallel_phase_budget / split_phase_budget). Chunks without a
+  // model (or with counts[c] == 0) yield empty series. `thread_budget` == 0
+  // uses config.threads; any value produces bitwise-identical output.
+  void sample_chunks(const std::vector<std::size_t>& counts, std::uint64_t seed,
+                     std::vector<gan::GeneratedSeries>& out,
+                     std::size_t thread_budget = 0);
+
   // Sum of thread-CPU seconds across all chunk models (Fig. 4 cost axis).
   double train_cpu_seconds() const;
 

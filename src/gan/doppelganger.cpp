@@ -93,13 +93,22 @@ void DoppelGanger::generator_forward(std::size_t batch, Rng& rng,
   const std::size_t T = spec_.max_len;
   Matrix& za = ws_.get(batch, config_.attr_noise_dim);
   randn_fill(za, rng);
+  zts_.resize(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    zts_[t].resize(batch, config_.feat_noise_dim);
+    randn_fill(zts_[t], rng);
+  }
+  generator_tail(za, out);
+}
+
+void DoppelGanger::generator_tail(const Matrix& za, GenOutput& out) {
+  const std::size_t T = spec_.max_len;
+  const std::size_t batch = za.rows();
   out.attributes = attr_gen_->forward(za);
 
   xs_.resize(T);
   for (std::size_t t = 0; t < T; ++t) {
-    Matrix& zt = ws_.get(batch, config_.feat_noise_dim);
-    randn_fill(zt, rng);
-    concat_cols_into(zt, out.attributes, xs_[t]);
+    concat_cols_into(zts_[t], out.attributes, xs_[t]);
   }
   const std::vector<Matrix>& hs = rnn_->forward(xs_);
   Matrix& stacked = ws_.get(T * batch, rnn_->hidden_dim());
@@ -407,19 +416,157 @@ void DoppelGanger::fit(const TimeSeriesDataset& data, int iterations) {
 }
 
 GeneratedSeries DoppelGanger::sample(std::size_t n, Rng& rng) {
+  GeneratedSeries out;
+  sample_into(n, rng.engine()(), 0, out);
+  return out;
+}
+
+Matrix& DoppelGanger::stage_attr_noise(std::size_t b,
+                                       std::uint64_t stream_seed,
+                                       std::size_t first_series) {
+  // Stage each series' noise from its own counter-based stream, in the
+  // fixed draw order (attribute noise, then z_t per step): row i's noise
+  // depends only on stream_seed and its global series index, never on the
+  // batch it landed in.
+  Matrix& za = ws_.get(b, config_.attr_noise_dim);
+  samp_noise_.clear();
+  samp_noise_.reserve(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    samp_noise_.emplace_back(stream_seed, first_series + i);
+    double* zrow = za.row_ptr(i);
+    for (std::size_t j = 0; j < config_.attr_noise_dim; ++j) {
+      zrow[j] = samp_noise_.back().normal();
+    }
+  }
+  return za;
+}
+
+void DoppelGanger::sample_into(std::size_t n, std::uint64_t stream_seed,
+                               std::size_t first_series, GeneratedSeries& out) {
   const std::size_t T = spec_.max_len;
   const std::size_t F = spec_.feature_dim();
-  GeneratedSeries out;
+  const std::size_t A = spec_.attribute_dim();
+  const std::size_t H = rnn_->hidden_dim();
+  const std::size_t Z = config_.feat_noise_dim;
   out.spec = spec_;
-  out.attributes = Matrix(n, spec_.attribute_dim());
-  out.features.assign(T, Matrix(n, F));
+  out.attributes.resize(n, A);
+  out.features.resize(T);
+  for (Matrix& step : out.features) {
+    step.resize(n, F);
+    step.fill(0.0);  // rows beyond a series' length read as zero
+  }
   out.lengths.assign(n, T);
 
   std::size_t done = 0;
   while (done < n) {
     const std::size_t b = std::min(config_.batch_size, n - done);
     ws_.reset();
-    generator_forward(b, rng, fake_);
+    Matrix& za = stage_attr_noise(b, stream_seed, first_series + done);
+    const Matrix& attr = attr_gen_->forward(za);
+    for (std::size_t i = 0; i < b; ++i) {
+      const double* asrc = attr.row_ptr(i);
+      std::copy(asrc, asrc + A, out.attributes.row_ptr(done + i));
+    }
+
+    // Length-adaptive unroll: step the RNN one step at a time over the live
+    // sub-batch only. Row j of samp_h_/samp_attr_ belongs to series
+    // live_[j]; a series whose alive flag drops below 0.5 is emitted with
+    // length max(1, t) — the same rule the reference full unroll applies
+    // after the fact — and leaves the batch. Every kernel in the step
+    // (fused GRU gates, linear, MixedHead) is row-wise, so dropping dead
+    // rows never changes the surviving rows' values, and the output stays
+    // bitwise identical to sample_reference_into.
+    samp_attr_ = attr;
+    samp_h_.resize(b, H);
+    samp_h_.fill(0.0);
+    live_.resize(b);
+    for (std::size_t i = 0; i < b; ++i) live_[i] = i;
+
+    for (std::size_t t = 0; t < T && !live_.empty(); ++t) {
+      const std::size_t m = live_.size();
+      // Gather [z_t | attr] rows, matching generator_tail's concat layout.
+      // z_t is drawn lazily, only for series still alive at this step: each
+      // series' stream is private and its draw order fixed, so skipping the
+      // dead series' later draws never changes the values live series see.
+      samp_x_.resize(m, Z + A);
+      for (std::size_t j = 0; j < m; ++j) {
+        double* xrow = samp_x_.row_ptr(j);
+        NoiseStream& ns = samp_noise_[live_[j]];
+        for (std::size_t q = 0; q < Z; ++q) xrow[q] = ns.normal();
+        const double* asrc = samp_attr_.row_ptr(j);
+        std::copy(asrc, asrc + A, xrow + Z);
+      }
+      rnn_->step_into(samp_x_, samp_h_, samp_h_next_);
+      const Matrix& y = out_head_->forward(out_linear_->forward(samp_h_next_));
+
+      // Shape the compacted buffers before filling them (samp_h_'s h_{t-1}
+      // contents were consumed by step_into above).
+      std::size_t k = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (y(j, F) >= 0.5) ++k;
+      }
+      samp_h_.resize(k, H);
+      samp_attr_next_.resize(k, A);
+      std::size_t w = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t row = done + live_[j];
+        const double* ysrc = y.row_ptr(j);
+        if (ysrc[F] >= 0.5) {
+          std::copy(ysrc, ysrc + F, out.features[t].row_ptr(row));
+          const double* hsrc = samp_h_next_.row_ptr(j);
+          std::copy(hsrc, hsrc + H, samp_h_.row_ptr(w));
+          std::copy(samp_attr_.row_ptr(j), samp_attr_.row_ptr(j) + A,
+                    samp_attr_next_.row_ptr(w));
+          live_[w] = live_[j];
+          ++w;
+        } else {
+          out.lengths[row] = std::max<std::size_t>(1, t);
+          if (t == 0) {  // length is clamped to 1, so step 0 is still emitted
+            std::copy(ysrc, ysrc + F, out.features[0].row_ptr(row));
+          }
+        }
+      }
+      live_.resize(k);
+      std::swap(samp_attr_, samp_attr_next_);
+    }
+    done += b;
+  }
+}
+
+void DoppelGanger::sample_reference_into(std::size_t n,
+                                         std::uint64_t stream_seed,
+                                         std::size_t first_series,
+                                         GeneratedSeries& out) {
+  const std::size_t T = spec_.max_len;
+  const std::size_t F = spec_.feature_dim();
+  out.spec = spec_;
+  out.attributes.resize(n, spec_.attribute_dim());
+  out.features.resize(T);
+  for (Matrix& step : out.features) {
+    step.resize(n, F);
+    step.fill(0.0);  // rows beyond a series' length read as zero
+  }
+  out.lengths.assign(n, T);
+
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t b = std::min(config_.batch_size, n - done);
+    ws_.reset();
+    Matrix& za = stage_attr_noise(b, stream_seed, first_series + done);
+    zts_.resize(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      zts_[t].resize(b, config_.feat_noise_dim);
+    }
+    for (std::size_t i = 0; i < b; ++i) {
+      NoiseStream& ns = samp_noise_[i];
+      for (std::size_t t = 0; t < T; ++t) {
+        double* trow = zts_[t].row_ptr(i);
+        for (std::size_t j = 0; j < config_.feat_noise_dim; ++j) {
+          trow[j] = ns.normal();
+        }
+      }
+    }
+    generator_tail(za, fake_);
     const GenOutput& gen = fake_;
     for (std::size_t i = 0; i < b; ++i) {
       const std::size_t row = done + i;
@@ -441,7 +588,6 @@ GeneratedSeries DoppelGanger::sample(std::size_t n, Rng& rng) {
     }
     done += b;
   }
-  return out;
 }
 
 std::vector<double> DoppelGanger::snapshot() {

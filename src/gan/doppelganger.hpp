@@ -58,6 +58,34 @@ class DoppelGanger {
   // Samples n synthetic series.
   GeneratedSeries sample(std::size_t n, Rng& rng);
 
+  // Batched zero-allocation sampling into caller-owned buffers (the
+  // generation twin of the DESIGN.md §6 training hot path). Series
+  // `first_series + i` draws its noise from the counter-based stream
+  // (stream_seed, first_series + i), and every stage of the generator
+  // forward pass is row-wise, so each output row is a pure function of its
+  // own stream: results are bitwise independent of the batch size, of how
+  // callers partition [0, n) across calls, and of the kernel thread count.
+  // After a warm-up call with the same n, repeated calls perform zero
+  // Matrix heap allocations (asserted in tests/test_generate.cpp). Not
+  // thread-safe per model instance: concurrent callers must use distinct
+  // models (as ChunkedTrainer's chunk-parallel sampling does).
+  // The fast path is length-adaptive: the generator is stepped one RNN step
+  // at a time and series whose alive flag has dropped leave the batch, so
+  // compute is proportional to the total emitted length rather than
+  // n * max_len (generated series are usually much shorter than max_len).
+  void sample_into(std::size_t n, std::uint64_t stream_seed,
+                   std::size_t first_series, GeneratedSeries& out);
+
+  // Reference sampler: the training-path full unroll (every series runs all
+  // max_len steps through generator_tail, then lengths are read off the
+  // alive flags). Bitwise identical to sample_into — steps at or past a
+  // series' length were computed and discarded here, skipped there — and
+  // kept as the oracle for tests and the serial baseline for
+  // bench/pipeline_e2e. Same stream/zero-allocation contract as
+  // sample_into.
+  void sample_reference_into(std::size_t n, std::uint64_t stream_seed,
+                             std::size_t first_series, GeneratedSeries& out);
+
   // Warm-start support (Insights 3 and 4).
   std::vector<double> snapshot();
   void restore(const std::vector<double>& snapshot);
@@ -79,6 +107,20 @@ class DoppelGanger {
   // Forward pass of the generator with caches retained for backward; writes
   // into `out` (a persistent member) so steady-state calls reuse capacity.
   void generator_forward(std::size_t batch, Rng& rng, GenOutput& out);
+  // Noise-independent tail of the generator forward pass (attribute MLP,
+  // per-step concat, GRU unroll, MixedHead): consumes `za` and the per-step
+  // noise already staged in zts_. Shared by training (one rng draws all
+  // noise) and sampling (per-series counter streams fill the same buffers).
+  void generator_tail(const ml::Matrix& za, GenOutput& out);
+  // Builds one batch of per-series counter-based noise streams
+  // (samp_noise_), fills za (a ws_ cursor) with each series' attribute
+  // noise, and returns za. Draw order per series is fixed — attribute
+  // noise, then z_0, z_1, ... — so the adaptive sampler (which draws z_t
+  // lazily, only for series still alive at step t) sees exactly the same
+  // prefix of each stream as the reference sampler (which drains all
+  // max_len steps).
+  ml::Matrix& stage_attr_noise(std::size_t b, std::uint64_t stream_seed,
+                               std::size_t first_series);
   // Backprop through the generator given dLoss/d(attr) and dLoss/d(features).
   void generator_backward(const ml::Matrix& attr_grad,
                           const std::vector<ml::Matrix>& feature_grads);
@@ -120,12 +162,19 @@ class DoppelGanger {
   ml::Workspace ws_;
   // Persistent batch buffers reused across iterations.
   GenOutput real_, fake_;
+  std::vector<ml::Matrix> zts_;     // per-step generator noise z_t
   std::vector<ml::Matrix> xs_;      // generator RNN inputs [z_t | attr]
   std::vector<ml::Matrix> ghs_;     // per-step hidden-state gradients
   std::vector<ml::Matrix> fgrads_;  // per-step feature gradients
   ml::Matrix xr_, xf_, x1_, x2_, a1_, a2_, fa_row_;
   std::vector<double> dist_, adist_;
   std::vector<std::size_t> rows_, row1_;
+  // Length-adaptive sampling state (sample_into): compacting double buffers
+  // for the live sub-batch's hidden state and attribute rows, the per-step
+  // RNN input, and the surviving series' original batch indices.
+  ml::Matrix samp_h_, samp_h_next_, samp_x_, samp_attr_, samp_attr_next_;
+  std::vector<std::size_t> live_;
+  std::vector<NoiseStream> samp_noise_;  // per-series streams for one batch
 
   double train_cpu_seconds_ = 0.0;
   std::size_t dp_steps_ = 0;

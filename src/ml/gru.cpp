@@ -68,6 +68,31 @@ const std::vector<Matrix>& Gru::forward(const std::vector<Matrix>& xs) {
   return hs_;
 }
 
+void Gru::step_into(const Matrix& x, const Matrix& h_prev, Matrix& h_out) {
+  if (x.cols() != input_dim_) {
+    throw std::invalid_argument("Gru::step_into: input dim mismatch");
+  }
+  if (h_prev.rows() != x.rows() || h_prev.cols() != hidden_dim_) {
+    throw std::invalid_argument("Gru::step_into: hidden shape mismatch");
+  }
+  // Mirror of one forward() iteration: same fused-gate kernels in the same
+  // order, so each row matches the full unroll bitwise (gate_scratch_ is
+  // per-call scratch inside gru_gate_into and carries nothing across calls).
+  using kernels::GateAct;
+  kernels::gru_gate_into(x, wxz_.value, h_prev, whz_.value, bz_.value,
+                         GateAct::kSigmoid, gate_scratch_, step_z_);
+  kernels::gru_gate_into(x, wxr_.value, h_prev, whr_.value, br_.value,
+                         GateAct::kSigmoid, gate_scratch_, step_r_);
+  hadamard_into(step_r_, h_prev, step_rh_);
+  kernels::gru_gate_into(x, wxc_.value, step_rh_, whc_.value, bc_.value,
+                         GateAct::kTanh, gate_scratch_, step_c_);
+  h_out.resize(x.rows(), hidden_dim_);
+  for (std::size_t i = 0; i < h_out.size(); ++i) {
+    h_out.data()[i] = (1.0 - step_z_.data()[i]) * h_prev.data()[i] +
+                      step_z_.data()[i] * step_c_.data()[i];
+  }
+}
+
 const std::vector<Matrix>& Gru::backward(const std::vector<Matrix>& grad_hs) {
   const std::size_t T = steps_;
   if (grad_hs.size() != T) {

@@ -30,6 +30,15 @@ class Gru {
   // parameter gradients and returns dLoss/dx_t for each step.
   const std::vector<Matrix>& backward(const std::vector<Matrix>& grad_hs);
 
+  // Forward-only single step for generation: h_out = GRU(x, h_prev), using
+  // exactly the same fused-gate kernel calls as forward(), so a step's
+  // output row is bitwise identical to the corresponding row of a full
+  // forward() unroll. Does not touch the BPTT caches (a training forward()
+  // /backward() pair stays valid across step_into calls). `h_out` must not
+  // alias `h_prev`; uses dedicated step scratch, zero-allocation once
+  // capacities are warm.
+  void step_into(const Matrix& x, const Matrix& h_prev, Matrix& h_out);
+
   std::vector<Parameter*> parameters();
   void zero_grad();
 
@@ -56,6 +65,9 @@ class Gru {
   std::vector<Matrix> hs_;  // returned hidden states h_1..h_T
   Matrix h0_;               // zero initial state
   Matrix gate_scratch_;     // second-product scratch for gru_gate_into
+  // step_into scratch (kept apart from cache_ so generation never clobbers
+  // a pending backward pass).
+  Matrix step_z_, step_r_, step_c_, step_rh_;
   // Backward buffers (see backward() for roles).
   std::vector<Matrix> grad_xs_;
   Matrix dh_, daz_, dac_, dar_, dhp_, drh_, dh_carry_;

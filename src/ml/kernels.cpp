@@ -133,6 +133,8 @@ std::size_t effective_threads() {
   return resolve_threads(g_config);
 }
 
+bool in_kernel_task() { return tl_in_kernel_task; }
+
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   require(a.cols() == b.rows(), "kernels::matmul: inner dimension mismatch");
   c.resize(a.rows(), b.cols());

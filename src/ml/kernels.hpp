@@ -38,6 +38,11 @@ void set_config(const KernelConfig& cfg);
 // Thread count a parallel dispatch would use right now (>= 1).
 std::size_t effective_threads();
 
+// True when the calling thread is executing a kernel row-panel task (nested
+// dispatches already run serially; callers higher up the stack can use this
+// to avoid spawning further parallelism from inside a kernel).
+bool in_kernel_task();
+
 // RAII override of the process-wide config (tests, trainer thread budgeting).
 class ConfigOverride {
  public:
