@@ -1,0 +1,28 @@
+// Shared timing helpers for the bench executables, built on
+// common::Stopwatch so the benches and the library agree on one clock.
+#pragma once
+
+#include <functional>
+
+#include "common/stopwatch.hpp"
+
+namespace netshare::bench {
+
+// Runs fn repeatedly until ~min_seconds of wall clock, returns best
+// per-iteration seconds (best-of is stabler than mean on a shared CI core).
+inline double time_best(const std::function<void()>& fn,
+                        double min_seconds = 0.3) {
+  fn();  // warm-up
+  double best = 1e100;
+  double total = 0.0;
+  while (total < min_seconds) {
+    Stopwatch sw;
+    fn();
+    const double s = sw.seconds();
+    if (s < best) best = s;
+    total += s;
+  }
+  return best;
+}
+
+}  // namespace netshare::bench

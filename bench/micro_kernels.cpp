@@ -5,40 +5,23 @@
 // against; the first recorded baseline is committed at the repo root and
 // referenced from EXPERIMENTS.md.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
 #include "gan/doppelganger.hpp"
 #include "ml/kernels.hpp"
 #include "ml/matrix.hpp"
 
 using namespace netshare;
+using bench::time_best;
 using ml::Matrix;
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-// Runs fn repeatedly until ~min_seconds of wall clock, returns best
-// per-iteration seconds (best-of is stabler than mean on a shared CI core).
-double time_best(const std::function<void()>& fn, double min_seconds = 0.3) {
-  fn();  // warm-up
-  double best = 1e100;
-  double total = 0.0;
-  while (total < min_seconds) {
-    const auto t0 = Clock::now();
-    fn();
-    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
-    if (s < best) best = s;
-    total += s;
-  }
-  return best;
-}
 
 double gflops(std::size_t r, std::size_t k, std::size_t c, double seconds) {
   return 2.0 * static_cast<double>(r) * static_cast<double>(k) *
@@ -148,9 +131,9 @@ DgResult bench_dg_iters_per_sec(std::size_t threads, int warmup,
   // the timed window measures the steady state, not first-touch allocation.
   model.fit(data, warmup);
   ml::alloc_counter::reset();
-  const auto t0 = Clock::now();
+  Stopwatch sw;
   model.fit(data, iterations);
-  const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double s = sw.seconds();
   return {iterations / s,
           static_cast<double>(ml::alloc_counter::count()) / iterations};
 }

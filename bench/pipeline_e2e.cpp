@@ -18,50 +18,28 @@
 // are bitwise identical (asserted in tests/test_generate.cpp), so the
 // speedup holds on any core count.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
 #include "core/postprocess.hpp"
 #include "core/preprocess.hpp"
 #include "core/train.hpp"
 #include "datagen/presets.hpp"
 #include "ml/kernels.hpp"
 #include "ml/matrix.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace netshare;
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-// Best-of timing (stabler than mean on a shared CI core).
-double time_best(const std::function<void()>& fn, double min_seconds = 0.3) {
-  fn();  // warm-up
-  double best = 1e100;
-  double total = 0.0;
-  while (total < min_seconds) {
-    const auto t0 = Clock::now();
-    fn();
-    const double s = seconds_since(t0);
-    if (s < best) best = s;
-    total += s;
-  }
-  return best;
-}
-
-}  // namespace
+using bench::time_best;
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  const std::string telem_path = argc > 2 ? argv[2] : "RUN_telemetry.json";
   const std::size_t kRecords = 2000;
   const std::size_t kSampleBatch = 64;
 
@@ -89,17 +67,17 @@ int main(int argc, char** argv) {
       datagen::make_dataset(datagen::DatasetId::kCaida, kRecords, 42);
 
   // Stage 1: preprocess (fit normalizers + chunked encode).
-  auto t0 = Clock::now();
+  Stopwatch sw;
   core::PacketEncoder encoder(config, nullptr);
   encoder.fit(bundle.packets);
   const auto datasets = encoder.encode(bundle.packets);
-  const double preprocess_sec = seconds_since(t0);
+  const double preprocess_sec = sw.seconds();
 
   // Stage 2: train (seed chunk + parallel fine-tune).
-  t0 = Clock::now();
+  sw.reset();
   core::ChunkedTrainer trainer(encoder.spec(), config);
   trainer.fit(datasets);
-  const double train_sec = seconds_since(t0);
+  const double train_sec = sw.seconds();
 
   // Stage 3: generate — chunk-parallel batched sampling, then decode.
   const auto& chunks = encoder.chunks();
@@ -107,11 +85,11 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < chunks.size(); ++c) {
     counts[c] = chunks[c].real_flows;
   }
-  t0 = Clock::now();
+  sw.reset();
   std::vector<gan::GeneratedSeries> series;
   trainer.sample_chunks(counts, 1234, series);
-  const double sample_sec = seconds_since(t0);
-  t0 = Clock::now();
+  const double sample_sec = sw.seconds();
+  sw.reset();
   net::PacketTrace synth;
   for (std::size_t c = 0; c < chunks.size(); ++c) {
     if (counts[c] == 0 || !trainer.has_model(c)) continue;
@@ -120,12 +98,12 @@ int main(int argc, char** argv) {
                          part.packets.end());
   }
   synth.sort_by_time();
-  const double decode_sec = seconds_since(t0);
+  const double decode_sec = sw.seconds();
   const double generate_sec = sample_sec + decode_sec;
 
   // Stage 4: postprocess (IP remap + port retrain + header repair, all on
   // the 4-thread budget).
-  t0 = Clock::now();
+  sw.reset();
   net::PacketTrace post = core::remap_ips(synth, core::IpRemapConfig{},
                                           config.threads);
   Rng post_rng(99);
@@ -133,7 +111,7 @@ int main(int argc, char** argv) {
                                  post_rng, config.threads);
   const core::RepairStats repair =
       core::repair_packet_headers(post, config.threads);
-  const double postprocess_sec = seconds_since(t0);
+  const double postprocess_sec = sw.seconds();
 
   // Gated generate comparison: the full generate stage (sample every chunk's
   // count + decode + merge-sort) on the new path vs the serial reference.
@@ -153,6 +131,17 @@ int main(int argc, char** argv) {
     decode_all(series);
   });
   const std::size_t parallel_gen_packets = gen_buf.size();
+
+  // Same workload with telemetry runtime-disabled: the ON/OFF delta is the
+  // instrumentation overhead, gated at <= 3% by scripts/check_bench_regression
+  // (the compile-time switch removes even the disabled-check branch).
+  telemetry::set_enabled(false);
+  const double telemetry_off_gen_sec = time_best([&] {
+    trainer.sample_chunks(counts, 1234, series);
+    decode_all(series);
+  });
+  telemetry::set_enabled(true);
+
   std::vector<gan::GeneratedSeries> ref_series(chunks.size());
   const double serial_gen_sec = time_best([&] {
     ml::kernels::KernelConfig cfg;
@@ -248,5 +237,31 @@ int main(int argc, char** argv) {
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (telemetry::kCompiledIn) {
+    const double frac =
+        (parallel_gen_sec - telemetry_off_gen_sec) / telemetry_off_gen_sec;
+    std::printf("telemetry overhead on generate stage: ON %.4fs vs OFF "
+                "%.4fs (%+.2f%%)\n",
+                parallel_gen_sec, telemetry_off_gen_sec, 100.0 * frac);
+    telemetry::OverheadInfo oh;
+    oh.telemetry_on_sec = parallel_gen_sec;
+    oh.telemetry_off_sec = telemetry_off_gen_sec;
+    if (!telemetry::write_run_json(telem_path, oh)) {
+      std::fprintf(stderr, "cannot open %s for writing\n", telem_path.c_str());
+      return 1;
+    }
+    const telemetry::MetricsSnapshot snap = telemetry::snapshot_metrics();
+    std::printf("wrote %s (%zu counters, %zu gauges, %zu histograms, "
+                "%llu spans recorded, %llu dropped)\n",
+                telem_path.c_str(), snap.counters.size(), snap.gauges.size(),
+                snap.histograms.size(),
+                static_cast<unsigned long long>(snap.spans_recorded),
+                static_cast<unsigned long long>(snap.spans_dropped));
+  } else {
+    std::printf("telemetry compiled out (NETSHARE_TELEMETRY=OFF); "
+                "skipping %s\n",
+                telem_path.c_str());
+  }
   return 0;
 }

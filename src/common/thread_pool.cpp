@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "telemetry/telemetry.hpp"
+
 namespace netshare {
 
 namespace {
@@ -31,10 +33,14 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(packaged));
+    depth = tasks_.size();
   }
+  TELEM_COUNT("threadpool.tasks_submitted");
+  TELEM_GAUGE_SET("threadpool.queue_depth", depth);
   cv_.notify_one();
   return fut;
 }
@@ -42,6 +48,8 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  TELEM_SPAN("threadpool.parallel_for",
+             {"tasks", static_cast<long long>(n)});
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -65,13 +73,16 @@ void ThreadPool::worker_loop() {
   tl_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
     }
+    TELEM_GAUGE_SET("threadpool.queue_depth", depth);
     task();
   }
 }

@@ -1,10 +1,10 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netshare::core {
 
@@ -12,11 +12,12 @@ std::size_t parallel_phase_budget(std::size_t budget) {
   budget = std::max<std::size_t>(1, budget);
   if (budget > 1 &&
       (ThreadPool::on_worker_thread() || ml::kernels::in_kernel_task())) {
-    std::fprintf(stderr,
-                 "WARNING: parallel phase requested %zu threads from inside "
-                 "an already-parallel context; clamping to 1 to avoid "
-                 "oversubscription\n",
-                 budget);
+    TELEM_DIAG(::netshare::telemetry::Severity::kWarn,
+               "core.parallel.oversubscribed",
+               "parallel phase requested %zu threads from inside an "
+               "already-parallel context; clamping to 1 to avoid "
+               "oversubscription",
+               budget);
     return 1;
   }
   // These phases are CPU-bound: threads beyond the physical core count only

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netshare::core {
 
@@ -114,6 +115,8 @@ RepairStats sum_stats(const std::vector<RepairStats>& parts) {
 
 net::FlowTrace remap_ips(const net::FlowTrace& trace, const IpRemapConfig& cfg,
                          std::size_t threads) {
+  TELEM_SPAN("postprocess.remap_ips",
+             {"records", static_cast<long long>(trace.records.size())});
   net::FlowTrace out = trace;
   remap_records(out.records, cfg, threads);
   return out;
@@ -121,6 +124,8 @@ net::FlowTrace remap_ips(const net::FlowTrace& trace, const IpRemapConfig& cfg,
 
 net::PacketTrace remap_ips(const net::PacketTrace& trace,
                            const IpRemapConfig& cfg, std::size_t threads) {
+  TELEM_SPAN("postprocess.remap_ips",
+             {"records", static_cast<long long>(trace.packets.size())});
   net::PacketTrace out = trace;
   remap_records(out.packets, cfg, threads);
   return out;
@@ -129,6 +134,8 @@ net::PacketTrace remap_ips(const net::PacketTrace& trace,
 net::FlowTrace retrain_dst_ports(const net::FlowTrace& trace,
                                  const std::map<std::uint16_t, double>& dist,
                                  Rng& rng, std::size_t threads) {
+  TELEM_SPAN("postprocess.retrain_ports",
+             {"records", static_cast<long long>(trace.records.size())});
   net::FlowTrace out = trace;
   retrain_records(out.records, dist, rng, threads);
   return out;
@@ -137,6 +144,8 @@ net::FlowTrace retrain_dst_ports(const net::FlowTrace& trace,
 net::PacketTrace retrain_dst_ports(const net::PacketTrace& trace,
                                    const std::map<std::uint16_t, double>& dist,
                                    Rng& rng, std::size_t threads) {
+  TELEM_SPAN("postprocess.retrain_ports",
+             {"records", static_cast<long long>(trace.packets.size())});
   net::PacketTrace out = trace;
   retrain_records(out.packets, dist, rng, threads);
   return out;
@@ -144,6 +153,8 @@ net::PacketTrace retrain_dst_ports(const net::PacketTrace& trace,
 
 RepairStats repair_packet_headers(net::PacketTrace& trace,
                                   std::size_t threads) {
+  TELEM_SPAN("postprocess.repair",
+             {"records", static_cast<long long>(trace.packets.size())});
   auto& pkts = trace.packets;
   const std::size_t workers =
       parallel_phase_budget(std::max<std::size_t>(1, threads));
@@ -181,10 +192,15 @@ RepairStats repair_packet_headers(net::PacketTrace& trace,
     }
     parts[range] = local;
   });
-  return sum_stats(parts);
+  const RepairStats total = sum_stats(parts);
+  TELEM_COUNT_N("postprocess.fields_repaired",
+                total.size_clamped + total.ttl_fixed + total.ports_zeroed);
+  return total;
 }
 
 RepairStats repair_flow_fields(net::FlowTrace& trace, std::size_t threads) {
+  TELEM_SPAN("postprocess.repair",
+             {"records", static_cast<long long>(trace.records.size())});
   auto& recs = trace.records;
   const std::size_t workers =
       parallel_phase_budget(std::max<std::size_t>(1, threads));
@@ -217,7 +233,11 @@ RepairStats repair_flow_fields(net::FlowTrace& trace, std::size_t threads) {
     }
     parts[range] = local;
   });
-  return sum_stats(parts);
+  const RepairStats total = sum_stats(parts);
+  TELEM_COUNT_N("postprocess.fields_repaired",
+                total.size_clamped + total.duration_fixed +
+                    total.packets_fixed + total.ports_zeroed);
+  return total;
 }
 
 }  // namespace netshare::core

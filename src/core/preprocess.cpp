@@ -7,6 +7,7 @@
 #include "core/parallel.hpp"
 #include "embed/bit_encoding.hpp"
 #include "net/ports.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netshare::core {
 
@@ -289,6 +290,9 @@ TimeSeriesSpec FlowEncoder::spec() const {
 
 std::vector<TimeSeriesDataset> FlowEncoder::encode(
     const net::FlowTrace& giant) const {
+  TELEM_SPAN("preprocess.flow_encode",
+             {"records", static_cast<long long>(giant.records.size())});
+  TELEM_COUNT_N("preprocess.records_encoded", giant.records.size());
   net::FlowTrace sorted = giant;
   sorted.sort_by_time();
   const std::size_t M = chunks_.size();
@@ -475,6 +479,9 @@ TimeSeriesSpec PacketEncoder::spec() const {
 
 std::vector<TimeSeriesDataset> PacketEncoder::encode(
     const net::PacketTrace& giant) const {
+  TELEM_SPAN("preprocess.packet_encode",
+             {"packets", static_cast<long long>(giant.packets.size())});
+  TELEM_COUNT_N("preprocess.packets_encoded", giant.packets.size());
   net::PacketTrace sorted = giant;
   sorted.sort_by_time();
   const std::size_t M = chunks_.size();

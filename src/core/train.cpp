@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netshare::core {
 
@@ -53,7 +54,11 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
     // any (possibly DP) training on this data.
     models_[seed_chunk_]->restore(*config_.public_snapshot);
   }
-  models_[seed_chunk_]->fit(chunks[seed_chunk_], config_.seed_iterations);
+  {
+    TELEM_SPAN("train.seed",
+               {"chunk", static_cast<long long>(seed_chunk_)});
+    models_[seed_chunk_]->fit(chunks[seed_chunk_], config_.seed_iterations);
+  }
   const std::vector<double> seed_snapshot = models_[seed_chunk_]->snapshot();
 
   // Remaining chunks fine-tune in parallel from the seed snapshot
@@ -78,8 +83,11 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   const PhaseBudget split =
       split_phase_budget(budget, todo.size(), config_.kernels);
   ml::kernels::ConfigOverride finetune_budget(split.kernel_cfg);
+  TELEM_SPAN("train.finetune",
+             {"chunks", static_cast<long long>(todo.size())});
   ThreadPool pool(split.workers);
   pool.parallel_for(todo.size(), [&](std::size_t i) {
+    TELEM_SPAN("train.chunk", {"chunk", static_cast<long long>(todo[i])});
     models_[todo[i]]->fit(chunks[todo[i]], iters);
   });
 }
@@ -144,8 +152,11 @@ void ChunkedTrainer::sample_chunks(const std::vector<std::size_t>& counts,
   const PhaseBudget split =
       split_phase_budget(budget, active.size(), config_.kernels);
   ml::kernels::ConfigOverride guard(split.kernel_cfg);
+  TELEM_SPAN("generate.sample_chunks",
+             {"chunks", static_cast<long long>(active.size())});
   run_parallel_tasks(split.workers, active.size(), [&](std::size_t i) {
     const std::size_t c = active[i];
+    TELEM_SPAN("generate.chunk", {"chunk", static_cast<long long>(c)});
     // One model per task: sample_into is not thread-safe per instance, but
     // distinct chunk models share no mutable state (per-model Workspace).
     sample_chunk_into(c, counts[c], seed, 0, out[c]);

@@ -1,10 +1,21 @@
 #include "eval/harness.hpp"
 
 #include <cstdlib>
-#include <iostream>
 #include <string>
 
+#include "telemetry/telemetry.hpp"
+
 namespace netshare::eval {
+
+namespace {
+// Progress diagnostics, not warnings: a generous print limit so multi-model
+// sweeps stay visible, while still structured + counted like every diag.
+telemetry::DiagSite& fit_diag() {
+  static telemetry::DiagSite site("eval.harness.fit",
+                                  telemetry::Severity::kInfo, 64);
+  return site;
+}
+}  // namespace
 
 double bench_scale() {
   static const double scale = [] {
@@ -118,7 +129,7 @@ std::vector<FlowModelRun> run_flow_models(
     const net::FlowTrace& real, std::size_t n_out, std::uint64_t seed) {
   std::vector<FlowModelRun> runs;
   for (auto& model : models) {
-    std::cerr << "  [fit] " << model->name() << "...\n";
+    fit_diag().emit("fitting %s", model->name().c_str());
     model->fit(real);
     Rng rng(seed ^ std::hash<std::string>{}(model->name()));
     runs.push_back(
@@ -132,7 +143,7 @@ std::vector<PacketModelRun> run_packet_models(
     const net::PacketTrace& real, std::size_t n_out, std::uint64_t seed) {
   std::vector<PacketModelRun> runs;
   for (auto& model : models) {
-    std::cerr << "  [fit] " << model->name() << "...\n";
+    fit_diag().emit("fitting %s", model->name().c_str());
     model->fit(real);
     Rng rng(seed ^ std::hash<std::string>{}(model->name()));
     runs.push_back(

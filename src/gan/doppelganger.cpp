@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.hpp"
 #include "ml/serialize.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netshare::gan {
 
@@ -273,6 +274,16 @@ void DoppelGanger::discriminator_update(const TimeSeriesDataset& data,
   }
   add_lipschitz_grads(scores, 2 * B, 3 * B, B, dist_, config_.lipschitz_weight,
                       gs);
+  // Wasserstein critic estimate, derived from scores already computed for the
+  // gradient seed; folds away entirely under -DNETSHARE_TELEMETRY=OFF.
+  if (telemetry::kCompiledIn && telemetry::enabled()) {
+    double real_mean = 0.0, fake_mean = 0.0;
+    for (std::size_t i = 0; i < B; ++i) {
+      real_mean += scores(i, 0);
+      fake_mean += scores(B + i, 0);
+    }
+    TELEM_GAUGE_SET("gan.train.d_loss", (fake_mean - real_mean) * inv_b);
+  }
   disc_->backward(gs);
 
   // Auxiliary critic on attributes only.
@@ -354,8 +365,14 @@ void DoppelGanger::generator_update(Rng& rng) {
   generator_forward(B, rng, fake_);
   disc_input_into(fake_.attributes, fake_.features, xf_);
 
-  disc_->forward(xf_);
+  const Matrix& fscores = disc_->forward(xf_);
   const double inv_b = 1.0 / static_cast<double>(B);
+  // Generator objective is to maximize mean D(fake): report -mean as g_loss.
+  if (telemetry::kCompiledIn && telemetry::enabled()) {
+    double fake_mean = 0.0;
+    for (std::size_t i = 0; i < B; ++i) fake_mean += fscores(i, 0);
+    TELEM_GAUGE_SET("gan.train.g_loss", -fake_mean * inv_b);
+  }
   Matrix& gseed = ws_.get(B, 1);
   gseed.fill(-inv_b);
   const Matrix& gin = disc_->backward(gseed);
@@ -402,6 +419,7 @@ void DoppelGanger::fit(const TimeSeriesDataset& data, int iterations) {
     throw std::invalid_argument("DoppelGanger::fit: max_len mismatch");
   }
   const double cpu0 = thread_cpu_seconds();
+  Stopwatch wall;
   for (int it = 0; it < iterations; ++it) {
     for (int d = 0; d < config_.d_steps_per_g; ++d) {
       if (config_.dp) {
@@ -411,6 +429,11 @@ void DoppelGanger::fit(const TimeSeriesDataset& data, int iterations) {
       }
     }
     generator_update(rng_);
+    TELEM_COUNT("gan.train.iterations");
+  }
+  if (telemetry::kCompiledIn && telemetry::enabled() && iterations > 0) {
+    const double secs = wall.seconds();
+    if (secs > 0.0) TELEM_GAUGE_SET("gan.train.iters_per_sec", iterations / secs);
   }
   train_cpu_seconds_ += thread_cpu_seconds() - cpu0;
 }
@@ -443,6 +466,7 @@ Matrix& DoppelGanger::stage_attr_noise(std::size_t b,
 
 void DoppelGanger::sample_into(std::size_t n, std::uint64_t stream_seed,
                                std::size_t first_series, GeneratedSeries& out) {
+  TELEM_SPAN("gan.sample", {"series", static_cast<long long>(n)});
   const std::size_t T = spec_.max_len;
   const std::size_t F = spec_.feature_dim();
   const std::size_t A = spec_.attribute_dim();
@@ -484,6 +508,9 @@ void DoppelGanger::sample_into(std::size_t n, std::uint64_t stream_seed,
 
     for (std::size_t t = 0; t < T && !live_.empty(); ++t) {
       const std::size_t m = live_.size();
+      // Live sub-batch size: how much the length-adaptive compaction shrinks
+      // the step's work relative to the full unroll's constant b rows.
+      TELEM_GAUGE_SET("gan.sample.live_rows", m);
       // Gather [z_t | attr] rows, matching generator_tail's concat layout.
       // z_t is drawn lazily, only for series still alive at this step: each
       // series' stream is private and its draw order fixed, so skipping the
@@ -530,6 +557,11 @@ void DoppelGanger::sample_into(std::size_t n, std::uint64_t stream_seed,
       std::swap(samp_attr_, samp_attr_next_);
     }
     done += b;
+  }
+  if (telemetry::kCompiledIn && telemetry::enabled()) {
+    for (const std::size_t len : out.lengths) {
+      TELEM_HIST("gan.sample.emitted_len", len, 1, 2, 4, 8, 16, 32, 64, 128);
+    }
   }
 }
 

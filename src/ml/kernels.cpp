@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netshare::ml::kernels {
 namespace {
@@ -83,9 +84,11 @@ void run_row_panels(std::size_t rows, std::size_t flops, const Body& body) {
   if (tl_in_kernel_task) threads = 1;
   const std::size_t ntasks = std::min(threads, rows);
   if (ntasks <= 1) {
+    TELEM_COUNT("kernels.dispatch_serial");
     body(std::size_t{0}, rows);
     return;
   }
+  TELEM_COUNT("kernels.dispatch_parallel");
   auto pool = acquire_pool(ntasks - 1);
   const std::size_t chunk = (rows + ntasks - 1) / ntasks;
   std::vector<std::future<void>> futures;

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 
 #include "ml/gru.hpp"
@@ -459,6 +461,62 @@ TEST(Serialize, FileRoundTrip) {
   const std::string path = "/tmp/netshare_test_snapshot.bin";
   save_snapshot_file(snap, path);
   EXPECT_EQ(load_snapshot_file(path), snap);
+}
+
+TEST(Serialize, SaveRejectsUnwritablePath) {
+  EXPECT_THROW(
+      save_snapshot_file({1.0}, "/nonexistent_dir/netshare_snapshot.bin"),
+      std::runtime_error);
+}
+
+TEST(Serialize, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_snapshot_file("/tmp/netshare_test_snapshot_missing.bin"),
+               std::runtime_error);
+}
+
+TEST(Serialize, LoadRejectsTruncatedPayload) {
+  // A valid header promising 4 doubles but only 2 present: read must fail
+  // loudly, never return a half-restored snapshot.
+  const std::string path = "/tmp/netshare_test_snapshot_truncated.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint64_t n = 4;
+    out.write(reinterpret_cast<const char*>(&n), sizeof n);
+    const double payload[2] = {1.0, 2.0};
+    out.write(reinterpret_cast<const char*>(payload), sizeof payload);
+  }
+  EXPECT_THROW(load_snapshot_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsEmptyFile) {
+  const std::string path = "/tmp/netshare_test_snapshot_empty.bin";
+  { std::ofstream out(path, std::ios::binary); }
+  EXPECT_THROW(load_snapshot_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RestoreRejectsSnapshotLargerThanModel) {
+  Rng rng(23);
+  Mlp a({3, 5, 2}, Activation::kRelu, rng);
+  std::vector<double> snap = snapshot_parameters(a.parameters());
+  snap.push_back(0.0);  // one trailing extra weight
+  EXPECT_THROW(restore_parameters(a.parameters(), snap),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RestoredFileSnapshotDrivesIdenticalModel) {
+  Rng rng(29);
+  Mlp a({4, 6, 3}, Activation::kRelu, rng);
+  Rng rng2(31);
+  Mlp b({4, 6, 3}, Activation::kRelu, rng2);
+  const std::string path = "/tmp/netshare_test_snapshot_model.bin";
+  save_snapshot_file(snapshot_parameters(a.parameters()), path);
+  restore_parameters(b.parameters(), load_snapshot_file(path));
+  Rng xr(37);
+  const Matrix x = Matrix::randn(2, 4, xr);
+  EXPECT_EQ(a.forward(x), b.forward(x));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,514 @@
+// Tests for the telemetry subsystem (DESIGN.md §8): thread-sharded metric
+// aggregation (run under the TSan preset), histogram bucket semantics, span
+// nesting and Chrome-trace JSON validity, diag rate limiting, the runtime
+// kill switch, and the zero-allocations-per-op contract (counting global
+// operator new, extending the tests/test_alloc.cpp pattern).
+//
+// This binary only builds when NETSHARE_TELEMETRY=ON (tests/CMakeLists.txt);
+// the compiled-out macro mode is covered by every other test target when the
+// option is OFF.
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace netshare;
+
+static_assert(telemetry::kCompiledIn,
+              "test_telemetry must be built with NETSHARE_TELEMETRY=ON");
+
+// ---------------------------------------------------------------------------
+// Counting global operator new: every heap allocation in this binary bumps
+// g_heap_allocs, so a window with an unchanged count provably performed zero
+// allocations (stricter than test_alloc.cpp, which counts Matrix buffers).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+std::uint64_t find_counter(const telemetry::MetricsSnapshot& snap,
+                           const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const telemetry::HistogramSnapshot* find_hist(
+    const telemetry::MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+bool has_gauge(const telemetry::MetricsSnapshot& snap, const std::string& name,
+               double* value = nullptr) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) {
+      if (value != nullptr) *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax validator — enough to prove the
+// trace file is well-formed JSON (Perfetto/Chrome would reject it otherwise).
+// ---------------------------------------------------------------------------
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+  void skip_ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+};
+
+bool parse_value(JsonCursor& c);
+
+bool parse_string(JsonCursor& c) {
+  if (c.p >= c.end || *c.p != '"') return false;
+  ++c.p;
+  while (c.p < c.end && *c.p != '"') {
+    if (*c.p == '\\') {
+      ++c.p;
+      if (c.p >= c.end) return false;
+    }
+    ++c.p;
+  }
+  if (c.p >= c.end) return false;
+  ++c.p;  // closing quote
+  return true;
+}
+
+bool parse_number(JsonCursor& c) {
+  const char* start = c.p;
+  if (c.p < c.end && (*c.p == '-' || *c.p == '+')) ++c.p;
+  while (c.p < c.end &&
+         (std::isdigit(static_cast<unsigned char>(*c.p)) || *c.p == '.' ||
+          *c.p == 'e' || *c.p == 'E' || *c.p == '-' || *c.p == '+')) {
+    ++c.p;
+  }
+  return c.p > start;
+}
+
+bool parse_object(JsonCursor& c) {
+  ++c.p;  // '{'
+  c.skip_ws();
+  if (c.p < c.end && *c.p == '}') {
+    ++c.p;
+    return true;
+  }
+  for (;;) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (c.p >= c.end || *c.p != ':') return false;
+    ++c.p;
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.p < c.end && *c.p == ',') {
+      ++c.p;
+      continue;
+    }
+    if (c.p < c.end && *c.p == '}') {
+      ++c.p;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool parse_array(JsonCursor& c) {
+  ++c.p;  // '['
+  c.skip_ws();
+  if (c.p < c.end && *c.p == ']') {
+    ++c.p;
+    return true;
+  }
+  for (;;) {
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.p < c.end && *c.p == ',') {
+      ++c.p;
+      continue;
+    }
+    if (c.p < c.end && *c.p == ']') {
+      ++c.p;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool parse_value(JsonCursor& c) {
+  c.skip_ws();
+  if (c.p >= c.end) return false;
+  switch (*c.p) {
+    case '{':
+      return parse_object(c);
+    case '[':
+      return parse_array(c);
+    case '"':
+      return parse_string(c);
+    case 't':
+      if (c.end - c.p >= 4 && std::strncmp(c.p, "true", 4) == 0) {
+        c.p += 4;
+        return true;
+      }
+      return false;
+    case 'f':
+      if (c.end - c.p >= 5 && std::strncmp(c.p, "false", 5) == 0) {
+        c.p += 5;
+        return true;
+      }
+      return false;
+    case 'n':
+      if (c.end - c.p >= 4 && std::strncmp(c.p, "null", 4) == 0) {
+        c.p += 4;
+        return true;
+      }
+      return false;
+    default:
+      return parse_number(c);
+  }
+}
+
+bool valid_json(const std::string& text) {
+  JsonCursor c{text.data(), text.data() + text.size()};
+  if (!parse_value(c)) return false;
+  c.skip_ws();
+  return c.p == c.end;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Extracts ts/dur/tid for the first trace event named `name`, relying on the
+// writer's one-event-per-line layout.
+bool find_event(const std::string& json, const std::string& name, double* ts,
+                double* dur, unsigned* tid) {
+  const std::string needle = "\"name\": \"" + name + "\"";
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) continue;
+    const std::size_t ts_at = line.find("\"ts\": ");
+    const std::size_t dur_at = line.find("\"dur\": ");
+    const std::size_t tid_at = line.find("\"tid\": ");
+    if (ts_at == std::string::npos || dur_at == std::string::npos ||
+        tid_at == std::string::npos) {
+      return false;
+    }
+    *ts = std::strtod(line.c_str() + ts_at + 6, nullptr);
+    *dur = std::strtod(line.c_str() + dur_at + 7, nullptr);
+    *tid = static_cast<unsigned>(
+        std::strtoul(line.c_str() + tid_at + 7, nullptr, 10));
+    return true;
+  }
+  return false;
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(true);
+    telemetry::reset_for_testing();
+  }
+};
+
+TEST_F(TelemetryTest, CounterAggregatesAcrossEightThreads) {
+  const std::uint32_t id = telemetry::register_counter("test.shard.counter");
+  ASSERT_NE(id, telemetry::kInvalidMetricId);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+
+  // A concurrent scraper runs the whole time: scrapes only read the relaxed
+  // shard slots, so TSan passing here is the aggregation-safety proof.
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)telemetry::snapshot_metrics();
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) telemetry::counter_add(id, 1);
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  const auto snap = telemetry::snapshot_metrics();
+  EXPECT_EQ(find_counter(snap, "test.shard.counter"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(TelemetryTest, HistogramShardsAggregateAcrossThreads) {
+  const std::uint32_t id =
+      telemetry::register_histogram("test.shard.hist", {10.0, 20.0});
+  ASSERT_NE(id, telemetry::kInvalidMetricId);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        telemetry::histogram_observe(id, static_cast<double>(t * 3));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  const auto snap = telemetry::snapshot_metrics();
+  const auto* h = find_hist(snap, "test.shard.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // t*3 for t in [0,8): 0,3,6,9 -> <=10; 12,15,18 -> (10,20]; 21 -> overflow.
+  ASSERT_EQ(h->counts.size(), 3u);
+  EXPECT_EQ(h->counts[0], 4u * kPerThread);
+  EXPECT_EQ(h->counts[1], 3u * kPerThread);
+  EXPECT_EQ(h->counts[2], 1u * kPerThread);
+}
+
+TEST_F(TelemetryTest, HistogramBucketEdgesAreUpperInclusive) {
+  const std::uint32_t id =
+      telemetry::register_histogram("test.hist.edges", {1.0, 2.0, 4.0});
+  ASSERT_NE(id, telemetry::kInvalidMetricId);
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0}) {
+    telemetry::histogram_observe(id, v);
+  }
+  const auto snap = telemetry::snapshot_metrics();
+  const auto* h = find_hist(snap, "test.hist.edges");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->counts.size(), 4u);  // 3 edges + overflow
+  EXPECT_EQ(h->counts[0], 2u);      // 0.5, 1.0 in (-inf, 1]
+  EXPECT_EQ(h->counts[1], 2u);      // 1.5, 2.0 in (1, 2]
+  EXPECT_EQ(h->counts[2], 2u);      // 3.0, 4.0 in (2, 4]
+  EXPECT_EQ(h->counts[3], 1u);      // 5.0 > 4
+  EXPECT_EQ(h->total, 7u);
+  EXPECT_DOUBLE_EQ(h->sum, 17.0);
+}
+
+TEST_F(TelemetryTest, RegistrationDedupesByNameAndFirstEdgesWin) {
+  const std::uint32_t a = telemetry::register_counter("test.dedupe.counter");
+  const std::uint32_t b = telemetry::register_counter("test.dedupe.counter");
+  EXPECT_EQ(a, b);
+  const std::uint32_t h1 =
+      telemetry::register_histogram("test.dedupe.hist", {1.0, 2.0});
+  const std::uint32_t h2 =
+      telemetry::register_histogram("test.dedupe.hist", {100.0});
+  EXPECT_EQ(h1, h2);
+  const auto snap = telemetry::snapshot_metrics();
+  const auto* h = find_hist(snap, "test.dedupe.hist");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->edges.size(), 2u);  // first registration's edges
+  EXPECT_DOUBLE_EQ(h->edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(h->edges[1], 2.0);
+}
+
+TEST_F(TelemetryTest, SpanNestingProducesValidChromeTrace) {
+  {
+    TELEM_SPAN("test.span.outer", {"outer_arg", 7});
+    // A little real work so inner's window is strictly inside outer's.
+    double acc = 0.0;
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) acc += i;
+    sink = acc;
+    {
+      TELEM_SPAN("test.span.inner");
+      for (int i = 0; i < 1000; ++i) acc += i;
+      sink = acc;
+    }
+    for (int i = 0; i < 1000; ++i) acc += i;
+    sink = acc;
+    (void)sink;
+  }
+  EXPECT_EQ(telemetry::trace_event_count(), 2u);
+
+  const std::string path = ::testing::TempDir() + "telem_trace.json";
+  ASSERT_TRUE(telemetry::write_run_json(path));
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(valid_json(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer_arg\": 7"), std::string::npos);
+
+  double outer_ts = 0, outer_dur = 0, inner_ts = 0, inner_dur = 0;
+  unsigned outer_tid = 0, inner_tid = 0;
+  ASSERT_TRUE(
+      find_event(json, "test.span.outer", &outer_ts, &outer_dur, &outer_tid));
+  ASSERT_TRUE(
+      find_event(json, "test.span.inner", &inner_ts, &inner_dur, &inner_tid));
+  // Chrome's flame view nests events by containment on the same tid.
+  EXPECT_EQ(outer_tid, inner_tid);
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, ZeroAllocationsPerOpAfterWarmup) {
+  const std::uint32_t cid = telemetry::register_counter("test.alloc.counter");
+  const std::uint32_t gid = telemetry::register_gauge("test.alloc.gauge");
+  const std::uint32_t hid =
+      telemetry::register_histogram("test.alloc.hist", {1.0, 10.0, 100.0});
+
+  // Warm-up: first op acquires this thread's shard (one-time allocation).
+  telemetry::counter_add(cid, 1);
+  telemetry::gauge_set(gid, 1.0);
+  telemetry::histogram_observe(hid, 5.0);
+  { TELEM_SPAN("test.alloc.span"); }
+
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 2000; ++i) {
+    telemetry::counter_add(cid, 2);
+    telemetry::gauge_set(gid, static_cast<double>(i));
+    telemetry::histogram_observe(hid, static_cast<double>(i));
+    TELEM_SPAN("test.alloc.span");
+  }
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after)
+      << "telemetry ops allocated " << (after - before)
+      << " times in the steady state";
+}
+
+TEST_F(TelemetryTest, DiagRateLimitsPrintingButKeepsCounting) {
+  telemetry::DiagSite site("test.diag.limited", telemetry::Severity::kWarn, 2);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 7; ++i) site.emit("occurrence %d", i);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+
+  int lines = 0;
+  for (char ch : err) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2) << err;
+  EXPECT_NE(err.find("[netshare][warn][test.diag.limited] occurrence 0"),
+            std::string::npos);
+  EXPECT_NE(err.find("print limit reached"), std::string::npos);
+  EXPECT_EQ(site.count(), 7u);
+  EXPECT_EQ(telemetry::diag_count("test.diag.limited"), 7u);
+
+  const auto snap = telemetry::snapshot_metrics();
+  bool found = false;
+  for (const auto& d : snap.diags) {
+    if (d.id == "test.diag.limited") {
+      found = true;
+      EXPECT_EQ(d.count, 7u);
+      EXPECT_EQ(d.severity, telemetry::Severity::kWarn);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TelemetryTest, DiagCountsEvenWhenRuntimeDisabled) {
+  // Diags are control-plane: the runtime data-plane switch must not silence
+  // them (an oversubscription warning still matters in a disabled run).
+  telemetry::DiagSite site("test.diag.disabled", telemetry::Severity::kError,
+                           0);
+  telemetry::set_enabled(false);
+  site.emit("still counted");
+  telemetry::set_enabled(true);
+  EXPECT_EQ(site.count(), 1u);
+}
+
+TEST_F(TelemetryTest, RuntimeDisableMakesMetricOpsNoOps) {
+  const std::uint32_t cid = telemetry::register_counter("test.disable.counter");
+  const std::uint32_t hid =
+      telemetry::register_histogram("test.disable.hist", {1.0});
+  telemetry::counter_add(cid, 1);
+
+  telemetry::set_enabled(false);
+  telemetry::counter_add(cid, 100);
+  telemetry::histogram_observe(hid, 0.5);
+  const std::uint64_t spans_before = telemetry::trace_event_count();
+  { TELEM_SPAN("test.disable.span"); }
+  telemetry::set_enabled(true);
+
+  EXPECT_EQ(telemetry::trace_event_count(), spans_before);
+  const auto snap = telemetry::snapshot_metrics();
+  EXPECT_EQ(find_counter(snap, "test.disable.counter"), 1u);
+  const auto* h = find_hist(snap, "test.disable.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total, 0u);
+}
+
+TEST_F(TelemetryTest, ResetClearsValuesButKeepsRegistrations) {
+  const std::uint32_t cid = telemetry::register_counter("test.reset.counter");
+  const std::uint32_t gid = telemetry::register_gauge("test.reset.gauge");
+  telemetry::counter_add(cid, 5);
+  telemetry::gauge_set(gid, 42.0);
+  { TELEM_SPAN("test.reset.span"); }
+  ASSERT_GE(telemetry::trace_event_count(), 1u);
+
+  telemetry::reset_for_testing();
+  const auto snap = telemetry::snapshot_metrics();
+  EXPECT_EQ(find_counter(snap, "test.reset.counter"), 0u);
+  EXPECT_FALSE(has_gauge(snap, "test.reset.gauge"));  // unset after reset
+  EXPECT_EQ(telemetry::trace_event_count(), 0u);
+
+  // The cached id (what the macros hold in their static locals) stays live.
+  telemetry::counter_add(cid, 3);
+  EXPECT_EQ(find_counter(telemetry::snapshot_metrics(), "test.reset.counter"),
+            3u);
+}
+
+TEST_F(TelemetryTest, SpanBufferOverflowDropsAndCounts) {
+  // Fill this thread's span buffer far past its fixed capacity: recording
+  // must degrade to counted drops, never reallocate or corrupt.
+  for (int i = 0; i < 6000; ++i) {
+    TELEM_SPAN("test.overflow.span");
+  }
+  const auto snap = telemetry::snapshot_metrics();
+  EXPECT_GT(snap.spans_dropped, 0u);
+  EXPECT_EQ(snap.spans_recorded + snap.spans_dropped, 6000u);
+}
+
+TEST_F(TelemetryTest, GaugeReportsLastWrittenValue) {
+  const std::uint32_t gid = telemetry::register_gauge("test.gauge.last");
+  telemetry::gauge_set(gid, 1.0);
+  telemetry::gauge_set(gid, -3.5);
+  double v = 0.0;
+  ASSERT_TRUE(has_gauge(telemetry::snapshot_metrics(), "test.gauge.last", &v));
+  EXPECT_DOUBLE_EQ(v, -3.5);
+}
+
+}  // namespace

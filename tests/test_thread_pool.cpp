@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "core/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netshare {
 namespace {
@@ -97,6 +99,30 @@ TEST(ThreadPool, ZeroRequestedThreadsClampsToOne) {
   std::atomic<int> ran{0};
   pool.parallel_for(4, [&ran](std::size_t) { ran.fetch_add(1); });
   EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, OversubscriptionClampIsCountedOnDiagChannel) {
+  // parallel_phase_budget requested from inside a pool worker must clamp to
+  // 1 and report through the structured diag channel — asserted via the
+  // telemetry counter, not by scraping stderr (the print is rate-limited).
+  if (!telemetry::kCompiledIn) {
+    GTEST_SKIP() << "diag counters require NETSHARE_TELEMETRY=ON";
+  }
+  const std::uint64_t before =
+      telemetry::diag_count("core.parallel.oversubscribed");
+
+  ThreadPool pool(2);
+  std::atomic<std::size_t> clamped_budget{0};
+  pool.parallel_for(1, [&](std::size_t) {
+    clamped_budget.store(core::parallel_phase_budget(4));
+  });
+  EXPECT_EQ(clamped_budget.load(), 1u);
+  EXPECT_EQ(telemetry::diag_count("core.parallel.oversubscribed"), before + 1);
+
+  // Top-level call (not on a worker): no clamp, no new diag occurrence.
+  const std::size_t top = core::parallel_phase_budget(2);
+  EXPECT_GE(top, 1u);
+  EXPECT_EQ(telemetry::diag_count("core.parallel.oversubscribed"), before + 1);
 }
 
 }  // namespace
