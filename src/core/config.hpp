@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "gan/doppelganger.hpp"
@@ -44,6 +45,15 @@ struct NetShareConfig {
 
   // GAN hyperparameters (identical across datasets, per Sec. 5).
   gan::DgConfig dg;
+
+  // --- robustness (DESIGN.md §9) ---
+  // When non-empty, ChunkedTrainer::fit writes one durable checkpoint per
+  // successfully trained chunk into this directory (versioned + CRC32,
+  // temp-file + atomic rename; see ml/serialize.hpp) and, on a later fit
+  // with the same config, resumes: chunks whose valid checkpoint exists on
+  // disk are restored instead of retrained, so a killed fit restarts from
+  // where it died. Invalid/corrupt checkpoints are diagnosed and retrained.
+  std::string checkpoint_dir;
 
   std::uint64_t seed = 42;
 };

@@ -188,6 +188,13 @@ double NetShare::train_cpu_seconds() const {
   return trainer_ ? trainer_->train_cpu_seconds() : 0.0;
 }
 
+const TrainReport& NetShare::train_report() const {
+  if (!trainer_) {
+    throw std::logic_error("NetShare::train_report: fit a trace first");
+  }
+  return trainer_->report();
+}
+
 std::vector<double> NetShare::snapshot() {
   if (!trainer_) throw std::logic_error("NetShare::snapshot: not trained");
   return trainer_->seed_snapshot();

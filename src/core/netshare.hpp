@@ -43,6 +43,11 @@ class NetShare {
   // Total training cost in thread-CPU seconds (Fig. 4).
   double train_cpu_seconds() const;
 
+  // Per-chunk training outcome of the last fit (status / attempts /
+  // rollbacks / seed fallbacks; see core/train.hpp). Throws std::logic_error
+  // before the first fit.
+  const TrainReport& train_report() const;
+
   // Seed-model weights for public pretraining (Insight 4): train a NetShare
   // on public data, snapshot() it, and pass the snapshot in the private
   // model's config.public_snapshot.

@@ -1,12 +1,25 @@
 #include "core/train.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
 #include "core/parallel.hpp"
+#include "ml/serialize.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace netshare::core {
+
+const char* to_string(ChunkTrainReport::Status status) {
+  switch (status) {
+    case ChunkTrainReport::Status::kEmpty: return "empty";
+    case ChunkTrainReport::Status::kTrained: return "trained";
+    case ChunkTrainReport::Status::kResumed: return "resumed";
+    case ChunkTrainReport::Status::kSeedFallback: return "seed-fallback";
+  }
+  return "unknown";
+}
 
 ChunkedTrainer::ChunkedTrainer(gan::TimeSeriesSpec spec,
                                const NetShareConfig& config)
@@ -19,10 +32,50 @@ gan::DgConfig ChunkedTrainer::chunk_config() const {
   return dg;
 }
 
+std::string ChunkedTrainer::checkpoint_path(std::size_t c) const {
+  return config_.checkpoint_dir + "/chunk_" + std::to_string(c) + ".ckpt";
+}
+
+bool ChunkedTrainer::try_resume(std::size_t c) {
+  if (config_.checkpoint_dir.empty()) return false;
+  const std::string path = checkpoint_path(c);
+  {
+    // Missing checkpoint is the normal first-run case — stay silent.
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return false;
+  }
+  try {
+    models_[c]->restore(ml::load_snapshot_file(path));
+  } catch (const std::exception& e) {
+    // Truncated / corrupted / foreign / wrong-shape checkpoint: restore
+    // validated before writing, so the model is untouched — retrain it.
+    TELEM_DIAG(::netshare::telemetry::Severity::kWarn,
+               "core.train.checkpoint_invalid",
+               "chunk %zu checkpoint rejected (%s); retraining", c, e.what());
+    return false;
+  }
+  TELEM_COUNT("core.train.chunks_resumed");
+  return true;
+}
+
+void ChunkedTrainer::write_checkpoint(std::size_t c) {
+  if (config_.checkpoint_dir.empty()) return;
+  try {
+    ml::save_snapshot_file(models_[c]->snapshot(), checkpoint_path(c));
+  } catch (const std::exception& e) {
+    TELEM_DIAG(::netshare::telemetry::Severity::kWarn,
+               "core.train.checkpoint_write_failed",
+               "chunk %zu checkpoint not written (%s); a resume will retrain "
+               "this chunk", c, e.what());
+  }
+}
+
 void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   if (chunks.empty()) throw std::invalid_argument("ChunkedTrainer::fit: no chunks");
   models_.clear();
   models_.resize(chunks.size());
+  report_ = TrainReport{};
+  report_.chunks.resize(chunks.size());
 
   // Seed chunk: the first chunk with data.
   seed_chunk_ = chunks.size();
@@ -34,6 +87,20 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   }
   if (seed_chunk_ == chunks.size()) {
     throw std::invalid_argument("ChunkedTrainer::fit: all chunks empty");
+  }
+  report_.seed_chunk = seed_chunk_;
+  report_.chunks[seed_chunk_].is_seed = true;
+
+  if (!config_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    if (ec) {
+      TELEM_DIAG(::netshare::telemetry::Severity::kWarn,
+                 "core.train.checkpoint_dir_failed",
+                 "cannot create checkpoint dir %s (%s); checkpoints disabled "
+                 "for this run", config_.checkpoint_dir.c_str(),
+                 ec.message().c_str());
+    }
   }
 
   // Thread budget (see core/config.hpp): while only the seed model trains,
@@ -49,15 +116,26 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   const gan::DgConfig dg = chunk_config();
   models_[seed_chunk_] = std::make_unique<gan::DoppelGanger>(
       spec_, dg, config_.seed + seed_chunk_);
-  if (config_.public_snapshot) {
-    // Insight 4: warm-start from a model pre-trained on public data before
-    // any (possibly DP) training on this data.
-    models_[seed_chunk_]->restore(*config_.public_snapshot);
-  }
-  {
-    TELEM_SPAN("train.seed",
-               {"chunk", static_cast<long long>(seed_chunk_)});
-    models_[seed_chunk_]->fit(chunks[seed_chunk_], config_.seed_iterations);
+  if (try_resume(seed_chunk_)) {
+    report_.chunks[seed_chunk_].status = ChunkTrainReport::Status::kResumed;
+  } else {
+    if (config_.public_snapshot) {
+      // Insight 4: warm-start from a model pre-trained on public data before
+      // any (possibly DP) training on this data.
+      models_[seed_chunk_]->restore(*config_.public_snapshot);
+    }
+    {
+      TELEM_SPAN("train.seed",
+                 {"chunk", static_cast<long long>(seed_chunk_)});
+      // A seed failure propagates: every other chunk warm-starts from this
+      // model, so there is nothing to fall back to.
+      models_[seed_chunk_]->fit(chunks[seed_chunk_], config_.seed_iterations);
+    }
+    ChunkTrainReport& r = report_.chunks[seed_chunk_];
+    r.status = ChunkTrainReport::Status::kTrained;
+    r.rollbacks = models_[seed_chunk_]->health_stats().rollbacks;
+    r.attempts = 1 + r.rollbacks;
+    write_checkpoint(seed_chunk_);
   }
   const std::vector<double> seed_snapshot = models_[seed_chunk_]->snapshot();
 
@@ -72,11 +150,6 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   for (std::size_t c : todo) {
     models_[c] = std::make_unique<gan::DoppelGanger>(spec_, dg,
                                                      config_.seed + 1000 + c);
-    if (!config_.naive_parallel) {
-      models_[c]->restore(seed_snapshot);
-    } else if (config_.public_snapshot) {
-      models_[c]->restore(*config_.public_snapshot);
-    }
   }
   const int iters = config_.naive_parallel ? config_.seed_iterations
                                            : config_.finetune_iterations;
@@ -86,9 +159,43 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   TELEM_SPAN("train.finetune",
              {"chunks", static_cast<long long>(todo.size())});
   ThreadPool pool(split.workers);
+  // Each task owns exactly its own chunk index: models_[c], the checkpoint
+  // file chunk_<c>.ckpt, and report_.chunks[c] are all disjoint per task.
   pool.parallel_for(todo.size(), [&](std::size_t i) {
-    TELEM_SPAN("train.chunk", {"chunk", static_cast<long long>(todo[i])});
-    models_[todo[i]]->fit(chunks[todo[i]], iters);
+    const std::size_t c = todo[i];
+    TELEM_SPAN("train.chunk", {"chunk", static_cast<long long>(c)});
+    ChunkTrainReport& r = report_.chunks[c];
+    if (try_resume(c)) {
+      r.status = ChunkTrainReport::Status::kResumed;
+      return;
+    }
+    if (!config_.naive_parallel) {
+      models_[c]->restore(seed_snapshot);
+    } else if (config_.public_snapshot) {
+      models_[c]->restore(*config_.public_snapshot);
+    }
+    try {
+      models_[c]->fit(chunks[c], iters);
+      r.status = ChunkTrainReport::Status::kTrained;
+      r.rollbacks = models_[c]->health_stats().rollbacks;
+      r.attempts = 1 + r.rollbacks;
+      write_checkpoint(c);
+    } catch (const std::exception& e) {
+      // Chunk fault isolation (DESIGN.md §9): this chunk's model failed, the
+      // run survives. Rebuild the model so no half-diverged state leaks, and
+      // fall back to the seed snapshot it would have fine-tuned from.
+      TELEM_DIAG(::netshare::telemetry::Severity::kError,
+                 "core.train.chunk_failed",
+                 "chunk %zu training failed (%s); falling back to the seed "
+                 "snapshot", c, e.what());
+      r.rollbacks = models_[c]->health_stats().rollbacks;
+      r.attempts = 1 + r.rollbacks;
+      r.status = ChunkTrainReport::Status::kSeedFallback;
+      r.error = e.what();
+      models_[c] = std::make_unique<gan::DoppelGanger>(
+          spec_, dg, config_.seed + 1000 + c);
+      models_[c]->restore(seed_snapshot);
+    }
   });
 }
 

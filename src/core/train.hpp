@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -22,12 +23,50 @@
 
 namespace netshare::core {
 
+// Per-chunk training outcome (chunk fault isolation, DESIGN.md §9).
+struct ChunkTrainReport {
+  enum class Status {
+    kEmpty,         // chunk had no data; no model
+    kTrained,       // trained this run (rollbacks counts in-fit recoveries)
+    kResumed,       // restored from a valid on-disk checkpoint; not retrained
+    kSeedFallback,  // training failed; model is a copy of the seed snapshot
+  };
+  Status status = Status::kEmpty;
+  bool is_seed = false;  // this chunk trained the seed model
+  int attempts = 0;      // training attempts (1 + in-fit rollback retries)
+  int rollbacks = 0;     // health-guard rollback-and-retry recoveries
+  std::string error;     // failure detail when status == kSeedFallback
+};
+
+const char* to_string(ChunkTrainReport::Status status);
+
+// Whole-run report ChunkedTrainer::fit fills and NetShare::train_report
+// exposes; eval::print_train_report renders it.
+struct TrainReport {
+  std::vector<ChunkTrainReport> chunks;
+  std::size_t seed_chunk = 0;
+  std::size_t count(ChunkTrainReport::Status status) const {
+    std::size_t n = 0;
+    for (const auto& c : chunks) n += c.status == status ? 1 : 0;
+    return n;
+  }
+};
+
 class ChunkedTrainer {
  public:
   ChunkedTrainer(gan::TimeSeriesSpec spec, const NetShareConfig& config);
 
-  // Trains on per-chunk datasets (empty chunks get no model).
+  // Trains on per-chunk datasets (empty chunks get no model). Chunk faults
+  // are isolated: a fine-tune chunk whose training fails (exception or
+  // exhausted rollback retries) falls back to a copy of the seed snapshot
+  // and the failure is recorded in report() — only a seed-chunk failure
+  // propagates (there is nothing to fall back to). With
+  // config.checkpoint_dir set, each trained chunk is durably checkpointed
+  // and valid checkpoints found on entry are resumed instead of retrained.
   void fit(const std::vector<gan::TimeSeriesDataset>& chunks);
+
+  // Per-chunk outcome of the last fit() (empty before the first fit).
+  const TrainReport& report() const { return report_; }
 
   // Samples n series from chunk c's model; returns an empty series (0 rows)
   // if the chunk had no data.
@@ -75,11 +114,20 @@ class ChunkedTrainer {
 
  private:
   gan::DgConfig chunk_config() const;
+  std::string checkpoint_path(std::size_t c) const;
+  // Restores chunk c's model from its on-disk checkpoint if one exists and
+  // validates (CRC32 + shape); invalid files are diagnosed and ignored.
+  bool try_resume(std::size_t c);
+  // Durably checkpoints chunk c (no-op without checkpoint_dir). A failed
+  // write is diagnosed but never fails training — the chunk just retrains
+  // on a future resume.
+  void write_checkpoint(std::size_t c);
 
   gan::TimeSeriesSpec spec_;
   const NetShareConfig config_;
   std::vector<std::unique_ptr<gan::DoppelGanger>> models_;
   std::size_t seed_chunk_ = 0;
+  TrainReport report_;
 };
 
 }  // namespace netshare::core

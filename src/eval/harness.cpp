@@ -26,7 +26,13 @@ double bench_scale() {
     if (s == "full") return 2.0;
     try {
       return std::max(0.05, std::stod(s));
-    } catch (...) {
+    } catch (const std::exception& e) {
+      // Unparseable override: fall back to 1.0, but say so — a silently
+      // ignored NETSHARE_BENCH_SCALE makes bench numbers incomparable.
+      TELEM_DIAG(::netshare::telemetry::Severity::kWarn,
+                 "eval.bench_scale_invalid",
+                 "NETSHARE_BENCH_SCALE=\"%s\" is not a number (%s); using 1.0",
+                 s.c_str(), e.what());
       return 1.0;
     }
   }();

@@ -55,6 +55,26 @@ void print_banner(std::ostream& out, const std::string& title) {
   out << "\n=== " << title << " ===\n";
 }
 
+void print_train_report(std::ostream& out, const core::TrainReport& report) {
+  print_banner(out, "Training report");
+  TextTable table({"chunk", "role", "status", "attempts", "rollbacks",
+                   "detail"});
+  for (std::size_t c = 0; c < report.chunks.size(); ++c) {
+    const core::ChunkTrainReport& r = report.chunks[c];
+    table.add_row({std::to_string(c), r.is_seed ? "seed" : "fine-tune",
+                   core::to_string(r.status), std::to_string(r.attempts),
+                   std::to_string(r.rollbacks), r.error});
+  }
+  table.print(out);
+  const auto fallbacks =
+      report.count(core::ChunkTrainReport::Status::kSeedFallback);
+  out << report.count(core::ChunkTrainReport::Status::kTrained)
+      << " trained, "
+      << report.count(core::ChunkTrainReport::Status::kResumed)
+      << " resumed, " << fallbacks << " seed-fallback, "
+      << report.count(core::ChunkTrainReport::Status::kEmpty) << " empty\n";
+}
+
 void print_cdf(std::ostream& out, const std::string& label,
                std::vector<double> samples) {
   if (samples.empty()) {

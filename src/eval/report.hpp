@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "core/train.hpp"
+
 namespace netshare::eval {
 
 // Fixed-width table: header row + value rows, printed with aligned columns.
@@ -34,5 +36,9 @@ void print_cdf(std::ostream& out, const std::string& label,
                std::vector<double> samples);
 
 std::string format_double(double v, int precision = 3);
+
+// Renders a ChunkedTrainer fault-isolation report (DESIGN.md §9): one row
+// per chunk with role, status, attempts, rollbacks, and any failure detail.
+void print_train_report(std::ostream& out, const core::TrainReport& report);
 
 }  // namespace netshare::eval

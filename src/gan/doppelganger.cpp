@@ -30,7 +30,7 @@ void random_rows_into(std::size_t n, std::size_t batch, Rng& rng,
 
 DoppelGanger::DoppelGanger(TimeSeriesSpec spec, DgConfig config,
                            std::uint64_t seed)
-    : spec_(std::move(spec)), config_(config), rng_(seed) {
+    : spec_(std::move(spec)), config_(config), seed_(seed), rng_(seed) {
   const std::size_t A = spec_.attribute_dim();
   const std::size_t F = spec_.feature_dim();
   const std::size_t step_dim = F + kFlagDims;
@@ -84,6 +84,12 @@ std::vector<ml::Parameter*> DoppelGanger::generator_params() {
 std::vector<ml::Parameter*> DoppelGanger::discriminator_params() {
   std::vector<ml::Parameter*> params = disc_->parameters();
   for (ml::Parameter* p : aux_disc_->parameters()) params.push_back(p);
+  return params;
+}
+
+std::vector<ml::Parameter*> DoppelGanger::all_params() {
+  std::vector<ml::Parameter*> params = generator_params();
+  for (ml::Parameter* p : discriminator_params()) params.push_back(p);
   return params;
 }
 
@@ -274,15 +280,17 @@ void DoppelGanger::discriminator_update(const TimeSeriesDataset& data,
   }
   add_lipschitz_grads(scores, 2 * B, 3 * B, B, dist_, config_.lipschitz_weight,
                       gs);
-  // Wasserstein critic estimate, derived from scores already computed for the
-  // gradient seed; folds away entirely under -DNETSHARE_TELEMETRY=OFF.
-  if (telemetry::kCompiledIn && telemetry::enabled()) {
+  // Wasserstein critic estimate, derived from scores already computed for
+  // the gradient seed. Always recorded: it doubles as the health guard's
+  // divergence signal (a NaN forward pass surfaces here first).
+  {
     double real_mean = 0.0, fake_mean = 0.0;
     for (std::size_t i = 0; i < B; ++i) {
       real_mean += scores(i, 0);
       fake_mean += scores(B + i, 0);
     }
-    TELEM_GAUGE_SET("gan.train.d_loss", (fake_mean - real_mean) * inv_b);
+    last_d_loss_ = (fake_mean - real_mean) * inv_b;
+    TELEM_GAUGE_SET("gan.train.d_loss", last_d_loss_);
   }
   disc_->backward(gs);
 
@@ -302,7 +310,12 @@ void DoppelGanger::discriminator_update(const TimeSeriesDataset& data,
                       config_.lipschitz_weight * config_.aux_weight, gas);
   aux_disc_->backward(gas);
 
-  ml::clip_grad_norm(discriminator_params(), config_.grad_clip);
+  // clip_grad_norm returns the PRE-clip norm; the post-clip norm the guard
+  // checks is min(norm, clip) for finite norms and the norm itself when
+  // non-finite (clipping is a no-op then, which is exactly the signal).
+  const double norm = ml::clip_grad_norm(discriminator_params(),
+                                         config_.grad_clip);
+  last_d_grad_norm_ = std::min(norm, config_.grad_clip);
   d_opt_->step();
 }
 
@@ -367,11 +380,13 @@ void DoppelGanger::generator_update(Rng& rng) {
 
   const Matrix& fscores = disc_->forward(xf_);
   const double inv_b = 1.0 / static_cast<double>(B);
-  // Generator objective is to maximize mean D(fake): report -mean as g_loss.
-  if (telemetry::kCompiledIn && telemetry::enabled()) {
+  // Generator objective is to maximize mean D(fake): record -mean as g_loss
+  // (health-guard divergence signal as well as a telemetry gauge).
+  {
     double fake_mean = 0.0;
     for (std::size_t i = 0; i < B; ++i) fake_mean += fscores(i, 0);
-    TELEM_GAUGE_SET("gan.train.g_loss", -fake_mean * inv_b);
+    last_g_loss_ = -fake_mean * inv_b;
+    TELEM_GAUGE_SET("gan.train.g_loss", last_g_loss_);
   }
   Matrix& gseed = ws_.get(B, 1);
   gseed.fill(-inv_b);
@@ -403,7 +418,8 @@ void DoppelGanger::generator_update(Rng& rng) {
 
   for (ml::Parameter* p : generator_params()) p->zero_grad();
   generator_backward(attr_grad, fgrads_);
-  ml::clip_grad_norm(generator_params(), config_.grad_clip);
+  const double norm = ml::clip_grad_norm(generator_params(), config_.grad_clip);
+  last_g_grad_norm_ = std::min(norm, config_.grad_clip);
   g_opt_->step();
 }
 
@@ -420,7 +436,23 @@ void DoppelGanger::fit(const TimeSeriesDataset& data, int iterations) {
   }
   const double cpu0 = thread_cpu_seconds();
   Stopwatch wall;
-  for (int it = 0; it < iterations; ++it) {
+  const ml::health::HealthConfig& hc = config_.health;
+  const bool guarded = hc.enabled && iterations > 0;
+  if (guarded) {
+    if (!monitor_) {
+      monitor_ = std::make_unique<ml::health::HealthMonitor>(hc, all_params(),
+                                                             seed_);
+    }
+    // The entry state (fresh init or a restored warm start) is the step-0
+    // rollback target; a fine-tune that diverges immediately falls back to
+    // the seed weights it started from.
+    monitor_->begin_run();
+    g_opt_->set_lr(config_.lr);
+    d_opt_->set_lr(config_.lr);
+  }
+  int attempt = 0;
+  int it = 0;
+  while (it < iterations) {
     for (int d = 0; d < config_.d_steps_per_g; ++d) {
       if (config_.dp) {
         discriminator_update_dp(data, rng_);
@@ -429,7 +461,43 @@ void DoppelGanger::fit(const TimeSeriesDataset& data, int iterations) {
       }
     }
     generator_update(rng_);
+    ++it;
     TELEM_COUNT("gan.train.iterations");
+    if (!guarded) continue;
+    monitor_->maybe_inject(it);
+    if (monitor_->check_due(it) || it == iterations) {
+      const bool healthy = monitor_->check(it, last_d_loss_, last_g_loss_,
+                                           last_d_grad_norm_,
+                                           last_g_grad_norm_);
+      if (healthy) {
+        if (monitor_->checkpoint_due(it)) monitor_->checkpoint(it);
+        continue;
+      }
+      TELEM_DIAG(::netshare::telemetry::Severity::kWarn, "gan.health.diverged",
+                 "training diverged (%s), attempt %d/%d",
+                 monitor_->stats().last_issue.c_str(), attempt + 1,
+                 hc.max_retries);
+      if (attempt >= hc.max_retries) {
+        throw ml::health::TrainingDivergedError(
+            "DoppelGanger::fit: training diverged (" +
+            monitor_->stats().last_issue + ") and stayed diverged after " +
+            std::to_string(attempt) + " rollback retries");
+      }
+      ++attempt;
+      // Rollback-and-retry: restore the last healthy parameters, then
+      // perturb the recovery — fresh Adam moments (the old ones are
+      // poisoned by the bad gradients), a backed-off learning rate, and a
+      // reseeded noise stream so the retry takes a different trajectory.
+      it = static_cast<int>(monitor_->rollback());
+      g_opt_->reset_state();
+      d_opt_->reset_state();
+      const double lr =
+          config_.lr * std::pow(hc.lr_backoff, static_cast<double>(attempt));
+      g_opt_->set_lr(lr);
+      d_opt_->set_lr(lr);
+      rng_ = Rng(mix_seed(seed_, 0x52455452u + static_cast<std::uint64_t>(
+                                                   attempt)));
+    }
   }
   if (telemetry::kCompiledIn && telemetry::enabled() && iterations > 0) {
     const double secs = wall.seconds();

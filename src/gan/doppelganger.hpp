@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "gan/timeseries.hpp"
 #include "ml/gru.hpp"
+#include "ml/health.hpp"
 #include "ml/mlp.hpp"
 #include "ml/optim.hpp"
 #include "ml/workspace.hpp"
@@ -43,6 +44,11 @@ struct DgConfig {
   // components touching real data; generator updates are post-processing).
   bool dp = false;
   privacy::DpSgdConfig dp_config;
+
+  // Numeric health guard + rollback-and-retry policy (DESIGN.md §9). On a
+  // healthy run the guard only reads, so determinism and the zero-allocation
+  // steady state are unchanged; health.enabled = false removes even that.
+  ml::health::HealthConfig health;
 };
 
 class DoppelGanger {
@@ -95,6 +101,12 @@ class DoppelGanger {
   // Number of DP-SGD steps taken so far (for the accountant).
   std::size_t dp_steps() const { return dp_steps_; }
 
+  // Health-guard counters accumulated across fit() calls (all zero when the
+  // guard is disabled or fit() has not run).
+  ml::health::TrainHealthStats health_stats() const {
+    return monitor_ ? monitor_->stats() : ml::health::TrainHealthStats{};
+  }
+
   const TimeSeriesSpec& spec() const { return spec_; }
   const DgConfig& config() const { return config_; }
 
@@ -143,6 +155,7 @@ class DoppelGanger {
 
   TimeSeriesSpec spec_;
   DgConfig config_;
+  std::uint64_t seed_;  // construction seed; fault injection filters on it
   Rng rng_;
 
   std::unique_ptr<ml::Mlp> attr_gen_;
@@ -179,8 +192,17 @@ class DoppelGanger {
   double train_cpu_seconds_ = 0.0;
   std::size_t dp_steps_ = 0;
 
+  // Health guard (DESIGN.md §9): per-model monitor plus the most recent
+  // losses / post-clip gradient norms the update functions record for it.
+  std::unique_ptr<ml::health::HealthMonitor> monitor_;
+  double last_d_loss_ = 0.0;
+  double last_g_loss_ = 0.0;
+  double last_d_grad_norm_ = 0.0;
+  double last_g_grad_norm_ = 0.0;
+
   std::vector<ml::Parameter*> generator_params();
   std::vector<ml::Parameter*> discriminator_params();
+  std::vector<ml::Parameter*> all_params();
 };
 
 }  // namespace netshare::gan

@@ -1,5 +1,6 @@
 #include "gan/tabular_gan.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,7 +36,8 @@ Matrix take_rows(const Matrix& m, const std::vector<std::size_t>& idx) {
 
 TabularGan::TabularGan(std::vector<ml::OutputSegment> segments,
                        TabularGanConfig config, std::uint64_t seed)
-    : segments_(std::move(segments)), config_(config), rng_(seed) {
+    : segments_(std::move(segments)), config_(config), seed_(seed),
+      rng_(seed) {
   std::size_t dim = 0;
   for (const auto& s : segments_) dim += s.width;
   const std::size_t cond_width =
@@ -84,7 +86,24 @@ void TabularGan::fit(const Matrix& rows) {
   const std::size_t B = std::min(config_.batch_size, rows.rows());
   const double inv_b = 1.0 / static_cast<double>(B);
 
-  for (int it = 0; it < config_.iterations; ++it) {
+  const ml::health::HealthConfig& hc = config_.health;
+  const bool guarded = hc.enabled && config_.iterations > 0;
+  if (guarded) {
+    if (!monitor_) {
+      std::vector<ml::Parameter*> params = gen_->parameters();
+      for (ml::Parameter* p : disc_->parameters()) params.push_back(p);
+      monitor_ = std::make_unique<ml::health::HealthMonitor>(
+          hc, std::move(params), seed_);
+    }
+    monitor_->begin_run();
+    g_opt_->set_lr(config_.lr);
+    d_opt_->set_lr(config_.lr);
+  }
+  double last_d_loss = 0.0, last_g_loss = 0.0;
+  double last_d_norm = 0.0, last_g_norm = 0.0;
+  int attempt = 0;
+  int it = 0;
+  while (it < config_.iterations) {
     for (int d = 0; d < config_.d_steps_per_g; ++d) {
       const auto idx = random_rows(rows.rows(), B, rng_);
       Matrix real = take_rows(rows, idx);
@@ -132,8 +151,16 @@ void TabularGan::fit(const Matrix& rows) {
           }
         }
       }
+      double real_mean = 0.0, fake_mean = 0.0;
+      for (std::size_t i = 0; i < B; ++i) {
+        real_mean += scores(i, 0);
+        fake_mean += scores(B + i, 0);
+      }
+      last_d_loss = (fake_mean - real_mean) * inv_b;
       disc_->backward(gs);
-      ml::clip_grad_norm(disc_->parameters(), config_.grad_clip);
+      const double dn = ml::clip_grad_norm(disc_->parameters(),
+                                           config_.grad_clip);
+      last_d_norm = std::min(dn, config_.grad_clip);
       d_opt_->step();
       if (config_.weight_clip) {
         ml::clip_weights(disc_->parameters(), config_.weight_clip_c);
@@ -149,7 +176,10 @@ void TabularGan::fit(const Matrix& rows) {
     Matrix fake = gen_->forward(gin);
     Matrix dfake = config_.condition ? concat_cols(fake, cond) : fake;
 
-    disc_->forward(dfake);
+    const Matrix& fscores = disc_->forward(dfake);
+    double fscore_mean = 0.0;
+    for (std::size_t i = 0; i < B; ++i) fscore_mean += fscores(i, 0);
+    last_g_loss = -fscore_mean * inv_b;
     Matrix grad_full = disc_->backward(Matrix(B, 1, -inv_b));
     auto [grad_fake, grad_cond_part] = split_cols(grad_full, fake.cols());
     (void)grad_cond_part;
@@ -170,8 +200,37 @@ void TabularGan::fit(const Matrix& rows) {
 
     gen_->zero_grad();
     gen_->backward(grad_fake);
-    ml::clip_grad_norm(gen_->parameters(), config_.grad_clip);
+    const double gn = ml::clip_grad_norm(gen_->parameters(),
+                                         config_.grad_clip);
+    last_g_norm = std::min(gn, config_.grad_clip);
     g_opt_->step();
+
+    ++it;
+    if (!guarded) continue;
+    monitor_->maybe_inject(it);
+    if (monitor_->check_due(it) || it == config_.iterations) {
+      if (monitor_->check(it, last_d_loss, last_g_loss, last_d_norm,
+                          last_g_norm)) {
+        if (monitor_->checkpoint_due(it)) monitor_->checkpoint(it);
+        continue;
+      }
+      if (attempt >= hc.max_retries) {
+        throw ml::health::TrainingDivergedError(
+            "TabularGan::fit: training diverged (" +
+            monitor_->stats().last_issue + ") and stayed diverged after " +
+            std::to_string(attempt) + " rollback retries");
+      }
+      ++attempt;
+      it = static_cast<int>(monitor_->rollback());
+      g_opt_->reset_state();
+      d_opt_->reset_state();
+      const double lr =
+          config_.lr * std::pow(hc.lr_backoff, static_cast<double>(attempt));
+      g_opt_->set_lr(lr);
+      d_opt_->set_lr(lr);
+      rng_ = Rng(mix_seed(seed_, 0x52455452u + static_cast<std::uint64_t>(
+                                                   attempt)));
+    }
   }
   train_cpu_seconds_ += thread_cpu_seconds() - cpu0;
 }

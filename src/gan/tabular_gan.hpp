@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ml/health.hpp"
 #include "ml/mlp.hpp"
 #include "ml/optim.hpp"
 
@@ -36,6 +37,9 @@ struct TabularGanConfig {
   // critic input.
   std::optional<std::pair<std::size_t, std::size_t>> condition;
   double condition_loss_weight = 1.0;
+
+  // Numeric health guard + rollback-and-retry policy (DESIGN.md §9).
+  ml::health::HealthConfig health;
 };
 
 class TabularGan {
@@ -52,6 +56,11 @@ class TabularGan {
   double train_cpu_seconds() const { return train_cpu_seconds_; }
   std::size_t row_dim() const;
 
+  // Health-guard counters (all zero when the guard is disabled).
+  ml::health::TrainHealthStats health_stats() const {
+    return monitor_ ? monitor_->stats() : ml::health::TrainHealthStats{};
+  }
+
  private:
   ml::Matrix gen_forward(const ml::Matrix& noise_and_cond);
   ml::Matrix cond_rows(const ml::Matrix& rows,
@@ -59,11 +68,13 @@ class TabularGan {
 
   std::vector<ml::OutputSegment> segments_;
   TabularGanConfig config_;
+  std::uint64_t seed_;
   Rng rng_;
   std::unique_ptr<ml::Mlp> gen_;
   std::unique_ptr<ml::Mlp> disc_;
   std::unique_ptr<ml::Adam> g_opt_;
   std::unique_ptr<ml::Adam> d_opt_;
+  std::unique_ptr<ml::health::HealthMonitor> monitor_;
   ml::Matrix train_rows_;  // kept for conditional sampling
   double train_cpu_seconds_ = 0.0;
 };

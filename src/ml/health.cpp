@@ -1,0 +1,146 @@
+#include "ml/health.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "telemetry/telemetry.hpp"
+
+namespace netshare::ml::health {
+
+namespace {
+// Armed flag is the only field touched concurrently: tests set the plan
+// before spawning training threads and clear it after they join, so the
+// release store / acquire load pair orders the plain plan fields.
+std::atomic<bool> g_armed{false};
+FaultPlan g_plan;
+std::atomic<int> g_snapshot_writes{0};
+}  // namespace
+
+void set_fault_plan(const FaultPlan& plan) {
+  g_plan = plan;
+  g_snapshot_writes.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void clear_fault_plan() {
+  g_armed.store(false, std::memory_order_release);
+  g_plan = FaultPlan{};
+  g_snapshot_writes.store(0, std::memory_order_relaxed);
+}
+
+bool fault_injection_armed() {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+const FaultPlan& fault_plan() { return g_plan; }
+
+bool consume_snapshot_write_fault() {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  if (g_plan.fail_nth_snapshot_write <= 0) return false;
+  const int n = g_snapshot_writes.fetch_add(1, std::memory_order_relaxed) + 1;
+  return n == g_plan.fail_nth_snapshot_write;
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config,
+                             std::vector<Parameter*> params,
+                             std::uint64_t model_seed)
+    : config_(config), params_(std::move(params)), model_seed_(model_seed) {
+  // A checkpoint is only ever taken at a step that just passed a check, so
+  // the cadence must be a multiple of the check cadence (rounded up).
+  checkpoint_every_ = config_.checkpoint_every;
+  if (config_.check_every > 0 && checkpoint_every_ > 0) {
+    const int k = config_.check_every;
+    checkpoint_every_ = ((checkpoint_every_ + k - 1) / k) * k;
+  }
+  std::size_t total = 0;
+  for (const Parameter* p : params_) total += p->value.size();
+  last_good_.resize(total);
+}
+
+void HealthMonitor::begin_run() { checkpoint(0); }
+
+bool HealthMonitor::check(long long step, double d_loss, double g_loss,
+                          double d_grad_norm, double g_grad_norm) {
+  ++stats_.checks;
+  TELEM_COUNT("gan.health.checks");
+  const char* what = nullptr;
+  double value = 0.0;
+  const auto bad = [](double v, double limit) {
+    return !std::isfinite(v) || std::fabs(v) > limit;
+  };
+  if (bad(d_loss, config_.loss_limit)) {
+    what = "d_loss";
+    value = d_loss;
+  } else if (bad(g_loss, config_.loss_limit)) {
+    what = "g_loss";
+    value = g_loss;
+  } else if (bad(d_grad_norm, config_.grad_norm_limit)) {
+    what = "d_grad_norm";
+    value = d_grad_norm;
+  } else if (bad(g_grad_norm, config_.grad_norm_limit)) {
+    what = "g_grad_norm";
+    value = g_grad_norm;
+  } else {
+    for (const Parameter* p : params_) {
+      const std::vector<double>& data = p->value.data();
+      for (const double v : data) {
+        if (!std::isfinite(v) || std::fabs(v) > config_.param_limit) {
+          what = "parameter";
+          value = v;
+          break;
+        }
+      }
+      if (what != nullptr) break;
+    }
+  }
+  if (what == nullptr) return true;
+  // Cold path: divergence detected. The string allocation is fine here.
+  stats_.last_bad_step = step;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s = %g at step %lld", what, value, step);
+  stats_.last_issue = buf;
+  return false;
+}
+
+void HealthMonitor::checkpoint(long long step) {
+  std::size_t at = 0;
+  for (const Parameter* p : params_) {
+    const std::vector<double>& data = p->value.data();
+    std::copy(data.begin(), data.end(), last_good_.begin() +
+                                            static_cast<std::ptrdiff_t>(at));
+    at += data.size();
+  }
+  last_good_step_ = step;
+  ++stats_.checkpoints;
+}
+
+long long HealthMonitor::rollback() {
+  std::size_t at = 0;
+  for (Parameter* p : params_) {
+    std::vector<double>& data = p->value.data();
+    std::copy(last_good_.begin() + static_cast<std::ptrdiff_t>(at),
+              last_good_.begin() + static_cast<std::ptrdiff_t>(at + data.size()),
+              data.begin());
+    at += data.size();
+  }
+  ++stats_.rollbacks;
+  TELEM_COUNT("gan.health.rollbacks");
+  return last_good_step_;
+}
+
+void HealthMonitor::maybe_inject(long long step) {
+  if (!fault_injection_armed()) return;
+  const FaultPlan& plan = fault_plan();
+  if (plan.nan_at_step < 0 || step != plan.nan_at_step) return;
+  if (plan.nan_model_seed != FaultPlan::kAnyModel &&
+      plan.nan_model_seed != model_seed_) {
+    return;
+  }
+  if (injected_once_ && !plan.nan_repeats) return;
+  injected_once_ = true;
+  params_.front()->value(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  ++stats_.injected;
+}
+
+}  // namespace netshare::ml::health

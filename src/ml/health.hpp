@@ -1,0 +1,151 @@
+// Numeric training-health guards (DESIGN.md §9): cheap sampled checks on
+// losses, post-clip gradient norms, and parameters; in-memory rollback
+// checkpoints; and a deterministic fault-injection hook so every failure
+// path is testable without flaky timing.
+//
+// Contract with the training hot path: on a healthy run the monitor only
+// READS model state (the periodic checkpoint copies into a buffer sized at
+// construction), so the bitwise-determinism and zero-steady-state-allocation
+// contracts of DESIGN.md §5/§6 survive with guards enabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace netshare::ml::health {
+
+// Guard policy knobs; embedded in DgConfig / TabularGanConfig.
+struct HealthConfig {
+  bool enabled = true;
+  // Run the non-finite / explosion check every `check_every` iterations
+  // (plus once at the final iteration). 0 disables periodic checks.
+  int check_every = 20;
+  // Refresh the in-memory rollback checkpoint at iterations that are both a
+  // passed check and a multiple of `checkpoint_every` (normalized up to a
+  // multiple of check_every so a checkpoint is never taken unverified).
+  int checkpoint_every = 40;
+  // Divergence recoveries attempted before the model is declared failed.
+  int max_retries = 2;
+  // Learning-rate multiplier applied per retry (lr * backoff^attempt).
+  double lr_backoff = 0.5;
+  // Explosion thresholds: |loss|, post-clip grad norm, and |parameter|
+  // beyond these count as divergence even when still finite.
+  double loss_limit = 1e7;
+  double grad_norm_limit = 1e7;
+  double param_limit = 1e7;
+};
+
+// Thrown by a train loop when divergence persists after max_retries
+// rollback-and-retry attempts. ChunkedTrainer catches it per chunk and
+// falls back to the seed snapshot (chunk fault isolation).
+class TrainingDivergedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Counters a model's monitor accumulates across fit() calls; surfaced
+// through DoppelGanger::health_stats() into core::TrainReport.
+struct TrainHealthStats {
+  long long checks = 0;        // health checks run
+  long long checkpoints = 0;   // in-memory checkpoints taken
+  int rollbacks = 0;           // rollback-and-retry recoveries
+  long long injected = 0;      // test-only injected faults observed
+  long long last_bad_step = -1;
+  std::string last_issue;      // human-readable cause of the last rollback
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection (tests only). A global plan, armed via an
+// acquire/release atomic so the production cost is one relaxed load and a
+// predicted-not-taken branch per guarded step. Arm/clear only while no
+// training threads are running (tests do this around fit()).
+// ---------------------------------------------------------------------------
+struct FaultPlan {
+  static constexpr std::uint64_t kAnyModel = ~std::uint64_t{0};
+  // Overwrite one parameter with NaN after training step `nan_at_step`
+  // (1-based count of completed iterations; < 0 disables).
+  long long nan_at_step = -1;
+  // false: inject once per model (recovery converges). true: re-inject every
+  // time the step is re-reached after a rollback (recovery is impossible and
+  // the retry budget exhausts deterministically).
+  bool nan_repeats = false;
+  // Restrict injection to the model constructed with this seed
+  // (ChunkedTrainer seeds chunk c's model with config.seed + 1000 + c).
+  std::uint64_t nan_model_seed = kAnyModel;
+  // Fail the Nth call to ml::save_snapshot_file (1-based; 0 disables).
+  int fail_nth_snapshot_write = 0;
+};
+
+void set_fault_plan(const FaultPlan& plan);
+void clear_fault_plan();
+bool fault_injection_armed();
+const FaultPlan& fault_plan();
+// Called by save_snapshot_file before writing; true = this write must fail.
+bool consume_snapshot_write_fault();
+
+// RAII arm/clear for tests.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) { set_fault_plan(plan); }
+  ~ScopedFaultPlan() { clear_fault_plan(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+// ---------------------------------------------------------------------------
+// Per-model monitor. Owns one flat checkpoint buffer (sized at construction,
+// reused forever) over the parameter list it was built with.
+// ---------------------------------------------------------------------------
+class HealthMonitor {
+ public:
+  HealthMonitor(const HealthConfig& config, std::vector<Parameter*> params,
+                std::uint64_t model_seed);
+
+  // Checkpoints the current (assumed healthy) state as the step-0 baseline
+  // of a fit() run. Called at the top of every guarded fit().
+  void begin_run();
+
+  bool check_due(long long step) const {
+    return config_.check_every > 0 && step % config_.check_every == 0;
+  }
+  bool checkpoint_due(long long step) const {
+    return checkpoint_every_ > 0 && step % checkpoint_every_ == 0;
+  }
+
+  // Scans losses, post-clip grad norms, and every parameter for non-finite
+  // or beyond-limit values. Returns true when healthy. Reads only; the
+  // failure description (allocated on the cold path only) lands in
+  // stats().last_issue.
+  bool check(long long step, double d_loss, double g_loss, double d_grad_norm,
+             double g_grad_norm);
+
+  // Copies all parameters into the preallocated checkpoint buffer.
+  void checkpoint(long long step);
+
+  // Restores the last healthy checkpoint into the parameters and returns the
+  // step it was taken at (the train loop rewinds its counter to it).
+  long long rollback();
+
+  // Test hook: applies the armed FaultPlan at `step` (writes one NaN into
+  // the first parameter). No-op unless a plan targeting this model is armed.
+  void maybe_inject(long long step);
+
+  const TrainHealthStats& stats() const { return stats_; }
+
+ private:
+  HealthConfig config_;
+  int checkpoint_every_;  // normalized to a multiple of check_every
+  std::vector<Parameter*> params_;
+  std::uint64_t model_seed_;
+  std::vector<double> last_good_;
+  long long last_good_step_ = 0;
+  bool injected_once_ = false;
+  TrainHealthStats stats_;
+};
+
+}  // namespace netshare::ml::health

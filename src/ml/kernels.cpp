@@ -107,13 +107,29 @@ void run_row_panels(std::size_t rows, std::size_t flops, const Body& body) {
     body(std::size_t{0}, std::min(rows, chunk));
   }
   // Wait for every panel before returning (or rethrowing): the panels
-  // reference stack state of this frame.
+  // reference stack state of this frame. Only the first exception can
+  // propagate; later ones are reported through the diag channel instead of
+  // vanishing silently.
   std::exception_ptr first;
   for (auto& f : futures) {
     try {
       f.get();
     } catch (...) {
-      if (!first) first = std::current_exception();
+      if (!first) {
+        first = std::current_exception();
+      } else {
+        try {
+          std::rethrow_exception(std::current_exception());
+        } catch (const std::exception& e) {
+          TELEM_DIAG(::netshare::telemetry::Severity::kError,
+                     "kernels.panel_exception_dropped",
+                     "secondary panel exception not rethrown: %s", e.what());
+        } catch (...) {
+          TELEM_DIAG(::netshare::telemetry::Severity::kError,
+                     "kernels.panel_exception_dropped",
+                     "secondary non-std panel exception not rethrown");
+        }
+      }
     }
   }
   if (first) std::rethrow_exception(first);

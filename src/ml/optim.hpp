@@ -44,6 +44,15 @@ class Adam : public Optimizer {
 
   void set_lr(double lr) { lr_ = lr; }
 
+  // Zeroes the moment estimates and the step counter. Used by the
+  // rollback-and-retry recovery (ml/health.hpp): after NaN gradients the
+  // moments are poisoned, so restoring parameters alone would re-diverge.
+  void reset_state() {
+    t_ = 0;
+    for (Matrix& m : m_) m.fill(0.0);
+    for (Matrix& v : v_) v.fill(0.0);
+  }
+
  private:
   double lr_, beta1_, beta2_, eps_;
   long t_ = 0;
