@@ -2,6 +2,7 @@
 // common::Stopwatch so the benches and the library agree on one clock.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 
 #include "common/stopwatch.hpp"
@@ -23,6 +24,22 @@ inline double time_best(const std::function<void()>& fn,
     total += s;
   }
   return best;
+}
+
+// GFLOP/s of an r×k×n product (2·r·k·n flops) that took `seconds` — the one
+// accounting every micro-bench row shares, so no bench can disagree on the
+// flop model.
+inline double gflops(std::size_t rows, std::size_t inner, std::size_t cols,
+                     double seconds) {
+  return 2.0 * static_cast<double>(rows) * static_cast<double>(inner) *
+         static_cast<double>(cols) / seconds / 1e9;
+}
+
+// Convenience: time fn and convert straight to GFLOP/s.
+inline double gflops_of(std::size_t rows, std::size_t inner,
+                        std::size_t cols, const std::function<void()>& fn,
+                        double min_seconds = 0.3) {
+  return gflops(rows, inner, cols, time_best(fn, min_seconds));
 }
 
 }  // namespace netshare::bench

@@ -1,11 +1,14 @@
-// Micro-benchmark of the blocked parallel matmul kernel layer against the
-// serial reference kernels, plus end-to-end DoppelGANger training
-// throughput, at 1/2/4/8 kernel threads. Emits BENCH_kernels.json (path
-// overridable via argv[1]) so later PRs have a perf trajectory to regress
-// against; the first recorded baseline is committed at the repo root and
-// referenced from EXPERIMENTS.md.
+// Micro-benchmark of the kernel layer: serial reference vs the scalar tier
+// vs the dispatched (SIMD where supported) tier, plus end-to-end
+// DoppelGANger training throughput. The thread sweep is clamped to
+// hardware_concurrency — thread counts beyond the machine's cores measure
+// oversubscription, not scaling — with the requested sweep and the clamp
+// recorded in the JSON for transparency. Emits BENCH_kernels.json (path
+// overridable via argv[1]); scripts/check_bench_regression gates it against
+// the committed baseline, comparing only like-for-like thread counts.
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,79 +19,88 @@
 #include "gan/doppelganger.hpp"
 #include "ml/kernels.hpp"
 #include "ml/matrix.hpp"
+#include "ml/workspace.hpp"
 
 using namespace netshare;
+using bench::gflops;
 using bench::time_best;
 using ml::Matrix;
 
 namespace {
 
-double gflops(std::size_t r, std::size_t k, std::size_t c, double seconds) {
-  return 2.0 * static_cast<double>(r) * static_cast<double>(k) *
-         static_cast<double>(c) / seconds / 1e9;
-}
+const std::size_t kRequestedThreadCounts[] = {1, 2, 4, 8};
 
-const std::size_t kThreadCounts[] = {1, 2, 4, 8};
-
-struct MatmulRow {
-  std::size_t n;
-  double reference;
-  double kernel[4];  // GFLOP/s at kThreadCounts
-};
-
-MatmulRow bench_matmul(std::size_t n) {
-  Rng rng(2);
-  const Matrix a = Matrix::randn(n, n, rng);
-  const Matrix b = Matrix::randn(n, n, rng);
-  MatmulRow row{};
-  row.n = n;
-  row.reference =
-      gflops(n, n, n, time_best([&] { ml::reference::matmul(a, b); }));
-  for (int t = 0; t < 4; ++t) {
-    ml::kernels::KernelConfig cfg;
-    cfg.threads = kThreadCounts[t];
-    cfg.min_parallel_flops = 0;
-    ml::kernels::ConfigOverride guard(cfg);
-    row.kernel[t] = gflops(n, n, n, time_best([&] { ml::matmul(a, b); }));
+// The benched sweep: requested counts that fit in the machine (always at
+// least {1}).
+std::vector<std::size_t> clamped_thread_counts() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw > 0 ? hw : 1;
+  std::vector<std::size_t> counts;
+  for (std::size_t t : kRequestedThreadCounts) {
+    if (t <= cores) counts.push_back(t);
   }
-  return row;
+  if (counts.empty()) counts.push_back(1);
+  return counts;
 }
 
-// Shapes sized like the GRU/MLP hot paths (batch x hidden reductions).
-struct TransRow {
-  const char* name;
-  double reference;
-  double kernel[4];
+ml::kernels::KernelConfig tier_cfg(ml::kernels::SimdTier tier,
+                                   std::size_t threads) {
+  ml::kernels::KernelConfig cfg;
+  cfg.threads = threads;
+  cfg.min_parallel_flops = 0;
+  cfg.simd = tier;
+  return cfg;
+}
+
+// One throughput row: serial reference plus, per benched thread count, the
+// dispatched tier ("kernel") and the pinned scalar tier ("scalar").
+struct TierRow {
+  double reference = 0.0;
+  std::vector<double> kernel;
+  std::vector<double> scalar;
 };
 
-TransRow bench_trans(bool trans_a) {
-  Rng rng(3);
-  const std::size_t n = 256;
+enum class Op { kMatmul, kTransA, kTransB };
+
+TierRow bench_op(Op op, std::size_t n,
+                 const std::vector<std::size_t>& threads) {
+  Rng rng(op == Op::kMatmul ? 2 : 3);
   const Matrix a = Matrix::randn(n, n, rng);
   const Matrix b = Matrix::randn(n, n, rng);
-  TransRow row{};
-  row.name = trans_a ? "matmul_trans_a" : "matmul_trans_b";
-  const auto ref = [&] {
-    trans_a ? ml::reference::matmul_trans_a(a, b)
-            : ml::reference::matmul_trans_b(a, b);
+  TierRow row;
+  const auto run_ref = [&] {
+    switch (op) {
+      case Op::kMatmul: ml::reference::matmul(a, b); break;
+      case Op::kTransA: ml::reference::matmul_trans_a(a, b); break;
+      case Op::kTransB: ml::reference::matmul_trans_b(a, b); break;
+    }
   };
-  row.reference = gflops(n, n, n, time_best(ref));
-  for (int t = 0; t < 4; ++t) {
-    ml::kernels::KernelConfig cfg;
-    cfg.threads = kThreadCounts[t];
-    cfg.min_parallel_flops = 0;
-    ml::kernels::ConfigOverride guard(cfg);
-    const auto run = [&] {
-      trans_a ? ml::matmul_trans_a(a, b) : ml::matmul_trans_b(a, b);
-    };
-    row.kernel[t] = gflops(n, n, n, time_best(run));
+  row.reference = gflops(n, n, n, time_best(run_ref));
+  const auto run_kernel = [&] {
+    switch (op) {
+      case Op::kMatmul: ml::matmul(a, b); break;
+      case Op::kTransA: ml::matmul_trans_a(a, b); break;
+      case Op::kTransB: ml::matmul_trans_b(a, b); break;
+    }
+  };
+  for (const std::size_t t : threads) {
+    {
+      ml::kernels::ConfigOverride guard(
+          tier_cfg(ml::kernels::SimdTier::kAvx2, t));
+      row.kernel.push_back(gflops(n, n, n, time_best(run_kernel)));
+    }
+    {
+      ml::kernels::ConfigOverride guard(
+          tier_cfg(ml::kernels::SimdTier::kScalar, t));
+      row.scalar.push_back(gflops(n, n, n, time_best(run_kernel)));
+    }
   }
   return row;
 }
 
-// End-to-end: DoppelGANger iterations/sec on a toy trace at each kernel
-// thread count. Training is bitwise identical across rows; only wall-clock
-// may differ.
+// End-to-end: DoppelGANger iterations/sec on a toy trace at each benched
+// thread count, dispatched tier and pinned-scalar tier. Training is bitwise
+// identical across every row; only wall-clock may differ.
 gan::TimeSeriesDataset toy_data(std::size_t n) {
   gan::TimeSeriesSpec spec;
   spec.attribute_segments = {{ml::OutputSegment::Kind::kSoftmax, 3},
@@ -118,17 +130,15 @@ struct DgResult {
   double allocs_per_iter;  // steady-state Matrix allocations per iteration
 };
 
-DgResult bench_dg_iters_per_sec(std::size_t threads, int warmup,
+DgResult bench_dg_iters_per_sec(ml::kernels::SimdTier tier,
+                                std::size_t threads, int warmup,
                                 int iterations) {
-  ml::kernels::KernelConfig cfg;
-  cfg.threads = threads;
-  cfg.min_parallel_flops = 0;
-  ml::kernels::ConfigOverride guard(cfg);
+  ml::kernels::ConfigOverride guard(tier_cfg(tier, threads));
   const gan::TimeSeriesDataset data = toy_data(256);
   gan::DgConfig dg;  // paper-shaped defaults: rnn 48, disc {96,96}
   gan::DoppelGanger model(data.spec, dg, 99);
-  // Warm-up iterations populate the workspace pools and module buffers so
-  // the timed window measures the steady state, not first-touch allocation.
+  // Warm-up iterations populate the workspace pools, module buffers, and
+  // the autotuner's shape memos so the timed window measures steady state.
   model.fit(data, warmup);
   ml::alloc_counter::reset();
   Stopwatch sw;
@@ -140,7 +150,9 @@ DgResult bench_dg_iters_per_sec(std::size_t threads, int warmup,
 
 // Fused GRU gate vs the unfused matmul + add + bias + activation
 // composition, at the paper-shaped GRU step (batch 64, input 12, hidden 48).
-double bench_gate(bool fused) {
+// fused_scalar pins the scalar tier for the SIMD-vs-scalar delta.
+double bench_gate(bool fused, ml::kernels::SimdTier tier) {
+  ml::kernels::ConfigOverride guard(tier_cfg(tier, 1));
   Rng rng(5);
   const Matrix x = Matrix::randn(64, 12, rng);
   const Matrix wx = Matrix::randn(12, 48, rng);
@@ -161,6 +173,30 @@ double bench_gate(bool fused) {
   return 1.0 / sec;  // gates/sec
 }
 
+std::string json_array(const std::vector<double>& v) {
+  std::string s = "[";
+  char buf[32];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f", i ? ", " : "", v[i]);
+    s += buf;
+  }
+  return s + "]";
+}
+
+std::string json_array(const std::vector<std::size_t>& v) {
+  std::string s = "[";
+  char buf[32];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%zu", i ? ", " : "", v[i]);
+    s += buf;
+  }
+  return s + "]";
+}
+
+const char* tier_name(ml::kernels::SimdTier t) {
+  return t == ml::kernels::SimdTier::kAvx2 ? "avx2" : "scalar";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,46 +204,86 @@ int main(int argc, char** argv) {
   const int dg_warmup = 3;
   const int dg_iterations = 20;
 
-  // Bench honesty: thread counts beyond the machine's cores measure
-  // oversubscription, not scaling — flag it up front and in the JSON.
   const unsigned hw = std::thread::hardware_concurrency();
-  std::size_t max_threads = 0;
-  for (std::size_t t : kThreadCounts) max_threads = std::max(max_threads, t);
-  const bool oversubscribed = hw > 0 && max_threads > hw;
-  if (oversubscribed) {
-    std::printf("WARNING: benchmarking up to %zu kernel threads on %u "
-                "core(s); multi-thread rows measure oversubscription, only "
-                "the 1-thread column is meaningful for regressions\n",
-                max_threads, hw);
+  const std::vector<std::size_t> threads = clamped_thread_counts();
+  std::size_t max_requested = 0;
+  for (std::size_t t : kRequestedThreadCounts) {
+    max_requested = std::max(max_requested, t);
+  }
+  // Bench honesty: the flag records that the requested sweep was clamped so
+  // a reader of the JSON knows why thread columns are missing on small boxes.
+  const bool clamped = hw > 0 && max_requested > hw;
+  if (clamped) {
+    std::printf("NOTE: clamping thread sweep to %zu count(s) on %u core(s); "
+                "requested up to %zu\n",
+                threads.size(), hw, max_requested);
+  }
+  const bool simd_supported =
+      ml::kernels::supported_tier() == ml::kernels::SimdTier::kAvx2;
+  const char* simd_active = tier_name(ml::kernels::active_tier());
+  std::printf("simd: supported=%s active=%s\n",
+              simd_supported ? "true" : "false", simd_active);
+
+  const std::size_t mm_sizes[] = {128, 256, 512};
+  std::vector<TierRow> mm;
+  for (std::size_t n : mm_sizes) {
+    mm.push_back(bench_op(Op::kMatmul, n, threads));
+    std::printf("matmul %zu^3: ref %.2f, scalar@1t %.2f, kernel@1t %.2f "
+                "GFLOP/s (simd/scalar %.2fx)\n",
+                n, mm.back().reference, mm.back().scalar[0],
+                mm.back().kernel[0], mm.back().kernel[0] / mm.back().scalar[0]);
+  }
+  const TierRow ta = bench_op(Op::kTransA, 256, threads);
+  const TierRow tb = bench_op(Op::kTransB, 256, threads);
+  for (const auto* row : {&ta, &tb}) {
+    std::printf("%s 256: ref %.2f, scalar@1t %.2f, kernel@1t %.2f GFLOP/s "
+                "(simd/scalar %.2fx, kernel/ref %.2fx)\n",
+                row == &ta ? "matmul_trans_a" : "matmul_trans_b",
+                row->reference, row->scalar[0], row->kernel[0],
+                row->kernel[0] / row->scalar[0],
+                row->kernel[0] / row->reference);
   }
 
-  std::vector<MatmulRow> mm;
-  for (std::size_t n : {128, 256, 512}) {
-    mm.push_back(bench_matmul(n));
-    std::printf("matmul %zux%zux%zu: ref %.2f GFLOP/s, kernel@4t %.2f "
-                "GFLOP/s (%.2fx)\n",
-                n, n, n, mm.back().reference, mm.back().kernel[2],
-                mm.back().kernel[2] / mm.back().reference);
-  }
-  std::vector<TransRow> trans{bench_trans(true), bench_trans(false)};
-  for (const auto& row : trans) {
-    std::printf("%s 256: ref %.2f GFLOP/s, kernel@4t %.2f GFLOP/s (%.2fx)\n",
-                row.name, row.reference, row.kernel[2],
-                row.kernel[2] / row.reference);
+  const double gate_unfused =
+      bench_gate(false, ml::kernels::SimdTier::kAvx2);
+  const double gate_fused = bench_gate(true, ml::kernels::SimdTier::kAvx2);
+  const double gate_fused_scalar =
+      bench_gate(true, ml::kernels::SimdTier::kScalar);
+  std::printf("gru gate 64x12x48: unfused %.0f/s, fused %.0f/s (%.2fx), "
+              "fused_scalar %.0f/s\n",
+              gate_unfused, gate_fused, gate_fused / gate_unfused,
+              gate_fused_scalar);
+
+  std::vector<double> dg_ips, dg_allocs, dg_scalar_ips;
+  for (const std::size_t t : threads) {
+    const DgResult r = bench_dg_iters_per_sec(ml::kernels::SimdTier::kAvx2, t,
+                                              dg_warmup, dg_iterations);
+    const DgResult rs = bench_dg_iters_per_sec(
+        ml::kernels::SimdTier::kScalar, t, dg_warmup, dg_iterations);
+    dg_ips.push_back(r.iters_per_sec);
+    dg_allocs.push_back(r.allocs_per_iter);
+    dg_scalar_ips.push_back(rs.iters_per_sec);
+    std::printf("doppelganger @%zu threads: %.2f iters/sec (scalar tier "
+                "%.2f), %.1f allocs/iter\n",
+                t, r.iters_per_sec, rs.iters_per_sec, r.allocs_per_iter);
   }
 
-  const double gate_unfused = bench_gate(false);
-  const double gate_fused = bench_gate(true);
-  std::printf("gru gate 64x12x48: unfused %.0f/s, fused %.0f/s (%.2fx)\n",
-              gate_unfused, gate_fused, gate_fused / gate_unfused);
-
-  DgResult dg[4];
-  for (int t = 0; t < 4; ++t) {
-    dg[t] = bench_dg_iters_per_sec(kThreadCounts[t], dg_warmup, dg_iterations);
-    std::printf("doppelganger @%zu kernel threads: %.2f iters/sec, "
-                "%.1f allocs/iter\n",
-                kThreadCounts[t], dg[t].iters_per_sec, dg[t].allocs_per_iter);
-  }
+  // Autotune transparency: the plans the benches above converged on, read
+  // through a Workspace (the per-model snapshot path models use).
+  ml::Workspace ws;
+  struct PlanQuery {
+    const char* op_name;
+    ml::kernels::TuneOp op;
+    std::size_t m, k, n;
+  };
+  const PlanQuery queries[] = {
+      {"matmul", ml::kernels::TuneOp::kMatmul, 128, 128, 128},
+      {"matmul", ml::kernels::TuneOp::kMatmul, 256, 256, 256},
+      {"matmul", ml::kernels::TuneOp::kMatmul, 512, 512, 512},
+      {"trans_a", ml::kernels::TuneOp::kTransA, 256, 256, 256},
+      {"trans_b", ml::kernels::TuneOp::kTransB, 256, 256, 256},
+      {"gate", ml::kernels::TuneOp::kGate, 64, 60, 48},
+  };
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -215,42 +291,58 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"thread_counts\": [1, 2, 4, 8],\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"requested_thread_counts\": [1, 2, 4, 8],\n");
+  std::fprintf(f, "  \"thread_counts\": %s,\n", json_array(threads).c_str());
+  std::fprintf(f, "  \"thread_counts_exceed_cores\": %s,\n",
+               clamped ? "true" : "false");
+  std::fprintf(f, "  \"simd\": {\"supported\": %s, \"active\": \"%s\"},\n",
+               simd_supported ? "true" : "false", simd_active);
   std::fprintf(f, "  \"matmul_gflops\": [\n");
   for (std::size_t i = 0; i < mm.size(); ++i) {
     std::fprintf(f,
-                 "    {\"size\": %zu, \"reference\": %.3f, "
-                 "\"kernel\": [%.3f, %.3f, %.3f, %.3f]}%s\n",
-                 mm[i].n, mm[i].reference, mm[i].kernel[0], mm[i].kernel[1],
-                 mm[i].kernel[2], mm[i].kernel[3],
+                 "    {\"size\": %zu, \"reference\": %.3f, \"kernel\": %s, "
+                 "\"scalar\": %s, \"simd_speedup_1t\": %.3f}%s\n",
+                 mm_sizes[i], mm[i].reference,
+                 json_array(mm[i].kernel).c_str(),
+                 json_array(mm[i].scalar).c_str(),
+                 mm[i].kernel[0] / mm[i].scalar[0],
                  i + 1 < mm.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  for (const auto& row : trans) {
+  for (const auto* row : {&ta, &tb}) {
     std::fprintf(f,
-                 "  \"%s_256_gflops\": {\"reference\": %.3f, "
-                 "\"kernel\": [%.3f, %.3f, %.3f, %.3f]},\n",
-                 row.name, row.reference, row.kernel[0], row.kernel[1],
-                 row.kernel[2], row.kernel[3]);
+                 "  \"matmul_trans_%s_256_gflops\": {\"reference\": %.3f, "
+                 "\"kernel\": %s, \"scalar\": %s, "
+                 "\"simd_speedup_1t\": %.3f},\n",
+                 row == &ta ? "a" : "b", row->reference,
+                 json_array(row->kernel).c_str(),
+                 json_array(row->scalar).c_str(),
+                 row->kernel[0] / row->scalar[0]);
   }
   std::fprintf(f,
-               "  \"gru_gate_per_sec\": {\"unfused\": %.1f, \"fused\": %.1f},\n",
-               gate_unfused, gate_fused);
+               "  \"gru_gate_per_sec\": {\"unfused\": %.1f, \"fused\": %.1f, "
+               "\"fused_scalar\": %.1f},\n",
+               gate_unfused, gate_fused, gate_fused_scalar);
+  std::fprintf(f, "  \"autotune_plans\": [\n");
+  for (std::size_t i = 0; i < std::size(queries); ++i) {
+    const PlanQuery& q = queries[i];
+    const ml::kernels::TunePlan plan = ws.tune_plan(q.op, q.m, q.k, q.n);
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"shape\": [%zu, %zu, %zu], "
+                 "\"jtile\": %u, \"decided\": %s}%s\n",
+                 q.op_name, q.m, q.k, q.n, plan.jtile,
+                 plan.decided ? "true" : "false",
+                 i + 1 < std::size(queries) ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"doppelganger_iters_per_sec\": {\"iterations\": %d, "
-               "\"warmup_iterations\": %d, "
-               "\"kernel\": [%.3f, %.3f, %.3f, %.3f]},\n",
-               dg_iterations, dg_warmup, dg[0].iters_per_sec,
-               dg[1].iters_per_sec, dg[2].iters_per_sec, dg[3].iters_per_sec);
-  std::fprintf(f,
-               "  \"doppelganger_allocs_per_iter\": [%.1f, %.1f, %.1f, %.1f]"
-               ",\n",
-               dg[0].allocs_per_iter, dg[1].allocs_per_iter,
-               dg[2].allocs_per_iter, dg[3].allocs_per_iter);
-  std::fprintf(f, "  \"thread_counts_exceed_cores\": %s\n",
-               oversubscribed ? "true" : "false");
+               "\"warmup_iterations\": %d, \"kernel\": %s, \"scalar\": %s},\n",
+               dg_iterations, dg_warmup, json_array(dg_ips).c_str(),
+               json_array(dg_scalar_ips).c_str());
+  std::fprintf(f, "  \"doppelganger_allocs_per_iter\": %s\n",
+               json_array(dg_allocs).c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());

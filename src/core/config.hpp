@@ -34,6 +34,10 @@ struct NetShareConfig {
   // phase gives the whole budget to the kernels, the fine-tune phase splits
   // it between chunk workers and per-worker kernel threads (see
   // ChunkedTrainer::fit). Parallel kernels are bitwise identical to serial.
+  // kernels.simd is the vector-tier ceiling (DESIGN.md §10): kAvx2 (default)
+  // lets runtime CPUID dispatch pick the SIMD tier, kScalar pins the blocked
+  // scalar kernels. Either tier — like the NETSHARE_SIMD=off env override —
+  // produces bitwise-identical models, flows, and snapshots.
   ml::kernels::KernelConfig kernels;
 
   // --- Insight 4: differential privacy ---

@@ -135,24 +135,19 @@ const std::vector<Matrix>& Gru::backward(const std::vector<Matrix>& grad_hs) {
       dhp_.data()[i] += drh_.data()[i] * r;
     }
 
-    // Parameter gradients. Scratch-then-accumulate keeps the rounding
-    // sequence of the allocating `grad += matmul_trans_a(...)` path.
-    kernels::matmul_trans_a_into(s.x, daz_, pg_);
-    wxz_.grad += pg_;
-    kernels::matmul_trans_a_into(s.h_prev, daz_, pg_);
-    whz_.grad += pg_;
+    // Parameter gradients. The accumulating kernel folds each product into
+    // the gradient with the rounding sequence of the scratch-then-
+    // `grad += matmul_trans_a(...)` path it replaces.
+    kernels::matmul_trans_a_acc_into(s.x, daz_, wxz_.grad);
+    kernels::matmul_trans_a_acc_into(s.h_prev, daz_, whz_.grad);
     sum_rows_into(daz_, bg_);
     bz_.grad += bg_;
-    kernels::matmul_trans_a_into(s.x, dar_, pg_);
-    wxr_.grad += pg_;
-    kernels::matmul_trans_a_into(s.h_prev, dar_, pg_);
-    whr_.grad += pg_;
+    kernels::matmul_trans_a_acc_into(s.x, dar_, wxr_.grad);
+    kernels::matmul_trans_a_acc_into(s.h_prev, dar_, whr_.grad);
     sum_rows_into(dar_, bg_);
     br_.grad += bg_;
-    kernels::matmul_trans_a_into(s.x, dac_, pg_);
-    wxc_.grad += pg_;
-    kernels::matmul_trans_a_into(s.rh, dac_, pg_);  // r ⊙ h_prev from forward
-    whc_.grad += pg_;
+    kernels::matmul_trans_a_acc_into(s.x, dac_, wxc_.grad);
+    kernels::matmul_trans_a_acc_into(s.rh, dac_, whc_.grad);  // r ⊙ h_prev
     sum_rows_into(dac_, bg_);
     bc_.grad += bg_;
 

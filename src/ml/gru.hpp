@@ -71,7 +71,7 @@ class Gru {
   // Backward buffers (see backward() for roles).
   std::vector<Matrix> grad_xs_;
   Matrix dh_, daz_, dac_, dar_, dhp_, drh_, dh_carry_;
-  Matrix pg_, bg_, mm_;
+  Matrix bg_, mm_;
 };
 
 }  // namespace netshare::ml

@@ -17,6 +17,23 @@
 
 namespace netshare::ml::kernels {
 
+// Kernel tiers (DESIGN.md §10). Every tier writes bitwise-identical output
+// — the tier choice is a speed decision, never a values decision — so the
+// dispatcher is free to pick the fastest tier the host supports. kAvx2 is
+// the explicitly vectorized tier in ml/kernels_simd.cpp (columns vectorized,
+// k-chains untouched, no FMA); kScalar is the blocked tier in this TU.
+enum class SimdTier { kScalar = 0, kAvx2 = 1 };
+
+// Fastest tier the executing CPU supports (cached CPUID probe).
+SimdTier supported_tier();
+// Tier the next kernel dispatch will actually use:
+// min(KernelConfig::simd ceiling, NETSHARE_SIMD env cap, supported_tier()).
+SimdTier active_tier();
+// Re-reads the NETSHARE_SIMD environment variable (cached on first use;
+// tests that setenv() at runtime call this to make the change visible).
+// Recognized "off" spellings: "off", "scalar", "0".
+void reload_simd_env();
+
 // Process-wide kernel tuning. `threads == 0` resolves, in order, to the
 // NETSHARE_KERNEL_THREADS environment variable and then to
 // std::thread::hardware_concurrency(). Products whose flop count
@@ -27,7 +44,38 @@ struct KernelConfig {
   std::size_t min_parallel_flops = 1u << 20;
   std::size_t block_k = 64;   // inner-dimension tile (L1 reuse of the A row)
   std::size_t block_j = 256;  // output-column tile (L2 reuse of the B panel)
+  // Requested tier ceiling: the dispatcher never exceeds it, and drops to
+  // kScalar when the CPU or NETSHARE_SIMD says so. Identical results either
+  // way (the property suite in tests/test_simd.cpp enforces this).
+  SimdTier simd = SimdTier::kAvx2;
+  // Online autotuner toggle for the SIMD tier's register-block width: when
+  // on, the first few dispatches of each (op, shape) time one candidate
+  // each on the real operands and memoize the winner process-wide. All
+  // candidates are bitwise-identical, so tuning never perturbs results.
+  bool autotune = true;
+  // Nonzero pins every SIMD dispatch to this register-block width (8, 16,
+  // or 32 output columns), bypassing the autotuner — the property tests use
+  // it to sweep every candidate against the scalar oracle.
+  unsigned force_jtile = 0;
 };
+
+// Shapes are tuned per operation family; the fused bias variant shares
+// kMatmul plans and the accumulating Aᵀ·B variant shares kTransA plans
+// (identical inner-loop structure, one memo each).
+enum class TuneOp { kMatmul = 0, kTransA = 1, kTransB = 2, kGate = 3 };
+
+// An autotuned execution plan for one (op, shape). Plans select speed only;
+// every candidate produces bitwise-identical output.
+struct TunePlan {
+  unsigned jtile = 16;    // register-block width in output columns
+  bool decided = false;   // true once the process-wide autotuner has voted
+};
+
+// The process-wide memoized plan for (op, rows × inner × cols). Returns the
+// default (undecided) plan until enough dispatches of that shape have been
+// timed. Same shapes always yield the same plan within a process.
+TunePlan tuned_plan(TuneOp op, std::size_t rows, std::size_t inner,
+                    std::size_t cols);
 
 // Reads / replaces the process-wide config. Replacing the thread count lazily
 // rebuilds the shared worker pool on the next parallel dispatch; in-flight
@@ -67,9 +115,26 @@ void matmul_trans_a_into(const Matrix& a, const Matrix& b, Matrix& c);
 // C = A * Bᵀ.
 void matmul_trans_b_into(const Matrix& a, const Matrix& b, Matrix& c);
 
+// C = A·B + bias (bias is 1 × cols(b), broadcast to every row). Bitwise
+// contract: per element, the full ascending-k product sum first, then one
+// bias add — exactly matmul_into followed by add_row_broadcast_inplace,
+// fused into one pass (Linear::forward's hot path).
+void matmul_bias_into(const Matrix& a, const Matrix& b, const Matrix& bias,
+                      Matrix& c);
+
+// acc += Aᵀ·B without materializing the product. `acc` must already have
+// the product shape (cols(a) × cols(b)) — it is a gradient accumulator, not
+// a destination to reshape. Bitwise contract: per element, the full
+// ascending-k product sum forms first, then folds into the existing value
+// with one add — exactly matmul_trans_a_into into a temporary followed by
+// `acc += tmp` (the backward-pass sequence this kernel replaces).
+void matmul_trans_a_acc_into(const Matrix& a, const Matrix& b, Matrix& acc);
+
 // Fused GRU gate: out = act(x·wx + h·wh + bias), written into caller-owned
 // buffers (out and a same-shaped scratch for the second product) with no
-// temporaries. Bitwise contract: the two products run through the blocked
+// temporaries. On the SIMD tier both products stay register-resident and
+// `scratch` is left untouched; its contents are unspecified after the call
+// on every tier. Bitwise contract: the two products run through the blocked
 // matmul kernels above (ascending-k reduction, one rounding per partial
 // product); the epilogue then applies, per element, exactly the rounding
 // sequence of the unfused composition

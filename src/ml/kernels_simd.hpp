@@ -1,0 +1,92 @@
+// AVX2 panel bodies for the kernel layer — the explicitly vectorized tier
+// behind the runtime dispatch in ml/kernels.cpp (DESIGN.md §10).
+//
+// Determinism contract: every body below vectorizes across INDEPENDENT
+// output columns only. For each output element the reduction over the inner
+// dimension is one scalar chain in ascending-k order, one rounding per
+// partial product (mul, then add — never an FMA), exactly as in the scalar
+// kernels and the serial reference in matrix.cpp. Since _mm256_add_pd /
+// _mm256_mul_pd / _mm256_div_pd are lane-wise IEEE-754 double ops with the
+// same round-to-nearest-even behaviour as the corresponding scalar
+// operators, every lane computes bit-for-bit the scalar result; the tier
+// is therefore memcmp-identical to the scalar tier for all inputs. The
+// translation unit is compiled with -mavx2 but WITHOUT -mfma and with
+// -ffp-contract=off, so neither intrinsic selection nor the compiler can
+// fuse the mul+add rounding steps away.
+//
+// The interface is raw pointers + strides (in doubles) so this header pulls
+// in no SIMD headers and callers need no ISA flags; all functions here must
+// only be CALLED after a runtime cpu_supports_avx2() check.
+#pragma once
+
+#include <cstddef>
+
+namespace netshare::ml::kernels::simd {
+
+// True when the CPU executing this process supports AVX2 (cached CPUID).
+bool cpu_supports_avx2();
+
+// C[r0..r1) = A·B. A is (rows×K, stride lda), B is (K×C, stride ldb),
+// C is (rows×C, stride ldc). `jtile` is the register-block width in output
+// columns (8, 16, or 32 — autotuned; any other value falls back to 16).
+// Preserves the reference kernels' a(i,k)==0.0 skip semantics.
+void matmul_panel(const double* a, std::size_t lda, const double* b,
+                  std::size_t ldb, double* c, std::size_t ldc, std::size_t K,
+                  std::size_t C, std::size_t r0, std::size_t r1,
+                  unsigned jtile);
+
+// Same as matmul_panel plus a fused bias-add epilogue: each element gets
+// (full ascending-k sum) + bias[j] — the exact rounding sequence of
+// matmul_into followed by add_row_broadcast_inplace.
+void matmul_bias_panel(const double* a, std::size_t lda, const double* b,
+                       std::size_t ldb, const double* bias, double* c,
+                       std::size_t ldc, std::size_t K, std::size_t C,
+                       std::size_t r0, std::size_t r1, unsigned jtile);
+
+// C[r0..r1) = Aᵀ·B with A stored K×rows (stride lda): c(i,j) reduces over
+// a(k,i)·b(k,j) in ascending-k order with the reference a(k,i)==0.0 skip.
+void matmul_trans_a_panel(const double* a, std::size_t lda, const double* b,
+                          std::size_t ldb, double* c, std::size_t ldc,
+                          std::size_t K, std::size_t C, std::size_t r0,
+                          std::size_t r1, unsigned jtile);
+
+// C[r0..r1) += Aᵀ·B: each output element forms the full ascending-k sum in
+// a register first, then adds it to the existing value with one rounding —
+// the exact sequence of matmul_trans_a_into followed by `acc += product`.
+void matmul_trans_a_acc_panel(const double* a, std::size_t lda,
+                              const double* b, std::size_t ldb, double* c,
+                              std::size_t ldc, std::size_t K, std::size_t C,
+                              std::size_t r0, std::size_t r1, unsigned jtile);
+
+// C[r0..r1) = A·Bᵀ where `bt` is the pre-packed transpose of B produced by
+// pack_transpose below: bt[k*C + j] == B(j,k), so the ascending-k inner
+// loop reads contiguous lanes. No zero-skip — matching the scalar trans_b
+// kernel and the serial reference, which accumulate every partial product.
+void matmul_trans_b_panel(const double* a, std::size_t lda, const double* bt,
+                          double* c, std::size_t ldc, std::size_t K,
+                          std::size_t C, std::size_t r0, std::size_t r1,
+                          unsigned jtile);
+
+// bt[k*rows + j] = b[j*ldb + k] for j in [0,rows), k in [0,cols) — the
+// packed/transposed B panel for matmul_trans_b_panel. Pure data movement
+// (no FP arithmetic), so it cannot perturb any rounding.
+void pack_transpose(const double* b, std::size_t rows, std::size_t cols,
+                    std::size_t ldb, double* bt);
+
+// Fused GRU gate, rows [r0..r1): out = act((x·wx + h·wh) + bias) with both
+// products register-resident. Per element the rounding sequence is: full
+// ascending-k sum of x·wx (zero-skip), full ascending-k sum of h·wh
+// (zero-skip), one add of the two sums, one bias add, then the activation —
+// identical to the scalar tier's matmul_into + matmul_into + fused epilogue.
+// act: 0 = sigmoid (1/(1+exp(-v))), 1 = tanh. The transcendental itself is
+// evaluated with the same scalar libm call as the scalar tier
+// (detail::sigmoid1 / std::tanh); only the surrounding adds/divides are
+// vectorized, which is lane-wise exact.
+void gate_panel(const double* x, std::size_t ldx, const double* wx,
+                std::size_t ldwx, const double* h, std::size_t ldh,
+                const double* wh, std::size_t ldwh, const double* bias,
+                int act, double* out, std::size_t ldo, std::size_t in_dim,
+                std::size_t h_dim, std::size_t gate_dim, std::size_t r0,
+                std::size_t r1, unsigned jtile);
+
+}  // namespace netshare::ml::kernels::simd

@@ -14,20 +14,18 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
 
 const Matrix& Linear::forward(const Matrix& x) {
   x_cache_ = x;
-  // The product goes through the blocked kernel layer into the member
-  // buffer; the bias is added in place afterwards (same value order as
-  // add_row_broadcast). The matmul reads x_cache_, not x, so the call stays
-  // correct even if the caller passes this layer's own previous output.
-  kernels::matmul_into(x_cache_, w_.value, y_);
-  add_row_broadcast_inplace(y_, b_.value);
+  // The fused kernel writes product + broadcast bias in one pass (same
+  // rounding sequence as matmul_into then add_row_broadcast_inplace). The
+  // matmul reads x_cache_, not x, so the call stays correct even if the
+  // caller passes this layer's own previous output.
+  kernels::matmul_bias_into(x_cache_, w_.value, b_.value, y_);
   return y_;
 }
 
 const Matrix& Linear::backward(const Matrix& grad_out) {
-  // Scratch-then-accumulate keeps the gradient rounding sequence of the
-  // allocating `grad += matmul_trans_a(...)` path.
-  kernels::matmul_trans_a_into(x_cache_, grad_out, gw_);
-  w_.grad += gw_;
+  // The accumulating kernel keeps the gradient rounding sequence of the
+  // scratch-then-`grad += product` path it replaces.
+  kernels::matmul_trans_a_acc_into(x_cache_, grad_out, w_.grad);
   sum_rows_into(grad_out, gb_);
   b_.grad += gb_;
   kernels::matmul_trans_b_into(grad_out, w_.value, gx_);

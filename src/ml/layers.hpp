@@ -60,7 +60,7 @@ class Linear : public Module {
   Parameter b_;
   Matrix x_cache_;
   Matrix y_;             // forward output buffer
-  Matrix gx_, gw_, gb_;  // backward output / parameter-grad scratch
+  Matrix gx_, gb_;  // backward output / bias-grad scratch
 };
 
 enum class Activation { kRelu, kLeakyRelu, kTanh, kSigmoid, kIdentity };

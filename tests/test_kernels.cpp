@@ -4,6 +4,7 @@
 // DoppelGanger training is bit-for-bit unchanged by kernel parallelism.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "gan/doppelganger.hpp"
 #include "ml/kernels.hpp"
 #include "ml/matrix.hpp"
+#include "ml/workspace.hpp"
 
 namespace netshare::ml {
 namespace {
@@ -248,6 +250,85 @@ TEST(Kernels, ConcurrentCallersShareThePoolSafely) {
   }
   for (auto& c : callers) c.join();
   for (int good : ok) EXPECT_EQ(good, 10);
+}
+
+// --- scalar-tier property sweep: ragged + empty shapes vs reference -------
+
+TEST(Kernels, ScalarKernelPropertySweepRaggedAndEmptyShapes) {
+  // Pin the scalar tier explicitly: this sweep is the oracle-coverage
+  // backstop for the blocked kernels themselves (the SIMD tier is swept
+  // separately in test_simd.cpp, using these kernels as ITS oracle).
+  kernels::KernelConfig cfg;
+  cfg.simd = kernels::SimdTier::kScalar;
+  cfg.threads = 2;
+  cfg.min_parallel_flops = 0;
+  kernels::ConfigOverride guard(cfg);
+  Rng rng(606);
+  std::vector<std::array<std::size_t, 3>> shapes = {
+      {0, 4, 6}, {4, 0, 6}, {4, 6, 0}, {0, 0, 0}, {1, 1, 1}, {0, 0, 5},
+  };
+  for (int i = 0; i < 30; ++i) {  // randomized ragged sweep, zeros included
+    shapes.push_back({static_cast<std::size_t>(rng.uniform_int(0, 40)),
+                      static_cast<std::size_t>(rng.uniform_int(0, 40)),
+                      static_cast<std::size_t>(rng.uniform_int(0, 40))});
+  }
+  Matrix c(2, 2, 42.0);  // wrong shape on purpose: kernels must reshape
+  for (const auto& [m, k, n] : shapes) {
+    SCOPED_TRACE("shape=" + std::to_string(m) + "x" + std::to_string(k) +
+                 "x" + std::to_string(n));
+    Matrix a = Matrix::randn(m, k, rng);
+    Matrix b = Matrix::randn(k, n, rng);
+    Matrix at = Matrix::randn(k, m, rng);
+    Matrix bt = Matrix::randn(n, k, rng);
+    for (auto* mat : {&a, &b, &at, &bt}) {  // drive the zero-skip branches
+      for (auto& v : mat->data()) {
+        if (rng.bernoulli(0.2)) v = 0.0;
+      }
+    }
+    kernels::matmul_into(a, b, c);
+    expect_bitwise(c, reference::matmul(a, b), "matmul_into");
+    kernels::matmul_trans_a_into(at, b, c);
+    expect_bitwise(c, reference::matmul_trans_a(at, b),
+                   "matmul_trans_a_into");
+    kernels::matmul_trans_b_into(a, bt, c);
+    expect_bitwise(c, reference::matmul_trans_b(a, bt),
+                   "matmul_trans_b_into");
+    // Fused variants against their unfused compositions on the reference.
+    const Matrix bias = Matrix::randn(1, n, rng);
+    Matrix want_bias = reference::matmul(a, b);
+    add_row_broadcast_inplace(want_bias, bias);
+    kernels::matmul_bias_into(a, b, bias, c);
+    expect_bitwise(c, want_bias, "matmul_bias_into");
+    Matrix acc = Matrix::randn(m, n, rng);
+    Matrix want_acc = acc;
+    want_acc += reference::matmul_trans_a(at, b);
+    kernels::matmul_trans_a_acc_into(at, b, acc);
+    expect_bitwise(acc, want_acc, "matmul_trans_a_acc_into");
+  }
+}
+
+TEST(Kernels, IntoKernelsOperateOnAdjacentWorkspaceBuffers) {
+  // Pooled buffers come back-to-back from the same arena epoch; the kernels
+  // must treat them as fully independent operands (no aliasing between
+  // distinct pool slots) and reuse them identically across reset epochs.
+  Workspace ws;
+  Rng rng(607);
+  Matrix expected;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ws.reset();
+    Matrix& a = ws.get(19, 23);
+    Matrix& b = ws.get(23, 17);
+    Matrix& c = ws.get(19, 17);   // output, same epoch as its inputs
+    Matrix& d = ws.get(19, 17);   // second slot of the same shape class
+    randn_fill(a, rng);
+    randn_fill(b, rng);
+    kernels::matmul_into(a, b, c);
+    expect_bitwise(c, reference::matmul(a, b),
+                   "matmul_into on pooled buffers");
+    kernels::matmul_trans_b_into(c, b, d);  // pooled output feeds pooled in
+    expect_bitwise(d, reference::matmul_trans_b(c, b),
+                   "matmul_trans_b_into chained through the pool");
+  }
 }
 
 // --- end-to-end: GAN training is bitwise independent of kernel threads ----
