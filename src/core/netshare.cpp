@@ -1,11 +1,14 @@
 #include "core/netshare.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
+#include "common/stopwatch.hpp"
 #include "core/parallel.hpp"
 #include "datagen/presets.hpp"
 #include "net/ports.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netshare::core {
 
@@ -99,12 +102,65 @@ std::size_t round_flows(std::size_t deficit, double rpf, bool first) {
                : std::max<std::size_t>(8, deficit);
 }
 
+// Deficit-loop sampling + decode for one chunk. The result is a pure
+// function of (chunk index, target, seed) — the sampler draws from
+// counter-based per-(chunk, series) streams and the decoder is const — so
+// batch and streaming schedules produce bitwise-identical sub-traces.
+template <typename TraceT, typename RecordsOf, typename DecodeFn>
+void sample_chunk_part(const std::vector<ChunkInfo>& chunks, std::size_t c,
+                       std::size_t target, std::uint64_t seed,
+                       const NetShareConfig& config, ChunkedTrainer& trainer,
+                       const RecordsOf& records_of, const DecodeFn& decode,
+                       TraceT& out) {
+  Stopwatch sw;
+  TELEM_SPAN("generate.chunk", {"chunk", static_cast<long long>(c)});
+  out = TraceT{};
+  const double rpf = std::min(records_per_flow(chunks[c]),
+                              static_cast<double>(config.max_seq_len));
+  bool first = true;
+  std::size_t series_at = 0;  // keeps stream indices unique across rounds
+  gan::GeneratedSeries series;
+  while (out.size() < target) {
+    const std::size_t flows = round_flows(target - out.size(), rpf, first);
+    first = false;
+    trainer.sample_chunk_into(c, flows, seed, series_at, series);
+    series_at += flows;
+    const TraceT decoded = decode(series, c);
+    records_of(out).insert(records_of(out).end(), records_of(decoded).begin(),
+                           records_of(decoded).end());
+  }
+  trainer.note_generate_seconds(c, sw.seconds());
+}
+
+// Export step for one chunk: order its sub-trace and trim the deficit-loop
+// overshoot down to the target.
+template <typename TraceT, typename RecordsOf>
+void export_chunk_part(std::size_t target, const RecordsOf& records_of,
+                       TraceT& part) {
+  part.sort_by_time();
+  if (part.size() > target) records_of(part).resize(target);
+}
+
+// Final merge: concatenate the per-chunk sub-traces in chunk order, order
+// globally, trim to n.
+template <typename TraceT, typename RecordsOf>
+TraceT merge_chunk_parts(std::vector<TraceT>& parts, std::size_t n,
+                         const RecordsOf& records_of) {
+  TraceT out;
+  records_of(out).reserve(n + 64);
+  for (auto& part : parts) {
+    records_of(out).insert(records_of(out).end(), records_of(part).begin(),
+                           records_of(part).end());
+  }
+  out.sort_by_time();
+  if (out.size() > n) records_of(out).resize(n);
+  return out;
+}
+
 // Fills each target chunk's sub-trace in parallel across chunk workers,
-// splitting the thread budget like ChunkedTrainer::fit. A chunk's sub-trace
-// is a pure function of (chunk index, targets[c], seed) — the sampler draws
-// from counter-based per-(chunk, series) streams and the decoder is const —
-// so any worker count produces bitwise-identical traces; serial generation
-// is just workers == 1.
+// splitting the thread budget like ChunkedTrainer::fit. Any worker count
+// produces bitwise-identical traces (see sample_chunk_part); serial
+// generation is just workers == 1.
 template <typename TraceT, typename RecordsOf, typename DecodeFn>
 TraceT generate_trace(const std::vector<ChunkInfo>& chunks,
                       const std::vector<std::size_t>& targets, std::size_t n,
@@ -123,36 +179,101 @@ TraceT generate_trace(const std::vector<ChunkInfo>& chunks,
   ml::kernels::ConfigOverride guard(split.kernel_cfg);
   run_parallel_tasks(split.workers, active.size(), [&](std::size_t ai) {
     const std::size_t c = active[ai];
-    TraceT chunk_out;
-    const double rpf = std::min(records_per_flow(chunks[c]),
-                                static_cast<double>(config.max_seq_len));
-    bool first = true;
-    std::size_t series_at = 0;  // keeps stream indices unique across rounds
-    gan::GeneratedSeries series;
-    while (chunk_out.size() < targets[c]) {
-      const std::size_t flows =
-          round_flows(targets[c] - chunk_out.size(), rpf, first);
-      first = false;
-      trainer.sample_chunk_into(c, flows, seed, series_at, series);
-      series_at += flows;
-      const TraceT decoded = decode(series, c);
-      records_of(chunk_out).insert(records_of(chunk_out).end(),
-                                   records_of(decoded).begin(),
-                                   records_of(decoded).end());
-    }
-    chunk_out.sort_by_time();
-    if (chunk_out.size() > targets[c]) records_of(chunk_out).resize(targets[c]);
-    parts[c] = std::move(chunk_out);
+    sample_chunk_part(chunks, c, targets[c], seed, config, trainer, records_of,
+                      decode, parts[c]);
+    export_chunk_part(targets[c], records_of, parts[c]);
   });
-  TraceT out;
-  records_of(out).reserve(n + 64);
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    records_of(out).insert(records_of(out).end(), records_of(parts[c]).begin(),
-                           records_of(parts[c]).end());
+  return merge_chunk_parts(parts, n, records_of);
+}
+
+// Streaming end-to-end driver (DESIGN.md §11): encoder fit + split plan up
+// front (both need the whole trace), then every chunk flows
+// preprocess -> train -> generate -> export through the stage graph. The
+// only cross-chunk edge is train(c) -> train(seed chunk): fine-tunes
+// warm-start from the seed snapshot. Each stage body computes exactly what
+// the batch path computes for that chunk — shared code paths, pure
+// per-chunk functions — so the merged output is bitwise identical to
+// fit() + generate_*() at any worker count.
+template <typename TraceT, typename EncoderT, typename RecordsOf,
+          typename DecodeFn>
+TraceT stream_generate(EncoderT& encoder, const TraceT& giant, std::size_t n,
+                       std::uint64_t seed, const NetShareConfig& config,
+                       std::unique_ptr<ChunkedTrainer>& trainer,
+                       const RecordsOf& records_of, const DecodeFn& decode,
+                       StreamStats* stats_out) {
+  encoder.fit(giant);
+  const auto plan = encoder.plan(giant);
+  trainer = std::make_unique<ChunkedTrainer>(encoder.spec(), config);
+  const auto& chunks = encoder.chunks();
+  const std::size_t M = chunks.size();
+  const std::vector<std::size_t> targets = record_targets(chunks, n);
+  std::vector<std::size_t> samples(M);
+  for (std::size_t c = 0; c < M; ++c) samples[c] = plan.chunk_samples(c);
+  trainer->begin_fit(samples);
+  const std::size_t seed_chunk = trainer->seed_chunk();
+
+  std::vector<gan::TimeSeriesDataset> datasets(M);
+  std::vector<TraceT> parts(M);
+
+  StreamOptions opts;
+  opts.workers = std::max<std::size_t>(
+      1, config.stream_workers != 0 ? config.stream_workers : config.threads);
+  opts.max_in_flight = config.stream_max_in_flight;
+  opts.queue_capacity = config.stream_queue_capacity;
+
+  // One kernel budget for the whole run: stage tasks on pool workers
+  // dispatch kernels serially anyway (nested-parallelism clamp), so the
+  // split only matters for the inline workers==1 path, which gets the whole
+  // budget like the batch seed phase. Kernel thread count never changes
+  // results.
+  const std::size_t budget = std::max<std::size_t>(1, config.threads);
+  ml::kernels::KernelConfig kernel_cfg = config.kernels;
+  if (kernel_cfg.threads == 0) {
+    kernel_cfg.threads =
+        opts.workers <= 1 ? budget
+                          : std::max<std::size_t>(1, budget / opts.workers);
   }
-  out.sort_by_time();
-  if (out.size() > n) records_of(out).resize(n);
-  return out;
+  ml::kernels::ConfigOverride kernel_budget(kernel_cfg);
+
+  std::array<StreamExecutor::Body, kNumStreamStages> bodies;
+  bodies[static_cast<std::size_t>(StreamStage::kPreprocess)] =
+      [&](std::size_t c) {
+        if (samples[c] == 0) return;  // empty chunk: no model, no records
+        datasets[c] = encoder.encode_chunk(plan, c);
+      };
+  bodies[static_cast<std::size_t>(StreamStage::kTrain)] = [&](std::size_t c) {
+    if (samples[c] == 0) return;
+    if (c == seed_chunk) {
+      trainer->train_seed(datasets[c]);
+    } else {
+      trainer->train_finetune(c, datasets[c]);
+    }
+    // Release the encoded chunk: peak dataset memory is bounded by
+    // chunks-in-flight, not by the trace.
+    datasets[c] = gan::TimeSeriesDataset{};
+  };
+  bodies[static_cast<std::size_t>(StreamStage::kGenerate)] =
+      [&](std::size_t c) {
+        if (targets[c] == 0 || !trainer->has_model(c)) return;
+        sample_chunk_part(chunks, c, targets[c], seed, config, *trainer,
+                          records_of, decode, parts[c]);
+      };
+  bodies[static_cast<std::size_t>(StreamStage::kExport)] = [&](std::size_t c) {
+    export_chunk_part(targets[c], records_of, parts[c]);
+  };
+
+  StreamExecutor exec(M, std::move(bodies), opts);
+  for (std::size_t c = 0; c < M; ++c) {
+    // The seed chunk is the FIRST non-empty chunk, so chunks admitted before
+    // it are no-op chains — this edge never points at an unadmitted chunk
+    // and the graph is deadlock-free at any max_in_flight >= 1.
+    if (c == seed_chunk || samples[c] == 0) continue;
+    exec.add_dependency(StreamStage::kTrain, c, StreamStage::kTrain,
+                        seed_chunk);
+  }
+  exec.run();
+  if (stats_out) *stats_out = exec.stats();
+  return merge_chunk_parts(parts, n, records_of);
 }
 
 }  // namespace
@@ -182,6 +303,44 @@ net::PacketTrace NetShare::generate_packets(std::size_t n, Rng& rng) {
       [&](const gan::GeneratedSeries& series, std::size_t c) {
         return packet_encoder_->decode(series, c);
       });
+}
+
+net::FlowTrace NetShare::fit_generate_flows(const net::FlowTrace& trace,
+                                            std::size_t n, Rng& rng,
+                                            StreamStats* stats) {
+  if (stats) *stats = StreamStats{};
+  if (!config_.streaming) {
+    fit(trace);
+    return generate_flows(n, rng);
+  }
+  flow_encoder_.emplace(config_, ip2vec_.get());
+  packet_encoder_.reset();
+  return stream_generate<net::FlowTrace>(
+      *flow_encoder_, trace, n, rng.engine()(), config_, trainer_,
+      [](auto& t) -> auto& { return t.records; },
+      [&](const gan::GeneratedSeries& series, std::size_t c) {
+        return flow_encoder_->decode(series, c);
+      },
+      stats);
+}
+
+net::PacketTrace NetShare::fit_generate_packets(const net::PacketTrace& trace,
+                                                std::size_t n, Rng& rng,
+                                                StreamStats* stats) {
+  if (stats) *stats = StreamStats{};
+  if (!config_.streaming) {
+    fit(trace);
+    return generate_packets(n, rng);
+  }
+  packet_encoder_.emplace(config_, ip2vec_.get());
+  flow_encoder_.reset();
+  return stream_generate<net::PacketTrace>(
+      *packet_encoder_, trace, n, rng.engine()(), config_, trainer_,
+      [](auto& t) -> auto& { return t.packets; },
+      [&](const gan::GeneratedSeries& series, std::size_t c) {
+        return packet_encoder_->decode(series, c);
+      },
+      stats);
 }
 
 double NetShare::train_cpu_seconds() const {

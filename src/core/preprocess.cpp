@@ -36,6 +36,33 @@ double offset_in_chunk(double t, const ChunkInfo& c) {
   return std::clamp((t - c.start_time) / std::max(c.duration, kEps), 0.0, 1.0);
 }
 
+// Shared splitting pass for both encoders: group the sorted trace by flow,
+// then slice each flow's record indices into chunks (series truncated to T)
+// with the starts-here / presence tag bits.
+template <typename TraceT, typename TimeOf>
+std::vector<std::vector<ChunkSample>> split_by_chunk(
+    const TraceT& sorted, const std::vector<ChunkInfo>& chunks, std::size_t T,
+    const TimeOf& time_of) {
+  const std::size_t M = chunks.size();
+  std::vector<std::vector<ChunkSample>> per_chunk(M);
+  for (const auto& [key, idx] : sorted.group_by_flow()) {
+    std::vector<std::vector<std::size_t>> split(M);
+    std::vector<bool> presence(M, false);
+    for (std::size_t k : idx) {
+      const std::size_t c = chunk_of(time_of(k), chunks);
+      split[c].push_back(k);
+      presence[c] = true;
+    }
+    const std::size_t home = chunk_of(time_of(idx.front()), chunks);
+    for (std::size_t c = 0; c < M; ++c) {
+      if (split[c].empty()) continue;
+      if (split[c].size() > T) split[c].resize(T);  // truncate long series
+      per_chunk[c].push_back({key, std::move(split[c]), c == home, presence});
+    }
+  }
+  return per_chunk;
+}
+
 }  // namespace
 
 std::vector<ChunkInfo> make_chunk_grid(double start, double end,
@@ -288,46 +315,75 @@ TimeSeriesSpec FlowEncoder::spec() const {
   return s;
 }
 
-std::vector<TimeSeriesDataset> FlowEncoder::encode(
-    const net::FlowTrace& giant) const {
-  TELEM_SPAN("preprocess.flow_encode",
-             {"records", static_cast<long long>(giant.records.size())});
-  TELEM_COUNT_N("preprocess.records_encoded", giant.records.size());
-  net::FlowTrace sorted = giant;
-  sorted.sort_by_time();
+FlowEncodePlan FlowEncoder::plan(const net::FlowTrace& giant) const {
+  FlowEncodePlan p;
+  p.sorted = giant;
+  p.sorted.sort_by_time();
+  p.per_chunk = split_by_chunk(
+      p.sorted, chunks_, spec().max_len,
+      [&](std::size_t k) { return p.sorted.records[k].start_time; });
+  return p;
+}
+
+gan::TimeSeriesDataset FlowEncoder::encode_chunk(const FlowEncodePlan& plan,
+                                                 std::size_t c) const {
+  if (c >= chunks_.size() || c >= plan.per_chunk.size()) {
+    throw std::out_of_range("FlowEncoder::encode_chunk: chunk index");
+  }
   const std::size_t M = chunks_.size();
   const TimeSeriesSpec sp = spec();
   const std::size_t A = sp.attribute_dim();
   const std::size_t F = sp.feature_dim();
   const std::size_t T = sp.max_len;
-
-  // Collect per-chunk flow samples: (key, record indices in this chunk,
-  // starts-here flag, presence bits).
-  struct Sample {
-    const net::FiveTuple* key;
-    std::vector<std::size_t> records;
-    bool starts_here;
-    std::vector<bool> presence;
-  };
-  std::vector<std::vector<Sample>> per_chunk(M);
-  const auto groups = sorted.group_by_flow();
-  for (const auto& [key, idx] : groups) {
-    std::vector<std::vector<std::size_t>> split(M);
-    std::vector<bool> presence(M, false);
-    for (std::size_t k : idx) {
-      const std::size_t c = chunk_of(sorted.records[k].start_time, chunks_);
-      split[c].push_back(k);
-      presence[c] = true;
+  TimeSeriesDataset d;
+  d.spec = sp;
+  const std::size_t n = plan.per_chunk[c].size();
+  d.attributes = ml::Matrix(n, A);
+  d.features.assign(T, ml::Matrix(n, F));
+  d.lengths.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChunkSample& s = plan.per_chunk[c][i];
+    double* arow = d.attributes.row_ptr(i);
+    codec_.encode(s.key, arow);
+    if (config_->use_flow_tags) {
+      std::size_t at = codec_.dim(false);
+      arow[at++] = s.starts_here ? 1.0 : 0.0;
+      for (std::size_t m = 0; m < M; ++m) {
+        arow[at++] = s.presence[m] ? 1.0 : 0.0;
+      }
     }
-    const std::size_t home = chunk_of(sorted.records[idx.front()].start_time,
-                                      chunks_);
-    for (std::size_t c = 0; c < M; ++c) {
-      if (split[c].empty()) continue;
-      if (split[c].size() > T) split[c].resize(T);  // truncate long series
-      per_chunk[c].push_back({&key, std::move(split[c]), c == home, presence});
+    d.lengths[i] = s.records.size();
+    double prev_start = 0.0;
+    for (std::size_t t = 0; t < s.records.size(); ++t) {
+      const net::FlowRecord& r = plan.sorted.records[s.records[t]];
+      double* frow = d.features[t].row_ptr(i);
+      frow[0] = t == 0 ? offset_in_chunk(r.start_time, chunks_[c])
+                       : gap_.encode(std::max(0.0, r.start_time - prev_start));
+      prev_start = r.start_time;
+      if (config_->log_transform) {
+        frow[1] = duration_.encode(r.duration);
+        frow[2] = packets_.encode(static_cast<double>(r.packets));
+        frow[3] = bytes_.encode(static_cast<double>(r.bytes));
+      } else {
+        frow[1] = mm_duration_.encode(r.duration);
+        frow[2] = mm_packets_.encode(static_cast<double>(r.packets));
+        frow[3] = mm_bytes_.encode(static_cast<double>(r.bytes));
+      }
+      const std::size_t cls =
+          r.is_attack ? static_cast<std::size_t>(r.attack_type) : 0;
+      frow[4 + cls] = 1.0;
     }
   }
+  return d;
+}
 
+std::vector<TimeSeriesDataset> FlowEncoder::encode(
+    const net::FlowTrace& giant) const {
+  TELEM_SPAN("preprocess.flow_encode",
+             {"records", static_cast<long long>(giant.records.size())});
+  TELEM_COUNT_N("preprocess.records_encoded", giant.records.size());
+  const FlowEncodePlan p = plan(giant);
+  const std::size_t M = chunks_.size();
   // Chunk datasets are independent (disjoint writes; the codec and
   // transforms are const), so they build in parallel under the configured
   // thread budget with output identical to the serial loop.
@@ -335,45 +391,7 @@ std::vector<TimeSeriesDataset> FlowEncoder::encode(
   const std::size_t workers = parallel_phase_budget(
       std::max<std::size_t>(1, config_->threads));
   run_parallel_tasks(std::min(workers, M), M, [&](std::size_t c) {
-    TimeSeriesDataset& d = datasets[c];
-    d.spec = sp;
-    const std::size_t n = per_chunk[c].size();
-    d.attributes = ml::Matrix(n, A);
-    d.features.assign(T, ml::Matrix(n, F));
-    d.lengths.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const Sample& s = per_chunk[c][i];
-      double* arow = d.attributes.row_ptr(i);
-      codec_.encode(*s.key, arow);
-      if (config_->use_flow_tags) {
-        std::size_t at = codec_.dim(false);
-        arow[at++] = s.starts_here ? 1.0 : 0.0;
-        for (std::size_t m = 0; m < M; ++m) {
-          arow[at++] = s.presence[m] ? 1.0 : 0.0;
-        }
-      }
-      d.lengths[i] = s.records.size();
-      double prev_start = 0.0;
-      for (std::size_t t = 0; t < s.records.size(); ++t) {
-        const net::FlowRecord& r = sorted.records[s.records[t]];
-        double* frow = d.features[t].row_ptr(i);
-        frow[0] = t == 0 ? offset_in_chunk(r.start_time, chunks_[c])
-                         : gap_.encode(std::max(0.0, r.start_time - prev_start));
-        prev_start = r.start_time;
-        if (config_->log_transform) {
-          frow[1] = duration_.encode(r.duration);
-          frow[2] = packets_.encode(static_cast<double>(r.packets));
-          frow[3] = bytes_.encode(static_cast<double>(r.bytes));
-        } else {
-          frow[1] = mm_duration_.encode(r.duration);
-          frow[2] = mm_packets_.encode(static_cast<double>(r.packets));
-          frow[3] = mm_bytes_.encode(static_cast<double>(r.bytes));
-        }
-        const std::size_t cls =
-            r.is_attack ? static_cast<std::size_t>(r.attack_type) : 0;
-        frow[4 + cls] = 1.0;
-      }
-    }
+    datasets[c] = encode_chunk(p, c);
   });
   return datasets;
 }
@@ -477,79 +495,72 @@ TimeSeriesSpec PacketEncoder::spec() const {
   return s;
 }
 
-std::vector<TimeSeriesDataset> PacketEncoder::encode(
-    const net::PacketTrace& giant) const {
-  TELEM_SPAN("preprocess.packet_encode",
-             {"packets", static_cast<long long>(giant.packets.size())});
-  TELEM_COUNT_N("preprocess.packets_encoded", giant.packets.size());
-  net::PacketTrace sorted = giant;
-  sorted.sort_by_time();
+PacketEncodePlan PacketEncoder::plan(const net::PacketTrace& giant) const {
+  PacketEncodePlan p;
+  p.sorted = giant;
+  p.sorted.sort_by_time();
+  p.per_chunk = split_by_chunk(
+      p.sorted, chunks_, spec().max_len,
+      [&](std::size_t k) { return p.sorted.packets[k].timestamp; });
+  return p;
+}
+
+gan::TimeSeriesDataset PacketEncoder::encode_chunk(const PacketEncodePlan& plan,
+                                                   std::size_t c) const {
+  if (c >= chunks_.size() || c >= plan.per_chunk.size()) {
+    throw std::out_of_range("PacketEncoder::encode_chunk: chunk index");
+  }
   const std::size_t M = chunks_.size();
   const TimeSeriesSpec sp = spec();
   const std::size_t A = sp.attribute_dim();
   const std::size_t F = sp.feature_dim();
   const std::size_t T = sp.max_len;
-
-  struct Sample {
-    const net::FiveTuple* key;
-    std::vector<std::size_t> packets;
-    bool starts_here;
-    std::vector<bool> presence;
-  };
-  std::vector<std::vector<Sample>> per_chunk(M);
-  const auto groups = sorted.group_by_flow();
-  for (const auto& [key, idx] : groups) {
-    std::vector<std::vector<std::size_t>> split(M);
-    std::vector<bool> presence(M, false);
-    for (std::size_t k : idx) {
-      const std::size_t c = chunk_of(sorted.packets[k].timestamp, chunks_);
-      split[c].push_back(k);
-      presence[c] = true;
+  TimeSeriesDataset d;
+  d.spec = sp;
+  const std::size_t n = plan.per_chunk[c].size();
+  d.attributes = ml::Matrix(n, A);
+  d.features.assign(T, ml::Matrix(n, F));
+  d.lengths.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChunkSample& s = plan.per_chunk[c][i];
+    double* arow = d.attributes.row_ptr(i);
+    codec_.encode(s.key, arow);
+    if (config_->use_flow_tags) {
+      std::size_t at = codec_.dim(false);
+      arow[at++] = s.starts_here ? 1.0 : 0.0;
+      for (std::size_t m = 0; m < M; ++m) {
+        arow[at++] = s.presence[m] ? 1.0 : 0.0;
+      }
     }
-    const std::size_t home =
-        chunk_of(sorted.packets[idx.front()].timestamp, chunks_);
-    for (std::size_t c = 0; c < M; ++c) {
-      if (split[c].empty()) continue;
-      if (split[c].size() > T) split[c].resize(T);
-      per_chunk[c].push_back({&key, std::move(split[c]), c == home, presence});
+    d.lengths[i] = s.records.size();
+    double prev_ts = 0.0;
+    for (std::size_t t = 0; t < s.records.size(); ++t) {
+      const net::PacketRecord& p = plan.sorted.packets[s.records[t]];
+      double* frow = d.features[t].row_ptr(i);
+      frow[0] = t == 0 ? offset_in_chunk(p.timestamp, chunks_[c])
+                       : iat_.encode(std::max(0.0, p.timestamp - prev_ts));
+      prev_ts = p.timestamp;
+      frow[1] = size_.encode(static_cast<double>(p.size));
+      frow[2] = static_cast<double>(p.ttl) / 255.0;
     }
   }
+  return d;
+}
 
-  std::vector<TimeSeriesDataset> datasets(M);
+std::vector<TimeSeriesDataset> PacketEncoder::encode(
+    const net::PacketTrace& giant) const {
+  TELEM_SPAN("preprocess.packet_encode",
+             {"packets", static_cast<long long>(giant.packets.size())});
+  TELEM_COUNT_N("preprocess.packets_encoded", giant.packets.size());
+  const PacketEncodePlan p = plan(giant);
+  const std::size_t M = chunks_.size();
   // Chunk datasets are built independently (disjoint writes, const codec),
   // so the per-chunk encode fans out like FlowEncoder::encode.
+  std::vector<TimeSeriesDataset> datasets(M);
   const std::size_t workers = parallel_phase_budget(
       std::max<std::size_t>(1, config_->threads));
   run_parallel_tasks(std::min(workers, M), M, [&](std::size_t c) {
-    TimeSeriesDataset& d = datasets[c];
-    d.spec = sp;
-    const std::size_t n = per_chunk[c].size();
-    d.attributes = ml::Matrix(n, A);
-    d.features.assign(T, ml::Matrix(n, F));
-    d.lengths.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const Sample& s = per_chunk[c][i];
-      double* arow = d.attributes.row_ptr(i);
-      codec_.encode(*s.key, arow);
-      if (config_->use_flow_tags) {
-        std::size_t at = codec_.dim(false);
-        arow[at++] = s.starts_here ? 1.0 : 0.0;
-        for (std::size_t m = 0; m < M; ++m) {
-          arow[at++] = s.presence[m] ? 1.0 : 0.0;
-        }
-      }
-      d.lengths[i] = s.packets.size();
-      double prev_ts = 0.0;
-      for (std::size_t t = 0; t < s.packets.size(); ++t) {
-        const net::PacketRecord& p = sorted.packets[s.packets[t]];
-        double* frow = d.features[t].row_ptr(i);
-        frow[0] = t == 0 ? offset_in_chunk(p.timestamp, chunks_[c])
-                         : iat_.encode(std::max(0.0, p.timestamp - prev_ts));
-        prev_ts = p.timestamp;
-        frow[1] = size_.encode(static_cast<double>(p.size));
-        frow[2] = static_cast<double>(p.ttl) / 255.0;
-      }
-    }
+    datasets[c] = encode_chunk(p, c);
   });
   return datasets;
 }

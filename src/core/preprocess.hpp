@@ -24,6 +24,33 @@ struct ChunkInfo {
   std::size_t real_records = 0;  // records/packets in this chunk
 };
 
+// One flow's slice of one chunk, as produced by FlowEncoder::plan /
+// PacketEncoder::plan: record indices into the plan's time-sorted trace plus
+// the cross-chunk tag bits. Keys are stored by value so a plan outlives the
+// grouping pass that built it.
+struct ChunkSample {
+  net::FiveTuple key;
+  std::vector<std::size_t> records;  // indices into EncodePlan::sorted
+  bool starts_here = false;
+  std::vector<bool> presence;
+};
+
+// The splitting pass of encode(), reified so the streaming pipeline
+// (core/stream.hpp) can encode one chunk at a time: the sorted giant trace
+// plus the per-chunk flow samples. encode_chunk(plan, c) is bitwise
+// identical to encode(giant)[c], but the encoded matrices' memory is then
+// bounded by chunks-in-flight instead of the whole trace.
+template <typename TraceT>
+struct EncodePlan {
+  TraceT sorted;
+  std::vector<std::vector<ChunkSample>> per_chunk;
+  std::size_t chunk_samples(std::size_t c) const {
+    return per_chunk[c].size();
+  }
+};
+using FlowEncodePlan = EncodePlan<net::FlowTrace>;
+using PacketEncodePlan = EncodePlan<net::PacketTrace>;
+
 // Shared encoding state for the 5-tuple attributes.
 //
 // Layout of the attribute vector:
@@ -78,8 +105,16 @@ class FlowEncoder {
   gan::TimeSeriesSpec spec() const;
   const std::vector<ChunkInfo>& chunks() const { return chunks_; }
 
-  // Encodes the giant trace into per-chunk datasets (Fig. 7).
+  // Encodes the giant trace into per-chunk datasets (Fig. 7); implemented
+  // as plan() + one encode_chunk() per chunk.
   std::vector<gan::TimeSeriesDataset> encode(const net::FlowTrace& giant) const;
+
+  // Sorts and splits the giant trace into per-chunk flow samples without
+  // encoding anything yet (the streaming pipeline's stage-0 input).
+  FlowEncodePlan plan(const net::FlowTrace& giant) const;
+  // Encodes one chunk of a plan; bitwise identical to encode(giant)[c].
+  gan::TimeSeriesDataset encode_chunk(const FlowEncodePlan& plan,
+                                      std::size_t c) const;
 
   // Decodes generated series of chunk `chunk_index` back into flow records.
   net::FlowTrace decode(const gan::GeneratedSeries& series,
@@ -114,6 +149,10 @@ class PacketEncoder {
   const std::vector<ChunkInfo>& chunks() const { return chunks_; }
 
   std::vector<gan::TimeSeriesDataset> encode(const net::PacketTrace& giant) const;
+
+  PacketEncodePlan plan(const net::PacketTrace& giant) const;
+  gan::TimeSeriesDataset encode_chunk(const PacketEncodePlan& plan,
+                                      std::size_t c) const;
 
   net::PacketTrace decode(const gan::GeneratedSeries& series,
                           std::size_t chunk_index) const;

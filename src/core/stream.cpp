@@ -1,0 +1,277 @@
+#include "core/stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace netshare::core {
+
+const char* to_string(StreamStage stage) {
+  switch (stage) {
+    case StreamStage::kPreprocess: return "preprocess";
+    case StreamStage::kTrain: return "train";
+    case StreamStage::kGenerate: return "generate";
+    case StreamStage::kExport: return "export";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The telemetry macros require literal names with static storage, so the
+// per-stage gauges are materialized as a switch rather than formatted.
+void set_queue_gauge(std::size_t stage, std::size_t depth) {
+  switch (stage) {
+    case 0: TELEM_GAUGE_SET("stream.queue.preprocess", depth); break;
+    case 1: TELEM_GAUGE_SET("stream.queue.train", depth); break;
+    case 2: TELEM_GAUGE_SET("stream.queue.generate", depth); break;
+    case 3: TELEM_GAUGE_SET("stream.queue.export", depth); break;
+    default: break;
+  }
+}
+
+}  // namespace
+
+StreamExecutor::StreamExecutor(std::size_t num_chunks,
+                               std::array<Body, kNumStreamStages> bodies,
+                               StreamOptions options)
+    : chunks_(num_chunks), bodies_(std::move(bodies)), opts_(options) {
+  opts_.workers = std::max<std::size_t>(1, opts_.workers);
+  opts_.max_in_flight = std::max<std::size_t>(1, opts_.max_in_flight);
+  opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
+  waiting_deps_.assign(chunks_ * kNumStreamStages, 0);
+  dependents_.assign(chunks_ * kNumStreamStages, {});
+  admitted_.assign(chunks_, 0);
+  // Implicit per-chunk chain: each stage waits on the previous one.
+  for (std::size_t c = 0; c < chunks_; ++c) {
+    for (std::size_t s = 1; s < kNumStreamStages; ++s) {
+      const std::size_t id = task_id(static_cast<StreamStage>(s), c);
+      waiting_deps_[id] = 1;
+      dependents_[task_id(static_cast<StreamStage>(s - 1), c)].push_back(id);
+    }
+  }
+}
+
+void StreamExecutor::add_dependency(StreamStage stage, std::size_t chunk,
+                                    StreamStage dep_stage,
+                                    std::size_t dep_chunk) {
+  if (ran_) {
+    throw std::logic_error("StreamExecutor::add_dependency: already ran");
+  }
+  if (chunk >= chunks_ || dep_chunk >= chunks_) {
+    throw std::out_of_range("StreamExecutor::add_dependency: chunk index");
+  }
+  const std::size_t id = task_id(stage, chunk);
+  const std::size_t dep = task_id(dep_stage, dep_chunk);
+  if (id == dep) {
+    throw std::invalid_argument(
+        "StreamExecutor::add_dependency: task depends on itself");
+  }
+  ++waiting_deps_[id];
+  dependents_[dep].push_back(id);
+}
+
+void StreamExecutor::run() {
+  if (ran_) throw std::logic_error("StreamExecutor::run: single use");
+  ran_ = true;
+  stats_ = StreamStats{};
+  stats_.chunks = chunks_;
+  stats_.workers = opts_.workers;
+  if (chunks_ == 0) return;
+  intervals_.assign(chunks_ * kNumStreamStages, Interval{});
+  clock_.reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admit_locked();
+  }
+  if (opts_.workers == 1) {
+    // Inline execution: the exact serial order a batch run would use, and —
+    // since the caller is not a pool worker — kernels keep their configured
+    // parallelism, mirroring the batch seed phase.
+    worker_loop();
+  } else {
+    ThreadPool pool(opts_.workers);
+    std::vector<std::future<void>> joins;
+    joins.reserve(opts_.workers);
+    for (std::size_t w = 0; w < opts_.workers; ++w) {
+      joins.push_back(pool.submit([this] { worker_loop(); }));
+    }
+    for (auto& f : joins) f.get();
+  }
+  stats_.wall_sec = clock_.seconds();
+  finalize_stats();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void StreamExecutor::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cancelled_ || completed_chunks_ == chunks_) return;
+    const auto picked = pick_locked();
+    if (!picked) {
+      if (running_ == 0) {
+        // Nothing ready, nothing running, chunks unfinished: the dependency
+        // graph cannot make progress (a cycle, or an edge onto a chunk the
+        // admission bound will never release). Fail loudly, don't hang.
+        cancelled_ = true;
+        if (!first_error_) {
+          first_error_ = std::make_exception_ptr(std::logic_error(
+              "StreamExecutor: dependency graph stalled (cycle or "
+              "dependency on an unadmitted chunk)"));
+        }
+        cv_.notify_all();
+        return;
+      }
+      cv_.wait(lock);
+      continue;
+    }
+    ++running_;
+    lock.unlock();
+    execute(picked->first, picked->second);
+    lock.lock();
+    --running_;
+    if (!cancelled_) complete_locked(picked->first, picked->second);
+    cv_.notify_all();
+  }
+}
+
+void StreamExecutor::run_body(StreamStage stage, std::size_t chunk) {
+  const Body& body = bodies_[static_cast<std::size_t>(stage)];
+  if (!body) return;
+  const auto arg = static_cast<long long>(chunk);
+  switch (stage) {
+    case StreamStage::kPreprocess: {
+      TELEM_SPAN("stream.preprocess", {"chunk", arg});
+      body(chunk);
+      break;
+    }
+    case StreamStage::kTrain: {
+      TELEM_SPAN("stream.train", {"chunk", arg});
+      body(chunk);
+      break;
+    }
+    case StreamStage::kGenerate: {
+      TELEM_SPAN("stream.generate", {"chunk", arg});
+      body(chunk);
+      break;
+    }
+    case StreamStage::kExport: {
+      TELEM_SPAN("stream.export", {"chunk", arg});
+      body(chunk);
+      break;
+    }
+  }
+}
+
+void StreamExecutor::execute(StreamStage stage, std::size_t chunk) {
+  Interval& iv = intervals_[task_id(stage, chunk)];
+  iv.begin = clock_.seconds();
+  try {
+    run_body(stage, chunk);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+    cancelled_ = true;
+    for (auto& q : ready_) q.clear();
+    for (auto& q : parked_) q.clear();
+  }
+  iv.end = clock_.seconds();
+  iv.ran = true;
+}
+
+std::optional<std::pair<StreamStage, std::size_t>>
+StreamExecutor::pick_locked() {
+  // Deepest stage first: finishing in-flight chunks beats admitting work,
+  // which keeps the in-flight set draining and the output streaming out.
+  for (std::size_t s = kNumStreamStages; s-- > 0;) {
+    if (ready_[s].empty()) continue;
+    const std::size_t c = ready_[s].front();
+    ready_[s].pop_front();
+    if (!parked_[s].empty()) {
+      // The consumer made room: move one parked handoff into the queue.
+      ready_[s].push_back(parked_[s].front());
+      parked_[s].pop_front();
+    }
+    set_queue_gauge(s, ready_[s].size());
+    return std::make_pair(static_cast<StreamStage>(s), c);
+  }
+  return std::nullopt;
+}
+
+void StreamExecutor::offer_locked(std::size_t id) {
+  const std::size_t s = id / chunks_;
+  const std::size_t c = id % chunks_;
+  // An entry task whose extra dependencies resolved before its chunk was
+  // admitted stays pending — admit_locked enqueues it — so the in-flight
+  // bound holds even with explicit edges onto stage 0.
+  if (s == 0 && !admitted_[c]) return;
+  if (s == 0 || ready_[s].size() < opts_.queue_capacity) {
+    ready_[s].push_back(c);
+    set_queue_gauge(s, ready_[s].size());
+  } else {
+    // Bounded handoff queue is full: park instead of blocking the producer
+    // (a blocking wait here could deadlock the last worker).
+    parked_[s].push_back(c);
+    ++stats_.backpressure_parks;
+    TELEM_COUNT("stream.backpressure_parks");
+  }
+}
+
+void StreamExecutor::complete_locked(StreamStage stage, std::size_t chunk) {
+  for (const std::size_t dep_id : dependents_[task_id(stage, chunk)]) {
+    if (--waiting_deps_[dep_id] == 0) offer_locked(dep_id);
+  }
+  if (stage == StreamStage::kExport) {
+    ++completed_chunks_;
+    --in_flight_;
+    TELEM_GAUGE_SET("stream.chunks_in_flight", in_flight_);
+    admit_locked();
+  }
+}
+
+void StreamExecutor::admit_locked() {
+  // Chunks enter in ascending order. The seed chunk is the first non-empty
+  // one, so everything admitted before it is a no-op chain that cannot block
+  // on training — admission order alone keeps the graph deadlock-free at
+  // any max_in_flight >= 1.
+  while (next_admit_ < chunks_ && in_flight_ < opts_.max_in_flight) {
+    const std::size_t c = next_admit_++;
+    admitted_[c] = 1;
+    ++in_flight_;
+    stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+    TELEM_GAUGE_SET("stream.chunks_in_flight", in_flight_);
+    if (waiting_deps_[task_id(StreamStage::kPreprocess, c)] == 0) {
+      ready_[0].push_back(c);
+      set_queue_gauge(0, ready_[0].size());
+    }
+  }
+}
+
+void StreamExecutor::finalize_stats() {
+  std::vector<std::pair<double, int>> events;
+  events.reserve(intervals_.size() * 2);
+  for (std::size_t id = 0; id < intervals_.size(); ++id) {
+    const Interval& iv = intervals_[id];
+    if (!iv.ran) continue;
+    stats_.stage_busy_sec[id / chunks_] += iv.end - iv.begin;
+    events.emplace_back(iv.begin, +1);
+    events.emplace_back(iv.end, -1);
+  }
+  // Ends sort before begins at equal timestamps, so zero-length touching
+  // intervals do not count as overlap.
+  std::sort(events.begin(), events.end());
+  int active = 0;
+  double prev = 0.0;
+  for (const auto& [t, delta] : events) {
+    if (active >= 2) stats_.overlap_sec += t - prev;
+    active += delta;
+    prev = t;
+  }
+  stats_.overlap_frac =
+      stats_.wall_sec > 0.0 ? stats_.overlap_sec / stats_.wall_sec : 0.0;
+}
+
+}  // namespace netshare::core

@@ -1,0 +1,136 @@
+// Streaming chunk-granular dataflow (DESIGN.md §11): each epoch-chunk flows
+// preprocess -> train -> generate -> export as an independent pipeline, so
+// chunk k generates while chunk k+1 still trains. The executor is a small
+// dependency-graph scheduler: every (stage, chunk) pair is one task, chunks
+// are admitted in ascending order under a chunks-in-flight bound (peak memory
+// scales with chunks-in-flight, not trace size), per-stage ready queues are
+// bounded (a full queue parks the handoff instead of blocking the producer —
+// backpressure without deadlock), and a fixed set of workers steal across
+// stages under one shared `common/thread_pool` budget, deepest stage first,
+// so in-flight chunks drain before new work starts.
+//
+// Determinism: the executor only decides *when* a stage body runs, never
+// what it computes — bodies are pure functions of their chunk index (the
+// counter-based NoiseStream makes sampling a pure function of (chunk, seed,
+// series index)), so any worker count and any interleaving produce bitwise-
+// identical output to running the stages as batch barriers.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace netshare::core {
+
+enum class StreamStage : std::size_t {
+  kPreprocess = 0,  // encode one chunk's records into a dataset
+  kTrain = 1,       // seed-train or fine-tune the chunk model
+  kGenerate = 2,    // deficit-loop sampling + decode
+  kExport = 3,      // sort + truncate the chunk's sub-trace
+};
+inline constexpr std::size_t kNumStreamStages = 4;
+
+const char* to_string(StreamStage stage);
+
+struct StreamOptions {
+  std::size_t workers = 1;        // stage-task workers (one shared pool)
+  std::size_t max_in_flight = 2;  // admitted-but-unfinished chunk bound
+  std::size_t queue_capacity = 1; // per-stage ready-queue bound (stages > 0)
+};
+
+// Filled by StreamExecutor::run; exposed through NetShare::fit_generate_*.
+struct StreamStats {
+  std::size_t chunks = 0;
+  std::size_t workers = 0;
+  std::size_t peak_in_flight = 0;
+  // Handoffs that found the downstream ready queue full and were parked on
+  // the overflow wait-list (refilled as the consumer drains the queue).
+  std::size_t backpressure_parks = 0;
+  double wall_sec = 0.0;
+  // Wall-clock during which >= 2 stage tasks ran concurrently; the direct
+  // measure of the inter-stage overlap the streaming refactor buys.
+  double overlap_sec = 0.0;
+  double overlap_frac = 0.0;
+  std::array<double, kNumStreamStages> stage_busy_sec{};
+};
+
+class StreamExecutor {
+ public:
+  using Body = std::function<void(std::size_t chunk)>;
+
+  StreamExecutor(std::size_t num_chunks,
+                 std::array<Body, kNumStreamStages> bodies,
+                 StreamOptions options);
+
+  // Adds an extra edge: (stage, chunk) waits for (dep_stage, dep_chunk).
+  // Must be called before run(). The per-chunk stage chain S0 -> S1 -> S2 ->
+  // S3 is implicit. A dependency on a *later* chunk can stall the graph
+  // under the admission bound; run() detects the stall and throws rather
+  // than hanging.
+  void add_dependency(StreamStage stage, std::size_t chunk,
+                      StreamStage dep_stage, std::size_t dep_chunk);
+
+  // Runs the graph to completion (single use). The first body exception
+  // cancels the remaining tasks and is rethrown — matching the batch path,
+  // where e.g. a seed-train failure propagates. workers == 1 executes inline
+  // on the calling thread (the batch-equivalent serial order).
+  void run();
+
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  struct Interval {
+    double begin = 0.0;
+    double end = 0.0;
+    bool ran = false;
+  };
+
+  std::size_t task_id(StreamStage stage, std::size_t chunk) const {
+    return static_cast<std::size_t>(stage) * chunks_ + chunk;
+  }
+  void worker_loop();
+  void execute(StreamStage stage, std::size_t chunk);
+  void run_body(StreamStage stage, std::size_t chunk);
+  std::optional<std::pair<StreamStage, std::size_t>> pick_locked();
+  void offer_locked(std::size_t id);
+  void complete_locked(StreamStage stage, std::size_t chunk);
+  void admit_locked();
+  void finalize_stats();
+
+  std::size_t chunks_;
+  std::array<Body, kNumStreamStages> bodies_;
+  StreamOptions opts_;
+
+  // Graph (fixed after add_dependency calls).
+  std::vector<int> waiting_deps_;                     // per task id
+  std::vector<std::vector<std::size_t>> dependents_;  // task id -> task ids
+
+  // Scheduler state (all under mu_).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<std::deque<std::size_t>, kNumStreamStages> ready_;
+  std::array<std::deque<std::size_t>, kNumStreamStages> parked_;
+  std::vector<char> admitted_;  // per chunk
+  std::size_t next_admit_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t completed_chunks_ = 0;
+  std::size_t running_ = 0;
+  bool cancelled_ = false;
+  std::exception_ptr first_error_;
+
+  // Each task writes only its own slot, unlocked; read after the join.
+  std::vector<Interval> intervals_;
+  Stopwatch clock_;
+  StreamStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace netshare::core

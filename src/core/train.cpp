@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/parallel.hpp"
 #include "ml/serialize.hpp"
@@ -70,22 +71,25 @@ void ChunkedTrainer::write_checkpoint(std::size_t c) {
   }
 }
 
-void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
-  if (chunks.empty()) throw std::invalid_argument("ChunkedTrainer::fit: no chunks");
+void ChunkedTrainer::begin_fit(const std::vector<std::size_t>& chunk_samples) {
+  if (chunk_samples.empty()) {
+    throw std::invalid_argument("ChunkedTrainer::fit: no chunks");
+  }
   models_.clear();
-  models_.resize(chunks.size());
+  models_.resize(chunk_samples.size());
   report_ = TrainReport{};
-  report_.chunks.resize(chunks.size());
+  report_.chunks.resize(chunk_samples.size());
+  seed_snapshot_.clear();
 
   // Seed chunk: the first chunk with data.
-  seed_chunk_ = chunks.size();
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    if (chunks[c].num_samples() > 0) {
+  seed_chunk_ = chunk_samples.size();
+  for (std::size_t c = 0; c < chunk_samples.size(); ++c) {
+    if (chunk_samples[c] > 0) {
       seed_chunk_ = c;
       break;
     }
   }
-  if (seed_chunk_ == chunks.size()) {
+  if (seed_chunk_ == chunk_samples.size()) {
     throw std::invalid_argument("ChunkedTrainer::fit: all chunks empty");
   }
   report_.seed_chunk = seed_chunk_;
@@ -102,22 +106,16 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
                  ec.message().c_str());
     }
   }
+}
 
-  // Thread budget (see core/config.hpp): while only the seed model trains,
-  // the whole budget goes to kernel-level parallelism; once chunks fine-tune
-  // concurrently it is split so chunk_workers × kernel_threads ≈ budget.
-  // Kernel results are bitwise identical at any thread count, so the split
-  // affects wall-clock only.
-  const std::size_t budget = std::max<std::size_t>(1, config_.threads);
-  ml::kernels::KernelConfig kernel_cfg = config_.kernels;
-  if (kernel_cfg.threads == 0) kernel_cfg.threads = budget;
-  ml::kernels::ConfigOverride seed_budget(kernel_cfg);
-
+void ChunkedTrainer::train_seed(const gan::TimeSeriesDataset& data) {
+  Stopwatch sw;
   const gan::DgConfig dg = chunk_config();
   models_[seed_chunk_] = std::make_unique<gan::DoppelGanger>(
       spec_, dg, config_.seed + seed_chunk_);
+  ChunkTrainReport& r = report_.chunks[seed_chunk_];
   if (try_resume(seed_chunk_)) {
-    report_.chunks[seed_chunk_].status = ChunkTrainReport::Status::kResumed;
+    r.status = ChunkTrainReport::Status::kResumed;
   } else {
     if (config_.public_snapshot) {
       // Insight 4: warm-start from a model pre-trained on public data before
@@ -129,15 +127,91 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
                  {"chunk", static_cast<long long>(seed_chunk_)});
       // A seed failure propagates: every other chunk warm-starts from this
       // model, so there is nothing to fall back to.
-      models_[seed_chunk_]->fit(chunks[seed_chunk_], config_.seed_iterations);
+      models_[seed_chunk_]->fit(data, config_.seed_iterations);
     }
-    ChunkTrainReport& r = report_.chunks[seed_chunk_];
     r.status = ChunkTrainReport::Status::kTrained;
     r.rollbacks = models_[seed_chunk_]->health_stats().rollbacks;
     r.attempts = 1 + r.rollbacks;
     write_checkpoint(seed_chunk_);
   }
-  const std::vector<double> seed_snapshot = models_[seed_chunk_]->snapshot();
+  seed_snapshot_ = models_[seed_chunk_]->snapshot();
+  r.train_sec = sw.seconds();
+}
+
+void ChunkedTrainer::train_finetune(std::size_t c,
+                                    const gan::TimeSeriesDataset& data) {
+  if (seed_snapshot_.empty()) {
+    throw std::logic_error("ChunkedTrainer::train_finetune: seed not trained");
+  }
+  Stopwatch sw;
+  TELEM_SPAN("train.chunk", {"chunk", static_cast<long long>(c)});
+  const gan::DgConfig dg = chunk_config();
+  const int iters = config_.naive_parallel ? config_.seed_iterations
+                                           : config_.finetune_iterations;
+  // Each call owns exactly its own chunk index: models_[c], the checkpoint
+  // file chunk_<c>.ckpt, and report_.chunks[c] are all disjoint per chunk,
+  // so distinct chunks fine-tune concurrently without locks.
+  models_[c] = std::make_unique<gan::DoppelGanger>(spec_, dg,
+                                                   config_.seed + 1000 + c);
+  ChunkTrainReport& r = report_.chunks[c];
+  if (try_resume(c)) {
+    r.status = ChunkTrainReport::Status::kResumed;
+    r.train_sec = sw.seconds();
+    return;
+  }
+  if (!config_.naive_parallel) {
+    models_[c]->restore(seed_snapshot_);
+  } else if (config_.public_snapshot) {
+    models_[c]->restore(*config_.public_snapshot);
+  }
+  try {
+    models_[c]->fit(data, iters);
+    r.status = ChunkTrainReport::Status::kTrained;
+    r.rollbacks = models_[c]->health_stats().rollbacks;
+    r.attempts = 1 + r.rollbacks;
+    write_checkpoint(c);
+  } catch (const std::exception& e) {
+    // Chunk fault isolation (DESIGN.md §9): this chunk's model failed, the
+    // run survives. Rebuild the model so no half-diverged state leaks, and
+    // fall back to the seed snapshot it would have fine-tuned from.
+    TELEM_DIAG(::netshare::telemetry::Severity::kError,
+               "core.train.chunk_failed",
+               "chunk %zu training failed (%s); falling back to the seed "
+               "snapshot", c, e.what());
+    r.rollbacks = models_[c]->health_stats().rollbacks;
+    r.attempts = 1 + r.rollbacks;
+    r.status = ChunkTrainReport::Status::kSeedFallback;
+    r.error = e.what();
+    models_[c] = std::make_unique<gan::DoppelGanger>(
+        spec_, dg, config_.seed + 1000 + c);
+    models_[c]->restore(seed_snapshot_);
+  }
+  r.train_sec = sw.seconds();
+}
+
+void ChunkedTrainer::note_generate_seconds(std::size_t c, double sec) {
+  if (c < report_.chunks.size()) report_.chunks[c].generate_sec = sec;
+}
+
+void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
+  std::vector<std::size_t> sizes(chunks.size());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    sizes[c] = chunks[c].num_samples();
+  }
+  begin_fit(sizes);
+
+  // Thread budget (see core/config.hpp): while only the seed model trains,
+  // the whole budget goes to kernel-level parallelism; once chunks fine-tune
+  // concurrently it is split so chunk_workers × kernel_threads ≈ budget.
+  // Kernel results are bitwise identical at any thread count, so the split
+  // affects wall-clock only.
+  const std::size_t budget = std::max<std::size_t>(1, config_.threads);
+  {
+    ml::kernels::KernelConfig kernel_cfg = config_.kernels;
+    if (kernel_cfg.threads == 0) kernel_cfg.threads = budget;
+    ml::kernels::ConfigOverride seed_budget(kernel_cfg);
+    train_seed(chunks[seed_chunk_]);
+  }
 
   // Remaining chunks fine-tune in parallel from the seed snapshot
   // (or train from scratch in the naive-parallel ablation).
@@ -147,55 +221,14 @@ void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   }
   if (todo.empty()) return;
 
-  for (std::size_t c : todo) {
-    models_[c] = std::make_unique<gan::DoppelGanger>(spec_, dg,
-                                                     config_.seed + 1000 + c);
-  }
-  const int iters = config_.naive_parallel ? config_.seed_iterations
-                                           : config_.finetune_iterations;
   const PhaseBudget split =
       split_phase_budget(budget, todo.size(), config_.kernels);
   ml::kernels::ConfigOverride finetune_budget(split.kernel_cfg);
   TELEM_SPAN("train.finetune",
              {"chunks", static_cast<long long>(todo.size())});
   ThreadPool pool(split.workers);
-  // Each task owns exactly its own chunk index: models_[c], the checkpoint
-  // file chunk_<c>.ckpt, and report_.chunks[c] are all disjoint per task.
   pool.parallel_for(todo.size(), [&](std::size_t i) {
-    const std::size_t c = todo[i];
-    TELEM_SPAN("train.chunk", {"chunk", static_cast<long long>(c)});
-    ChunkTrainReport& r = report_.chunks[c];
-    if (try_resume(c)) {
-      r.status = ChunkTrainReport::Status::kResumed;
-      return;
-    }
-    if (!config_.naive_parallel) {
-      models_[c]->restore(seed_snapshot);
-    } else if (config_.public_snapshot) {
-      models_[c]->restore(*config_.public_snapshot);
-    }
-    try {
-      models_[c]->fit(chunks[c], iters);
-      r.status = ChunkTrainReport::Status::kTrained;
-      r.rollbacks = models_[c]->health_stats().rollbacks;
-      r.attempts = 1 + r.rollbacks;
-      write_checkpoint(c);
-    } catch (const std::exception& e) {
-      // Chunk fault isolation (DESIGN.md §9): this chunk's model failed, the
-      // run survives. Rebuild the model so no half-diverged state leaks, and
-      // fall back to the seed snapshot it would have fine-tuned from.
-      TELEM_DIAG(::netshare::telemetry::Severity::kError,
-                 "core.train.chunk_failed",
-                 "chunk %zu training failed (%s); falling back to the seed "
-                 "snapshot", c, e.what());
-      r.rollbacks = models_[c]->health_stats().rollbacks;
-      r.attempts = 1 + r.rollbacks;
-      r.status = ChunkTrainReport::Status::kSeedFallback;
-      r.error = e.what();
-      models_[c] = std::make_unique<gan::DoppelGanger>(
-          spec_, dg, config_.seed + 1000 + c);
-      models_[c]->restore(seed_snapshot);
-    }
+    train_finetune(todo[i], chunks[todo[i]]);
   });
 }
 
@@ -263,10 +296,12 @@ void ChunkedTrainer::sample_chunks(const std::vector<std::size_t>& counts,
              {"chunks", static_cast<long long>(active.size())});
   run_parallel_tasks(split.workers, active.size(), [&](std::size_t i) {
     const std::size_t c = active[i];
+    Stopwatch sw;
     TELEM_SPAN("generate.chunk", {"chunk", static_cast<long long>(c)});
     // One model per task: sample_into is not thread-safe per instance, but
     // distinct chunk models share no mutable state (per-model Workspace).
     sample_chunk_into(c, counts[c], seed, 0, out[c]);
+    note_generate_seconds(c, sw.seconds());
   });
 }
 

@@ -57,13 +57,16 @@ void print_banner(std::ostream& out, const std::string& title) {
 
 void print_train_report(std::ostream& out, const core::TrainReport& report) {
   print_banner(out, "Training report");
+  // Per-chunk stage timings: chunks complete out of lockstep under the
+  // streaming pipeline, so aggregate stage seconds alone hide the overlap.
   TextTable table({"chunk", "role", "status", "attempts", "rollbacks",
-                   "detail"});
+                   "train_s", "gen_s", "detail"});
   for (std::size_t c = 0; c < report.chunks.size(); ++c) {
     const core::ChunkTrainReport& r = report.chunks[c];
     table.add_row({std::to_string(c), r.is_seed ? "seed" : "fine-tune",
                    core::to_string(r.status), std::to_string(r.attempts),
-                   std::to_string(r.rollbacks), r.error});
+                   std::to_string(r.rollbacks), format_double(r.train_sec, 3),
+                   format_double(r.generate_sec, 3), r.error});
   }
   table.print(out);
   const auto fallbacks =
