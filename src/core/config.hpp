@@ -19,6 +19,14 @@ struct NetShareConfig {
   bool use_ip2vec_ports = true;  // false = bit-encode ports (ablation)
   bool log_transform = true;     // false = min-max on large-support fields
   std::size_t ip2vec_dim = 4;  // scaled-down embedding width
+  // IP2Vec scalability knobs (DESIGN.md §12). max_ip_slots = 0 keeps the
+  // legacy exact-slot-per-IP behaviour; a positive cap folds rare addresses
+  // into shared tail buckets so million-IP vocabularies stay bounded.
+  std::size_t ip2vec_max_ip_slots = 0;
+  std::size_t ip2vec_tail_buckets = 256;
+  // Coefficient-phase fan-out of IP2Vec training (0 = hardware concurrency).
+  // Speed only: embeddings are bitwise identical at any worker count.
+  std::size_t ip2vec_workers = 1;
 
   // --- Insight 3: chunked fine-tuning ---
   std::size_t num_chunks = 5;     // M evenly time-spaced chunks

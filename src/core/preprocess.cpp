@@ -108,8 +108,28 @@ TupleCodec::TupleCodec(const NetShareConfig& config, const Ip2Vec* ip2vec)
     const double pad = 0.05 * (emb_hi_ - emb_lo_) + 0.01;
     emb_lo_ -= pad;
     emb_hi_ += pad;
+    // Per-protocol accept masks over the port shard, one byte per slot.
+    const std::size_t nports = ip2vec_->vocab().kind_size(TokenKind::kPort);
+    const net::Protocol classes[3] = {net::Protocol::kTcp, net::Protocol::kUdp,
+                                      net::Protocol::kIcmp};
+    for (std::size_t cls = 0; cls < 3; ++cls) {
+      port_mask_[cls].resize(nports);
+      for (std::size_t s = 0; s < nports; ++s) {
+        const auto port = static_cast<std::uint16_t>(
+            ip2vec_->vocab().token_at(TokenKind::kPort, s).value);
+        const auto pinned = net::well_known_port_protocol(port);
+        port_mask_[cls][s] = (!pinned || *pinned == classes[cls]) ? 1 : 0;
+      }
+    }
   }
 }
+
+namespace {
+// Protocol -> port_mask_ index (matches TupleCodec::encode_proto's one-hot).
+std::size_t proto_class(net::Protocol p) {
+  return p == net::Protocol::kTcp ? 0 : p == net::Protocol::kUdp ? 1 : 2;
+}
+}  // namespace
 
 std::size_t TupleCodec::port_width() const {
   return use_ip2vec_ ? ip2vec_->dim() : embed::kPortBits;
@@ -173,19 +193,21 @@ void TupleCodec::encode_port(std::uint16_t port, double* out) const {
 std::uint16_t TupleCodec::decode_port(const double* in,
                                       net::Protocol proto) const {
   if (use_ip2vec_) {
-    std::vector<double> v(ip2vec_->dim());
-    for (std::size_t k = 0; k < v.size(); ++k) {
-      v[k] = emb_lo_ + in[k] * (emb_hi_ - emb_lo_);
-    }
     // Joint (port, protocol) decode: exclude ports whose well-known
     // protocol contradicts the decoded one (public knowledge, DP-safe).
-    const auto compatible = [proto](const embed::Token& t) {
-      const auto pinned =
-          net::well_known_port_protocol(static_cast<std::uint16_t>(t.value));
-      return !pinned || *pinned == proto;
-    };
-    return static_cast<std::uint16_t>(
-        ip2vec_->nearest_if(v, TokenKind::kPort, compatible).value);
+    // One-row call into the batched scorer's serial oracle, so this is
+    // bitwise identical to decode_batch.
+    ml::Matrix q(1, ip2vec_->dim());
+    double* v = q.row_ptr(0);
+    for (std::size_t k = 0; k < ip2vec_->dim(); ++k) {
+      v[k] = emb_lo_ + in[k] * (emb_hi_ - emb_lo_);
+    }
+    const std::uint8_t* mask = port_mask_[proto_class(proto)].data();
+    Token t;
+    ip2vec_->nearest_batch_reference(
+        q, TokenKind::kPort, std::span<const std::uint8_t* const>(&mask, 1),
+        std::span<Token>(&t, 1));
+    return static_cast<std::uint16_t>(t.value);
   }
   return embed::bits_to_port(std::span<const double>(in, embed::kPortBits));
 }
@@ -238,6 +260,74 @@ net::FiveTuple TupleCodec::decode(const double* in) const {
     key.dst_port = 0;
   }
   return key;
+}
+
+void TupleCodec::decode_batch(const ml::Matrix& attrs,
+                              std::span<net::FiveTuple> out,
+                              ml::Workspace& ws) const {
+  const std::size_t n = out.size();
+  if (attrs.rows() < n || attrs.cols() < dim(false)) {
+    throw std::invalid_argument("TupleCodec::decode_batch: attrs shape");
+  }
+  if (!use_ip2vec_) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = decode(attrs.row_ptr(i));
+    return;
+  }
+  if (n == 0) return;
+  // Rewind the pool: every call re-issues the same buffers in call order,
+  // so repeated batches perform no heap allocation once the pool is warm.
+  ws.reset();
+  const std::size_t d = ip2vec_->dim();
+  const std::size_t proto_at = 2 * embed::kIpBits + 2 * port_width();
+
+  // decode() is const and runs concurrently from parallel postprocess, so
+  // the variable-size scratch is thread-local (capacity persists -> no
+  // steady-state allocations).
+  thread_local std::vector<const std::uint8_t*> masks;
+  thread_local std::vector<Token> tokens;
+  masks.resize(n);
+  tokens.resize(n);
+
+  // Protocols and IPs first (scalar bit decodes), masks from the protocol.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* in = attrs.row_ptr(i);
+    net::FiveTuple& key = out[i];
+    key.protocol = decode_proto(in + proto_at);
+    key.src_ip =
+        embed::bits_to_ip(std::span<const double>(in, embed::kIpBits));
+    key.dst_ip = embed::bits_to_ip(
+        std::span<const double>(in + embed::kIpBits, embed::kIpBits));
+    masks[i] = port_mask_[proto_class(key.protocol)].data();
+  }
+
+  // Both port searches batched through the blocked NN kernel.
+  ml::Matrix& q = ws.get(n, d);
+  const double scale = emb_hi_ - emb_lo_;
+  for (int side = 0; side < 2; ++side) {
+    const std::size_t at =
+        2 * embed::kIpBits + static_cast<std::size_t>(side) * port_width();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* in = attrs.row_ptr(i) + at;
+      double* qrow = q.row_ptr(i);
+      for (std::size_t k = 0; k < d; ++k) qrow[k] = emb_lo_ + in[k] * scale;
+    }
+    ip2vec_->nearest_batch(q, TokenKind::kPort, masks,
+                           std::span<Token>(tokens.data(), n), ws);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto port = static_cast<std::uint16_t>(tokens[i].value);
+      if (side == 0) {
+        out[i].src_port = port;
+      } else {
+        out[i].dst_port = port;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out[i].protocol == net::Protocol::kIcmp) {
+      out[i].src_port = 0;
+      out[i].dst_port = 0;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -405,8 +495,14 @@ net::FlowTrace FlowEncoder::decode(const gan::GeneratedSeries& series,
   net::FlowTrace out;
   const std::size_t n = series.num_samples();
   out.records.reserve(n * 2);
+  // All 5-tuples decoded in one batched NN pass (decode() is const and runs
+  // concurrently across chunks, hence the thread-local scratch).
+  thread_local ml::Workspace ws;
+  thread_local std::vector<net::FiveTuple> keys;
+  keys.resize(n);
+  codec_.decode_batch(series.attributes, keys, ws);
   for (std::size_t i = 0; i < n; ++i) {
-    const net::FiveTuple key = codec_.decode(series.attributes.row_ptr(i));
+    const net::FiveTuple& key = keys[i];
     double t0 = 0.0;
     for (std::size_t t = 0; t < series.lengths[i]; ++t) {
       const double* frow = series.features[t].row_ptr(i);
@@ -574,8 +670,12 @@ net::PacketTrace PacketEncoder::decode(const gan::GeneratedSeries& series,
   net::PacketTrace out;
   const std::size_t n = series.num_samples();
   out.packets.reserve(n * 2);
+  thread_local ml::Workspace ws;
+  thread_local std::vector<net::FiveTuple> keys;
+  keys.resize(n);
+  codec_.decode_batch(series.attributes, keys, ws);
   for (std::size_t i = 0; i < n; ++i) {
-    const net::FiveTuple key = codec_.decode(series.attributes.row_ptr(i));
+    const net::FiveTuple& key = keys[i];
     double ts = 0.0;
     for (std::size_t t = 0; t < series.lengths[i]; ++t) {
       const double* frow = series.features[t].row_ptr(i);

@@ -11,6 +11,7 @@
 #include "embed/ip2vec.hpp"
 #include "embed/transforms.hpp"
 #include "gan/timeseries.hpp"
+#include "ml/workspace.hpp"
 #include "net/trace.hpp"
 
 namespace netshare::core {
@@ -69,12 +70,23 @@ class TupleCodec {
   void encode(const net::FiveTuple& key, double* out) const;
   net::FiveTuple decode(const double* in) const;
 
+  // Decodes rows [0, out.size()) of `attrs` (each row laid out like decode's
+  // input; trailing tag columns are ignored) in one pass, batching both port
+  // nearest-neighbour searches through Ip2Vec::nearest_batch with the
+  // per-protocol accept masks. Bitwise identical to calling decode() per
+  // row. Resets `ws` and draws all scratch from it; zero allocations once
+  // the pool is warm.
+  void decode_batch(const ml::Matrix& attrs, std::span<net::FiveTuple> out,
+                    ml::Workspace& ws) const;
+
  private:
   std::size_t port_width() const;
   std::size_t proto_width() const;
   void encode_port(std::uint16_t port, double* out) const;
   // Decode restricted to ports compatible with the decoded protocol — the
-  // paper's joint (port, protocol) nearest-neighbour mapping.
+  // paper's joint (port, protocol) nearest-neighbour mapping. Routed through
+  // the same scorer as decode_batch (nearest_batch_reference on one row), so
+  // per-row and batched decode agree bitwise.
   std::uint16_t decode_port(const double* in, net::Protocol proto) const;
   void encode_proto(net::Protocol proto, double* out) const;
   net::Protocol decode_proto(const double* in) const;
@@ -86,6 +98,10 @@ class TupleCodec {
   double emb_hi_ = 1.0;
   // Sorted public port vocabulary, for nearest-port OOV substitution.
   std::vector<std::uint32_t> vocab_ports_;
+  // Per-protocol-class (tcp/udp/icmp) accept masks over the kPort shard:
+  // mask[slot] = the port's well-known protocol doesn't contradict the
+  // decoded one. Precomputed once from public knowledge (DP-safe).
+  std::vector<std::uint8_t> port_mask_[3];
   std::size_t num_chunks_;
   bool use_ip2vec_;
 };

@@ -193,12 +193,26 @@ WorkloadConfig preset_config(DatasetId id) {
   return c;
 }
 
+WorkloadConfig preset_config(DatasetId id, const PresetOverrides& ov) {
+  WorkloadConfig c = preset_config(id);
+  if (ov.num_src_ips > 0) c.num_src_ips = ov.num_src_ips;
+  if (ov.num_dst_ips > 0) c.num_dst_ips = ov.num_dst_ips;
+  if (ov.src_zipf_alpha >= 0.0) c.src_zipf_alpha = ov.src_zipf_alpha;
+  if (ov.dst_zipf_alpha >= 0.0) c.dst_zipf_alpha = ov.dst_zipf_alpha;
+  return c;
+}
+
 DatasetBundle make_dataset(DatasetId id, std::size_t target_records,
                            std::uint64_t seed) {
+  return make_dataset(id, target_records, seed, PresetOverrides{});
+}
+
+DatasetBundle make_dataset(DatasetId id, std::size_t target_records,
+                           std::uint64_t seed, const PresetOverrides& ov) {
   DatasetBundle bundle;
   bundle.name = dataset_name(id);
   bundle.is_pcap = dataset_is_pcap(id);
-  TraceSimulator sim(preset_config(id));
+  TraceSimulator sim(preset_config(id, ov));
   Rng rng(seed);
   if (bundle.is_pcap) {
     LabeledPacketTrace labeled = sim.generate_packets(target_records, rng);

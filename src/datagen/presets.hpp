@@ -29,6 +29,19 @@ bool dataset_is_pcap(DatasetId id);
 // Simulator parameterization for a preset.
 WorkloadConfig preset_config(DatasetId id);
 
+// Optional preset dial-ups for vocabulary-scaling studies (DESIGN.md §12):
+// zero / negative fields keep the preset's published value. Raising the IP
+// pool sizes grows the distinct-address vocabulary (the simulator widens its
+// address window adaptively, so pools beyond the legacy 16/18-bit windows —
+// up to million-IP scale — stay collision-free).
+struct PresetOverrides {
+  std::size_t num_src_ips = 0;   // 0 = preset default
+  std::size_t num_dst_ips = 0;   // 0 = preset default
+  double src_zipf_alpha = -1.0;  // < 0 = preset default
+  double dst_zipf_alpha = -1.0;  // < 0 = preset default
+};
+WorkloadConfig preset_config(DatasetId id, const PresetOverrides& ov);
+
 // A generated dataset: packet view for PCAP presets, flow view for NetFlow
 // presets (the other member is left empty).
 struct DatasetBundle {
@@ -44,5 +57,7 @@ struct DatasetBundle {
 // for NetFlow presets) with a deterministic seed.
 DatasetBundle make_dataset(DatasetId id, std::size_t target_records,
                            std::uint64_t seed);
+DatasetBundle make_dataset(DatasetId id, std::size_t target_records,
+                           std::uint64_t seed, const PresetOverrides& ov);
 
 }  // namespace netshare::datagen

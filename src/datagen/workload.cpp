@@ -32,10 +32,27 @@ std::uint8_t sample_ttl(Rng& rng) {
 
 }  // namespace
 
+namespace {
+// Address window mask for a pool of `n` ranks: at least the legacy window
+// (so every preset's addresses are unchanged), widened to the next power of
+// two when the pool outgrows it. kAddressStride is odd, so rank -> offset
+// stays bijective within any power-of-two window — million-IP pools map to
+// distinct addresses.
+std::uint32_t address_mask(std::size_t n, std::uint32_t legacy) {
+  std::uint32_t mask = legacy;
+  while (static_cast<std::uint64_t>(mask) + 1 < n && mask != 0xffffffffu) {
+    mask = (mask << 1) | 1u;
+  }
+  return mask;
+}
+}  // namespace
+
 TraceSimulator::TraceSimulator(WorkloadConfig config)
     : config_(std::move(config)),
       src_sampler_(config_.num_src_ips, config_.src_zipf_alpha),
-      dst_sampler_(config_.num_dst_ips, config_.dst_zipf_alpha) {
+      dst_sampler_(config_.num_dst_ips, config_.dst_zipf_alpha),
+      src_mask_(address_mask(config_.num_src_ips, 0xffffu)),
+      dst_mask_(address_mask(config_.num_dst_ips, 0x3ffffu)) {
   std::vector<std::uint16_t> ports;
   std::vector<double> weights;
   for (const auto& [port, w] : config_.service_ports) {
@@ -48,13 +65,13 @@ TraceSimulator::TraceSimulator(WorkloadConfig config)
 
 Ipv4Address TraceSimulator::src_ip(std::size_t rank) const {
   const std::uint32_t offset =
-      (static_cast<std::uint32_t>(rank) * kAddressStride) & 0xffff;
+      (static_cast<std::uint32_t>(rank) * kAddressStride) & src_mask_;
   return Ipv4Address(config_.src_base.value() + offset);
 }
 
 Ipv4Address TraceSimulator::dst_ip(std::size_t rank) const {
   const std::uint32_t offset =
-      (static_cast<std::uint32_t>(rank) * kAddressStride) & 0x3ffff;
+      (static_cast<std::uint32_t>(rank) * kAddressStride) & dst_mask_;
   return Ipv4Address(config_.dst_base.value() + offset);
 }
 

@@ -84,6 +84,16 @@ class TraceSimulator {
 
   const WorkloadConfig& config() const { return config_; }
 
+  // Address-window sizes (power of two): the legacy 16/18-bit windows, or
+  // the next power of two covering the configured IP pool when larger.
+  // Observability for the vocabulary-scaling presets.
+  std::uint64_t src_address_window() const {
+    return static_cast<std::uint64_t>(src_mask_) + 1;
+  }
+  std::uint64_t dst_address_window() const {
+    return static_cast<std::uint64_t>(dst_mask_) + 1;
+  }
+
  private:
   // Appends one benign flow's packets; returns its 5-tuple.
   net::FiveTuple emit_benign_flow(net::PacketTrace& out, Rng& rng) const;
@@ -99,6 +109,10 @@ class TraceSimulator {
   WorkloadConfig config_;
   ZipfSampler src_sampler_;
   ZipfSampler dst_sampler_;
+  // Power-of-two address windows: the legacy 16/18-bit windows, widened
+  // adaptively when an IP pool outgrows them (vocabulary-scaling studies).
+  std::uint32_t src_mask_ = 0xffff;
+  std::uint32_t dst_mask_ = 0x3ffff;
   WeightedChoice<std::uint16_t> service_port_choice_;
 };
 

@@ -1,0 +1,66 @@
+#include "embed/alias_sampler.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace netshare::embed {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  if (n > 0xffffffffULL) throw std::invalid_argument("AliasTable: too large");
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    sum += w;
+  }
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alias_[i] = static_cast<std::uint32_t>(i);
+  }
+  if (sum <= 0.0) return;  // uniform
+
+  // Vose's method: partition columns into under/over-full by the scaled
+  // weight, then pair them off. Stacks are filled in ascending slot order,
+  // so construction is deterministic.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / sum;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers round to probability 1 (self-alias).
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+}
+
+std::size_t draw_negative(const AliasTable& table, std::size_t positive,
+                          std::uint64_t seed, std::uint64_t counter) {
+  const std::size_t n = table.size();
+  for (std::uint64_t r = 0; r < kNegativeRetries; ++r) {
+    const std::size_t s =
+        table.sample(mix_seed(seed, counter * kNegativeRetries + r));
+    if (s != positive) return s;
+  }
+  // All retries collided (possible only under an extremely concentrated
+  // distribution): take the next slot, which differs whenever n > 1.
+  return (positive + 1) % n;
+}
+
+}  // namespace netshare::embed

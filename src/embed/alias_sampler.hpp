@@ -1,0 +1,51 @@
+// Walker alias-table sampling for the skip-gram negative sampler
+// (DESIGN.md §12). A draw is a pure function of the 64 random bits fed in,
+// so counter-based bit streams (common/rng.hpp mix_seed) make the sampled
+// sequence independent of how callers batch or thread the work — the same
+// construction as the generation path's NoiseStream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netshare::embed {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+  // Builds the table for unnormalized non-negative weights (all-zero weights
+  // degrade to uniform). O(n) Vose construction, deterministic.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  // Draws a slot from 64 random bits: the high 32 bits pick the column (via
+  // a multiply-shift, no modulo bias beyond 2^-32), the low 32 bits the
+  // coin flip against the column's cutoff. Pure function of `bits`.
+  std::size_t sample(std::uint64_t bits) const {
+    const std::uint64_t n = prob_.size();
+    const std::size_t col = static_cast<std::size_t>(((bits >> 32) * n) >> 32);
+    const double u =
+        static_cast<double>(bits & 0xffffffffULL) * 0x1.0p-32;
+    return u < prob_[col] ? col : alias_[col];
+  }
+
+ private:
+  std::vector<double> prob_;         // acceptance cutoff per column
+  std::vector<std::uint32_t> alias_; // fallback slot per column
+};
+
+// Deterministic negative draw for skip-gram training: samples from `table`
+// with bits mix_seed(seed, counter * kNegativeRetries + retry), resampling
+// while the draw equals the positive context (bounded retries), and falls
+// back to the slot after the positive. This replaces the legacy behaviour
+// where a collision silently *dropped* the negative (training fewer than
+// `negatives` per pair). Pure function of its arguments: the same
+// (seed, counter) yields the same negative at any worker count.
+inline constexpr std::uint64_t kNegativeRetries = 16;
+std::size_t draw_negative(const AliasTable& table, std::size_t positive,
+                          std::uint64_t seed, std::uint64_t counter);
+
+}  // namespace netshare::embed

@@ -1,0 +1,50 @@
+// Token alphabet shared by the IP2Vec embedding engine (DESIGN.md §12):
+// header-field values tagged with their field kind. Split out of ip2vec.hpp
+// so the vocabulary / sampler units can depend on tokens without pulling in
+// the trainer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace netshare::embed {
+
+enum class TokenKind : std::uint8_t {
+  kIp,
+  kPort,
+  kProtocol,
+  // Extended kinds used by the E-WGAN-GP baseline, which embeds every
+  // NetFlow field (Ring et al. 2019): bucketed counters and times.
+  kPackets,
+  kBytes,
+  kDuration,
+  kStartTime,
+};
+
+inline constexpr std::size_t kNumTokenKinds = 7;
+
+struct Token {
+  TokenKind kind;
+  std::uint32_t value;
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+// splitmix64 finalizer (Steele et al.). libstdc++'s std::hash<uint64_t> is
+// the identity, so hashing `(kind << 32) ^ value` directly clusters
+// sequential IPs into consecutive buckets; the finalizer spreads them.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct TokenHash {
+  std::size_t operator()(const Token& t) const {
+    return static_cast<std::size_t>(
+        mix64((static_cast<std::uint64_t>(t.kind) << 32) ^ t.value));
+  }
+};
+
+}  // namespace netshare::embed

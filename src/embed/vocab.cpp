@@ -1,0 +1,238 @@
+#include "embed/vocab.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace netshare::embed {
+
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(n, 1));
+}
+
+}  // namespace
+
+std::size_t ShardedVocab::ip_probe(std::uint32_t value) const {
+  const std::size_t mask = ip_keys_.size() - 1;
+  const std::uint64_t key = static_cast<std::uint64_t>(value) + 1;
+  std::size_t at = static_cast<std::size_t>(mix64(value)) & mask;
+  while (true) {
+    const std::uint64_t k = ip_keys_[at];
+    if (k == key) return at;
+    if (k == 0) return npos;
+    at = (at + 1) & mask;
+  }
+}
+
+std::size_t ShardedVocab::kind_slot(const Token& t) const {
+  const auto k = static_cast<std::size_t>(t.kind);
+  if (t.kind != TokenKind::kIp) {
+    const auto& direct = direct_slot_[k];
+    if (t.value >= direct.size()) return npos;
+    const std::uint32_t s = direct[t.value];
+    return s == 0 ? npos : s - 1;
+  }
+  if (!ip_keys_.empty()) {
+    const std::size_t at = ip_probe(t.value);
+    if (at != npos) return ip_slot_[at];
+  }
+  if (ip_capped_) {
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(mix64(t.value)) & tail_mask_;
+    const std::uint32_t s = tail_slot_of_bucket_[bucket];
+    if (s != 0) return ip_exact_ + (s - 1);
+  }
+  return npos;
+}
+
+bool ShardedVocab::contains_exact(const Token& t) const {
+  if (t.kind != TokenKind::kIp) return kind_slot(t) != npos;
+  if (ip_keys_.empty()) return false;
+  const std::size_t at = ip_probe(t.value);
+  return at != npos;
+}
+
+Token ShardedVocab::token_at(TokenKind kind, std::size_t slot) const {
+  const auto k = static_cast<std::size_t>(kind);
+  if (slot >= kind_size_[k]) {
+    throw std::out_of_range("ShardedVocab::token_at: slot");
+  }
+  return Token{kind, value_of_slot_[k][slot]};
+}
+
+Token ShardedVocab::token_at_global(std::size_t index) const {
+  for (std::size_t k = 0; k < kNumTokenKinds; ++k) {
+    if (index < kind_offset_[k] + kind_size_[k]) {
+      return Token{static_cast<TokenKind>(k), // NOLINT
+                   value_of_slot_[k][index - kind_offset_[k]]};
+    }
+  }
+  throw std::out_of_range("ShardedVocab::token_at_global: index");
+}
+
+void ShardedVocab::build(const std::vector<std::vector<Token>>& sentences,
+                         const VocabConfig& config) {
+  for (std::size_t k = 0; k < kNumTokenKinds; ++k) {
+    direct_slot_[k].clear();
+    value_of_slot_[k].clear();
+    kind_size_[k] = 0;
+    kind_offset_[k] = 0;
+  }
+  ip_keys_.clear();
+  ip_slot_.clear();
+  tail_slot_of_bucket_.clear();
+  counts_.clear();
+  ip_exact_ = 0;
+  ip_capped_ = false;
+  tail_mask_ = 0;
+  total_ = 0;
+
+  // --- Pass 1: count distinct values per kind in first-occurrence order.
+  std::vector<std::uint64_t> kind_counts[kNumTokenKinds];
+  // Temporary IP table sized up front for the worst case (every token a new
+  // IP) so the counting pass never rehashes.
+  std::size_t token_total = 0;
+  for (const auto& s : sentences) token_total += s.size();
+  std::vector<std::uint64_t> tmp_keys(pow2_at_least(2 * token_total + 2), 0);
+  std::vector<std::uint32_t> tmp_ids(tmp_keys.size(), 0);
+  const std::size_t tmp_mask = tmp_keys.size() - 1;
+  std::vector<std::uint32_t> ip_values;  // first-occurrence order
+  std::vector<std::uint64_t> ip_counts;
+
+  for (const auto& s : sentences) {
+    for (const Token& t : s) {
+      const auto k = static_cast<std::size_t>(t.kind);
+      if (t.kind != TokenKind::kIp) {
+        auto& direct = direct_slot_[k];
+        if (t.value >= direct.size()) direct.resize(t.value + 1, 0);
+        if (direct[t.value] == 0) {
+          value_of_slot_[k].push_back(t.value);
+          kind_counts[k].push_back(0);
+          direct[t.value] =
+              static_cast<std::uint32_t>(value_of_slot_[k].size());
+        }
+        ++kind_counts[k][direct[t.value] - 1];
+      } else {
+        const std::uint64_t key = static_cast<std::uint64_t>(t.value) + 1;
+        std::size_t at = static_cast<std::size_t>(mix64(t.value)) & tmp_mask;
+        while (tmp_keys[at] != 0 && tmp_keys[at] != key) {
+          at = (at + 1) & tmp_mask;
+        }
+        if (tmp_keys[at] == 0) {
+          tmp_keys[at] = key;
+          tmp_ids[at] = static_cast<std::uint32_t>(ip_values.size());
+          ip_values.push_back(t.value);
+          ip_counts.push_back(0);
+        }
+        ++ip_counts[tmp_ids[at]];
+      }
+    }
+  }
+
+  // --- Pass 2: assign IP slots, applying the frequency cap.
+  const std::size_t distinct_ips = ip_values.size();
+  std::vector<std::uint32_t> kept(distinct_ips);
+  std::iota(kept.begin(), kept.end(), 0u);
+  std::vector<std::uint32_t> capped;
+  if (config.max_ip_slots > 0 && distinct_ips > config.max_ip_slots) {
+    ip_capped_ = true;
+    // Top-K by count, ties by first occurrence; kept slots stay in
+    // first-occurrence order.
+    std::sort(kept.begin(), kept.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (ip_counts[a] != ip_counts[b]) {
+                  return ip_counts[a] > ip_counts[b];
+                }
+                return a < b;
+              });
+    capped.assign(kept.begin() + static_cast<std::ptrdiff_t>(
+                                     config.max_ip_slots),
+                  kept.end());
+    kept.resize(config.max_ip_slots);
+    std::sort(kept.begin(), kept.end());
+    std::sort(capped.begin(), capped.end());
+  }
+  ip_exact_ = kept.size();
+
+  auto& ip_value_of_slot = value_of_slot_[static_cast<std::size_t>(
+      TokenKind::kIp)];
+  ip_value_of_slot.reserve(kept.size());
+  std::vector<std::uint64_t> ip_slot_counts;
+  ip_slot_counts.reserve(kept.size());
+  for (std::uint32_t id : kept) {
+    ip_value_of_slot.push_back(ip_values[id]);
+    ip_slot_counts.push_back(ip_counts[id]);
+  }
+
+  if (ip_capped_) {
+    const std::size_t buckets = pow2_at_least(config.ip_tail_buckets);
+    tail_mask_ = static_cast<std::uint32_t>(buckets - 1);
+    // Aggregate capped IPs per bucket; representative = most frequent
+    // member, ties by first occurrence (capped is in first-occurrence
+    // order, so the first strict-max wins).
+    std::vector<std::uint64_t> bucket_count(buckets, 0);
+    std::vector<std::uint32_t> bucket_repr(buckets, 0);
+    std::vector<std::uint64_t> bucket_repr_count(buckets, 0);
+    for (std::uint32_t id : capped) {
+      const std::uint32_t b =
+          static_cast<std::uint32_t>(mix64(ip_values[id])) & tail_mask_;
+      bucket_count[b] += ip_counts[id];
+      if (ip_counts[id] > bucket_repr_count[b]) {
+        bucket_repr_count[b] = ip_counts[id];
+        bucket_repr[b] = ip_values[id];
+      }
+    }
+    // Materialize only non-empty buckets (an empty bucket would be an
+    // untrained row competing in nearest-neighbour decode).
+    tail_slot_of_bucket_.assign(buckets, 0);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      if (bucket_count[b] == 0) continue;
+      ip_value_of_slot.push_back(bucket_repr[b]);
+      ip_slot_counts.push_back(bucket_count[b]);
+      tail_slot_of_bucket_[b] = static_cast<std::uint32_t>(
+          ip_value_of_slot.size() - ip_exact_);
+    }
+  }
+
+  // Final IP hash table holds only exact-slot addresses (capped ones route
+  // through the bucket mapping like unseen addresses).
+  if (ip_exact_ > 0) {
+    ip_keys_.assign(pow2_at_least(2 * ip_exact_), 0);
+    ip_slot_.assign(ip_keys_.size(), 0);
+    const std::size_t mask = ip_keys_.size() - 1;
+    for (std::size_t slot = 0; slot < ip_exact_; ++slot) {
+      const std::uint32_t value = ip_value_of_slot[slot];
+      std::size_t at = static_cast<std::size_t>(mix64(value)) & mask;
+      while (ip_keys_[at] != 0) at = (at + 1) & mask;
+      ip_keys_[at] = static_cast<std::uint64_t>(value) + 1;
+      ip_slot_[at] = static_cast<std::uint32_t>(slot);
+    }
+  }
+
+  // --- Layout: shards packed in TokenKind order.
+  for (std::size_t k = 0; k < kNumTokenKinds; ++k) {
+    kind_size_[k] = value_of_slot_[k].size();
+  }
+  std::size_t at = 0;
+  for (std::size_t k = 0; k < kNumTokenKinds; ++k) {
+    kind_offset_[k] = at;
+    at += kind_size_[k];
+  }
+  total_ = at;
+
+  counts_.resize(total_);
+  for (std::size_t k = 0; k < kNumTokenKinds; ++k) {
+    if (static_cast<TokenKind>(k) == TokenKind::kIp) {
+      std::copy(ip_slot_counts.begin(), ip_slot_counts.end(),
+                counts_.begin() + static_cast<std::ptrdiff_t>(kind_offset_[k]));
+    } else {
+      std::copy(kind_counts[k].begin(), kind_counts[k].end(),
+                counts_.begin() + static_cast<std::ptrdiff_t>(kind_offset_[k]));
+    }
+  }
+}
+
+}  // namespace netshare::embed

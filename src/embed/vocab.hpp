@@ -1,0 +1,108 @@
+// Sharded IP2Vec vocabulary (DESIGN.md §12): one dense index shard per
+// TokenKind, so hot-path lookups are flat-array reads instead of hashed
+// unordered_map probes.
+//
+//  - Small-domain kinds (ports, protocols, bucketed counters/times) use a
+//    direct value -> slot array: O(1), no hashing at all.
+//  - IPs use an open-addressing table keyed by the 32-bit address, probed
+//    with the splitmix64-mixed hash (token.hpp).
+//  - With `max_ip_slots` set, only the most frequent IPs keep exact slots;
+//    the tail folds into `ip_tail_buckets` shared hash buckets. This is the
+//    frequency cap that makes million-IP traces trainable at bounded table
+//    size, and it strengthens the paper's public-data-only privacy argument:
+//    rare (more identifying) addresses are only ever represented by a
+//    many-to-one bucket.
+//
+// Slot order within a shard is first-occurrence order over the build input
+// (ties in the frequency cap also break by first occurrence), so the layout
+// is a pure function of the sentences — independent of hash capacity,
+// worker count, or build batching.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "embed/token.hpp"
+
+namespace netshare::embed {
+
+struct VocabConfig {
+  // Exact slots granted to distinct IPs; 0 = uncapped (every distinct IP
+  // gets its own slot, the legacy behaviour).
+  std::size_t max_ip_slots = 0;
+  // Shared tail buckets for frequency-capped IPs (rounded up to a power of
+  // two). Only consulted when the cap is active.
+  std::size_t ip_tail_buckets = 256;
+};
+
+class ShardedVocab {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  // (Re)builds the vocabulary from sentences: one counting pass, then slot
+  // assignment (with the IP frequency cap applied when configured).
+  void build(const std::vector<std::vector<Token>>& sentences,
+             const VocabConfig& config);
+
+  std::size_t size() const { return total_; }
+  std::size_t kind_size(TokenKind k) const {
+    return kind_size_[static_cast<std::size_t>(k)];
+  }
+  std::size_t kind_offset(TokenKind k) const {
+    return kind_offset_[static_cast<std::size_t>(k)];
+  }
+
+  // Slot of `t` within its kind's shard, or npos. A frequency-capped IP
+  // resolves to its tail bucket; an IP never seen at build time also
+  // resolves to its tail bucket when that bucket was materialized (so OOV
+  // addresses decode deterministically under the cap), else npos.
+  std::size_t kind_slot(const Token& t) const;
+  // Global dense index (kind_offset + kind_slot), or npos.
+  std::size_t lookup(const Token& t) const {
+    const std::size_t s = kind_slot(t);
+    return s == npos ? npos : kind_offset(t.kind) + s;
+  }
+  // True only for tokens holding their own exact slot (tail-mapped IPs and
+  // unseen values return false).
+  bool contains_exact(const Token& t) const;
+
+  // Representative token of a slot: the exact value for exact slots, the
+  // bucket's most frequent member (ties by first occurrence) for tail slots.
+  Token token_at(TokenKind kind, std::size_t slot) const;
+  Token token_at_global(std::size_t index) const;
+
+  // Build-input occurrence count per global slot (tail slot = sum over its
+  // members) — the unigram distribution the negative sampler is built from.
+  const std::vector<std::uint64_t>& slot_counts() const { return counts_; }
+
+  // IP shard layout: slots [0, ip_exact_slots) are exact addresses,
+  // [ip_exact_slots, kind_size(kIp)) are materialized tail buckets.
+  std::size_t ip_exact_slots() const { return ip_exact_; }
+  bool ip_capped() const { return ip_capped_; }
+
+ private:
+  std::size_t ip_probe(std::uint32_t value) const;
+
+  // Per-kind direct shards (every kind except kIp): value -> slot + 1
+  // (0 = absent), plus the reverse slot -> value map.
+  std::vector<std::uint32_t> direct_slot_[kNumTokenKinds];
+  std::vector<std::uint32_t> value_of_slot_[kNumTokenKinds];
+
+  // IP shard: open addressing, power-of-two capacity, keys are value + 1
+  // (0 = empty), vals are final slots.
+  std::vector<std::uint64_t> ip_keys_;
+  std::vector<std::uint32_t> ip_slot_;
+  std::size_t ip_exact_ = 0;
+  bool ip_capped_ = false;
+  std::uint32_t tail_mask_ = 0;  // bucket index mask (power-of-two buckets)
+  std::vector<std::uint32_t> tail_slot_of_bucket_;  // dense slot or absent
+
+  std::size_t kind_size_[kNumTokenKinds] = {};
+  std::size_t kind_offset_[kNumTokenKinds] = {};
+  std::size_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace netshare::embed

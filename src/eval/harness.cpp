@@ -56,7 +56,8 @@ NetSharePacketSynthesizer::NetSharePacketSynthesizer(
       name_(std::move(display_name)) {}
 
 std::shared_ptr<embed::Ip2Vec> shared_public_ip2vec() {
-  static std::shared_ptr<embed::Ip2Vec> model = core::make_public_ip2vec();
+  static std::shared_ptr<embed::Ip2Vec> model =
+      core::make_public_ip2vec_for(core::NetShareConfig{});
   return model;
 }
 

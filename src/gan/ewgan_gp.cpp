@@ -117,30 +117,41 @@ net::FlowTrace EwganGpFlow::generate(std::size_t n, Rng& rng) {
   const Matrix rows = gan_->sample(n, rng);
   net::FlowTrace out;
   out.records.reserve(n);
-  std::vector<double> v(d);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* row = rows.row_ptr(i);
-    Token tokens[kFields];
-    for (std::size_t f = 0; f < kFields; ++f) {
+  if (n == 0) return out;
+
+  // One batched nearest-neighbour pass per field instead of n × kFields
+  // linear scans (the blocked kernel path, DESIGN.md §12).
+  ws_.reset();
+  Matrix& q = ws_.get(n, d);
+  std::vector<Token> tokens(kFields * n);
+  for (std::size_t f = 0; f < kFields; ++f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = rows.row_ptr(i) + f * d;
+      double* qrow = q.row_ptr(i);
       for (std::size_t k = 0; k < d; ++k) {
-        v[k] = emb_lo_ + row[f * d + k] * (emb_hi_ - emb_lo_);
+        qrow[k] = emb_lo_ + row[k] * (emb_hi_ - emb_lo_);
       }
-      tokens[f] = embedding_.nearest(v, kFieldKind[f]);
     }
+    embedding_.nearest_batch(q, kFieldKind[f], {},
+                             std::span<Token>(tokens.data() + f * n, n), ws_);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto tok = [&](std::size_t f) { return tokens[f * n + i]; };
     net::FlowRecord r;
-    r.key.src_ip = net::Ipv4Address(tokens[0].value);
-    r.key.dst_ip = net::Ipv4Address(tokens[1].value);
-    r.key.src_port = static_cast<std::uint16_t>(tokens[2].value);
-    r.key.dst_port = static_cast<std::uint16_t>(tokens[3].value);
-    r.key.protocol = static_cast<net::Protocol>(tokens[4].value);
+    r.key.src_ip = net::Ipv4Address(tok(0).value);
+    r.key.dst_ip = net::Ipv4Address(tok(1).value);
+    r.key.src_port = static_cast<std::uint16_t>(tok(2).value);
+    r.key.dst_port = static_cast<std::uint16_t>(tok(3).value);
+    r.key.protocol = static_cast<net::Protocol>(tok(4).value);
     r.packets = static_cast<std::uint64_t>(
-        std::max(1.0, std::round(log2_bucket_center(tokens[5].value))));
+        std::max(1.0, std::round(log2_bucket_center(tok(5).value))));
     r.bytes = static_cast<std::uint64_t>(
-        std::max(1.0, std::round(log2_bucket_center(tokens[6].value))));
+        std::max(1.0, std::round(log2_bucket_center(tok(6).value))));
     r.duration =
-        std::max(0.0, (log2_bucket_center(tokens[7].value) - 1.0) * 1e-3);
+        std::max(0.0, (log2_bucket_center(tok(7).value) - 1.0) * 1e-3);
     r.start_time =
-        t0_ + (static_cast<double>(tokens[8].value) + rng.uniform()) * t_bucket_;
+        t0_ + (static_cast<double>(tok(8).value) + rng.uniform()) * t_bucket_;
     out.records.push_back(r);
   }
   out.sort_by_time();

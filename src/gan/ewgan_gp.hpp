@@ -41,6 +41,7 @@ class EwganGpFlow : public FlowSynthesizer {
   EwganConfig config_;
   std::uint64_t seed_;
   embed::Ip2Vec embedding_;
+  ml::Workspace ws_;  // pooled scratch for batched nearest-neighbour decode
   std::unique_ptr<TabularGan> gan_;
   double emb_lo_ = 0.0, emb_hi_ = 1.0;
   double t0_ = 0.0, t_bucket_ = 1.0;  // start-time grid
