@@ -1,0 +1,263 @@
+// Generation-service trajectory (DESIGN.md §13): per-tenant latency
+// percentiles and throughput under a 1 / 4 / 16-tenant mix at nominal load,
+// plus the admission-control shed rate at 2x overload. Emits
+// BENCH_service.json (path overridable via argv[1]); the `service` kind in
+// scripts/check_bench_regression gates p99 growth, zero-shed-at-nominal,
+// and that overload actually sheds.
+//
+// The model under service is the scaled-down demo model (tiny DoppelGanger,
+// 3 chunks) trained once into a temp snapshot dir — the bench measures the
+// serving layer (queueing, coalescing, DRR, streaming merge), not GAN
+// training.
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/stopwatch.hpp"
+#include "core/netshare.hpp"
+#include "datagen/presets.hpp"
+#include "serve/client.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace netshare;
+using netshare::Stopwatch;
+
+core::NetShareConfig bench_config() {
+  core::NetShareConfig cfg;
+  cfg.use_ip2vec_ports = false;
+  cfg.num_chunks = 3;
+  cfg.seed_iterations = 6;
+  cfg.finetune_iterations = 3;
+  cfg.threads = 4;
+  cfg.dg.attr_noise_dim = 4;
+  cfg.dg.feat_noise_dim = 4;
+  cfg.dg.attr_hidden = {16};
+  cfg.dg.rnn_hidden = 16;
+  cfg.dg.disc_hidden = {24};
+  cfg.dg.aux_hidden = {12};
+  cfg.dg.batch_size = 16;
+  return cfg;
+}
+
+struct SweepRow {
+  std::size_t tenants = 0;
+  std::size_t jobs = 0;
+  std::size_t records_per_job = 0;
+  double wall_sec = 0.0;
+  double jobs_per_sec = 0.0;
+  double records_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double shed_rate = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_jobs = 0;
+};
+
+// Aggregates every tenant's latency histogram into one.
+std::vector<std::uint64_t> merged_hist(const serve::ServiceStatsSnapshot& s) {
+  std::vector<std::uint64_t> hist(serve::kLatencyBuckets, 0);
+  for (const auto& t : s.tenants) {
+    for (std::size_t i = 0; i < hist.size() && i < t.latency_hist.size(); ++i) {
+      hist[i] += t.latency_hist[i];
+    }
+  }
+  return hist;
+}
+
+double mean_latency_ms(const serve::ServiceStatsSnapshot& s) {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& t : s.tenants) {
+    sum += t.latency_sum_ms;
+    n += t.latency_count;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_service.json";
+
+  // --- train + snapshot the demo model once -----------------------------
+  const std::string snap_dir =
+      (std::filesystem::temp_directory_path() /
+       ("netshare_service_bench_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(snap_dir);
+  core::NetShareConfig cfg = bench_config();
+  cfg.checkpoint_dir = snap_dir;
+  const net::FlowTrace reference =
+      datagen::make_dataset(datagen::DatasetId::kUgr16, 300, 42).flows;
+  {
+    Stopwatch sw;
+    core::NetShare model(cfg, nullptr);
+    model.fit(reference);
+    std::printf("trained demo model in %.2fs\n", sw.seconds());
+  }
+
+  serve::ModelSpec spec;
+  spec.config = cfg;
+  spec.reference = reference;
+
+  // --- tenant sweep at nominal load -------------------------------------
+  // Fixed total work per row (jobs x records) so rows compare the tenant
+  // mix, not the workload size.
+  // Sized so each row's wall clock clears the gate's noise floor on a
+  // shared 1-core box (sub-100ms walls make 20% tolerances meaningless).
+  constexpr std::size_t kTotalJobs = 96;
+  constexpr std::size_t kRecordsPerJob = 800;
+  std::vector<SweepRow> sweep;
+  for (std::size_t tenants : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    serve::ModelRegistry registry;
+    registry.define("m", spec);
+    registry.publish("m", snap_dir);
+    serve::ServiceConfig scfg;
+    scfg.workers = 2;
+    scfg.queue_capacity = kTotalJobs + 8;  // nominal: nothing sheds
+    scfg.tenant_inflight_cap = kTotalJobs;
+    serve::Service service(registry, scfg);
+    serve::ServeClient client(service);
+
+    Stopwatch sw;
+    std::vector<std::shared_ptr<serve::ServeClient::PendingJob>> jobs;
+    jobs.reserve(kTotalJobs);
+    for (std::size_t i = 0; i < kTotalJobs; ++i) {
+      const std::string tenant = "tenant" + std::to_string(i % tenants);
+      jobs.push_back(client.submit("m", tenant, kRecordsPerJob, 1000 + i));
+    }
+    std::size_t ok = 0;
+    for (auto& job : jobs) ok += job->wait().ok ? 1 : 0;
+    service.drain();  // settle the stats counters
+    const double wall = sw.seconds();
+    const serve::ServiceStatsSnapshot stats = service.stats();
+
+    SweepRow row;
+    row.tenants = tenants;
+    row.jobs = kTotalJobs;
+    row.records_per_job = kRecordsPerJob;
+    row.wall_sec = wall;
+    row.jobs_per_sec = static_cast<double>(kTotalJobs) / wall;
+    row.records_per_sec =
+        static_cast<double>(kTotalJobs * kRecordsPerJob) / wall;
+    const std::vector<std::uint64_t> hist = merged_hist(stats);
+    row.p50_ms = serve::latency_percentile_ms(hist, 0.5);
+    row.p99_ms = serve::latency_percentile_ms(hist, 0.99);
+    row.mean_ms = mean_latency_ms(stats);
+    row.shed_rate =
+        static_cast<double>(stats.shed_overloaded + stats.shed_draining) /
+        static_cast<double>(kTotalJobs);
+    row.batches = stats.batches;
+    row.coalesced_jobs = stats.coalesced_jobs;
+    sweep.push_back(row);
+    std::printf(
+        "tenants=%2zu: %.3fs wall, %.1f jobs/s, %.0f rec/s, "
+        "p50=%.0fms p99=%.0fms, %llu batches (%llu coalesced), ok=%zu/%zu\n",
+        tenants, wall, row.jobs_per_sec, row.records_per_sec, row.p50_ms,
+        row.p99_ms, static_cast<unsigned long long>(row.batches),
+        static_cast<unsigned long long>(row.coalesced_jobs), ok, kTotalJobs);
+  }
+  const double shed_rate_nominal =
+      (sweep[0].shed_rate + sweep[1].shed_rate + sweep[2].shed_rate) / 3.0;
+
+  // --- shed rate at 2x overload -----------------------------------------
+  // Capacity bounds sized so the offered burst is twice what admission can
+  // hold: 1 worker busy on a fat lead job + queue_capacity queued slots,
+  // offered = 2 x (queue + inflight headroom). Typed sheds are the expected
+  // behaviour here, not an error.
+  double shed_rate_overload = 0.0;
+  {
+    serve::ModelRegistry registry;
+    registry.define("m", spec);
+    registry.publish("m", snap_dir);
+    serve::ServiceConfig scfg;
+    scfg.workers = 1;
+    scfg.queue_capacity = 16;
+    scfg.max_coalesce = 1;
+    scfg.tenant_inflight_cap = 64;
+    serve::Service service(registry, scfg);
+
+    std::atomic<std::uint64_t> done{0};
+    auto submit_one = [&](std::size_t n, std::uint64_t seed) {
+      serve::JobCallbacks cbs;
+      cbs.on_done = [&done](std::uint64_t, std::uint64_t) { ++done; };
+      cbs.on_error = [](serve::ErrorCode, const std::string&) {};
+      return service.submit(serve::GenerateJob{"m", "burst", n, seed},
+                            std::move(cbs));
+    };
+    // The lead occupies the single worker so the burst meets a full queue.
+    submit_one(2000, 1);
+    const std::size_t offered = 2 * (scfg.queue_capacity + 1);
+    std::size_t shed = 0;
+    for (std::size_t i = 0; i < offered; ++i) {
+      const serve::SubmitResult r = submit_one(kRecordsPerJob, 100 + i);
+      if (!r.accepted) {
+        ++shed;
+        if (r.code != serve::ErrorCode::kOverloaded) {
+          std::fprintf(stderr, "unexpected shed code %d\n",
+                       static_cast<int>(r.code));
+          return 1;
+        }
+      }
+    }
+    service.begin_drain();
+    service.drain();
+    shed_rate_overload =
+        static_cast<double>(shed) / static_cast<double>(offered);
+    std::printf("overload: offered %zu, shed %zu (rate %.2f), drained %llu\n",
+                offered, shed, shed_rate_overload,
+                static_cast<unsigned long long>(done.load()));
+  }
+
+  std::filesystem::remove_all(snap_dir);
+
+  // --- JSON ------------------------------------------------------------
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"service\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  // The histogram bucket edges behind every percentile in this file; the
+  // regression gate uses them to allow one-bucket jitter.
+  std::fprintf(f, "  \"latency_edges_ms\": [");
+  for (std::size_t i = 0; i < serve::kLatencyBuckets - 1; ++i) {
+    std::fprintf(f, "%s%.0f", i ? ", " : "", serve::kLatencyEdgesMs[i]);
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"tenant_sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    std::fprintf(
+        f,
+        "    {\"tenants\": %zu, \"jobs\": %zu, \"records_per_job\": %zu, "
+        "\"wall_sec\": %.4f, \"jobs_per_sec\": %.2f, "
+        "\"records_per_sec\": %.1f, \"p50_ms\": %.1f, \"p99_ms\": %.1f, "
+        "\"mean_ms\": %.2f, \"shed_rate\": %.4f, \"batches\": %llu, "
+        "\"coalesced_jobs\": %llu}%s\n",
+        r.tenants, r.jobs, r.records_per_job, r.wall_sec, r.jobs_per_sec,
+        r.records_per_sec, r.p50_ms, r.p99_ms, r.mean_ms, r.shed_rate,
+        static_cast<unsigned long long>(r.batches),
+        static_cast<unsigned long long>(r.coalesced_jobs),
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"shed_rate_nominal\": %.4f,\n", shed_rate_nominal);
+  std::fprintf(f, "  \"shed_rate_overload\": %.4f\n", shed_rate_overload);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

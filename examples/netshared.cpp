@@ -1,0 +1,156 @@
+// netshared: the NetShare generation daemon (DESIGN.md §13).
+//
+//   ./netshared [--socket PATH] [--snapshots DIR] [--records N]
+//               [--chunks M] [--workers W]
+//
+// Boots a demo model (trains one if DIR holds no snapshot-v1 checkpoints,
+// writing chunk_<c>.ckpt files it then publishes), binds a local AF_UNIX
+// socket speaking the length-prefixed protocol (serve/protocol.hpp), and
+// serves multi-tenant generate / stats / publish requests until SIGINT or
+// SIGTERM. Shutdown is graceful: new jobs are shed with a typed Draining
+// reply, queued and in-flight jobs complete, telemetry is flushed to
+// RUN_telemetry.json, exit code 0.
+//
+// Quick senses check from another shell (Python, stdlib only):
+//   import socket, struct
+//   s = socket.socket(socket.AF_UNIX); s.connect("/tmp/netshared.sock")
+//   body = struct.pack("<BI", 2, 1)                    # kStats, request 1
+//   s.sendall(struct.pack("<I", len(body)) + body)
+//   ln, = struct.unpack("<I", s.recv(4)); print(s.recv(ln)[5+4:].decode())
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/netshare.hpp"
+#include "datagen/presets.hpp"
+#include "serve/socket.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace netshare;
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+bool has_snapshots(const std::string& dir) {
+  return std::filesystem::exists(dir + "/chunk_0.ckpt") ||
+         std::filesystem::exists(dir + "/chunk_1.ckpt");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/netshared.sock";
+  std::string snapshot_dir = "netshared_snapshots";
+  std::size_t records = 1200;
+  std::size_t chunks = 5;
+  serve::ServiceConfig service_cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--snapshots") {
+      snapshot_dir = next();
+    } else if (arg == "--records") {
+      records = std::stoul(next());
+    } else if (arg == "--chunks") {
+      chunks = std::stoul(next());
+    } else if (arg == "--workers") {
+      service_cfg.workers = std::stoul(next());
+    } else {
+      std::cerr << "usage: netshared [--socket PATH] [--snapshots DIR] "
+                   "[--records N] [--chunks M] [--workers W]\n";
+      return 2;
+    }
+  }
+
+  // --- bootstrap: a demo ISP-like model, trained once then served from its
+  // snapshot files (a restart reuses them — this is the resume path).
+  core::NetShareConfig config;
+  config.num_chunks = chunks;
+  config.seed_iterations = 60;
+  config.finetune_iterations = 20;
+  config.checkpoint_dir = snapshot_dir;
+  auto ip2vec = core::make_public_ip2vec();
+  const net::FlowTrace reference =
+      datagen::make_dataset(datagen::DatasetId::kUgr16, records, 42).flows;
+
+  auto train_demo = [&] {
+    std::cout << "[netshared] training the demo model (" << records
+              << " records, " << chunks << " chunks)...\n";
+    core::NetShare model(config, core::make_public_ip2vec());
+    model.fit(reference);  // checkpoint_dir set: writes chunk_<c>.ckpt
+    std::cout << "[netshared] trained in " << model.train_cpu_seconds()
+              << " CPU-seconds\n";
+  };
+  if (!has_snapshots(snapshot_dir)) {
+    std::cout << "[netshared] no snapshots in " << snapshot_dir << "\n";
+    train_demo();
+  }
+
+  serve::ModelRegistry registry;
+  registry.define("default",
+                  serve::ModelSpec{config, reference, std::move(ip2vec)});
+  std::uint64_t version = 0;
+  try {
+    version = registry.publish("default", snapshot_dir);
+  } catch (const std::exception& e) {
+    // Snapshots from an earlier run with different --records/--chunks (or
+    // corrupted files) don't fit the model this config builds. The trainer's
+    // resume path rejects and rewrites them, so retrain and publish again.
+    std::cout << "[netshared] snapshots in " << snapshot_dir
+              << " don't fit the current config (" << e.what() << ")\n";
+    train_demo();
+    version = registry.publish("default", snapshot_dir);
+  }
+  std::cout << "[netshared] published model 'default' v" << version
+            << " from " << snapshot_dir << "\n";
+
+  serve::Service service(registry, service_cfg);
+  serve::SocketServer server(service, registry, socket_path);
+  std::cout << "[netshared] serving on " << socket_path << " ("
+            << service_cfg.workers << " workers)\n";
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "pipe() failed\n";
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // Block until a termination signal pokes the pipe.
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::cout << "[netshared] draining (new jobs get a Draining reply)...\n";
+  service.begin_drain();
+  service.drain();  // queued + in-flight jobs complete and stream out
+  server.stop();
+  telemetry::write_run_json("RUN_telemetry.json");
+  const auto stats = service.stats();
+  std::cout << "[netshared] done: " << stats.completed << " jobs completed, "
+            << stats.shed_overloaded << " shed (overload), "
+            << stats.shed_draining << " shed (draining); telemetry in "
+            << "RUN_telemetry.json\n";
+  return 0;
+}

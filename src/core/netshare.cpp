@@ -291,6 +291,35 @@ TraceT stream_generate(EncoderT& encoder, const TraceT& giant, std::size_t n,
 
 }  // namespace
 
+std::vector<std::size_t> chunk_record_targets(
+    const std::vector<ChunkInfo>& chunks, std::size_t n) {
+  return record_targets(chunks, n);
+}
+
+void sample_flow_chunk_part(const std::vector<ChunkInfo>& chunks,
+                            std::size_t c, std::size_t target,
+                            std::uint64_t seed, const NetShareConfig& config,
+                            ChunkedTrainer& trainer,
+                            const FlowEncoder& encoder, net::FlowTrace& out) {
+  sample_chunk_part(chunks, c, target, seed, config, trainer,
+                    [](auto& trace) -> auto& { return trace.records; },
+                    [&](const gan::GeneratedSeries& series, std::size_t cc) {
+                      return encoder.decode(series, cc);
+                    },
+                    out);
+}
+
+void export_flow_chunk_part(std::size_t target, net::FlowTrace& part) {
+  export_chunk_part(target, [](auto& trace) -> auto& { return trace.records; },
+                    part);
+}
+
+net::FlowTrace merge_flow_chunk_parts(std::vector<net::FlowTrace>& parts,
+                                      std::size_t n) {
+  return merge_chunk_parts(parts, n,
+                           [](auto& trace) -> auto& { return trace.records; });
+}
+
 net::FlowTrace NetShare::generate_flows(std::size_t n, Rng& rng) {
   if (!flow_encoder_ || !trainer_) {
     throw std::logic_error("NetShare::generate_flows: fit a flow trace first");

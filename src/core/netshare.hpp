@@ -32,6 +32,34 @@ std::shared_ptr<embed::Ip2Vec> make_public_ip2vec_for(
     const NetShareConfig& config, std::uint64_t seed = 2015,
     std::size_t records = 4000);
 
+// --- chunk-part sampling toolkit (DESIGN.md §13) ---
+// The building blocks of the generation path, exposed so the serving layer
+// (src/serve) can coalesce several jobs into shared chunk-part sampling
+// passes while staying on the exact code path generate_flows() uses. Each
+// part is a pure function of (chunk models, config, seed, chunk, target):
+// independent of batching, of job interleaving, and of worker/kernel thread
+// counts.
+
+// Per-chunk record targets proportional to the real chunk sizes (sums to ~n).
+std::vector<std::size_t> chunk_record_targets(
+    const std::vector<ChunkInfo>& chunks, std::size_t n);
+
+// Deficit-loop sampling + decode of chunk c's sub-trace toward `target`
+// records (overshoot is trimmed by export_flow_chunk_part).
+void sample_flow_chunk_part(const std::vector<ChunkInfo>& chunks,
+                            std::size_t c, std::size_t target,
+                            std::uint64_t seed, const NetShareConfig& config,
+                            ChunkedTrainer& trainer,
+                            const FlowEncoder& encoder, net::FlowTrace& out);
+
+// Orders a chunk's sub-trace and trims the deficit-loop overshoot.
+void export_flow_chunk_part(std::size_t target, net::FlowTrace& part);
+
+// Concatenates per-chunk sub-traces in chunk order, orders globally, trims
+// to n — the final merge both the offline path and the serving client run.
+net::FlowTrace merge_flow_chunk_parts(std::vector<net::FlowTrace>& parts,
+                                      std::size_t n);
+
 class NetShare {
  public:
   // `ip2vec` may be null; it is then required that

@@ -193,6 +193,25 @@ void ChunkedTrainer::note_generate_seconds(std::size_t c, double sec) {
   if (c < report_.chunks.size()) report_.chunks[c].generate_sec = sec;
 }
 
+void ChunkedTrainer::restore_chunk(std::size_t c,
+                                   const std::vector<double>& params) {
+  if (c >= models_.size()) {
+    throw std::out_of_range("ChunkedTrainer::restore_chunk: chunk " +
+                            std::to_string(c) + " out of range");
+  }
+  const gan::DgConfig dg = chunk_config();
+  // Same per-chunk construction seeds as training; irrelevant to sampling
+  // (restore overwrites every weight) but keeps the objects interchangeable.
+  auto model = std::make_unique<gan::DoppelGanger>(
+      spec_, dg,
+      c == seed_chunk_ ? config_.seed + c : config_.seed + 1000 + c);
+  model->restore(params);  // validates all boundaries before writing
+  models_[c] = std::move(model);
+  ChunkTrainReport& r = report_.chunks[c];
+  r.status = ChunkTrainReport::Status::kResumed;
+  if (c == seed_chunk_) seed_snapshot_ = params;
+}
+
 void ChunkedTrainer::fit(const std::vector<gan::TimeSeriesDataset>& chunks) {
   std::vector<std::size_t> sizes(chunks.size());
   for (std::size_t c = 0; c < chunks.size(); ++c) {

@@ -86,6 +86,16 @@ class ChunkedTrainer {
   // concurrent distinct chunks.
   void note_generate_seconds(std::size_t c, double sec);
 
+  // --- serving path (DESIGN.md §13) ---
+  // Installs chunk c's model directly from a flat parameter snapshot, no
+  // training: the model registry restores published checkpoint files into a
+  // sampling-only trainer. begin_fit must have sized the run. Throws
+  // std::invalid_argument on a shape mismatch (restore validates every
+  // boundary before writing, so the slot is never half-restored — the old
+  // model for that chunk, if any, is simply replaced on success only).
+  // Marks the chunk kResumed in report().
+  void restore_chunk(std::size_t c, const std::vector<double>& params);
+
   // Per-chunk outcome of the last fit() (empty before the first fit).
   const TrainReport& report() const { return report_; }
 

@@ -1,0 +1,78 @@
+#include "serve/client.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace netshare::serve {
+
+void ServeClient::PendingJob::on_chunk(std::size_t chunk_index,
+                                       net::FlowTrace part) {
+  std::lock_guard<std::mutex> lock(mu_);
+  parts_[chunk_index] = std::move(part);
+}
+
+void ServeClient::PendingJob::finish(ClientResult r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_ = std::move(r);
+    if (result_.ok) {
+      // Same final merge as the offline path: parts in ascending chunk
+      // order, globally time-ordered, trimmed to n.
+      std::vector<net::FlowTrace> parts;
+      parts.reserve(parts_.size());
+      for (auto& [c, part] : parts_) parts.push_back(std::move(part));
+      result_.trace = core::merge_flow_chunk_parts(parts, n_);
+    }
+    parts_.clear();
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+ClientResult ServeClient::PendingJob::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  return result_;
+}
+
+std::shared_ptr<ServeClient::PendingJob> ServeClient::submit(
+    const std::string& model_id, const std::string& tenant, std::size_t n,
+    std::uint64_t seed) {
+  auto job = std::make_shared<PendingJob>();
+  job->n_ = n;
+  JobCallbacks cbs;
+  cbs.on_chunk = [job](std::size_t c, net::FlowTrace part) {
+    job->on_chunk(c, std::move(part));
+  };
+  cbs.on_done = [job](std::uint64_t, std::uint64_t version) {
+    ClientResult r;
+    r.ok = true;
+    r.model_version = version;
+    job->finish(std::move(r));
+  };
+  cbs.on_error = [job](ErrorCode code, const std::string& message) {
+    ClientResult r;
+    r.ok = false;
+    r.code = code;
+    r.message = message;
+    job->finish(std::move(r));
+  };
+  SubmitResult sr = service_->submit(
+      GenerateJob{model_id, tenant, n, seed}, std::move(cbs));
+  if (!sr.accepted) {
+    ClientResult r;
+    r.ok = false;
+    r.code = sr.code;
+    r.message = std::move(sr.message);
+    job->finish(std::move(r));
+  }
+  return job;
+}
+
+ClientResult ServeClient::generate(const std::string& model_id,
+                                   const std::string& tenant, std::size_t n,
+                                   std::uint64_t seed) {
+  return submit(model_id, tenant, n, seed)->wait();
+}
+
+}  // namespace netshare::serve

@@ -1,0 +1,69 @@
+// In-process client for the generation service: the same job lifecycle the
+// socket layer drives (submit -> streamed chunk parts -> done/error -> final
+// merge), minus the wire. Tests use it to exercise admission, coalescing,
+// fairness, hot-swap, and drain semantics without sockets; the daemon's
+// connection handler is this logic with frames in place of calls.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace netshare::serve {
+
+// Terminal outcome of one generate job. On ok, `trace` is the merged,
+// time-ordered, trimmed-to-n synthetic trace — bitwise identical to the
+// offline NetShare::generate_flows output for the same (snapshot, config,
+// derived seed).
+struct ClientResult {
+  bool ok = false;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  net::FlowTrace trace;
+  std::uint64_t model_version = 0;
+};
+
+class ServeClient {
+ public:
+  // A submitted job; wait() blocks until the service settles it. Safe to
+  // destroy without waiting only after wait() returned (the service holds
+  // callbacks into this object while the job is live), so PendingJob is
+  // handed out as shared_ptr and the callbacks keep it alive.
+  class PendingJob {
+   public:
+    ClientResult wait();
+
+   private:
+    friend class ServeClient;
+    void on_chunk(std::size_t chunk_index, net::FlowTrace part);
+    void finish(ClientResult r);
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::size_t n_ = 0;
+    std::map<std::size_t, net::FlowTrace> parts_;  // by chunk index
+    ClientResult result_;
+  };
+
+  explicit ServeClient(Service& service) : service_(&service) {}
+
+  // Non-blocking submit; a rejected job's handle is already settled.
+  std::shared_ptr<PendingJob> submit(const std::string& model_id,
+                                     const std::string& tenant, std::size_t n,
+                                     std::uint64_t seed);
+
+  // Blocking one-shot: submit + wait + merge.
+  ClientResult generate(const std::string& model_id, const std::string& tenant,
+                        std::size_t n, std::uint64_t seed);
+
+ private:
+  Service* service_;
+};
+
+}  // namespace netshare::serve

@@ -1,0 +1,373 @@
+#include "serve/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace netshare::serve {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDraining: return "draining";
+    case ErrorCode::kModelNotFound: return "model-not-found";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kSnapshotIo: return "snapshot-io";
+    case ErrorCode::kSnapshotTruncated: return "snapshot-truncated";
+    case ErrorCode::kSnapshotBadMagic: return "snapshot-bad-magic";
+    case ErrorCode::kSnapshotBadVersion: return "snapshot-bad-version";
+    case ErrorCode::kSnapshotChecksum: return "snapshot-checksum";
+    case ErrorCode::kSnapshotShape: return "snapshot-shape";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+ErrorCode error_code_for(ml::SnapshotError::Kind kind) {
+  switch (kind) {
+    case ml::SnapshotError::Kind::kIo: return ErrorCode::kSnapshotIo;
+    case ml::SnapshotError::Kind::kTruncated:
+      return ErrorCode::kSnapshotTruncated;
+    case ml::SnapshotError::Kind::kBadMagic:
+      return ErrorCode::kSnapshotBadMagic;
+    case ml::SnapshotError::Kind::kBadVersion:
+      return ErrorCode::kSnapshotBadVersion;
+    case ml::SnapshotError::Kind::kChecksum:
+      return ErrorCode::kSnapshotChecksum;
+  }
+  return ErrorCode::kInternal;
+}
+
+namespace {
+
+// --- little-endian primitives ---
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  if (s.size() > 0xffff) {
+    throw ProtocolError("string field exceeds 65535 bytes");
+  }
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Bounds-checked reader over a frame body.
+class Cursor {
+ public:
+  Cursor(const FrameBody& body, std::size_t offset)
+      : data_(body.data()), size_(body.size()), pos_(offset) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint16_t len = u16();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  void done() const {
+    if (pos_ != size_) throw ProtocolError("trailing bytes in frame payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw ProtocolError("truncated frame payload");
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_;
+};
+
+// Begins a frame (length placeholder + type) and patches the length prefix
+// on destruction.
+class FrameScope {
+ public:
+  FrameScope(std::vector<std::uint8_t>& out, MsgType type) : out_(out) {
+    start_ = out_.size();
+    put_u32(out_, 0);  // patched below
+    put_u8(out_, static_cast<std::uint8_t>(type));
+  }
+  ~FrameScope() {
+    const std::size_t body = out_.size() - start_ - 4;
+    for (int i = 0; i < 4; ++i) {
+      out_[start_ + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(body >> (8 * i));
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t start_;
+};
+
+void put_record(std::vector<std::uint8_t>& out, const net::FlowRecord& r) {
+  put_u32(out, r.key.src_ip.value());
+  put_u32(out, r.key.dst_ip.value());
+  put_u16(out, r.key.src_port);
+  put_u16(out, r.key.dst_port);
+  put_u8(out, static_cast<std::uint8_t>(r.key.protocol));
+  put_f64(out, r.start_time);
+  put_f64(out, r.duration);
+  put_u64(out, r.packets);
+  put_u64(out, r.bytes);
+  put_u8(out, r.is_attack ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(r.attack_type));
+}
+
+net::FlowRecord get_record(Cursor& cur) {
+  net::FlowRecord r;
+  r.key.src_ip = net::Ipv4Address(cur.u32());
+  r.key.dst_ip = net::Ipv4Address(cur.u32());
+  r.key.src_port = cur.u16();
+  r.key.dst_port = cur.u16();
+  r.key.protocol = static_cast<net::Protocol>(cur.u8());
+  r.start_time = cur.f64();
+  r.duration = cur.f64();
+  r.packets = cur.u64();
+  r.bytes = cur.u64();
+  r.is_attack = cur.u8() != 0;
+  r.attack_type = static_cast<net::AttackType>(cur.u8());
+  return r;
+}
+
+Cursor open(const FrameBody& body, MsgType expected) {
+  if (frame_type(body) != expected) {
+    throw ProtocolError("frame type mismatch");
+  }
+  return Cursor(body, 1);
+}
+
+}  // namespace
+
+void encode(const GenerateRequest& msg, std::vector<std::uint8_t>& out) {
+  FrameScope frame(out, MsgType::kGenerate);
+  put_u32(out, msg.request_id);
+  put_str(out, msg.model_id);
+  put_str(out, msg.tenant);
+  put_u64(out, msg.n_flows);
+  put_u64(out, msg.seed);
+}
+
+void encode(const StatsRequest& msg, std::vector<std::uint8_t>& out) {
+  FrameScope frame(out, MsgType::kStats);
+  put_u32(out, msg.request_id);
+}
+
+void encode(const PublishRequest& msg, std::vector<std::uint8_t>& out) {
+  FrameScope frame(out, MsgType::kPublish);
+  put_u32(out, msg.request_id);
+  put_str(out, msg.model_id);
+  put_str(out, msg.snapshot_dir);
+}
+
+void encode(const ChunkReply& msg, std::vector<std::uint8_t>& out) {
+  FrameScope frame(out, MsgType::kChunk);
+  put_u32(out, msg.request_id);
+  put_u32(out, msg.chunk_index);
+  put_u32(out, static_cast<std::uint32_t>(msg.part.records.size()));
+  for (const auto& r : msg.part.records) put_record(out, r);
+}
+
+void encode(const DoneReply& msg, std::vector<std::uint8_t>& out) {
+  FrameScope frame(out, MsgType::kDone);
+  put_u32(out, msg.request_id);
+  put_u64(out, msg.records);
+  put_u64(out, msg.model_version);
+}
+
+void encode(const ErrorReply& msg, std::vector<std::uint8_t>& out) {
+  FrameScope frame(out, MsgType::kError);
+  put_u32(out, msg.request_id);
+  put_u8(out, static_cast<std::uint8_t>(msg.code));
+  put_str(out, msg.message);
+}
+
+void encode(const StatsReply& msg, std::vector<std::uint8_t>& out) {
+  FrameScope frame(out, MsgType::kStatsReply);
+  put_u32(out, msg.request_id);
+  // Stats JSON can exceed the u16 string limit; length-prefix with u32.
+  put_u32(out, static_cast<std::uint32_t>(msg.json.size()));
+  out.insert(out.end(), msg.json.begin(), msg.json.end());
+}
+
+MsgType frame_type(const FrameBody& body) {
+  if (body.empty()) throw ProtocolError("empty frame body");
+  switch (body[0]) {
+    case static_cast<std::uint8_t>(MsgType::kGenerate):
+    case static_cast<std::uint8_t>(MsgType::kStats):
+    case static_cast<std::uint8_t>(MsgType::kPublish):
+    case static_cast<std::uint8_t>(MsgType::kChunk):
+    case static_cast<std::uint8_t>(MsgType::kDone):
+    case static_cast<std::uint8_t>(MsgType::kError):
+    case static_cast<std::uint8_t>(MsgType::kStatsReply):
+      return static_cast<MsgType>(body[0]);
+    default:
+      throw ProtocolError("unknown frame type " + std::to_string(body[0]));
+  }
+}
+
+GenerateRequest decode_generate(const FrameBody& body) {
+  Cursor cur = open(body, MsgType::kGenerate);
+  GenerateRequest msg;
+  msg.request_id = cur.u32();
+  msg.model_id = cur.str();
+  msg.tenant = cur.str();
+  msg.n_flows = cur.u64();
+  msg.seed = cur.u64();
+  cur.done();
+  return msg;
+}
+
+StatsRequest decode_stats(const FrameBody& body) {
+  Cursor cur = open(body, MsgType::kStats);
+  StatsRequest msg;
+  msg.request_id = cur.u32();
+  cur.done();
+  return msg;
+}
+
+PublishRequest decode_publish(const FrameBody& body) {
+  Cursor cur = open(body, MsgType::kPublish);
+  PublishRequest msg;
+  msg.request_id = cur.u32();
+  msg.model_id = cur.str();
+  msg.snapshot_dir = cur.str();
+  cur.done();
+  return msg;
+}
+
+ChunkReply decode_chunk(const FrameBody& body) {
+  Cursor cur = open(body, MsgType::kChunk);
+  ChunkReply msg;
+  msg.request_id = cur.u32();
+  msg.chunk_index = cur.u32();
+  const std::uint32_t count = cur.u32();
+  // 46 bytes per record on the wire; a count promising more data than the
+  // frame holds is malformed, reject before reserving.
+  if (static_cast<std::size_t>(count) * 46 > body.size()) {
+    throw ProtocolError("chunk record count exceeds frame size");
+  }
+  msg.part.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    msg.part.records.push_back(get_record(cur));
+  }
+  cur.done();
+  return msg;
+}
+
+DoneReply decode_done(const FrameBody& body) {
+  Cursor cur = open(body, MsgType::kDone);
+  DoneReply msg;
+  msg.request_id = cur.u32();
+  msg.records = cur.u64();
+  msg.model_version = cur.u64();
+  cur.done();
+  return msg;
+}
+
+ErrorReply decode_error(const FrameBody& body) {
+  Cursor cur = open(body, MsgType::kError);
+  ErrorReply msg;
+  msg.request_id = cur.u32();
+  msg.code = static_cast<ErrorCode>(cur.u8());
+  msg.message = cur.str();
+  cur.done();
+  return msg;
+}
+
+StatsReply decode_stats_reply(const FrameBody& body) {
+  Cursor cur = open(body, MsgType::kStatsReply);
+  StatsReply msg;
+  msg.request_id = cur.u32();
+  const std::uint32_t len = cur.u32();
+  if (len > body.size()) {
+    throw ProtocolError("stats json length exceeds frame size");
+  }
+  msg.json.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    msg.json.push_back(static_cast<char>(cur.u8()));
+  }
+  cur.done();
+  return msg;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
+  // Compact the consumed prefix before growing, keeping the buffer bounded
+  // by one partial frame plus the newest slice.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10)) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<FrameBody> FrameReader::next() {
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= std::uint32_t{buf_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
+  }
+  if (len > kMaxFrame) {
+    throw ProtocolError("frame length " + std::to_string(len) +
+                        " exceeds limit");
+  }
+  if (buf_.size() - pos_ - 4 < len) return std::nullopt;
+  FrameBody body(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return body;
+}
+
+}  // namespace netshare::serve

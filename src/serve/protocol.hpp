@@ -1,0 +1,162 @@
+// Wire protocol of the generation service (DESIGN.md §13): a simple
+// length-prefixed binary framing over a local stream socket.
+//
+//   frame := u32 LE body_length | body
+//   body  := u8 MsgType | payload (per-type layout below; all integers LE,
+//            doubles as LE IEEE-754 bit patterns, strings as u16 length +
+//            bytes)
+//
+// Every request carries a client-chosen u32 request_id that is echoed in
+// every reply frame, so requests may be pipelined on one connection and the
+// interleaved replies remain attributable. A generate request is answered by
+// zero or more kChunk frames (one per non-empty model chunk, ascending chunk
+// index — results stream back incrementally as each chunk part is exported)
+// terminated by exactly one kDone or kError frame.
+//
+// The codec layer here is pure byte-vector transformation — no sockets — so
+// tests exercise framing, round-trips, and malformed-input rejection without
+// any I/O.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/serialize.hpp"
+#include "net/trace.hpp"
+
+namespace netshare::serve {
+
+enum class MsgType : std::uint8_t {
+  // Requests (client -> daemon).
+  kGenerate = 1,  // u32 id | str model_id | str tenant | u64 n_flows | u64 seed
+  kStats = 2,     // u32 id
+  kPublish = 3,   // u32 id | str model_id | str snapshot_dir
+
+  // Replies (daemon -> client).
+  kChunk = 64,       // u32 id | u32 chunk_index | u32 count | count records
+  kDone = 65,        // u32 id | u64 records | u64 model_version
+  kError = 66,       // u32 id | u8 ErrorCode | str message
+  kStatsReply = 67,  // u32 id | str json
+};
+
+// Typed rejection taxonomy. The kSnapshot* codes mirror
+// ml::SnapshotError::Kind one-to-one, so a registry publish rejected over
+// the wire carries exactly the corruption kind the training-resume path
+// would have diagnosed.
+enum class ErrorCode : std::uint8_t {
+  kOverloaded = 1,     // admission control shed this job; retry later
+  kDraining = 2,       // daemon is shutting down; no new jobs
+  kModelNotFound = 3,  // unknown model_id / nothing published yet
+  kBadRequest = 4,     // malformed or empty request
+  kSnapshotIo = 16,
+  kSnapshotTruncated = 17,
+  kSnapshotBadMagic = 18,
+  kSnapshotBadVersion = 19,
+  kSnapshotChecksum = 20,
+  kSnapshotShape = 21,  // valid file, wrong parameter count for the model
+  kInternal = 32,
+};
+
+const char* to_string(ErrorCode code);
+
+// Maps the on-disk snapshot failure taxonomy onto wire codes.
+ErrorCode error_code_for(ml::SnapshotError::Kind kind);
+
+// Malformed frame / payload. Distinct from std::runtime_error so the socket
+// layer can answer kBadRequest instead of dropping the connection state.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct GenerateRequest {
+  std::uint32_t request_id = 0;
+  std::string model_id;
+  std::string tenant;
+  std::uint64_t n_flows = 0;
+  std::uint64_t seed = 0;
+};
+
+struct StatsRequest {
+  std::uint32_t request_id = 0;
+};
+
+struct PublishRequest {
+  std::uint32_t request_id = 0;
+  std::string model_id;
+  std::string snapshot_dir;
+};
+
+struct ChunkReply {
+  std::uint32_t request_id = 0;
+  std::uint32_t chunk_index = 0;
+  net::FlowTrace part;
+};
+
+struct DoneReply {
+  std::uint32_t request_id = 0;
+  std::uint64_t records = 0;
+  std::uint64_t model_version = 0;
+};
+
+struct ErrorReply {
+  std::uint32_t request_id = 0;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct StatsReply {
+  std::uint32_t request_id = 0;
+  std::string json;
+};
+
+// --- encoding: appends one complete frame (length prefix included) ---
+void encode(const GenerateRequest& msg, std::vector<std::uint8_t>& out);
+void encode(const StatsRequest& msg, std::vector<std::uint8_t>& out);
+void encode(const PublishRequest& msg, std::vector<std::uint8_t>& out);
+void encode(const ChunkReply& msg, std::vector<std::uint8_t>& out);
+void encode(const DoneReply& msg, std::vector<std::uint8_t>& out);
+void encode(const ErrorReply& msg, std::vector<std::uint8_t>& out);
+void encode(const StatsReply& msg, std::vector<std::uint8_t>& out);
+
+// --- decoding ---
+// A complete frame body (type byte + payload, length prefix stripped).
+using FrameBody = std::vector<std::uint8_t>;
+
+// Type of a frame body; throws ProtocolError on empty body or unknown type.
+MsgType frame_type(const FrameBody& body);
+
+// Per-type payload decoders; throw ProtocolError on truncated / trailing /
+// oversized payloads.
+GenerateRequest decode_generate(const FrameBody& body);
+StatsRequest decode_stats(const FrameBody& body);
+PublishRequest decode_publish(const FrameBody& body);
+ChunkReply decode_chunk(const FrameBody& body);
+DoneReply decode_done(const FrameBody& body);
+ErrorReply decode_error(const FrameBody& body);
+StatsReply decode_stats_reply(const FrameBody& body);
+
+// Incremental frame splitter for a byte stream: feed() arbitrary slices,
+// next() yields complete frame bodies in order. A length prefix above
+// kMaxFrame throws ProtocolError (a desynced or hostile peer, not a real
+// frame).
+class FrameReader {
+ public:
+  static constexpr std::size_t kMaxFrame = 64u << 20;
+
+  void feed(const std::uint8_t* data, std::size_t len);
+  std::optional<FrameBody> next();
+
+  // Bytes buffered but not yet returned (tests / diagnostics).
+  std::size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+};
+
+}  // namespace netshare::serve

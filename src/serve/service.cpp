@@ -1,0 +1,379 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/telemetry.hpp"
+
+namespace netshare::serve {
+
+namespace {
+
+ServiceConfig sanitize(ServiceConfig cfg) {
+  cfg.workers = std::max<std::size_t>(1, cfg.workers);
+  cfg.queue_capacity = std::max<std::size_t>(1, cfg.queue_capacity);
+  cfg.max_coalesce = std::max<std::size_t>(1, cfg.max_coalesce);
+  cfg.tenant_inflight_cap = std::max<std::size_t>(1, cfg.tenant_inflight_cap);
+  cfg.drr_quantum = std::max<std::size_t>(1, cfg.drr_quantum);
+  return cfg;
+}
+
+std::size_t latency_bucket(double ms) {
+  std::size_t b = 0;
+  while (b < kLatencyBuckets - 1 && ms > kLatencyEdgesMs[b]) ++b;
+  return b;
+}
+
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out << '\\' << ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      out << ' ';  // control bytes have no business in tenant/model names
+    } else {
+      out << ch;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+double latency_percentile_ms(const std::vector<std::uint64_t>& hist,
+                             double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : hist) total += c;
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    seen += hist[b];
+    if (seen > rank) {
+      return kLatencyEdgesMs[std::min<std::size_t>(b, kLatencyBuckets - 2)];
+    }
+  }
+  return kLatencyEdgesMs[kLatencyBuckets - 2];
+}
+
+std::string to_json(const ServiceStatsSnapshot& stats) {
+  std::ostringstream out;
+  out << "{\"draining\":" << (stats.draining ? "true" : "false")
+      << ",\"queue_depth\":" << stats.queue_depth
+      << ",\"running\":" << stats.running
+      << ",\"models_loaded\":" << stats.models_loaded
+      << ",\"submitted\":" << stats.submitted
+      << ",\"completed\":" << stats.completed
+      << ",\"shed_overloaded\":" << stats.shed_overloaded
+      << ",\"shed_draining\":" << stats.shed_draining
+      << ",\"rejected_other\":" << stats.rejected_other
+      << ",\"errors\":" << stats.errors << ",\"batches\":" << stats.batches
+      << ",\"coalesced_jobs\":" << stats.coalesced_jobs << ",\"tenants\":[";
+  for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+    const TenantStatsSnapshot& t = stats.tenants[i];
+    if (i) out << ',';
+    out << "{\"tenant\":";
+    append_json_string(out, t.tenant);
+    out << ",\"submitted\":" << t.submitted << ",\"completed\":" << t.completed
+        << ",\"shed\":" << t.shed << ",\"records\":" << t.records
+        << ",\"latency_p50_ms\":" << latency_percentile_ms(t.latency_hist, 0.5)
+        << ",\"latency_p99_ms\":" << latency_percentile_ms(t.latency_hist, 0.99)
+        << ",\"latency_mean_ms\":"
+        << (t.latency_count
+                ? t.latency_sum_ms / static_cast<double>(t.latency_count)
+                : 0.0)
+        << ",\"latency_hist\":[";
+    for (std::size_t b = 0; b < t.latency_hist.size(); ++b) {
+      if (b) out << ',';
+      out << t.latency_hist[b];
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Service::Service(ModelRegistry& registry, ServiceConfig config)
+    : registry_(registry), config_(sanitize(config)) {
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Service::~Service() {
+  begin_drain();
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  scheduler_.join();
+  pool_.reset();  // joins sampling workers (queue already empty after drain)
+}
+
+SubmitResult Service::submit(GenerateJob job, JobCallbacks callbacks) {
+  // Resolve the model handle before taking the service lock (the registry
+  // has its own); this is the hot-swap pin — the job keeps this version.
+  std::shared_ptr<LoadedModel> model;
+  if (!job.model_id.empty()) model = registry_.acquire(job.model_id);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.try_emplace(job.tenant);
+  Tenant& t = it->second;
+  if (inserted) rr_order_.push_back(job.tenant);
+  ++t.submitted;
+  ++submitted_;
+
+  if (draining_) {
+    ++t.shed;
+    ++shed_draining_;
+    TELEM_COUNT("serve.shed_draining");
+    return {false, ErrorCode::kDraining, "service is draining"};
+  }
+  if (job.n_flows == 0 || job.model_id.empty()) {
+    ++t.shed;
+    ++rejected_other_;
+    return {false, ErrorCode::kBadRequest,
+            "generate requires a model_id and n_flows > 0"};
+  }
+  if (!model) {
+    ++t.shed;
+    ++rejected_other_;
+    return {false, ErrorCode::kModelNotFound,
+            "no published model '" + job.model_id + "'"};
+  }
+  if (queued_ >= config_.queue_capacity) {
+    ++t.shed;
+    ++shed_overloaded_;
+    TELEM_COUNT("serve.shed_overloaded");
+    return {false, ErrorCode::kOverloaded, "job queue is full"};
+  }
+  if (t.inflight >= config_.tenant_inflight_cap) {
+    ++t.shed;
+    ++shed_overloaded_;
+    TELEM_COUNT("serve.shed_overloaded");
+    return {false, ErrorCode::kOverloaded,
+            "tenant '" + job.tenant + "' hit its in-flight cap"};
+  }
+
+  auto p = std::make_unique<Pending>();
+  p->job = std::move(job);
+  p->callbacks = std::move(callbacks);
+  p->model = std::move(model);
+  p->submitted_at = std::chrono::steady_clock::now();
+  t.queue.push_back(std::move(p));
+  ++t.inflight;
+  ++queued_;
+  TELEM_GAUGE_SET("serve.queue_depth", queued_);
+  work_cv_.notify_one();
+  return {true, ErrorCode::kInternal, ""};
+}
+
+void Service::begin_drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool Service::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+}
+
+void Service::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    bool accruing = false;
+    std::vector<PendingPtr> batch = next_batch_locked(accruing);
+    if (batch.empty()) {
+      // `accruing` means a dispatchable head just lacks DRR credit; credit
+      // only accrues on scheduler visits, so re-scan instead of sleeping
+      // (bounded: ceil(cost / quantum) passes until it can afford).
+      if (!accruing) work_cv_.wait(lock);
+      continue;
+    }
+    busy_models_.insert(batch.front()->model.get());
+    queued_ -= batch.size();
+    running_ += batch.size();
+    ++batches_;
+    if (batch.size() > 1) coalesced_jobs_ += batch.size();
+    TELEM_GAUGE_SET("serve.queue_depth", queued_);
+    TELEM_HIST("serve.batch_jobs", batch.size(), 1, 2, 4, 8, 16);
+    lock.unlock();
+    // std::function is copyable, PendingPtr is not: park the batch in a
+    // shared_ptr for the trip through the pool queue.
+    auto boxed =
+        std::make_shared<std::vector<PendingPtr>>(std::move(batch));
+    pool_->submit([this, boxed] { run_batch(std::move(*boxed)); });
+    lock.lock();
+  }
+}
+
+std::vector<Service::PendingPtr> Service::next_batch_locked(bool& accruing) {
+  std::vector<PendingPtr> batch;
+  const std::size_t T = rr_order_.size();
+  for (std::size_t scan = 0; scan < T; ++scan) {
+    const std::size_t ti = (rr_next_ + scan) % T;
+    Tenant& t = tenants_.find(rr_order_[ti])->second;
+    if (t.queue.empty()) continue;
+    Pending& head = *t.queue.front();
+    if (busy_models_.count(head.model.get())) continue;
+    const auto cost = static_cast<std::int64_t>(head.job.n_flows);
+    // Lazy refill: credit accrues only while the tenant cannot afford its
+    // head job, so an idle tenant's deficit stays bounded by one quantum
+    // above the largest job it ever queued.
+    if (t.deficit < cost) {
+      t.deficit += static_cast<std::int64_t>(config_.drr_quantum);
+    }
+    if (t.deficit < cost) {
+      accruing = true;  // affordable after more visits; don't sleep on it
+      continue;
+    }
+    t.deficit -= cost;
+    batch.push_back(std::move(t.queue.front()));
+    t.queue.pop_front();
+    rr_next_ = (ti + 1) % T;
+    break;
+  }
+  if (batch.empty()) return batch;
+
+  // Coalesce: pull queue heads targeting the same loaded model instance
+  // (same model_id + version), in RR order, charging each donor tenant's
+  // deficit — possibly below zero, which future refills repay, so borrowed
+  // throughput is not free throughput.
+  const LoadedModel* key = batch.front()->model.get();
+  bool progress = true;
+  while (progress && batch.size() < config_.max_coalesce) {
+    progress = false;
+    for (std::size_t scan = 0;
+         scan < T && batch.size() < config_.max_coalesce; ++scan) {
+      Tenant& t = tenants_.find(rr_order_[(rr_next_ + scan) % T])->second;
+      if (t.queue.empty()) continue;
+      Pending& head = *t.queue.front();
+      if (head.model.get() != key) continue;
+      t.deficit -= static_cast<std::int64_t>(head.job.n_flows);
+      batch.push_back(std::move(t.queue.front()));
+      t.queue.pop_front();
+      progress = true;
+    }
+  }
+  return batch;
+}
+
+void Service::run_batch(std::vector<PendingPtr> batch) {
+  LoadedModel& model = *batch.front()->model;
+  const std::size_t M = model.num_chunks();
+  std::vector<std::vector<std::size_t>> targets(batch.size());
+  std::vector<std::uint64_t> records(batch.size(), 0);
+  std::vector<char> failed(batch.size(), 0);
+  std::vector<std::string> errmsg(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    targets[i] = model.record_targets(batch[i]->job.n_flows);
+  }
+  {
+    TELEM_SPAN("serve.batch",
+               {"jobs", static_cast<long long>(batch.size())});
+    // Chunk-major: each chunk's model warms once per batch, and every job's
+    // chunk part streams out the moment it is exported. Each part draws only
+    // from the job's own seed streams, so this order — and the batch
+    // composition itself — cannot leak into any job's bytes.
+    net::FlowTrace part;
+    for (std::size_t c = 0; c < M; ++c) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (failed[i] || targets[i][c] == 0 || !model.has_chunk_model(c)) {
+          continue;
+        }
+        try {
+          model.sample_part(c, targets[i][c], batch[i]->job.seed, part);
+          records[i] += part.records.size();
+          if (!part.records.empty() && batch[i]->callbacks.on_chunk) {
+            batch[i]->callbacks.on_chunk(c, std::move(part));
+            part = net::FlowTrace{};
+          }
+        } catch (const std::exception& e) {
+          failed[i] = 1;
+          errmsg[i] = e.what();
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const JobCallbacks& cb = batch[i]->callbacks;
+    if (failed[i]) {
+      if (cb.on_error) cb.on_error(ErrorCode::kInternal, errmsg[i]);
+    } else if (cb.on_done) {
+      cb.on_done(records[i], model.version());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    finish_job_locked(*batch[i], failed[i] == 0, records[i]);
+  }
+  busy_models_.erase(&model);
+  running_ -= batch.size();
+  work_cv_.notify_all();   // the model is free; same-model work may dispatch
+  drain_cv_.notify_all();
+}
+
+void Service::finish_job_locked(const Pending& p, bool ok,
+                                std::uint64_t records) {
+  Tenant& t = tenants_.find(p.job.tenant)->second;
+  --t.inflight;
+  if (!ok) {
+    ++errors_;
+    TELEM_COUNT("serve.jobs_failed");
+    return;
+  }
+  ++t.completed;
+  ++completed_;
+  t.records += records;
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - p.submitted_at)
+          .count();
+  ++t.latency_hist[latency_bucket(ms)];
+  t.latency_sum_ms += ms;
+  ++t.latency_count;
+  TELEM_COUNT("serve.jobs_completed");
+  TELEM_HIST("serve.job_latency_ms", ms, 1, 10, 100, 1000, 10000);
+}
+
+ServiceStatsSnapshot Service::stats() const {
+  ServiceStatsSnapshot s;
+  s.models_loaded = registry_.models_loaded();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.draining = draining_;
+  s.queue_depth = queued_;
+  s.running = running_;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.shed_overloaded = shed_overloaded_;
+  s.shed_draining = shed_draining_;
+  s.rejected_other = rejected_other_;
+  s.errors = errors_;
+  s.batches = batches_;
+  s.coalesced_jobs = coalesced_jobs_;
+  s.tenants.reserve(rr_order_.size());
+  for (const std::string& name : rr_order_) {
+    const Tenant& t = tenants_.find(name)->second;
+    TenantStatsSnapshot ts;
+    ts.tenant = name;
+    ts.submitted = t.submitted;
+    ts.completed = t.completed;
+    ts.shed = t.shed;
+    ts.records = t.records;
+    ts.latency_hist = t.latency_hist;
+    ts.latency_sum_ms = t.latency_sum_ms;
+    ts.latency_count = t.latency_count;
+    s.tenants.push_back(std::move(ts));
+  }
+  TELEM_GAUGE_SET("serve.models_loaded", s.models_loaded);
+  return s;
+}
+
+}  // namespace netshare::serve

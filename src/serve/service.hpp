@@ -1,0 +1,216 @@
+// Generation-as-a-service scheduler (DESIGN.md §13): a bounded multi-tenant
+// job queue in front of the chunk-part sampling toolkit.
+//
+//  - Admission control at submit(): typed rejections (Draining, Overloaded,
+//    ModelNotFound, BadRequest) before a job ever holds resources; a global
+//    queue bound plus per-tenant in-flight caps so one tenant cannot occupy
+//    the whole queue.
+//  - Deficit-round-robin fairness across tenants: each tenant accrues
+//    `drr_quantum` records of credit per scheduler visit (lazy refill — only
+//    when it cannot afford its head job, so credit stays bounded) and jobs
+//    charge their n_flows against it. Record-weighted fair shares, not
+//    job-count shares.
+//  - Coalescing: compatible queued jobs (same LoadedModel instance, i.e.
+//    same model_id + version + config hash) dispatch as one batch that walks
+//    the model's chunks once, chunk-major, streaming each job's chunk part
+//    the moment it is exported. Batches for the same model serialize (the
+//    sampler reuses per-chunk scratch); different models — including the old
+//    and new version across a hot-swap — run concurrently on the worker
+//    pool.
+//
+// Determinism contract: a job's streamed parts are a pure function of
+// (published snapshot, model config, job seed) — each part is sampled from
+// the job's own counter-based stream — so output is bitwise independent of
+// batch composition, tenant mix, worker count, and scheduling order.
+// tests/test_serve.cpp locks this by comparing coalesced-concurrent runs
+// against a serial one-job-at-a-time oracle.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/protocol.hpp"
+
+namespace netshare::serve {
+
+struct ServiceConfig {
+  std::size_t workers = 2;          // sampling worker threads
+  std::size_t queue_capacity = 64;  // queued jobs across all tenants
+  std::size_t max_coalesce = 4;     // jobs per dispatched batch
+  std::size_t tenant_inflight_cap = 8;  // queued + running jobs per tenant
+  std::size_t drr_quantum = 1024;   // records of credit per DRR visit
+};
+
+struct GenerateJob {
+  std::string model_id;
+  std::string tenant;
+  std::size_t n_flows = 0;
+  std::uint64_t seed = 0;
+};
+
+// Per-job result delivery, invoked from worker threads (never under the
+// service lock, never from inside submit()). on_chunk streams one non-empty
+// chunk part (ascending chunk index); then exactly one of on_done/on_error.
+struct JobCallbacks {
+  std::function<void(std::size_t chunk_index, net::FlowTrace part)> on_chunk;
+  std::function<void(std::uint64_t records, std::uint64_t model_version)>
+      on_done;
+  std::function<void(ErrorCode code, const std::string& message)> on_error;
+};
+
+// Synchronous admission verdict: accepted == false carries the typed shed
+// reply and the job's callbacks will never fire.
+struct SubmitResult {
+  bool accepted = false;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+// Latency histogram bucket upper edges in milliseconds (last bucket is
+// overflow). Shared by the stats surface and bench percentile estimation.
+inline constexpr double kLatencyEdgesMs[] = {1,   2,   5,    10,   20,  50,
+                                             100, 200, 500,  1000, 2000, 5000};
+inline constexpr std::size_t kLatencyBuckets =
+    sizeof(kLatencyEdgesMs) / sizeof(double) + 1;
+
+struct TenantStatsSnapshot {
+  std::string tenant;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t records = 0;  // records streamed to completed jobs
+  std::vector<std::uint64_t> latency_hist;  // kLatencyBuckets counts
+  double latency_sum_ms = 0.0;
+  std::uint64_t latency_count = 0;
+};
+
+struct ServiceStatsSnapshot {
+  bool draining = false;
+  std::size_t queue_depth = 0;   // queued, not yet dispatched
+  std::size_t running = 0;       // dispatched, not yet completed
+  std::size_t models_loaded = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed_overloaded = 0;
+  std::uint64_t shed_draining = 0;
+  std::uint64_t rejected_other = 0;  // ModelNotFound / BadRequest
+  std::uint64_t errors = 0;          // jobs that failed in execution
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_jobs = 0;  // jobs that shared a batch with others
+  std::vector<TenantStatsSnapshot> tenants;
+};
+
+// Histogram-based percentile estimate (upper edge of the bucket holding the
+// q-quantile observation; overflow bucket reports the last edge). Used by
+// the stats JSON and bench/service_bench.
+double latency_percentile_ms(const std::vector<std::uint64_t>& hist, double q);
+
+// Renders a snapshot as a single JSON object (the kStatsReply payload).
+std::string to_json(const ServiceStatsSnapshot& stats);
+
+class Service {
+ public:
+  Service(ModelRegistry& registry, ServiceConfig config);
+  // Drains (completes every accepted job) and joins all threads.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Admission control. On acceptance the job owns a model handle (resolved
+  // NOW — a later hot-swap does not retarget it) and its callbacks will fire
+  // exactly once with done or error. On rejection nothing fires.
+  SubmitResult submit(GenerateJob job, JobCallbacks callbacks);
+
+  // Stops admitting (new submits shed with kDraining); queued and running
+  // jobs still complete.
+  void begin_drain();
+  bool draining() const;
+
+  // Blocks until every accepted job has completed (combine with
+  // begin_drain() for shutdown; without it, new submits keep extending the
+  // wait).
+  void drain();
+
+  ServiceStatsSnapshot stats() const;
+
+ private:
+  struct Pending {
+    GenerateJob job;
+    JobCallbacks callbacks;
+    std::shared_ptr<LoadedModel> model;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+  using PendingPtr = std::unique_ptr<Pending>;
+
+  struct Tenant {
+    std::deque<PendingPtr> queue;
+    std::int64_t deficit = 0;   // DRR credit in records; may go negative
+                                // when coalescing borrows ahead
+    std::size_t inflight = 0;   // queued + running
+    // stats
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t records = 0;
+    std::vector<std::uint64_t> latency_hist =
+        std::vector<std::uint64_t>(kLatencyBuckets, 0);
+    double latency_sum_ms = 0.0;
+    std::uint64_t latency_count = 0;
+  };
+
+  void scheduler_loop();
+  // Forms one batch under the lock; empty when nothing is dispatchable
+  // (queues empty, or every queued model is busy). Sets `accruing` when a
+  // queued job on an idle model merely lacks DRR credit — the scheduler then
+  // re-scans instead of sleeping, since only its own visits accrue credit.
+  std::vector<PendingPtr> next_batch_locked(bool& accruing);
+  void run_batch(std::vector<PendingPtr> batch);
+  void finish_job_locked(const Pending& p, bool ok, std::uint64_t records);
+
+  ModelRegistry& registry_;
+  const ServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // scheduler: new work / model freed
+  std::condition_variable drain_cv_;  // drain(): all jobs settled
+  bool draining_ = false;
+  bool stopping_ = false;
+
+  std::map<std::string, Tenant> tenants_;
+  std::vector<std::string> rr_order_;  // tenant visit order (first-seen)
+  std::size_t rr_next_ = 0;
+  std::set<const LoadedModel*> busy_models_;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+
+  // global stats
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_overloaded_ = 0;
+  std::uint64_t shed_draining_ = 0;
+  std::uint64_t rejected_other_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t coalesced_jobs_ = 0;
+
+  // Workers before scheduler in declaration order is irrelevant for
+  // construction but destruction runs ~Service explicitly (stop + join)
+  // before members die, so order here is not load-bearing.
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread scheduler_;
+};
+
+}  // namespace netshare::serve

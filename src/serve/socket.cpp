@@ -1,0 +1,407 @@
+#include "serve/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "ml/serialize.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace netshare::serve {
+
+namespace {
+
+// Whole-buffer blocking send; false once the peer is gone. MSG_NOSIGNAL so
+// a vanished client surfaces as EPIPE, not a process-killing SIGPIPE.
+bool send_exact(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// Shared between the event loop (reads) and sampling workers (reply
+// writes): the write mutex keeps frames whole, `closed` makes writes to a
+// torn-down peer no-ops while the job itself runs to completion.
+struct SocketServer::Conn {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> closed{false};
+  FrameReader reader;
+
+  void write_frame(const std::vector<std::uint8_t>& bytes) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed.load(std::memory_order_relaxed)) return;
+    if (!send_exact(fd, bytes.data(), bytes.size())) {
+      closed.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  void close_now() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!closed.exchange(true)) ::close(fd);
+  }
+};
+
+SocketServer::SocketServer(Service& service, ModelRegistry& registry,
+                           std::string socket_path)
+    : service_(&service), registry_(&registry), path_(std::move(socket_path)) {
+  const sockaddr_un addr = make_addr(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  ::unlink(path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot listen on '" + path_ +
+                             "': " + std::strerror(err));
+  }
+  if (::pipe(wake_fd_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("pipe() failed");
+  }
+  loop_ = std::thread([this] { event_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // One byte through the self-pipe lands the poll loop on its exit path.
+  const char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_[1], &byte, 1);
+  loop_.join();
+  std::vector<std::thread> publishers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->close_now();
+    conns_.clear();
+    publishers.swap(publish_threads_);
+  }
+  for (auto& t : publishers) t.join();
+  ::close(wake_fd_[0]);
+  ::close(wake_fd_[1]);
+  ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::event_loop() {
+  std::vector<std::shared_ptr<Conn>> local;  // loop-owned view of conns_
+  std::uint8_t buf[65536];
+  for (;;) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_fd_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : local) fds.push_back({conn->fd, POLLIN, 0});
+    // Connections accepted below this point are in `local` but not in
+    // `fds`; the read loop must not index past what was actually polled.
+    const std::size_t polled = local.size();
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[0].revents != 0) return;  // stop() poked the self-pipe
+    if (fds[1].revents & POLLIN) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        local.push_back(conn);
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.push_back(conn);
+        TELEM_COUNT("serve.socket.accepts");
+      }
+    }
+    for (std::size_t i = 0; i < polled;) {
+      const auto& conn = local[i];
+      const short revents = fds[2 + i].revents;
+      bool drop = conn->closed.load(std::memory_order_relaxed);
+      if (!drop && (revents & (POLLIN | POLLHUP | POLLERR))) {
+        const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n == 0 || (n < 0 && errno != EINTR)) {
+          drop = true;
+        } else if (n > 0) {
+          try {
+            conn->reader.feed(buf, static_cast<std::size_t>(n));
+            while (auto frame = conn->reader.next()) {
+              handle_frame(conn, *frame);
+            }
+          } catch (const ProtocolError&) {
+            drop = true;  // desynced framing: the stream is unrecoverable
+          }
+        }
+      }
+      if (drop) {
+        conn->close_now();
+        {
+          std::lock_guard<std::mutex> lock(conns_mu_);
+          std::erase(conns_, conn);
+        }
+        local.erase(local.begin() + static_cast<std::ptrdiff_t>(i));
+        // fds indexes are stale now; re-poll rather than fix up.
+        break;
+      }
+      ++i;
+    }
+  }
+}
+
+void SocketServer::handle_frame(const std::shared_ptr<Conn>& conn,
+                                const std::vector<std::uint8_t>& body) {
+  std::uint32_t request_id = 0;
+  try {
+    switch (frame_type(body)) {
+      case MsgType::kGenerate: {
+        const GenerateRequest req = decode_generate(body);
+        request_id = req.request_id;
+        JobCallbacks cbs;
+        cbs.on_chunk = [conn, id = req.request_id](std::size_t c,
+                                                   net::FlowTrace part) {
+          ChunkReply reply;
+          reply.request_id = id;
+          reply.chunk_index = static_cast<std::uint32_t>(c);
+          reply.part = std::move(part);
+          std::vector<std::uint8_t> bytes;
+          encode(reply, bytes);
+          conn->write_frame(bytes);
+        };
+        cbs.on_done = [conn, id = req.request_id](std::uint64_t records,
+                                                  std::uint64_t version) {
+          std::vector<std::uint8_t> bytes;
+          encode(DoneReply{id, records, version}, bytes);
+          conn->write_frame(bytes);
+        };
+        cbs.on_error = [conn, id = req.request_id](ErrorCode code,
+                                                   const std::string& msg) {
+          std::vector<std::uint8_t> bytes;
+          encode(ErrorReply{id, code, msg}, bytes);
+          conn->write_frame(bytes);
+        };
+        const SubmitResult sr = service_->submit(
+            GenerateJob{req.model_id, req.tenant, req.n_flows, req.seed},
+            std::move(cbs));
+        if (!sr.accepted) {
+          std::vector<std::uint8_t> bytes;
+          encode(ErrorReply{req.request_id, sr.code, sr.message}, bytes);
+          conn->write_frame(bytes);
+        }
+        return;
+      }
+      case MsgType::kStats: {
+        const StatsRequest req = decode_stats(body);
+        request_id = req.request_id;
+        std::vector<std::uint8_t> bytes;
+        encode(StatsReply{req.request_id, to_json(service_->stats())}, bytes);
+        conn->write_frame(bytes);
+        return;
+      }
+      case MsgType::kPublish: {
+        const PublishRequest req = decode_publish(body);
+        request_id = req.request_id;
+        // publish() rebuilds the whole model (encoder fit + every chunk
+        // restore) — minutes of work must not stall the event loop, so it
+        // runs on its own thread; stop() joins.
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        publish_threads_.emplace_back([this, conn, req] {
+          std::vector<std::uint8_t> bytes;
+          try {
+            const std::uint64_t version =
+                registry_->publish(req.model_id, req.snapshot_dir);
+            encode(DoneReply{req.request_id, 0, version}, bytes);
+          } catch (const ml::SnapshotError& e) {
+            encode(ErrorReply{req.request_id, error_code_for(e.kind()),
+                              e.what()},
+                   bytes);
+          } catch (const std::invalid_argument& e) {
+            // Undefined model or a valid snapshot of the wrong shape.
+            const ErrorCode code = std::string(e.what()).find("undefined") !=
+                                           std::string::npos
+                                       ? ErrorCode::kModelNotFound
+                                       : ErrorCode::kSnapshotShape;
+            encode(ErrorReply{req.request_id, code, e.what()}, bytes);
+          } catch (const std::exception& e) {
+            encode(ErrorReply{req.request_id, ErrorCode::kInternal, e.what()},
+                   bytes);
+          }
+          conn->write_frame(bytes);
+        });
+        return;
+      }
+      default: {
+        std::vector<std::uint8_t> bytes;
+        encode(ErrorReply{0, ErrorCode::kBadRequest, "unexpected reply-type frame"},
+               bytes);
+        conn->write_frame(bytes);
+        return;
+      }
+    }
+  } catch (const ProtocolError& e) {
+    // The frame was well-delimited but its payload malformed: answer typed
+    // and keep the connection (framing is still in sync).
+    std::vector<std::uint8_t> bytes;
+    encode(ErrorReply{request_id, ErrorCode::kBadRequest, e.what()}, bytes);
+    conn->write_frame(bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SocketClient
+// ---------------------------------------------------------------------------
+
+SocketClient::SocketClient(const std::string& socket_path) {
+  const sockaddr_un addr = make_addr(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to '" + socket_path +
+                             "': " + std::strerror(err));
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketClient::send_all(const std::vector<std::uint8_t>& bytes) {
+  if (!send_exact(fd_, bytes.data(), bytes.size())) {
+    throw std::runtime_error("daemon connection lost (send)");
+  }
+}
+
+std::vector<std::uint8_t> SocketClient::read_frame() {
+  for (;;) {
+    if (auto frame = reader_.next()) return std::move(*frame);
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw std::runtime_error("daemon connection lost (recv)");
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+ClientResult SocketClient::generate(const std::string& model_id,
+                                    const std::string& tenant, std::size_t n,
+                                    std::uint64_t seed) {
+  const std::uint32_t id = next_request_id_++;
+  GenerateRequest req;
+  req.request_id = id;
+  req.model_id = model_id;
+  req.tenant = tenant;
+  req.n_flows = n;
+  req.seed = seed;
+  std::vector<std::uint8_t> bytes;
+  encode(req, bytes);
+  send_all(bytes);
+
+  ClientResult result;
+  std::map<std::size_t, net::FlowTrace> parts;
+  for (;;) {
+    const std::vector<std::uint8_t> frame = read_frame();
+    switch (frame_type(frame)) {
+      case MsgType::kChunk: {
+        ChunkReply reply = decode_chunk(frame);
+        if (reply.request_id != id) continue;
+        parts[reply.chunk_index] = std::move(reply.part);
+        break;
+      }
+      case MsgType::kDone: {
+        const DoneReply reply = decode_done(frame);
+        if (reply.request_id != id) continue;
+        result.ok = true;
+        result.model_version = reply.model_version;
+        std::vector<net::FlowTrace> ordered;
+        ordered.reserve(parts.size());
+        for (auto& [c, part] : parts) ordered.push_back(std::move(part));
+        result.trace = core::merge_flow_chunk_parts(ordered, n);
+        return result;
+      }
+      case MsgType::kError: {
+        const ErrorReply reply = decode_error(frame);
+        if (reply.request_id != id) continue;
+        result.ok = false;
+        result.code = reply.code;
+        result.message = reply.message;
+        return result;
+      }
+      default:
+        continue;  // a pipelined reply for some other request
+    }
+  }
+}
+
+ClientResult SocketClient::publish(const std::string& model_id,
+                                   const std::string& snapshot_dir) {
+  const std::uint32_t id = next_request_id_++;
+  std::vector<std::uint8_t> bytes;
+  encode(PublishRequest{id, model_id, snapshot_dir}, bytes);
+  send_all(bytes);
+  ClientResult result;
+  for (;;) {
+    const std::vector<std::uint8_t> frame = read_frame();
+    if (frame_type(frame) == MsgType::kDone) {
+      const DoneReply reply = decode_done(frame);
+      if (reply.request_id != id) continue;
+      result.ok = true;
+      result.model_version = reply.model_version;
+      return result;
+    }
+    if (frame_type(frame) == MsgType::kError) {
+      const ErrorReply reply = decode_error(frame);
+      if (reply.request_id != id) continue;
+      result.ok = false;
+      result.code = reply.code;
+      result.message = reply.message;
+      return result;
+    }
+  }
+}
+
+std::string SocketClient::stats() {
+  const std::uint32_t id = next_request_id_++;
+  std::vector<std::uint8_t> bytes;
+  encode(StatsRequest{id}, bytes);
+  send_all(bytes);
+  for (;;) {
+    const std::vector<std::uint8_t> frame = read_frame();
+    if (frame_type(frame) != MsgType::kStatsReply) continue;
+    const StatsReply reply = decode_stats_reply(frame);
+    if (reply.request_id != id) continue;
+    return reply.json;
+  }
+}
+
+}  // namespace netshare::serve

@@ -1,0 +1,98 @@
+// Local-socket transport for the generation service: a poll-based event
+// loop accepting AF_UNIX stream connections, splitting each byte stream
+// into frames (protocol.hpp), and driving Service / ModelRegistry. Reply
+// frames for a generate job are written from the sampling worker threads as
+// each chunk part streams out — a per-connection write lock keeps frames
+// whole, and a closed flag turns writes to a dead peer into no-ops (the job
+// still completes; its bytes are simply dropped).
+//
+// SocketClient is the matching blocking client used by tests and the
+// command-line tools; it speaks one request at a time per connection,
+// though the wire protocol itself is pipelined (request_id echo).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/service.hpp"
+
+namespace netshare::serve {
+
+class SocketServer {
+ public:
+  // Binds `socket_path` (unlinking any stale file) and starts the event
+  // loop. Throws std::runtime_error when the address cannot be bound.
+  SocketServer(Service& service, ModelRegistry& registry,
+               std::string socket_path);
+  // stop()s if still running.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Closes the listener and every connection, joins the event loop and any
+  // in-flight publish threads, and unlinks the socket file. In-flight
+  // generate jobs keep running in the Service; their replies are dropped.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Conn;
+
+  void event_loop();
+  void handle_frame(const std::shared_ptr<Conn>& conn,
+                    const std::vector<std::uint8_t>& body);
+
+  Service* service_;
+  ModelRegistry* registry_;
+  std::string path_;
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};  // self-pipe: stop() wakes the poll loop
+  std::thread loop_;
+  bool stopped_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> publish_threads_;  // joined in stop()
+};
+
+// Blocking client over the wire — the socket-transport twin of ServeClient.
+class SocketClient {
+ public:
+  // Connects to a SocketServer's path; throws std::runtime_error on failure.
+  explicit SocketClient(const std::string& socket_path);
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  // Sends a generate request and blocks until its kDone/kError, merging the
+  // streamed chunk parts exactly like ServeClient.
+  ClientResult generate(const std::string& model_id, const std::string& tenant,
+                        std::size_t n, std::uint64_t seed);
+
+  // Publishes a snapshot directory; ok carries the new version in
+  // model_version. A rejected publish surfaces the typed snapshot-corruption
+  // code in `code`.
+  ClientResult publish(const std::string& model_id,
+                       const std::string& snapshot_dir);
+
+  // Scrapes the ops surface; returns the stats JSON object.
+  std::string stats();
+
+ private:
+  void send_all(const std::vector<std::uint8_t>& bytes);
+  std::vector<std::uint8_t> read_frame();  // blocks; throws on EOF
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::uint32_t next_request_id_ = 1;
+};
+
+}  // namespace netshare::serve
