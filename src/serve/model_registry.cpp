@@ -122,7 +122,16 @@ std::uint64_t ModelRegistry::publish(const std::string& model_id,
   auto model = std::make_shared<LoadedModel>(spec, snapshot_dir, version);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    entries_[model_id].current = std::move(model);  // the atomic hot-swap
+    Entry& entry = entries_[model_id];
+    // Concurrent publishes finish building in arbitrary order; install
+    // strictly by version so a slow older build can never roll the registry
+    // back below a version already serving. A superseded build is simply
+    // discarded — its caller still gets its version, the newer one serves.
+    if (!entry.current || entry.current->version() < version) {
+      entry.current = std::move(model);  // the atomic hot-swap
+    } else {
+      TELEM_COUNT("serve.registry.stale_publishes_discarded");
+    }
   }
   TELEM_COUNT("serve.registry.publishes");
   return version;

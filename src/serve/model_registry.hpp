@@ -97,7 +97,10 @@ class ModelRegistry {
   // the replacement LoadedModel, and atomically swaps it in. Returns the new
   // version. Throws std::invalid_argument for an undefined model_id,
   // ml::SnapshotError for corrupt/missing snapshot files, and leaves the
-  // currently served version untouched on any failure.
+  // currently served version untouched on any failure. Concurrent publishes
+  // for the same model_id install strictly in version order: a build that
+  // finishes after a newer version is already serving is discarded, so the
+  // registry version is monotone per model.
   std::uint64_t publish(const std::string& model_id,
                         const std::string& snapshot_dir);
 

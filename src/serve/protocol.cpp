@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -209,11 +210,36 @@ void encode(const PublishRequest& msg, std::vector<std::uint8_t>& out) {
 }
 
 void encode(const ChunkReply& msg, std::vector<std::uint8_t>& out) {
+  if (msg.part.records.size() > kMaxChunkRecords) {
+    throw ProtocolError(
+        "chunk part of " + std::to_string(msg.part.records.size()) +
+        " records does not fit one frame; use encode_chunk_frames");
+  }
   FrameScope frame(out, MsgType::kChunk);
   put_u32(out, msg.request_id);
   put_u32(out, msg.chunk_index);
   put_u32(out, static_cast<std::uint32_t>(msg.part.records.size()));
   for (const auto& r : msg.part.records) put_record(out, r);
+}
+
+void encode_chunk_frames(std::uint32_t request_id, std::uint32_t chunk_index,
+                         const net::FlowTrace& part,
+                         std::vector<std::uint8_t>& out,
+                         std::size_t max_records_per_frame) {
+  const std::size_t cap = std::max<std::size_t>(
+      1, std::min(max_records_per_frame, kMaxChunkRecords));
+  std::size_t off = 0;
+  do {
+    const std::size_t take = std::min(part.records.size() - off, cap);
+    FrameScope frame(out, MsgType::kChunk);
+    put_u32(out, request_id);
+    put_u32(out, chunk_index);
+    put_u32(out, static_cast<std::uint32_t>(take));
+    for (std::size_t i = 0; i < take; ++i) {
+      put_record(out, part.records[off + i]);
+    }
+    off += take;
+  } while (off < part.records.size());
 }
 
 void encode(const DoneReply& msg, std::vector<std::uint8_t>& out) {
@@ -290,9 +316,9 @@ ChunkReply decode_chunk(const FrameBody& body) {
   msg.request_id = cur.u32();
   msg.chunk_index = cur.u32();
   const std::uint32_t count = cur.u32();
-  // 46 bytes per record on the wire; a count promising more data than the
-  // frame holds is malformed, reject before reserving.
-  if (static_cast<std::size_t>(count) * 46 > body.size()) {
+  // A count promising more record bytes than the frame holds is malformed;
+  // reject before reserving.
+  if (static_cast<std::size_t>(count) * kChunkRecordWireBytes > body.size()) {
     throw ProtocolError("chunk record count exceeds frame size");
   }
   msg.part.records.reserve(count);

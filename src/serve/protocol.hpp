@@ -9,9 +9,10 @@
 // Every request carries a client-chosen u32 request_id that is echoed in
 // every reply frame, so requests may be pipelined on one connection and the
 // interleaved replies remain attributable. A generate request is answered by
-// zero or more kChunk frames (one per non-empty model chunk, ascending chunk
-// index — results stream back incrementally as each chunk part is exported)
-// terminated by exactly one kDone or kError frame.
+// zero or more kChunk frames (ascending chunk index — results stream back
+// incrementally as each chunk part is exported; a part too large for one
+// frame spans several frames with the same chunk_index, and receivers
+// append) terminated by exactly one kDone or kError frame.
 //
 // The codec layer here is pure byte-vector transformation — no sockets — so
 // tests exercise framing, round-trips, and malformed-input rejection without
@@ -158,5 +159,26 @@ class FrameReader {
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  // consumed prefix, compacted opportunistically
 };
+
+// On-wire size of one FlowRecord in a kChunk payload.
+inline constexpr std::size_t kChunkRecordWireBytes = 46;
+
+// Most records a single kChunk frame can carry without its length prefix
+// exceeding FrameReader::kMaxFrame (13 bytes of type/id/index/count header).
+// encode(ChunkReply) rejects anything larger; encode_chunk_frames splits.
+// The service's max_flows_per_job admission cap is clamped to this, so a
+// served chunk part always fits one frame.
+inline constexpr std::size_t kMaxChunkRecords =
+    (FrameReader::kMaxFrame - 13) / kChunkRecordWireBytes;
+
+// Encodes `part` as one or more kChunk frames of at most
+// `max_records_per_frame` records each (clamped to [1, kMaxChunkRecords]),
+// so an arbitrarily large chunk part never produces an unreadable frame.
+// Receivers accumulate by appending records per chunk_index; record order
+// is preserved across the split. An empty part emits one empty frame.
+void encode_chunk_frames(std::uint32_t request_id, std::uint32_t chunk_index,
+                         const net::FlowTrace& part,
+                         std::vector<std::uint8_t>& out,
+                         std::size_t max_records_per_frame = kMaxChunkRecords);
 
 }  // namespace netshare::serve

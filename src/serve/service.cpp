@@ -15,6 +15,10 @@ ServiceConfig sanitize(ServiceConfig cfg) {
   cfg.max_coalesce = std::max<std::size_t>(1, cfg.max_coalesce);
   cfg.tenant_inflight_cap = std::max<std::size_t>(1, cfg.tenant_inflight_cap);
   cfg.drr_quantum = std::max<std::size_t>(1, cfg.drr_quantum);
+  // The cap doubles as the frame-size guarantee: a job's largest chunk part
+  // is at most n_flows records, so no kChunk reply can exceed kMaxFrame.
+  cfg.max_flows_per_job = std::max<std::size_t>(
+      1, std::min(cfg.max_flows_per_job, kMaxChunkRecords));
   return cfg;
 }
 
@@ -118,51 +122,65 @@ SubmitResult Service::submit(GenerateJob job, JobCallbacks callbacks) {
   if (!job.model_id.empty()) model = registry_.acquire(job.model_id);
 
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = tenants_.try_emplace(job.tenant);
-  Tenant& t = it->second;
-  if (inserted) rr_order_.push_back(job.tenant);
-  ++t.submitted;
   ++submitted_;
+  // Admission runs before any per-tenant state is created: tenant names are
+  // wire-supplied, and each tenants_/rr_order_ entry costs memory plus an
+  // O(T) scheduler-scan slot forever, so only accepted jobs may register
+  // one. Rejections still count against a tenant that already exists.
+  auto existing = tenants_.find(job.tenant);
+  Tenant* known = existing == tenants_.end() ? nullptr : &existing->second;
+  if (known) ++known->submitted;
+  const auto shed = [&](std::uint64_t& counter, ErrorCode code,
+                        std::string message) {
+    if (known) ++known->shed;
+    ++counter;
+    return SubmitResult{false, code, std::move(message)};
+  };
 
   if (draining_) {
-    ++t.shed;
-    ++shed_draining_;
     TELEM_COUNT("serve.shed_draining");
-    return {false, ErrorCode::kDraining, "service is draining"};
+    return shed(shed_draining_, ErrorCode::kDraining, "service is draining");
   }
   if (job.n_flows == 0 || job.model_id.empty()) {
-    ++t.shed;
-    ++rejected_other_;
-    return {false, ErrorCode::kBadRequest,
-            "generate requires a model_id and n_flows > 0"};
+    return shed(rejected_other_, ErrorCode::kBadRequest,
+                "generate requires a model_id and n_flows > 0");
+  }
+  if (job.n_flows > config_.max_flows_per_job) {
+    // Also caps DRR cost arithmetic: an uncapped u64 n_flows would hold the
+    // scheduler in credit accrual for ~n_flows/quantum scans (or overflow
+    // the int64 cost outright at 2^63).
+    return shed(rejected_other_, ErrorCode::kBadRequest,
+                "n_flows " + std::to_string(job.n_flows) +
+                    " exceeds the per-job limit of " +
+                    std::to_string(config_.max_flows_per_job));
   }
   if (!model) {
-    ++t.shed;
-    ++rejected_other_;
-    return {false, ErrorCode::kModelNotFound,
-            "no published model '" + job.model_id + "'"};
+    return shed(rejected_other_, ErrorCode::kModelNotFound,
+                "no published model '" + job.model_id + "'");
   }
   if (queued_ >= config_.queue_capacity) {
-    ++t.shed;
-    ++shed_overloaded_;
     TELEM_COUNT("serve.shed_overloaded");
-    return {false, ErrorCode::kOverloaded, "job queue is full"};
+    return shed(shed_overloaded_, ErrorCode::kOverloaded,
+                "job queue is full");
   }
-  if (t.inflight >= config_.tenant_inflight_cap) {
-    ++t.shed;
-    ++shed_overloaded_;
+  if (known && known->inflight >= config_.tenant_inflight_cap) {
     TELEM_COUNT("serve.shed_overloaded");
-    return {false, ErrorCode::kOverloaded,
-            "tenant '" + job.tenant + "' hit its in-flight cap"};
+    return shed(shed_overloaded_, ErrorCode::kOverloaded,
+                "tenant '" + job.tenant + "' hit its in-flight cap");
   }
 
+  if (!known) {
+    known = &tenants_.try_emplace(job.tenant).first->second;
+    rr_order_.push_back(job.tenant);
+    ++known->submitted;
+  }
   auto p = std::make_unique<Pending>();
   p->job = std::move(job);
   p->callbacks = std::move(callbacks);
   p->model = std::move(model);
   p->submitted_at = std::chrono::steady_clock::now();
-  t.queue.push_back(std::move(p));
-  ++t.inflight;
+  known->queue.push_back(std::move(p));
+  ++known->inflight;
   ++queued_;
   TELEM_GAUGE_SET("serve.queue_depth", queued_);
   work_cv_.notify_one();
@@ -188,13 +206,9 @@ void Service::scheduler_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (stopping_) return;
-    bool accruing = false;
-    std::vector<PendingPtr> batch = next_batch_locked(accruing);
+    std::vector<PendingPtr> batch = next_batch_locked();
     if (batch.empty()) {
-      // `accruing` means a dispatchable head just lacks DRR credit; credit
-      // only accrues on scheduler visits, so re-scan instead of sleeping
-      // (bounded: ceil(cost / quantum) passes until it can afford).
-      if (!accruing) work_cv_.wait(lock);
+      work_cv_.wait(lock);
       continue;
     }
     busy_models_.insert(batch.front()->model.get());
@@ -214,31 +228,44 @@ void Service::scheduler_loop() {
   }
 }
 
-std::vector<Service::PendingPtr> Service::next_batch_locked(bool& accruing) {
+std::vector<Service::PendingPtr> Service::next_batch_locked() {
   std::vector<PendingPtr> batch;
   const std::size_t T = rr_order_.size();
-  for (std::size_t scan = 0; scan < T; ++scan) {
-    const std::size_t ti = (rr_next_ + scan) % T;
-    Tenant& t = tenants_.find(rr_order_[ti])->second;
-    if (t.queue.empty()) continue;
-    Pending& head = *t.queue.front();
-    if (busy_models_.count(head.model.get())) continue;
-    const auto cost = static_cast<std::int64_t>(head.job.n_flows);
-    // Lazy refill: credit accrues only while the tenant cannot afford its
-    // head job, so an idle tenant's deficit stays bounded by one quantum
-    // above the largest job it ever queued.
-    if (t.deficit < cost) {
-      t.deficit += static_cast<std::int64_t>(config_.drr_quantum);
+  const auto quantum = static_cast<std::int64_t>(config_.drr_quantum);
+  // Pass 1 is one classic DRR scan. If nothing dispatched but some head on
+  // an idle model was merely starved for credit, every starved tenant is
+  // granted the minimum number of whole quanta that makes one head
+  // affordable, and pass 2 dispatches it — the same outcome as that many
+  // more scans, without holding mu_ for ceil(cost/quantum) passes.
+  for (int pass = 0; pass < 2 && batch.empty(); ++pass) {
+    std::vector<Tenant*> starved;
+    std::int64_t min_quanta = 0;
+    for (std::size_t scan = 0; scan < T; ++scan) {
+      const std::size_t ti = (rr_next_ + scan) % T;
+      Tenant& t = tenants_.find(rr_order_[ti])->second;
+      if (t.queue.empty()) continue;
+      Pending& head = *t.queue.front();
+      if (busy_models_.count(head.model.get())) continue;
+      // Admission caps n_flows at max_flows_per_job, so the cast is exact.
+      const auto cost = static_cast<std::int64_t>(head.job.n_flows);
+      // Lazy refill: credit accrues only while the tenant cannot afford its
+      // head job, so an idle tenant's deficit stays bounded by one quantum
+      // above the largest job it ever queued.
+      if (t.deficit < cost) t.deficit += quantum;
+      if (t.deficit < cost) {
+        const std::int64_t quanta = (cost - t.deficit + quantum - 1) / quantum;
+        if (starved.empty() || quanta < min_quanta) min_quanta = quanta;
+        starved.push_back(&t);
+        continue;
+      }
+      t.deficit -= cost;
+      batch.push_back(std::move(t.queue.front()));
+      t.queue.pop_front();
+      rr_next_ = (ti + 1) % T;
+      break;
     }
-    if (t.deficit < cost) {
-      accruing = true;  // affordable after more visits; don't sleep on it
-      continue;
-    }
-    t.deficit -= cost;
-    batch.push_back(std::move(t.queue.front()));
-    t.queue.pop_front();
-    rr_next_ = (ti + 1) % T;
-    break;
+    if (!batch.empty() || starved.empty()) break;
+    for (Tenant* t : starved) t->deficit += min_quanta * quantum;
   }
   if (batch.empty()) return batch;
 

@@ -51,6 +51,11 @@ struct ServiceConfig {
   std::size_t max_coalesce = 4;     // jobs per dispatched batch
   std::size_t tenant_inflight_cap = 8;  // queued + running jobs per tenant
   std::size_t drr_quantum = 1024;   // records of credit per DRR visit
+  // Admission cap on a single job's n_flows (kBadRequest above it).
+  // n_flows is wire-supplied, so this bounds scheduler credit math and
+  // keeps every kChunk reply frame under FrameReader::kMaxFrame; sanitize
+  // clamps it to kMaxChunkRecords.
+  std::size_t max_flows_per_job = 1u << 20;
 };
 
 struct GenerateJob {
@@ -172,11 +177,12 @@ class Service {
   };
 
   void scheduler_loop();
-  // Forms one batch under the lock; empty when nothing is dispatchable
-  // (queues empty, or every queued model is busy). Sets `accruing` when a
-  // queued job on an idle model merely lacks DRR credit — the scheduler then
-  // re-scans instead of sleeping, since only its own visits accrue credit.
-  std::vector<PendingPtr> next_batch_locked(bool& accruing);
+  // Forms one batch under the lock; empty only when nothing is dispatchable
+  // (queues empty, or every queued model is busy). A queued job on an idle
+  // model that merely lacks DRR credit never yields an empty batch: the
+  // starved tenants are fast-forwarded the minimum whole-quantum grant that
+  // makes one head affordable, so at most two scans dispatch it.
+  std::vector<PendingPtr> next_batch_locked();
   void run_batch(std::vector<PendingPtr> batch);
   void finish_job_locked(const Pending& p, bool ok, std::uint64_t records);
 

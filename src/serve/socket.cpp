@@ -2,12 +2,14 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -18,8 +20,10 @@ namespace netshare::serve {
 
 namespace {
 
-// Whole-buffer blocking send; false once the peer is gone. MSG_NOSIGNAL so
-// a vanished client surfaces as EPIPE, not a process-killing SIGPIPE.
+// Whole-buffer send; false once the peer is gone or stalled. MSG_NOSIGNAL
+// so a vanished client surfaces as EPIPE, not a process-killing SIGPIPE.
+// Accepted fds carry SO_SNDTIMEO, so a peer that stops reading surfaces as
+// EAGAIN here (-> false) instead of blocking a sampling worker forever.
 bool send_exact(int fd, const std::uint8_t* data, std::size_t len) {
   while (len > 0) {
     const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
@@ -54,17 +58,26 @@ struct SocketServer::Conn {
   std::atomic<bool> closed{false};
   FrameReader reader;
 
+  // The fd closes with the last reference. Workers inside send() hold one
+  // (via the callback's shared_ptr), so teardown can never race an
+  // in-flight send against fd reuse.
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
   void write_frame(const std::vector<std::uint8_t>& bytes) {
     std::lock_guard<std::mutex> lock(write_mu);
     if (closed.load(std::memory_order_relaxed)) return;
-    if (!send_exact(fd, bytes.data(), bytes.size())) {
-      closed.store(true, std::memory_order_relaxed);
-    }
+    // A failed send (peer gone, or send-timeout backpressure) shuts the
+    // socket down, which also lands the event loop on its drop path.
+    if (!send_exact(fd, bytes.data(), bytes.size())) close_now();
   }
 
+  // Deliberately does NOT take write_mu: a writer blocked in send() may
+  // hold it, and shutdown() is exactly what unwedges that send (it fails
+  // with EPIPE). The fd stays open until the last reference drops.
   void close_now() {
-    std::lock_guard<std::mutex> lock(write_mu);
-    if (!closed.exchange(true)) ::close(fd);
+    if (!closed.exchange(true)) ::shutdown(fd, SHUT_RDWR);
   }
 };
 
@@ -134,6 +147,13 @@ void SocketServer::event_loop() {
     if (fds[1].revents & POLLIN) {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd >= 0) {
+        // Bound reply writes: a client that connects and then never reads
+        // must not pin a sampling worker in send() indefinitely — after
+        // this timeout the send fails and the connection is torn down.
+        timeval send_timeout{};
+        send_timeout.tv_sec = 30;
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                     sizeof(send_timeout));
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
         local.push_back(conn);
@@ -187,12 +207,11 @@ void SocketServer::handle_frame(const std::shared_ptr<Conn>& conn,
         JobCallbacks cbs;
         cbs.on_chunk = [conn, id = req.request_id](std::size_t c,
                                                    net::FlowTrace part) {
-          ChunkReply reply;
-          reply.request_id = id;
-          reply.chunk_index = static_cast<std::uint32_t>(c);
-          reply.part = std::move(part);
+          // A part too large for one frame splits across several kChunk
+          // frames (the client appends per chunk_index), so a legitimately
+          // huge job can never trip the reader's kMaxFrame guard.
           std::vector<std::uint8_t> bytes;
-          encode(reply, bytes);
+          encode_chunk_frames(id, static_cast<std::uint32_t>(c), part, bytes);
           conn->write_frame(bytes);
         };
         cbs.on_done = [conn, id = req.request_id](std::uint64_t records,
@@ -335,7 +354,12 @@ ClientResult SocketClient::generate(const std::string& model_id,
       case MsgType::kChunk: {
         ChunkReply reply = decode_chunk(frame);
         if (reply.request_id != id) continue;
-        parts[reply.chunk_index] = std::move(reply.part);
+        // Append, not assign: an oversized part arrives as several frames
+        // for the same chunk_index, in record order.
+        net::FlowTrace& dst = parts[reply.chunk_index];
+        dst.records.insert(dst.records.end(),
+                           std::make_move_iterator(reply.part.records.begin()),
+                           std::make_move_iterator(reply.part.records.end()));
         break;
       }
       case MsgType::kDone: {

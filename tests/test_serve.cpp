@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -176,6 +177,34 @@ TEST(ServeProtocol, RejectsMalformedFrames) {
   lying[4 + 1 + 4 + 4] = 200;  // count field: claims 200 records, carries 0
   std::vector<std::uint8_t> lying_body(lying.begin() + 4, lying.end());
   EXPECT_THROW(decode_chunk(lying_body), ProtocolError);
+}
+
+TEST(ServeProtocol, OversizedChunkPartsSplitAcrossFramesAndReassemble) {
+  const net::FlowTrace part = sample_trace();  // 3 records
+  std::vector<std::uint8_t> bytes;
+  encode_chunk_frames(21, 1, part, bytes, 2);  // force a split at 2 records
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  net::FlowTrace joined;
+  std::size_t frames = 0;
+  while (auto f = reader.next()) {
+    const ChunkReply r = decode_chunk(*f);
+    EXPECT_EQ(r.request_id, 21u);
+    EXPECT_EQ(r.chunk_index, 1u);
+    EXPECT_LE(r.part.records.size(), 2u);
+    joined.records.insert(joined.records.end(), r.part.records.begin(),
+                          r.part.records.end());
+    ++frames;
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(joined.records, part.records);
+  // Within the single-frame limit the split path emits one ordinary frame.
+  std::vector<std::uint8_t> whole;
+  encode_chunk_frames(22, 0, part, whole);
+  FrameReader reader2;
+  reader2.feed(whole.data(), whole.size());
+  EXPECT_EQ(decode_chunk(*reader2.next()).part.records, part.records);
+  EXPECT_FALSE(reader2.next().has_value());
 }
 
 TEST(ServeProtocol, SnapshotErrorKindsMapOneToOne) {
@@ -405,6 +434,26 @@ TEST(ServeRegistry, HotSwapKeepsOldHandlesValid) {
   EXPECT_EQ(fresh.acquire("m")->generate(40, 5).records, from_old.records);
 }
 
+TEST(ServeRegistry, ConcurrentPublishesNeverRegressTheVersion) {
+  // publish() builds outside the registry lock, so two builds of the same
+  // model can finish in either order; the install must be version-ordered,
+  // never completion-ordered.
+  TrainedModel& t = snapshot_a();
+  ModelRegistry registry;
+  registry.define("m", spec_for(t));
+  for (int round = 0; round < 4; ++round) {
+    std::uint64_t va = 0;
+    std::uint64_t vb = 0;
+    std::thread ta([&] { va = registry.publish("m", t.dir); });
+    std::thread tb([&] { vb = registry.publish("m", t.dir); });
+    ta.join();
+    tb.join();
+    EXPECT_NE(va, vb);
+    EXPECT_EQ(registry.acquire("m")->version(), std::max(va, vb))
+        << "a slow older build must not overwrite a newer installed version";
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Service: determinism under coalescing and concurrency.
 // ---------------------------------------------------------------------------
@@ -588,6 +637,76 @@ TEST(ServeService, TypedRejectionsForBadAndUnroutableJobs) {
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.code, ErrorCode::kModelNotFound);
   EXPECT_EQ(h.service->stats().rejected_other, 3u);
+}
+
+TEST(ServeService, OversizedJobsRejectSynchronouslyAndServiceStaysLive) {
+  ServiceConfig cfg;
+  cfg.max_flows_per_job = 1000;
+  ServiceHarness h(cfg);
+  // These n_flows values used to hold the scheduler inside the service lock
+  // for ~n/quantum credit-accrual scans (and >= 2^63 went negative past DRR
+  // entirely); admission now sheds them with a typed verdict.
+  const std::uint64_t huge[] = {1001, std::uint64_t{1} << 40, ~std::uint64_t{0}};
+  for (std::uint64_t n : huge) {
+    const ClientResult r =
+        h.client->generate("m", "t", static_cast<std::size_t>(n), 7);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.code, ErrorCode::kBadRequest) << n;
+  }
+  EXPECT_EQ(h.service->stats().rejected_other, 3u);
+  // A job at the cap is admitted, and the scheduler still runs.
+  EXPECT_TRUE(h.client->generate("m", "t", 1000, 8).ok);
+  // The cap can never exceed what one kChunk reply frame can carry.
+  ServiceConfig wide;
+  wide.max_flows_per_job = ~std::size_t{0};
+  ServiceHarness w(wide);
+  const ClientResult over = w.client->generate(
+      "m", "t", kMaxChunkRecords + 1, 9);
+  EXPECT_FALSE(over.ok);
+  EXPECT_EQ(over.code, ErrorCode::kBadRequest);
+}
+
+TEST(ServeService, StarvedCreditFastForwardsInsteadOfSpinning) {
+  // Worst-case quantum: every head job costs hundreds of DRR visits. The
+  // scheduler must grant the needed credit in one step, not hold the
+  // service mutex for cost/quantum scans — submit/stats stay responsive
+  // and both tenants' jobs complete.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_coalesce = 1;
+  cfg.drr_quantum = 1;
+  ServiceHarness h(cfg);
+  auto a = h.client->submit("m", "a", 300, 1);
+  auto b = h.client->submit("m", "b", 200, 2);
+  EXPECT_GE(h.service->stats().submitted, 2u);  // mu_ not monopolized
+  EXPECT_TRUE(a->wait().ok);
+  EXPECT_TRUE(b->wait().ok);
+  h.service->drain();
+  EXPECT_EQ(h.service->stats().completed, 2u);
+}
+
+TEST(ServeService, RejectedJobsDoNotRegisterTenantState) {
+  ServiceHarness h;
+  for (int i = 0; i < 50; ++i) {
+    const ClientResult r =
+        h.client->generate("ghost", "tenant_" + std::to_string(i), 10, 1);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.code, ErrorCode::kModelNotFound);
+  }
+  ServiceStatsSnapshot stats = h.service->stats();
+  EXPECT_EQ(stats.tenants.size(), 0u)
+      << "wire-supplied tenants on rejected jobs must not grow "
+         "tenants_/rr_order_";
+  EXPECT_EQ(stats.rejected_other, 50u);
+  // Accepted work registers the tenant; its later rejections then count.
+  ASSERT_TRUE(h.client->generate("m", "real", 20, 1).ok);
+  EXPECT_FALSE(h.client->generate("ghost", "real", 20, 1).ok);
+  h.service->drain();  // settle the counters (callbacks fire before them)
+  stats = h.service->stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].tenant, "real");
+  EXPECT_EQ(stats.tenants[0].shed, 1u);
+  EXPECT_EQ(stats.tenants[0].completed, 1u);
 }
 
 TEST(ServeService, OverloadShedsWithTypedReplyAndCountsIt) {
