@@ -1,9 +1,13 @@
-// Generation-service trajectory (DESIGN.md §13): per-tenant latency
+// Generation-service trajectory (DESIGN.md §13, §14): per-tenant latency
 // percentiles and throughput under a 1 / 4 / 16-tenant mix at nominal load,
-// plus the admission-control shed rate at 2x overload. Emits
+// the admission-control shed rate at 2x overload, and the rate-limiter shed
+// rate for a tenant bursting far above its configured class. Emits
 // BENCH_service.json (path overridable via argv[1]); the `service` kind in
-// scripts/check_bench_regression gates p99 growth, zero-shed-at-nominal,
-// and that overload actually sheds.
+// scripts/check_bench_regression gates p99 growth, zero-shed-at-nominal
+// (the nominal sweep runs with the resilience layer at its defaults, so a
+// rate-limiter or deadline check leaking latency into the nominal path
+// shows up against the p99 baseline), that overload actually sheds, and
+// that the over-rate burst sheds typed kRateLimited.
 //
 // The model under service is the scaled-down demo model (tiny DoppelGanger,
 // 3 chunks) trained once into a temp snapshot dir — the bench measures the
@@ -219,6 +223,56 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(done.load()));
   }
 
+  // --- shed rate for a tenant bursting over its rate class --------------
+  // One tenant capped at 8 jobs/s offers a 64-job burst back-to-back. The
+  // burst bucket admits about one second's worth instantly; the rest must
+  // shed typed kRateLimited with a retry-after hint. Queue capacity is
+  // oversized so nothing here can shed kOverloaded — every shed is the
+  // limiter's.
+  double shed_rate_rate_limited = 0.0;
+  {
+    serve::ModelRegistry registry;
+    registry.define("m", spec);
+    registry.publish("m", snap_dir);
+    serve::ServiceConfig scfg;
+    scfg.workers = 2;
+    scfg.queue_capacity = 256;
+    scfg.tenant_inflight_cap = 256;
+    scfg.rate_limit.default_class.jobs_per_sec = 8.0;
+    serve::Service service(registry, scfg);
+
+    constexpr std::size_t kOffered = 64;
+    std::size_t shed = 0;
+    std::uint64_t hint_sum_ms = 0;
+    for (std::size_t i = 0; i < kOffered; ++i) {
+      serve::JobCallbacks cbs;
+      cbs.on_done = [](std::uint64_t, std::uint64_t) {};
+      cbs.on_error = [](serve::ErrorCode, const std::string&) {};
+      const serve::SubmitResult r = service.submit(
+          serve::GenerateJob{"m", "overrate", 100, 500 + i}, std::move(cbs));
+      if (!r.accepted) {
+        ++shed;
+        hint_sum_ms += r.retry_after_ms;
+        if (r.code != serve::ErrorCode::kRateLimited) {
+          std::fprintf(stderr, "unexpected shed code %d\n",
+                       static_cast<int>(r.code));
+          return 1;
+        }
+      }
+    }
+    service.begin_drain();
+    service.drain();
+    shed_rate_rate_limited =
+        static_cast<double>(shed) / static_cast<double>(kOffered);
+    std::printf(
+        "over-rate: offered %zu at 8 jobs/s cap, shed %zu (rate %.2f), "
+        "mean retry-after %.0f ms\n",
+        kOffered, shed, shed_rate_rate_limited,
+        shed == 0 ? 0.0
+                  : static_cast<double>(hint_sum_ms) /
+                        static_cast<double>(shed));
+  }
+
   std::filesystem::remove_all(snap_dir);
 
   // --- JSON ------------------------------------------------------------
@@ -255,7 +309,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"shed_rate_nominal\": %.4f,\n", shed_rate_nominal);
-  std::fprintf(f, "  \"shed_rate_overload\": %.4f\n", shed_rate_overload);
+  std::fprintf(f, "  \"shed_rate_overload\": %.4f,\n", shed_rate_overload);
+  std::fprintf(f, "  \"shed_rate_rate_limited\": %.4f\n",
+               shed_rate_rate_limited);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());

@@ -1,7 +1,10 @@
-// netshared: the NetShare generation daemon (DESIGN.md §13).
+// netshared: the NetShare generation daemon (DESIGN.md §13, §14).
 //
 //   ./netshared [--socket PATH] [--snapshots DIR] [--records N]
-//               [--chunks M] [--workers W]
+//               [--chunks M] [--workers W] [--deadline-ms D]
+//               [--records-per-sec R] [--jobs-per-sec J]
+//               [--watchdog-stall-ms S] [--send-timeout-ms T]
+//               [--max-frame BYTES]
 //
 // Boots a demo model (trains one if DIR holds no snapshot-v1 checkpoints,
 // writing chunk_<c>.ckpt files it then publishes), binds a local AF_UNIX
@@ -9,7 +12,15 @@
 // serves multi-tenant generate / stats / publish requests until SIGINT or
 // SIGTERM. Shutdown is graceful: new jobs are shed with a typed Draining
 // reply, queued and in-flight jobs complete, telemetry is flushed to
-// RUN_telemetry.json, exit code 0.
+// RUN_telemetry.json, exit code 0. Fatal startup failures (unloadable
+// snapshots, an unbindable socket) also flush RUN_telemetry.json — the
+// counters and diags up to the failure are the crash report — and exit 1.
+//
+// The resilience flags (DESIGN.md §14) map straight onto ServiceConfig:
+// --deadline-ms is the default per-job budget, --records-per-sec /
+// --jobs-per-sec set the default tenant rate class, --watchdog-stall-ms
+// tunes the stall detector, --send-timeout-ms bounds a reply write to a
+// stuck reader, and --max-frame bounds inbound request frames.
 //
 // Quick senses check from another shell (Python, stdlib only):
 //   import socket, struct
@@ -46,9 +57,30 @@ bool has_snapshots(const std::string& dir) {
          std::filesystem::exists(dir + "/chunk_1.ckpt");
 }
 
+// Fatal exit: whatever telemetry accumulated up to the failure IS the crash
+// report, so flush it before dying nonzero.
+[[noreturn]] void die(const std::string& what) {
+  std::cerr << "[netshared] fatal: " << what << "\n";
+  telemetry::write_run_json("RUN_telemetry.json");
+  std::cerr << "[netshared] telemetry flushed to RUN_telemetry.json\n";
+  std::exit(1);
+}
+
+int run(int argc, char** argv);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
   std::string socket_path = "/tmp/netshared.sock";
   std::string snapshot_dir = "netshared_snapshots";
   std::size_t records = 1200;
@@ -74,9 +106,24 @@ int main(int argc, char** argv) {
       chunks = std::stoul(next());
     } else if (arg == "--workers") {
       service_cfg.workers = std::stoul(next());
+    } else if (arg == "--deadline-ms") {
+      service_cfg.default_deadline_ms = std::stoull(next());
+    } else if (arg == "--records-per-sec") {
+      service_cfg.rate_limit.default_class.records_per_sec = std::stod(next());
+    } else if (arg == "--jobs-per-sec") {
+      service_cfg.rate_limit.default_class.jobs_per_sec = std::stod(next());
+    } else if (arg == "--watchdog-stall-ms") {
+      service_cfg.watchdog_stall_ms = std::stoull(next());
+    } else if (arg == "--send-timeout-ms") {
+      service_cfg.socket_send_timeout_ms = std::stoull(next());
+    } else if (arg == "--max-frame") {
+      service_cfg.max_frame_bytes = std::stoul(next());
     } else {
       std::cerr << "usage: netshared [--socket PATH] [--snapshots DIR] "
-                   "[--records N] [--chunks M] [--workers W]\n";
+                   "[--records N] [--chunks M] [--workers W] "
+                   "[--deadline-ms D] [--records-per-sec R] "
+                   "[--jobs-per-sec J] [--watchdog-stall-ms S] "
+                   "[--send-timeout-ms T] [--max-frame BYTES]\n";
       return 2;
     }
   }
@@ -125,13 +172,20 @@ int main(int argc, char** argv) {
 
   serve::Service service(registry, service_cfg);
   serve::SocketServer server(service, registry, socket_path);
+  const auto& live = service.config();  // post-sanitize values
   std::cout << "[netshared] serving on " << socket_path << " ("
-            << service_cfg.workers << " workers)\n";
+            << live.workers << " workers, deadline "
+            << live.default_deadline_ms << " ms, rate "
+            << live.rate_limit.default_class.records_per_sec << " rec/s + "
+            << live.rate_limit.default_class.jobs_per_sec
+            << " jobs/s, watchdog " << live.watchdog_stall_ms
+            << " ms, send timeout " << live.socket_send_timeout_ms
+            << " ms, max frame "
+            << (live.max_frame_bytes == 0 ? serve::FrameReader::kMaxFrame
+                                          : live.max_frame_bytes)
+            << " B)\n";
 
-  if (::pipe(g_signal_pipe) != 0) {
-    std::cerr << "pipe() failed\n";
-    return 1;
-  }
+  if (::pipe(g_signal_pipe) != 0) die("pipe() failed");
   struct sigaction sa{};
   sa.sa_handler = on_signal;
   ::sigaction(SIGINT, &sa, nullptr);
@@ -154,3 +208,5 @@ int main(int argc, char** argv) {
             << "RUN_telemetry.json\n";
   return 0;
 }
+
+}  // namespace

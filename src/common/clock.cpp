@@ -1,0 +1,24 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace netshare {
+
+namespace {
+std::atomic<ClockSource*> g_clock_source{nullptr};
+}  // namespace
+
+std::uint64_t mono_now_ns() {
+  ClockSource* src = g_clock_source.load(std::memory_order_acquire);
+  if (src != nullptr) return src->now_ns();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_clock_source(ClockSource* source) {
+  g_clock_source.store(source, std::memory_order_release);
+}
+
+}  // namespace netshare

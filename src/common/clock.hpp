@@ -1,0 +1,64 @@
+// Injectable monotonic clock (DESIGN.md §14). Every wall-clock-window
+// mechanism in the serving stack — request deadlines, token-bucket rate
+// limiting, the scheduler watchdog — reads time through mono_now_ms(), so
+// tests install a ManualClock and step time deterministically instead of
+// sleeping. Production pays one relaxed atomic load and a branch per read.
+//
+// Install/uninstall a source only while the threads that read the clock are
+// quiescent (tests construct the ScopedManualClock before the Service and
+// destroy it after), mirroring the ml::health::FaultPlan arming contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace netshare {
+
+// Overridable time source. now_ns() must be monotone non-decreasing and
+// safe to call from any thread.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+// Monotonic nanoseconds since an arbitrary epoch: the installed ClockSource
+// if any, otherwise std::chrono::steady_clock.
+std::uint64_t mono_now_ns();
+
+inline std::uint64_t mono_now_ms() { return mono_now_ns() / 1000000ull; }
+
+// Installs `source` as the process-wide clock (nullptr restores
+// steady_clock). Test-only; see the quiescence contract above.
+void set_clock_source(ClockSource* source);
+
+// A hand-stepped clock for deterministic time-window tests. Starts at one
+// hour, not zero, so code treating timestamp 0 as "unset" stays unambiguous.
+class ManualClock : public ClockSource {
+ public:
+  std::uint64_t now_ns() override {
+    return ns_.load(std::memory_order_acquire);
+  }
+  void advance_ms(std::uint64_t ms) {
+    ns_.fetch_add(ms * 1000000ull, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ns_{3600ull * 1000000000ull};
+};
+
+// RAII install/uninstall of a ManualClock around a test scope.
+class ScopedManualClock {
+ public:
+  ScopedManualClock() { set_clock_source(&clock_); }
+  ~ScopedManualClock() { set_clock_source(nullptr); }
+  ScopedManualClock(const ScopedManualClock&) = delete;
+  ScopedManualClock& operator=(const ScopedManualClock&) = delete;
+
+  ManualClock& clock() { return clock_; }
+
+ private:
+  ManualClock clock_;
+};
+
+}  // namespace netshare

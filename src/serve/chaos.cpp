@@ -1,0 +1,93 @@
+#include "serve/chaos.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace netshare::serve {
+
+namespace {
+
+// Decision sites, each with its own draw counter so one site's traffic
+// never perturbs another's schedule.
+enum Site : std::uint32_t {
+  kSiteSendShort = 0,
+  kSiteSendDisconnect = 1,
+  kSiteSendStall = 2,
+  kSiteSendSplit = 3,
+  kSiteRegistry = 4,
+  kSiteWorker = 5,
+  kSiteCount = 6,
+};
+
+ChaosPlan g_plan;
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_counters[kSiteCount];
+
+// The Nth draw at `site` is a pure function of (plan.seed, site, N).
+double draw(Site site) {
+  const std::uint64_t n =
+      g_counters[site].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t bits = mix_seed(
+      g_plan.seed ^ (0x9e3779b97f4a7c15ull * (site + 1)), n);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool roll(Site site, double p) {
+  if (p <= 0.0) return false;
+  return draw(site) < p;
+}
+
+}  // namespace
+
+void set_chaos_plan(const ChaosPlan& plan) {
+  g_plan = plan;
+  for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void clear_chaos_plan() {
+  g_armed.store(false, std::memory_order_release);
+  g_plan = ChaosPlan{};
+}
+
+bool chaos_armed() { return g_armed.load(std::memory_order_acquire); }
+
+ChaosSendFault chaos_send_fault(std::size_t len) {
+  ChaosSendFault fault;
+  if (!chaos_armed() || len == 0) return fault;
+  if (roll(kSiteSendStall, g_plan.p_send_stall)) {
+    fault.stall_ms = g_plan.send_stall_ms;
+  }
+  if (roll(kSiteSendDisconnect, g_plan.p_send_disconnect)) {
+    fault.disconnect = true;
+    // Shut down mid-frame: leave a strict prefix behind so the peer's
+    // FrameReader is left holding a partial frame, not a clean boundary.
+    fault.fragment_at = 1 + static_cast<std::size_t>(
+        draw(kSiteSendSplit) * static_cast<double>(len - 1));
+    return fault;
+  }
+  if (roll(kSiteSendShort, g_plan.p_send_short_write)) {
+    fault.fragment_at = 1 + static_cast<std::size_t>(
+        draw(kSiteSendSplit) * static_cast<double>(len - 1));
+  }
+  return fault;
+}
+
+bool chaos_registry_load_fails() {
+  if (!chaos_armed()) return false;
+  return roll(kSiteRegistry, g_plan.p_registry_load_fail);
+}
+
+void chaos_worker_chunk(std::size_t chunk, std::size_t job_index) {
+  if (!chaos_armed()) return;
+  if (g_plan.worker_hook) g_plan.worker_hook(chunk, job_index);
+  if (g_plan.worker_delay_ms > 0 && roll(kSiteWorker, g_plan.p_worker_delay)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(g_plan.worker_delay_ms));
+  }
+}
+
+}  // namespace netshare::serve

@@ -1,0 +1,81 @@
+// Deterministic chaos harness for the serving stack (DESIGN.md §14): the
+// service-layer extension of ml::health::FaultPlan. A global seed-driven
+// plan, armed via an acquire/release flag, injects
+//
+//   - socket faults: reply writes fragmented into short writes, connections
+//     shut mid-frame, slow-reader stalls before a write;
+//   - registry faults: publish builds failing with a typed
+//     ml::SnapshotError (kIo) before anything is installed;
+//   - worker faults: per-(job, chunk) delays inside the sampling loop, plus
+//     an optional test hook invoked at the same site for hand-built
+//     blocking scenarios (watchdog tests).
+//
+// Determinism: every probabilistic decision is splitmix64(seed, site,
+// per-site counter) — the Nth decision at a site is a pure function of the
+// plan, so a failing soak replays with the same fault schedule. Under
+// concurrency the MAPPING of decisions to jobs can vary with thread
+// interleaving; the soak therefore asserts schedule-independent properties
+// (no hangs, typed errors only, bitwise-correct successes), not which job
+// fails. Arm/clear only while the service stack is quiescent. Production
+// cost: one relaxed load + predicted-not-taken branch per site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace netshare::serve {
+
+struct ChaosPlan {
+  std::uint64_t seed = 1;
+
+  // Socket reply-path faults (SocketServer::Conn::write_frame).
+  double p_send_short_write = 0.0;  // fragment the write into two sends
+  double p_send_disconnect = 0.0;   // send a prefix, then shut the socket
+  double p_send_stall = 0.0;        // sleep send_stall_ms before writing
+  std::uint64_t send_stall_ms = 0;
+
+  // Registry faults: ModelRegistry::publish fails its build with a typed
+  // SnapshotError(kIo) — the serving version must stay untouched.
+  double p_registry_load_fail = 0.0;
+
+  // Worker faults: sleep worker_delay_ms before sampling a chunk part.
+  double p_worker_delay = 0.0;
+  std::uint64_t worker_delay_ms = 0;
+
+  // Test hook, run at the worker per-(job, chunk) injection site whenever
+  // armed (independent of p_worker_delay). Lets tests block a batch on a
+  // condition they control — the deterministic stuck-batch scenario.
+  std::function<void(std::size_t chunk, std::size_t job_index)> worker_hook;
+};
+
+void set_chaos_plan(const ChaosPlan& plan);
+void clear_chaos_plan();
+bool chaos_armed();
+
+// RAII arm/clear for tests.
+class ScopedChaosPlan {
+ public:
+  explicit ScopedChaosPlan(const ChaosPlan& plan) { set_chaos_plan(plan); }
+  ~ScopedChaosPlan() { clear_chaos_plan(); }
+  ScopedChaosPlan(const ScopedChaosPlan&) = delete;
+  ScopedChaosPlan& operator=(const ScopedChaosPlan&) = delete;
+};
+
+// --- injection sites (called from socket/service/model_registry) ---------
+
+// Socket write verdict for one frame buffer of `len` bytes.
+struct ChaosSendFault {
+  std::uint64_t stall_ms = 0;   // sleep this long before writing
+  std::size_t fragment_at = 0;  // >0: send [0, fragment_at) then the rest
+  bool disconnect = false;      // send the fragment prefix, then shut down
+};
+ChaosSendFault chaos_send_fault(std::size_t len);
+
+// True when this publish build must fail with SnapshotError(kIo).
+bool chaos_registry_load_fails();
+
+// Runs the worker hook (if any) and sleeps the sampled worker delay.
+// Called once per (job, chunk) before sampling the part.
+void chaos_worker_chunk(std::size_t chunk, std::size_t job_index);
+
+}  // namespace netshare::serve

@@ -1,9 +1,44 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace netshare::serve {
+
+std::uint64_t retry_backoff_ms(const RetryPolicy& policy, std::size_t attempt,
+                               std::uint64_t retry_after_ms) {
+  const std::size_t shift =
+      std::min<std::size_t>(attempt > 0 ? attempt - 1 : 0, 20);
+  const std::uint64_t backoff =
+      std::min(policy.max_backoff_ms, policy.base_backoff_ms << shift);
+  // Uniform jitter over [backoff/2, backoff] decorrelates clients that shed
+  // together; counter-based draw keeps the schedule replayable.
+  const std::uint64_t lo = backoff / 2;
+  const std::uint64_t span = backoff - lo + 1;
+  const std::uint64_t wait = lo + mix_seed(policy.seed, attempt) % span;
+  return std::max(wait, retry_after_ms);
+}
+
+bool retryable(ErrorCode code) {
+  return code == ErrorCode::kOverloaded || code == ErrorCode::kRateLimited;
+}
+
+namespace {
+
+void retry_sleep(const RetryPolicy& policy, std::uint64_t ms) {
+  if (policy.sleep_fn) {
+    policy.sleep_fn(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+}  // namespace
 
 void ServeClient::PendingJob::on_chunk(std::size_t chunk_index,
                                        net::FlowTrace part) {
@@ -37,7 +72,7 @@ ClientResult ServeClient::PendingJob::wait() {
 
 std::shared_ptr<ServeClient::PendingJob> ServeClient::submit(
     const std::string& model_id, const std::string& tenant, std::size_t n,
-    std::uint64_t seed) {
+    std::uint64_t seed, std::uint64_t deadline_ms) {
   auto job = std::make_shared<PendingJob>();
   job->n_ = n;
   JobCallbacks cbs;
@@ -58,12 +93,13 @@ std::shared_ptr<ServeClient::PendingJob> ServeClient::submit(
     job->finish(std::move(r));
   };
   SubmitResult sr = service_->submit(
-      GenerateJob{model_id, tenant, n, seed}, std::move(cbs));
+      GenerateJob{model_id, tenant, n, seed, deadline_ms}, std::move(cbs));
   if (!sr.accepted) {
     ClientResult r;
     r.ok = false;
     r.code = sr.code;
     r.message = std::move(sr.message);
+    r.retry_after_ms = sr.retry_after_ms;
     job->finish(std::move(r));
   }
   return job;
@@ -71,8 +107,22 @@ std::shared_ptr<ServeClient::PendingJob> ServeClient::submit(
 
 ClientResult ServeClient::generate(const std::string& model_id,
                                    const std::string& tenant, std::size_t n,
-                                   std::uint64_t seed) {
-  return submit(model_id, tenant, n, seed)->wait();
+                                   std::uint64_t seed,
+                                   std::uint64_t deadline_ms) {
+  return submit(model_id, tenant, n, seed, deadline_ms)->wait();
+}
+
+ClientResult ServeClient::generate_with_retry(
+    const std::string& model_id, const std::string& tenant, std::size_t n,
+    std::uint64_t seed, const RetryPolicy& policy, std::uint64_t deadline_ms) {
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  ClientResult r;
+  for (std::size_t attempt = 1;; ++attempt) {
+    r = generate(model_id, tenant, n, seed, deadline_ms);
+    r.attempts = attempt;
+    if (r.ok || !retryable(r.code) || attempt >= attempts) return r;
+    retry_sleep(policy, retry_backoff_ms(policy, attempt, r.retry_after_ms));
+  }
 }
 
 }  // namespace netshare::serve

@@ -26,7 +26,34 @@ struct ClientResult {
   std::string message;
   net::FlowTrace trace;
   std::uint64_t model_version = 0;
+  std::uint32_t retry_after_ms = 0;  // server backoff hint on a typed shed
+  std::size_t attempts = 1;          // submissions consumed (retry paths)
 };
+
+// Client-side retry policy: jittered exponential backoff for transient
+// sheds (kOverloaded, kRateLimited and, on the socket path, lost
+// connections). Retrying the identical job is idempotent by construction —
+// service output is a pure function of (snapshot, config, seed) — so a
+// retry can only yield the same bytes, never a duplicate side effect.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;        // total attempts including the first
+  std::uint64_t base_backoff_ms = 50;  // doubles per failed attempt
+  std::uint64_t max_backoff_ms = 2000;
+  std::uint64_t seed = 0;  // jitter stream; vary per client for decorrelation
+  // Injectable sleep so tests advance a ManualClock instead of waiting;
+  // empty = real std::this_thread::sleep_for.
+  std::function<void(std::uint64_t ms)> sleep_fn;
+};
+
+// Wait before the retry that follows failure number `attempt` (1-based):
+// uniform in [b/2, b] for b = min(max_backoff, base_backoff << (attempt-1)),
+// raised to the server's retry-after hint when that is larger. Pure function
+// of (policy seed, attempt, hint) — tests replay schedules exactly.
+std::uint64_t retry_backoff_ms(const RetryPolicy& policy, std::size_t attempt,
+                               std::uint64_t retry_after_ms);
+
+// True for typed sheds where an identical resubmission may succeed.
+bool retryable(ErrorCode code);
 
 class ServeClient {
  public:
@@ -56,11 +83,21 @@ class ServeClient {
   // Non-blocking submit; a rejected job's handle is already settled.
   std::shared_ptr<PendingJob> submit(const std::string& model_id,
                                      const std::string& tenant, std::size_t n,
-                                     std::uint64_t seed);
+                                     std::uint64_t seed,
+                                     std::uint64_t deadline_ms = 0);
 
   // Blocking one-shot: submit + wait + merge.
   ClientResult generate(const std::string& model_id, const std::string& tenant,
-                        std::size_t n, std::uint64_t seed);
+                        std::size_t n, std::uint64_t seed,
+                        std::uint64_t deadline_ms = 0);
+
+  // generate() with retry on transient sheds, honoring the server's
+  // retry-after hint (see RetryPolicy).
+  ClientResult generate_with_retry(const std::string& model_id,
+                                   const std::string& tenant, std::size_t n,
+                                   std::uint64_t seed,
+                                   const RetryPolicy& policy,
+                                   std::uint64_t deadline_ms = 0);
 
  private:
   Service* service_;

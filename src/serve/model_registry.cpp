@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ml/serialize.hpp"
+#include "serve/chaos.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace netshare::serve {
@@ -119,6 +120,14 @@ std::uint64_t ModelRegistry::publish(const std::string& model_id,
   }
   // The expensive build (encoder fit + CRC-validated chunk restores) runs
   // outside the lock, so serving never stalls behind a publish.
+  // Chaos injection (DESIGN.md §14): a planned load fault surfaces exactly
+  // like a disk-level failure — typed, before anything installs, so the
+  // previously published version keeps serving.
+  if (chaos_registry_load_fails()) {
+    throw ml::SnapshotError(ml::SnapshotError::Kind::kIo,
+                            "chaos: injected snapshot load failure for '" +
+                                model_id + "'");
+  }
   auto model = std::make_shared<LoadedModel>(spec, snapshot_dir, version);
   {
     std::lock_guard<std::mutex> lock(mu_);

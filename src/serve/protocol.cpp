@@ -12,6 +12,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kDraining: return "draining";
     case ErrorCode::kModelNotFound: return "model-not-found";
     case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kRateLimited: return "rate-limited";
     case ErrorCode::kSnapshotIo: return "snapshot-io";
     case ErrorCode::kSnapshotTruncated: return "snapshot-truncated";
     case ErrorCode::kSnapshotBadMagic: return "snapshot-bad-magic";
@@ -195,6 +197,7 @@ void encode(const GenerateRequest& msg, std::vector<std::uint8_t>& out) {
   put_str(out, msg.tenant);
   put_u64(out, msg.n_flows);
   put_u64(out, msg.seed);
+  put_u64(out, msg.deadline_ms);
 }
 
 void encode(const StatsRequest& msg, std::vector<std::uint8_t>& out) {
@@ -254,6 +257,7 @@ void encode(const ErrorReply& msg, std::vector<std::uint8_t>& out) {
   put_u32(out, msg.request_id);
   put_u8(out, static_cast<std::uint8_t>(msg.code));
   put_str(out, msg.message);
+  put_u32(out, msg.retry_after_ms);
 }
 
 void encode(const StatsReply& msg, std::vector<std::uint8_t>& out) {
@@ -288,6 +292,7 @@ GenerateRequest decode_generate(const FrameBody& body) {
   msg.tenant = cur.str();
   msg.n_flows = cur.u64();
   msg.seed = cur.u64();
+  msg.deadline_ms = cur.u64();
   cur.done();
   return msg;
 }
@@ -345,6 +350,7 @@ ErrorReply decode_error(const FrameBody& body) {
   msg.request_id = cur.u32();
   msg.code = static_cast<ErrorCode>(cur.u8());
   msg.message = cur.str();
+  msg.retry_after_ms = cur.u32();
   cur.done();
   return msg;
 }
@@ -385,7 +391,7 @@ std::optional<FrameBody> FrameReader::next() {
   for (int i = 0; i < 4; ++i) {
     len |= std::uint32_t{buf_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
   }
-  if (len > kMaxFrame) {
+  if (len > max_frame_) {
     throw ProtocolError("frame length " + std::to_string(len) +
                         " exceeds limit");
   }

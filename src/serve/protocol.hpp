@@ -33,14 +33,16 @@ namespace netshare::serve {
 
 enum class MsgType : std::uint8_t {
   // Requests (client -> daemon).
-  kGenerate = 1,  // u32 id | str model_id | str tenant | u64 n_flows | u64 seed
+  kGenerate = 1,  // u32 id | str model_id | str tenant | u64 n_flows |
+                  // u64 seed | u64 deadline_ms (0 = none)
   kStats = 2,     // u32 id
   kPublish = 3,   // u32 id | str model_id | str snapshot_dir
 
   // Replies (daemon -> client).
   kChunk = 64,       // u32 id | u32 chunk_index | u32 count | count records
   kDone = 65,        // u32 id | u64 records | u64 model_version
-  kError = 66,       // u32 id | u8 ErrorCode | str message
+  kError = 66,       // u32 id | u8 ErrorCode | str message |
+                     // u32 retry_after_ms (0 = no hint)
   kStatsReply = 67,  // u32 id | str json
 };
 
@@ -53,6 +55,8 @@ enum class ErrorCode : std::uint8_t {
   kDraining = 2,       // daemon is shutting down; no new jobs
   kModelNotFound = 3,  // unknown model_id / nothing published yet
   kBadRequest = 4,     // malformed or empty request
+  kDeadlineExceeded = 5,  // the job's deadline passed before it finished
+  kRateLimited = 6,    // tenant over its rate cap; honor retry_after_ms
   kSnapshotIo = 16,
   kSnapshotTruncated = 17,
   kSnapshotBadMagic = 18,
@@ -80,6 +84,9 @@ struct GenerateRequest {
   std::string tenant;
   std::uint64_t n_flows = 0;
   std::uint64_t seed = 0;
+  // Relative deadline budget in milliseconds from admission; 0 = none (the
+  // service may still apply its configured default).
+  std::uint64_t deadline_ms = 0;
 };
 
 struct StatsRequest {
@@ -108,6 +115,9 @@ struct ErrorReply {
   std::uint32_t request_id = 0;
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
+  // For kRateLimited/kOverloaded: how long the client should back off
+  // before retrying (0 = no hint).
+  std::uint32_t retry_after_ms = 0;
 };
 
 struct StatsReply {
@@ -142,20 +152,27 @@ ErrorReply decode_error(const FrameBody& body);
 StatsReply decode_stats_reply(const FrameBody& body);
 
 // Incremental frame splitter for a byte stream: feed() arbitrary slices,
-// next() yields complete frame bodies in order. A length prefix above
-// kMaxFrame throws ProtocolError (a desynced or hostile peer, not a real
-// frame).
+// next() yields complete frame bodies in order. A length prefix above the
+// reader's bound throws ProtocolError (a desynced or hostile peer, not a
+// real frame). The bound defaults to kMaxFrame and is configurable per
+// reader (ServiceConfig::max_frame_bytes on accepted daemon connections).
 class FrameReader {
  public:
   static constexpr std::size_t kMaxFrame = 64u << 20;
 
+  explicit FrameReader(std::size_t max_frame = kMaxFrame)
+      : max_frame_(max_frame == 0 ? kMaxFrame : max_frame) {}
+
   void feed(const std::uint8_t* data, std::size_t len);
   std::optional<FrameBody> next();
+
+  std::size_t max_frame() const { return max_frame_; }
 
   // Bytes buffered but not yet returned (tests / diagnostics).
   std::size_t pending_bytes() const { return buf_.size() - pos_; }
 
  private:
+  std::size_t max_frame_;
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  // consumed prefix, compacted opportunistically
 };

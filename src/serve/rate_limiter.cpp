@@ -1,0 +1,97 @@
+#include "serve/rate_limiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netshare::serve {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst_seconds)
+    : rate_(rate_per_sec),
+      capacity_(std::max(1.0, rate_per_sec * std::max(0.0, burst_seconds))),
+      tokens_(capacity_) {}
+
+void TokenBucket::refill(std::uint64_t now_ms) {
+  if (unlimited()) return;
+  if (!primed_) {
+    last_refill_ms_ = now_ms;
+    primed_ = true;
+    return;
+  }
+  if (now_ms > last_refill_ms_) {
+    const double elapsed_s =
+        static_cast<double>(now_ms - last_refill_ms_) / 1000.0;
+    tokens_ = std::min(capacity_, tokens_ + elapsed_s * rate_);
+    last_refill_ms_ = now_ms;
+  }
+}
+
+bool TokenBucket::can_take(double cost, std::uint64_t* retry_after_ms) const {
+  if (unlimited()) return true;
+  // A cost above one full burst admits against a full bucket (the balance
+  // goes negative and later refills repay it); anything else waits for
+  // actual coverage.
+  const double need = std::min(cost, capacity_);
+  if (tokens_ >= need) return true;
+  if (retry_after_ms != nullptr) {
+    const double missing = need - tokens_;
+    *retry_after_ms = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(missing / rate_ * 1000.0)));
+  }
+  return false;
+}
+
+void TokenBucket::charge(double cost) {
+  if (!unlimited()) tokens_ -= cost;
+}
+
+bool TokenBucket::try_take(double cost, std::uint64_t now_ms,
+                           std::uint64_t* retry_after_ms) {
+  refill(now_ms);
+  if (!can_take(cost, retry_after_ms)) return false;
+  charge(cost);
+  return true;
+}
+
+TenantRateLimiter::TenantRateLimiter(RateLimitConfig config)
+    : config_(std::move(config)) {}
+
+const RateClass& TenantRateLimiter::class_for(
+    const std::string& tenant) const {
+  auto it = config_.per_tenant.find(tenant);
+  return it == config_.per_tenant.end() ? config_.default_class : it->second;
+}
+
+TenantRateLimiter::Verdict TenantRateLimiter::admit(const std::string& tenant,
+                                                    std::size_t records,
+                                                    std::uint64_t now_ms) {
+  const RateClass& cls = class_for(tenant);
+  if (cls.records_per_sec <= 0.0 && cls.jobs_per_sec <= 0.0) return {};
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    Buckets b;
+    b.records = TokenBucket(cls.records_per_sec, cls.burst_seconds);
+    b.jobs = TokenBucket(cls.jobs_per_sec, cls.burst_seconds);
+    it = buckets_.emplace(tenant, b).first;
+  }
+  Buckets& b = it->second;
+  b.records.refill(now_ms);
+  b.jobs.refill(now_ms);
+  // Check both before charging either: a job must not spend record tokens
+  // only to be shed by the job bucket (or vice versa). Sheds charge nothing.
+  std::uint64_t rec_wait = 0;
+  std::uint64_t job_wait = 0;
+  const bool rec_ok =
+      b.records.can_take(static_cast<double>(records), &rec_wait);
+  const bool job_ok = b.jobs.can_take(1.0, &job_wait);
+  if (!rec_ok || !job_ok) {
+    Verdict v;
+    v.allowed = false;
+    v.retry_after_ms = std::max(rec_wait, job_wait);
+    return v;
+  }
+  b.records.charge(static_cast<double>(records));
+  b.jobs.charge(1.0);
+  return {};
+}
+
+}  // namespace netshare::serve

@@ -1,0 +1,102 @@
+// Per-tenant token-bucket rate limiting over wall-clock windows
+// (DESIGN.md §14). Layered in FRONT of the DRR scheduler: DRR shares the
+// service's capacity fairly among whoever is queued, while these buckets cap
+// each tenant's absolute rate — records/s and jobs/s — independent of how
+// idle the rest of the fleet is. A shed is typed (kRateLimited) and carries
+// a retry-after hint computed from the bucket's refill rate, so a
+// well-behaved client backs off exactly as long as needed.
+//
+// Determinism: buckets read time exclusively through the injected monotonic
+// clock (common/clock.hpp), so every admit/shed decision is a pure function
+// of (config, submission sequence, clock readings) — tests step a
+// ManualClock and replay decisions exactly.
+//
+// Thread-safety: none here. The Service consults the limiter under its own
+// admission lock; the limiter is plain state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace netshare::serve {
+
+// Rate caps for one tenant class. A rate of 0 means uncapped on that axis.
+struct RateClass {
+  double records_per_sec = 0.0;
+  double jobs_per_sec = 0.0;
+  // Bucket capacity = rate * burst_seconds: how much of the cap a tenant
+  // may consume instantaneously after an idle spell.
+  double burst_seconds = 1.0;
+};
+
+struct RateLimitConfig {
+  RateClass default_class;                    // applies to unlisted tenants
+  std::map<std::string, RateClass> per_tenant;  // overrides by tenant name
+};
+
+// One token bucket. Admits a cost when the available tokens cover
+// min(cost, capacity) — a job larger than one full burst is admitted against
+// a full bucket and drives the balance negative, which later refills repay,
+// so the long-run rate stays capped without ever wedging oversized jobs.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst_seconds);
+
+  bool unlimited() const { return rate_ <= 0.0; }
+
+  // Credits tokens for the wall-clock elapsed since the last refill.
+  void refill(std::uint64_t now_ms);
+  // Affordability check (post-refill); on reject reports how long until the
+  // cost would be covered.
+  bool can_take(double cost, std::uint64_t* retry_after_ms) const;
+  // Deducts `cost`; may drive the balance negative (see class comment).
+  void charge(double cost);
+
+  // refill + can_take + charge in one step.
+  bool try_take(double cost, std::uint64_t now_ms,
+                std::uint64_t* retry_after_ms);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_ = 0.0;      // tokens per second
+  double capacity_ = 0.0;  // max tokens held
+  double tokens_ = 0.0;
+  std::uint64_t last_refill_ms_ = 0;
+  bool primed_ = false;  // first observation seeds last_refill_ms_
+};
+
+// The admission-side limiter: two buckets (records, jobs) per tenant,
+// created lazily from the tenant's class on first sight. Only tenants the
+// Service has ACCEPTED work from should reach here (the Service already
+// bounds per-tenant state creation to admitted tenants).
+class TenantRateLimiter {
+ public:
+  explicit TenantRateLimiter(RateLimitConfig config);
+
+  struct Verdict {
+    bool allowed = true;
+    std::uint64_t retry_after_ms = 0;  // meaningful only when !allowed
+  };
+
+  // Admission check for one job of `records` records at `now_ms`. Charges
+  // both buckets on admit; charges nothing on a shed. When both buckets
+  // reject, the hint is the larger wait (both must be satisfied).
+  Verdict admit(const std::string& tenant, std::size_t records,
+                std::uint64_t now_ms);
+
+  const RateClass& class_for(const std::string& tenant) const;
+
+ private:
+  struct Buckets {
+    TokenBucket records;
+    TokenBucket jobs;
+  };
+
+  RateLimitConfig config_;
+  std::map<std::string, Buckets> buckets_;
+};
+
+}  // namespace netshare::serve

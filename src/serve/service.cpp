@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/clock.hpp"
+#include "serve/chaos.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace netshare::serve {
@@ -19,6 +21,12 @@ ServiceConfig sanitize(ServiceConfig cfg) {
   // is at most n_flows records, so no kChunk reply can exceed kMaxFrame.
   cfg.max_flows_per_job = std::max<std::size_t>(
       1, std::min(cfg.max_flows_per_job, kMaxChunkRecords));
+  cfg.watchdog_poll_ms = std::max<std::uint64_t>(10, cfg.watchdog_poll_ms);
+  // Anything below one header + a small request is unusable; 0 keeps the
+  // protocol default (FrameReader maps 0 to kMaxFrame).
+  if (cfg.max_frame_bytes != 0) {
+    cfg.max_frame_bytes = std::max<std::size_t>(512, cfg.max_frame_bytes);
+  }
   return cfg;
 }
 
@@ -70,9 +78,16 @@ std::string to_json(const ServiceStatsSnapshot& stats) {
       << ",\"completed\":" << stats.completed
       << ",\"shed_overloaded\":" << stats.shed_overloaded
       << ",\"shed_draining\":" << stats.shed_draining
+      << ",\"shed_rate_limited\":" << stats.shed_rate_limited
       << ",\"rejected_other\":" << stats.rejected_other
-      << ",\"errors\":" << stats.errors << ",\"batches\":" << stats.batches
-      << ",\"coalesced_jobs\":" << stats.coalesced_jobs << ",\"tenants\":[";
+      << ",\"errors\":" << stats.errors
+      << ",\"deadline_exceeded\":" << stats.deadline_exceeded
+      << ",\"batches\":" << stats.batches
+      << ",\"coalesced_jobs\":" << stats.coalesced_jobs
+      << ",\"health\":{\"watchdog_stalls\":" << stats.watchdog_stalls
+      << ",\"progress_age_ms\":" << stats.progress_age_ms
+      << ",\"stalled\":" << (stats.stalled ? "true" : "false") << "}"
+      << ",\"tenants\":[";
   for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
     const TenantStatsSnapshot& t = stats.tenants[i];
     if (i) out << ',';
@@ -98,9 +113,15 @@ std::string to_json(const ServiceStatsSnapshot& stats) {
 }
 
 Service::Service(ModelRegistry& registry, ServiceConfig config)
-    : registry_(registry), config_(sanitize(config)) {
+    : registry_(registry),
+      config_(sanitize(config)),
+      rate_limiter_(config_.rate_limit) {
+  watchdog_progress_ms_ = mono_now_ms();
   pool_ = std::make_unique<ThreadPool>(config_.workers);
   scheduler_ = std::thread([this] { scheduler_loop(); });
+  if (config_.watchdog_stall_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 Service::~Service() {
@@ -111,7 +132,9 @@ Service::~Service() {
     stopping_ = true;
   }
   work_cv_.notify_all();
+  watchdog_cv_.notify_all();
   scheduler_.join();
+  if (watchdog_.joinable()) watchdog_.join();
   pool_.reset();  // joins sampling workers (queue already empty after drain)
 }
 
@@ -158,6 +181,23 @@ SubmitResult Service::submit(GenerateJob job, JobCallbacks callbacks) {
     return shed(rejected_other_, ErrorCode::kModelNotFound,
                 "no published model '" + job.model_id + "'");
   }
+  const std::uint64_t now_ms = mono_now_ms();
+  // Rate limiting sits ahead of the queue-occupancy sheds: an over-rate
+  // tenant is told kRateLimited (with a computed wait) even when the queue
+  // happens to have room, so the retry-after contract holds under light
+  // load too.
+  {
+    const TenantRateLimiter::Verdict v =
+        rate_limiter_.admit(job.tenant, job.n_flows, now_ms);
+    if (!v.allowed) {
+      TELEM_COUNT("serve.shed_rate_limited");
+      SubmitResult r = shed(shed_rate_limited_, ErrorCode::kRateLimited,
+                            "tenant '" + job.tenant + "' is over its rate cap");
+      r.retry_after_ms = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(v.retry_after_ms, 0xffffffffull));
+      return r;
+    }
+  }
   if (queued_ >= config_.queue_capacity) {
     TELEM_COUNT("serve.shed_overloaded");
     return shed(shed_overloaded_, ErrorCode::kOverloaded,
@@ -178,7 +218,11 @@ SubmitResult Service::submit(GenerateJob job, JobCallbacks callbacks) {
   p->job = std::move(job);
   p->callbacks = std::move(callbacks);
   p->model = std::move(model);
-  p->submitted_at = std::chrono::steady_clock::now();
+  p->submitted_at_ms = now_ms;
+  const std::uint64_t budget = p->job.deadline_ms != 0
+                                   ? p->job.deadline_ms
+                                   : config_.default_deadline_ms;
+  if (budget != 0) p->deadline_at_ms = now_ms + budget;
   known->queue.push_back(std::move(p));
   ++known->inflight;
   ++queued_;
@@ -206,6 +250,26 @@ void Service::scheduler_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (stopping_) return;
+    // Deadline enforcement at dequeue: expired queued jobs never reach a
+    // worker. Callbacks fire outside mu_ (the contract for all delivery),
+    // then accounting settles under it.
+    std::vector<PendingPtr> expired = reap_expired_locked(mono_now_ms());
+    if (!expired.empty()) {
+      lock.unlock();
+      for (const PendingPtr& p : expired) {
+        if (p->callbacks.on_error) {
+          p->callbacks.on_error(ErrorCode::kDeadlineExceeded,
+                                "deadline expired while queued");
+        }
+      }
+      lock.lock();
+      for (const PendingPtr& p : expired) {
+        finish_job_locked(*p, ErrorCode::kDeadlineExceeded, false, 0);
+      }
+      progress_seq_.fetch_add(1, std::memory_order_relaxed);
+      drain_cv_.notify_all();
+      continue;  // state changed; re-scan before blocking
+    }
     std::vector<PendingPtr> batch = next_batch_locked();
     if (batch.empty()) {
       work_cv_.wait(lock);
@@ -226,6 +290,25 @@ void Service::scheduler_loop() {
     pool_->submit([this, boxed] { run_batch(std::move(*boxed)); });
     lock.lock();
   }
+}
+
+std::vector<Service::PendingPtr> Service::reap_expired_locked(
+    std::uint64_t now_ms) {
+  std::vector<PendingPtr> expired;
+  for (auto& [name, t] : tenants_) {
+    for (auto it = t.queue.begin(); it != t.queue.end();) {
+      Pending& p = **it;
+      if (p.deadline_at_ms != 0 && now_ms >= p.deadline_at_ms) {
+        expired.push_back(std::move(*it));
+        it = t.queue.erase(it);
+        --queued_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!expired.empty()) TELEM_GAUGE_SET("serve.queue_depth", queued_);
+  return expired;
 }
 
 std::vector<Service::PendingPtr> Service::next_batch_locked() {
@@ -298,6 +381,7 @@ void Service::run_batch(std::vector<PendingPtr> batch) {
   std::vector<std::vector<std::size_t>> targets(batch.size());
   std::vector<std::uint64_t> records(batch.size(), 0);
   std::vector<char> failed(batch.size(), 0);
+  std::vector<ErrorCode> errcode(batch.size(), ErrorCode::kInternal);
   std::vector<std::string> errmsg(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     targets[i] = model.record_targets(batch[i]->job.n_flows);
@@ -315,15 +399,29 @@ void Service::run_batch(std::vector<PendingPtr> batch) {
         if (failed[i] || targets[i][c] == 0 || !model.has_chunk_model(c)) {
           continue;
         }
+        // Deadline enforcement between coalesced batch parts: a job whose
+        // budget ran out abandons its remaining chunks; its batch-mates are
+        // untouched (their bytes never depended on it).
+        const std::uint64_t dl = batch[i]->deadline_at_ms;
+        if (dl != 0 && mono_now_ms() >= dl) {
+          failed[i] = 1;
+          errcode[i] = ErrorCode::kDeadlineExceeded;
+          errmsg[i] = "deadline expired mid-batch at chunk " +
+                      std::to_string(c);
+          continue;
+        }
+        if (chaos_armed()) chaos_worker_chunk(c, i);
         try {
           model.sample_part(c, targets[i][c], batch[i]->job.seed, part);
           records[i] += part.records.size();
+          progress_seq_.fetch_add(1, std::memory_order_relaxed);
           if (!part.records.empty() && batch[i]->callbacks.on_chunk) {
             batch[i]->callbacks.on_chunk(c, std::move(part));
             part = net::FlowTrace{};
           }
         } catch (const std::exception& e) {
           failed[i] = 1;
+          errcode[i] = ErrorCode::kInternal;
           errmsg[i] = e.what();
         }
       }
@@ -332,14 +430,15 @@ void Service::run_batch(std::vector<PendingPtr> batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const JobCallbacks& cb = batch[i]->callbacks;
     if (failed[i]) {
-      if (cb.on_error) cb.on_error(ErrorCode::kInternal, errmsg[i]);
+      if (cb.on_error) cb.on_error(errcode[i], errmsg[i]);
     } else if (cb.on_done) {
       cb.on_done(records[i], model.version());
     }
   }
+  progress_seq_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    finish_job_locked(*batch[i], failed[i] == 0, records[i]);
+    finish_job_locked(*batch[i], errcode[i], failed[i] == 0, records[i]);
   }
   busy_models_.erase(&model);
   running_ -= batch.size();
@@ -347,27 +446,67 @@ void Service::run_batch(std::vector<PendingPtr> batch) {
   drain_cv_.notify_all();
 }
 
-void Service::finish_job_locked(const Pending& p, bool ok,
+void Service::finish_job_locked(const Pending& p, ErrorCode code, bool ok,
                                 std::uint64_t records) {
   Tenant& t = tenants_.find(p.job.tenant)->second;
   --t.inflight;
   if (!ok) {
-    ++errors_;
-    TELEM_COUNT("serve.jobs_failed");
+    if (code == ErrorCode::kDeadlineExceeded) {
+      ++deadline_exceeded_;
+      TELEM_COUNT("serve.deadline_exceeded");
+    } else {
+      ++errors_;
+      TELEM_COUNT("serve.jobs_failed");
+    }
     return;
   }
   ++t.completed;
   ++completed_;
   t.records += records;
   const double ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - p.submitted_at)
-          .count();
+      static_cast<double>(mono_now_ms() - p.submitted_at_ms);
   ++t.latency_hist[latency_bucket(ms)];
   t.latency_sum_ms += ms;
   ++t.latency_count;
   TELEM_COUNT("serve.jobs_completed");
   TELEM_HIST("serve.job_latency_ms", ms, 1, 10, 100, 1000, 10000);
+}
+
+void Service::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.watchdog_poll_ms));
+    if (stopping_) return;
+    const std::uint64_t now = mono_now_ms();
+    const std::uint64_t seq = progress_seq_.load(std::memory_order_relaxed);
+    if (seq != watchdog_seen_seq_) {
+      watchdog_seen_seq_ = seq;
+      watchdog_progress_ms_ = now;
+      stalled_ = false;
+    }
+    const bool busy = queued_ > 0 || running_ > 0;
+    progress_age_ms_ = busy && now > watchdog_progress_ms_
+                           ? now - watchdog_progress_ms_
+                           : 0;
+    if (!busy) {
+      // Idle is never a stall; restart the age window on the next job.
+      watchdog_progress_ms_ = now;
+      stalled_ = false;
+    } else if (progress_age_ms_ >= config_.watchdog_stall_ms && !stalled_) {
+      // One report per stall episode; the next progress bump rearms it.
+      stalled_ = true;
+      ++watchdog_stalls_;
+      TELEM_COUNT("serve.watchdog_stalls");
+      TELEM_DIAG(::netshare::telemetry::Severity::kWarn, "serve.watchdog",
+                 "no scheduler progress for %llu ms (queued=%zu running=%zu)",
+                 static_cast<unsigned long long>(progress_age_ms_), queued_,
+                 running_);
+    }
+    // Nudge the scheduler so queued jobs whose deadline has passed get
+    // reaped even when no submit/finish would otherwise wake it.
+    work_cv_.notify_all();
+  }
 }
 
 ServiceStatsSnapshot Service::stats() const {
@@ -381,10 +520,15 @@ ServiceStatsSnapshot Service::stats() const {
   s.completed = completed_;
   s.shed_overloaded = shed_overloaded_;
   s.shed_draining = shed_draining_;
+  s.shed_rate_limited = shed_rate_limited_;
   s.rejected_other = rejected_other_;
   s.errors = errors_;
+  s.deadline_exceeded = deadline_exceeded_;
   s.batches = batches_;
   s.coalesced_jobs = coalesced_jobs_;
+  s.watchdog_stalls = watchdog_stalls_;
+  s.progress_age_ms = progress_age_ms_;
+  s.stalled = stalled_;
   s.tenants.reserve(rr_order_.size());
   for (const std::string& name : rr_order_) {
     const Tenant& t = tenants_.find(name)->second;

@@ -26,6 +26,7 @@
 // against a serial one-job-at-a-time oracle.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -42,6 +43,7 @@
 #include "common/thread_pool.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/protocol.hpp"
+#include "serve/rate_limiter.hpp"
 
 namespace netshare::serve {
 
@@ -56,6 +58,28 @@ struct ServiceConfig {
   // keeps every kChunk reply frame under FrameReader::kMaxFrame; sanitize
   // clamps it to kMaxChunkRecords.
   std::size_t max_flows_per_job = 1u << 20;
+
+  // --- resilience (DESIGN.md §14) ---
+  // Deadline applied to jobs that do not carry one on the wire; 0 = none.
+  // Expired jobs fail typed (kDeadlineExceeded): queued jobs are reaped at
+  // dequeue, running jobs abandon remaining chunk parts between parts.
+  std::uint64_t default_deadline_ms = 0;
+  // Per-tenant token buckets consulted at admission, ahead of the DRR
+  // scheduler (kRateLimited + retry-after hint on shed).
+  RateLimitConfig rate_limit;
+  // Scheduler watchdog: reports a stall when jobs are queued or running but
+  // no chunk part has been exported for watchdog_stall_ms (0 disables). Each
+  // poll also nudges the scheduler so queued expired jobs get reaped even
+  // with no new traffic.
+  std::uint64_t watchdog_poll_ms = 200;
+  std::uint64_t watchdog_stall_ms = 10000;
+  // SO_SNDTIMEO on accepted daemon connections: a reply write blocked this
+  // long (stuck reader) fails and drops the connection.
+  std::uint64_t socket_send_timeout_ms = 30000;
+  // Frame-size bound applied to bytes arriving at the daemon (requests are
+  // small; replies are bounded separately via kMaxChunkRecords). 0 = the
+  // protocol default FrameReader::kMaxFrame.
+  std::size_t max_frame_bytes = 0;
 };
 
 struct GenerateJob {
@@ -63,6 +87,8 @@ struct GenerateJob {
   std::string tenant;
   std::size_t n_flows = 0;
   std::uint64_t seed = 0;
+  // Relative deadline budget from admission; 0 = use the config default.
+  std::uint64_t deadline_ms = 0;
 };
 
 // Per-job result delivery, invoked from worker threads (never under the
@@ -81,6 +107,9 @@ struct SubmitResult {
   bool accepted = false;
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
+  // kRateLimited sheds: how long until the tenant's buckets would admit the
+  // job (0 = no hint).
+  std::uint32_t retry_after_ms = 0;
 };
 
 // Latency histogram bucket upper edges in milliseconds (last bucket is
@@ -110,10 +139,16 @@ struct ServiceStatsSnapshot {
   std::uint64_t completed = 0;
   std::uint64_t shed_overloaded = 0;
   std::uint64_t shed_draining = 0;
+  std::uint64_t shed_rate_limited = 0;  // kRateLimited admission sheds
   std::uint64_t rejected_other = 0;  // ModelNotFound / BadRequest
   std::uint64_t errors = 0;          // jobs that failed in execution
+  std::uint64_t deadline_exceeded = 0;  // accepted jobs whose deadline passed
   std::uint64_t batches = 0;
   std::uint64_t coalesced_jobs = 0;  // jobs that shared a batch with others
+  // health (watchdog view; see ServiceConfig::watchdog_stall_ms)
+  std::uint64_t watchdog_stalls = 0;   // distinct stall episodes reported
+  std::uint64_t progress_age_ms = 0;   // time since last progress while busy
+  bool stalled = false;                // currently inside a stall episode
   std::vector<TenantStatsSnapshot> tenants;
 };
 
@@ -151,12 +186,17 @@ class Service {
 
   ServiceStatsSnapshot stats() const;
 
+  // Socket-layer knobs live in ServiceConfig so one struct configures the
+  // whole daemon; SocketServer reads them through here.
+  const ServiceConfig& config() const { return config_; }
+
  private:
   struct Pending {
     GenerateJob job;
     JobCallbacks callbacks;
     std::shared_ptr<LoadedModel> model;
-    std::chrono::steady_clock::time_point submitted_at;
+    std::uint64_t submitted_at_ms = 0;  // injected monotonic clock
+    std::uint64_t deadline_at_ms = 0;   // absolute; 0 = no deadline
   };
   using PendingPtr = std::unique_ptr<Pending>;
 
@@ -177,6 +217,11 @@ class Service {
   };
 
   void scheduler_loop();
+  void watchdog_loop();
+  // Removes every queued job whose deadline has passed (deadline enforcement
+  // at dequeue). Callbacks fire outside the lock; the caller then settles
+  // accounting via finish_job_locked.
+  std::vector<PendingPtr> reap_expired_locked(std::uint64_t now_ms);
   // Forms one batch under the lock; empty only when nothing is dispatchable
   // (queues empty, or every queued model is busy). A queued job on an idle
   // model that merely lacks DRR credit never yields an empty batch: the
@@ -184,7 +229,8 @@ class Service {
   // makes one head affordable, so at most two scans dispatch it.
   std::vector<PendingPtr> next_batch_locked();
   void run_batch(std::vector<PendingPtr> batch);
-  void finish_job_locked(const Pending& p, bool ok, std::uint64_t records);
+  void finish_job_locked(const Pending& p, ErrorCode code, bool ok,
+                         std::uint64_t records);
 
   ModelRegistry& registry_;
   const ServiceConfig config_;
@@ -192,6 +238,7 @@ class Service {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // scheduler: new work / model freed
   std::condition_variable drain_cv_;  // drain(): all jobs settled
+  std::condition_variable watchdog_cv_;  // watchdog: poll pacing / stop
   bool draining_ = false;
   bool stopping_ = false;
 
@@ -201,22 +248,36 @@ class Service {
   std::set<const LoadedModel*> busy_models_;
   std::size_t queued_ = 0;
   std::size_t running_ = 0;
+  TenantRateLimiter rate_limiter_;  // consulted under mu_ at admission
 
   // global stats
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t shed_overloaded_ = 0;
   std::uint64_t shed_draining_ = 0;
+  std::uint64_t shed_rate_limited_ = 0;
   std::uint64_t rejected_other_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t coalesced_jobs_ = 0;
+
+  // Progress heartbeat: bumped (without mu_) on every exported chunk part
+  // and every settled job; the watchdog compares it across polls.
+  std::atomic<std::uint64_t> progress_seq_{0};
+  // Watchdog bookkeeping (under mu_).
+  std::uint64_t watchdog_seen_seq_ = 0;
+  std::uint64_t watchdog_progress_ms_ = 0;
+  std::uint64_t watchdog_stalls_ = 0;
+  std::uint64_t progress_age_ms_ = 0;
+  bool stalled_ = false;
 
   // Workers before scheduler in declaration order is irrelevant for
   // construction but destruction runs ~Service explicitly (stop + join)
   // before members die, so order here is not load-bearing.
   std::unique_ptr<ThreadPool> pool_;
   std::thread scheduler_;
+  std::thread watchdog_;
 };
 
 }  // namespace netshare::serve

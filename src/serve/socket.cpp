@@ -6,14 +6,18 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iterator>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "ml/serialize.hpp"
+#include "serve/chaos.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace netshare::serve {
@@ -58,6 +62,8 @@ struct SocketServer::Conn {
   std::atomic<bool> closed{false};
   FrameReader reader;
 
+  explicit Conn(std::size_t max_frame) : reader(max_frame) {}
+
   // The fd closes with the last reference. Workers inside send() hold one
   // (via the callback's shared_ptr), so teardown can never race an
   // in-flight send against fd reuse.
@@ -68,6 +74,30 @@ struct SocketServer::Conn {
   void write_frame(const std::vector<std::uint8_t>& bytes) {
     std::lock_guard<std::mutex> lock(write_mu);
     if (closed.load(std::memory_order_relaxed)) return;
+    if (chaos_armed()) {
+      // Holding write_mu through a chaos stall is the point: a slow reader
+      // backs up every writer on this connection, exactly as SO_SNDTIMEO
+      // backpressure would.
+      const ChaosSendFault fault = chaos_send_fault(bytes.size());
+      if (fault.stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.stall_ms));
+      }
+      if (fault.disconnect) {
+        if (fault.fragment_at > 0) {
+          send_exact(fd, bytes.data(), fault.fragment_at);
+        }
+        close_now();  // peer is left holding a partial frame
+        return;
+      }
+      if (fault.fragment_at > 0 && fault.fragment_at < bytes.size()) {
+        if (!send_exact(fd, bytes.data(), fault.fragment_at) ||
+            !send_exact(fd, bytes.data() + fault.fragment_at,
+                        bytes.size() - fault.fragment_at)) {
+          close_now();
+        }
+        return;
+      }
+    }
     // A failed send (peer gone, or send-timeout backpressure) shuts the
     // socket down, which also lands the event loop on its drop path.
     if (!send_exact(fd, bytes.data(), bytes.size())) close_now();
@@ -150,11 +180,16 @@ void SocketServer::event_loop() {
         // Bound reply writes: a client that connects and then never reads
         // must not pin a sampling worker in send() indefinitely — after
         // this timeout the send fails and the connection is torn down.
+        const std::uint64_t timeout_ms =
+            service_->config().socket_send_timeout_ms;
         timeval send_timeout{};
-        send_timeout.tv_sec = 30;
+        send_timeout.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+        send_timeout.tv_usec =
+            static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
                      sizeof(send_timeout));
-        auto conn = std::make_shared<Conn>();
+        auto conn =
+            std::make_shared<Conn>(service_->config().max_frame_bytes);
         conn->fd = fd;
         local.push_back(conn);
         std::lock_guard<std::mutex> lock(conns_mu_);
@@ -227,11 +262,14 @@ void SocketServer::handle_frame(const std::shared_ptr<Conn>& conn,
           conn->write_frame(bytes);
         };
         const SubmitResult sr = service_->submit(
-            GenerateJob{req.model_id, req.tenant, req.n_flows, req.seed},
+            GenerateJob{req.model_id, req.tenant, req.n_flows, req.seed,
+                        req.deadline_ms},
             std::move(cbs));
         if (!sr.accepted) {
           std::vector<std::uint8_t> bytes;
-          encode(ErrorReply{req.request_id, sr.code, sr.message}, bytes);
+          encode(ErrorReply{req.request_id, sr.code, sr.message,
+                            sr.retry_after_ms},
+                 bytes);
           conn->write_frame(bytes);
         }
         return;
@@ -297,8 +335,9 @@ void SocketServer::handle_frame(const std::shared_ptr<Conn>& conn,
 // SocketClient
 // ---------------------------------------------------------------------------
 
-SocketClient::SocketClient(const std::string& socket_path) {
-  const sockaddr_un addr = make_addr(socket_path);
+SocketClient::SocketClient(const std::string& socket_path)
+    : path_(socket_path) {
+  const sockaddr_un addr = make_addr(path_);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("socket(AF_UNIX) failed");
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
@@ -306,13 +345,34 @@ SocketClient::SocketClient(const std::string& socket_path) {
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("cannot connect to '" + socket_path +
+    throw std::runtime_error("cannot connect to '" + path_ +
                              "': " + std::strerror(err));
   }
 }
 
 SocketClient::~SocketClient() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  // Any buffered partial frame belongs to the dead stream.
+  reader_ = FrameReader{};
+}
+
+bool SocketClient::reconnect() {
+  disconnect();
+  const sockaddr_un addr = make_addr(path_);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
 }
 
 void SocketClient::send_all(const std::vector<std::uint8_t>& bytes) {
@@ -334,7 +394,8 @@ std::vector<std::uint8_t> SocketClient::read_frame() {
 
 ClientResult SocketClient::generate(const std::string& model_id,
                                     const std::string& tenant, std::size_t n,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed,
+                                    std::uint64_t deadline_ms) {
   const std::uint32_t id = next_request_id_++;
   GenerateRequest req;
   req.request_id = id;
@@ -342,6 +403,7 @@ ClientResult SocketClient::generate(const std::string& model_id,
   req.tenant = tenant;
   req.n_flows = n;
   req.seed = seed;
+  req.deadline_ms = deadline_ms;
   std::vector<std::uint8_t> bytes;
   encode(req, bytes);
   send_all(bytes);
@@ -379,10 +441,48 @@ ClientResult SocketClient::generate(const std::string& model_id,
         result.ok = false;
         result.code = reply.code;
         result.message = reply.message;
+        result.retry_after_ms = reply.retry_after_ms;
         return result;
       }
       default:
         continue;  // a pipelined reply for some other request
+    }
+  }
+}
+
+ClientResult SocketClient::generate_with_retry(
+    const std::string& model_id, const std::string& tenant, std::size_t n,
+    std::uint64_t seed, const RetryPolicy& policy, std::uint64_t deadline_ms) {
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  ClientResult r;
+  for (std::size_t attempt = 1;; ++attempt) {
+    r = ClientResult{};
+    r.attempts = attempt;
+    if (fd_ < 0 && !reconnect()) {
+      r.ok = false;
+      r.code = ErrorCode::kInternal;
+      r.message = "cannot reconnect to '" + path_ + "'";
+    } else {
+      try {
+        r = generate(model_id, tenant, n, seed, deadline_ms);
+        r.attempts = attempt;
+        if (r.ok || !retryable(r.code)) return r;
+      } catch (const std::runtime_error& e) {
+        // Transport loss mid-exchange: this stream may hold half a reply,
+        // so drop it and re-dial next attempt. Resubmitting the identical
+        // job is idempotent by the determinism contract.
+        disconnect();
+        r.ok = false;
+        r.code = ErrorCode::kInternal;
+        r.message = e.what();
+      }
+    }
+    if (attempt >= attempts) return r;
+    std::uint64_t wait = retry_backoff_ms(policy, attempt, r.retry_after_ms);
+    if (policy.sleep_fn) {
+      policy.sleep_fn(wait);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
     }
   }
 }

@@ -73,9 +73,22 @@ class SocketClient {
   SocketClient& operator=(const SocketClient&) = delete;
 
   // Sends a generate request and blocks until its kDone/kError, merging the
-  // streamed chunk parts exactly like ServeClient.
+  // streamed chunk parts exactly like ServeClient. Throws
+  // std::runtime_error when the connection is lost mid-exchange.
   ClientResult generate(const std::string& model_id, const std::string& tenant,
-                        std::size_t n, std::uint64_t seed);
+                        std::size_t n, std::uint64_t seed,
+                        std::uint64_t deadline_ms = 0);
+
+  // generate() with jittered-exponential-backoff retry on transient sheds
+  // AND on transport loss: a dead connection is dropped and re-dialed on
+  // the next attempt (resubmission is idempotent — service output is a pure
+  // function of (snapshot, config, seed)). Never throws on connection loss;
+  // an exhausted budget surfaces the last failure as a ClientResult.
+  ClientResult generate_with_retry(const std::string& model_id,
+                                   const std::string& tenant, std::size_t n,
+                                   std::uint64_t seed,
+                                   const RetryPolicy& policy,
+                                   std::uint64_t deadline_ms = 0);
 
   // Publishes a snapshot directory; ok carries the new version in
   // model_version. A rejected publish surfaces the typed snapshot-corruption
@@ -89,7 +102,10 @@ class SocketClient {
  private:
   void send_all(const std::vector<std::uint8_t>& bytes);
   std::vector<std::uint8_t> read_frame();  // blocks; throws on EOF
+  void disconnect();  // close + reset framing state
+  bool reconnect();   // re-dial path_; false when the daemon is unreachable
 
+  std::string path_;
   int fd_ = -1;
   FrameReader reader_;
   std::uint32_t next_request_id_ = 1;

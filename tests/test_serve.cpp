@@ -7,32 +7,24 @@
 // worker count and under any coalescing.
 #include <gtest/gtest.h>
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "core/netshare.hpp"
-#include "datagen/presets.hpp"
 #include "ml/serialize.hpp"
-#include "serve/client.hpp"
-#include "serve/model_registry.hpp"
 #include "serve/protocol.hpp"
-#include "serve/service.hpp"
-#include "serve/socket.hpp"
+#include "serve_test_util.hpp"
 
 namespace netshare {
 namespace {
 
 namespace fs = std::filesystem;
 using namespace serve;
+using namespace serve_test;
 
 // ---------------------------------------------------------------------------
 // Wire protocol.
@@ -65,6 +57,7 @@ TEST(ServeProtocol, GenerateRequestRoundTrip) {
   req.tenant = "acme";
   req.n_flows = 12345;
   req.seed = 0xdeadbeefcafef00dull;
+  req.deadline_ms = 2500;
   std::vector<std::uint8_t> bytes;
   encode(req, bytes);
 
@@ -79,6 +72,7 @@ TEST(ServeProtocol, GenerateRequestRoundTrip) {
   EXPECT_EQ(out.tenant, req.tenant);
   EXPECT_EQ(out.n_flows, req.n_flows);
   EXPECT_EQ(out.seed, req.seed);
+  EXPECT_EQ(out.deadline_ms, req.deadline_ms);
   EXPECT_FALSE(reader.next().has_value());
   EXPECT_EQ(reader.pending_bytes(), 0u);
 }
@@ -102,7 +96,7 @@ TEST(ServeProtocol, ChunkReplyRoundTripPreservesRecordsBitwise) {
 TEST(ServeProtocol, AllReplyTypesRoundTrip) {
   std::vector<std::uint8_t> bytes;
   encode(DoneReply{4, 500, 3}, bytes);
-  encode(ErrorReply{5, ErrorCode::kOverloaded, "queue full"}, bytes);
+  encode(ErrorReply{5, ErrorCode::kOverloaded, "queue full", 750}, bytes);
   encode(StatsReply{6, "{\"queue_depth\":0}"}, bytes);
   encode(PublishRequest{7, "m", "/tmp/snaps"}, bytes);
   encode(StatsRequest{8}, bytes);
@@ -117,6 +111,7 @@ TEST(ServeProtocol, AllReplyTypesRoundTrip) {
   EXPECT_EQ(err.request_id, 5u);
   EXPECT_EQ(err.code, ErrorCode::kOverloaded);
   EXPECT_EQ(err.message, "queue full");
+  EXPECT_EQ(err.retry_after_ms, 750u);
   const StatsReply stats = decode_stats_reply(*reader.next());
   EXPECT_EQ(stats.request_id, 6u);
   EXPECT_EQ(stats.json, "{\"queue_depth\":0}");
@@ -219,80 +214,8 @@ TEST(ServeProtocol, SnapshotErrorKindsMapOneToOne) {
 }
 
 // ---------------------------------------------------------------------------
-// Shared serving fixture: one tiny trained model, snapshotted to disk.
-// ---------------------------------------------------------------------------
-
-gan::DgConfig tiny_dg() {
-  gan::DgConfig dg;
-  dg.attr_noise_dim = 4;
-  dg.feat_noise_dim = 4;
-  dg.attr_hidden = {16};
-  dg.rnn_hidden = 16;
-  dg.disc_hidden = {24};
-  dg.aux_hidden = {12};
-  dg.batch_size = 16;
-  return dg;
-}
-
-core::NetShareConfig tiny_config() {
-  core::NetShareConfig cfg;
-  cfg.use_ip2vec_ports = false;
-  cfg.num_chunks = 3;
-  cfg.seed_iterations = 4;
-  cfg.finetune_iterations = 2;
-  cfg.threads = 4;
-  cfg.dg = tiny_dg();
-  return cfg;
-}
-
-const net::FlowTrace& reference_flows() {
-  static const net::FlowTrace* trace = new net::FlowTrace(
-      datagen::make_dataset(datagen::DatasetId::kCidds, 250, 22).flows);
-  return *trace;
-}
-
-// One offline-trained NetShare whose checkpoint files every serving test
-// loads. Kept alive as the offline oracle for generate_flows identity.
-struct TrainedModel {
-  std::string dir;
-  core::NetShareConfig config;
-  std::unique_ptr<core::NetShare> model;
-};
-
-TrainedModel train_snapshot(std::uint64_t config_seed) {
-  TrainedModel t;
-  t.dir = (fs::temp_directory_path() /
-           ("netshare_serve_" + std::to_string(::getpid()) + "_" +
-            std::to_string(config_seed)))
-              .string();
-  fs::create_directories(t.dir);
-  t.config = tiny_config();
-  t.config.seed = config_seed;
-  t.config.checkpoint_dir = t.dir;
-  t.model = std::make_unique<core::NetShare>(t.config, nullptr);
-  t.model->fit(reference_flows());
-  return t;
-}
-
-// Snapshot A/B: same shapes, different weights (training seed differs).
-TrainedModel& snapshot_a() {
-  static TrainedModel* t = new TrainedModel(train_snapshot(42));
-  return *t;
-}
-TrainedModel& snapshot_b() {
-  static TrainedModel* t = new TrainedModel(train_snapshot(43));
-  return *t;
-}
-
-ModelSpec spec_for(const TrainedModel& t) {
-  ModelSpec spec;
-  spec.config = t.config;
-  spec.reference = reference_flows();
-  return spec;
-}
-
-// ---------------------------------------------------------------------------
 // Model registry: snapshot loading, corruption taxonomy, hot-swap.
+// (Shared fixture — tiny model, snapshots, harnesses — in serve_test_util.hpp.)
 // ---------------------------------------------------------------------------
 
 TEST(ServeRegistry, PublishedModelMatchesOfflineGenerateFlowsBitwise) {
@@ -326,21 +249,6 @@ TEST(ServeRegistry, AcquireUnknownOrUnpublishedReturnsNull) {
   EXPECT_EQ(registry.acquire("m"), nullptr);  // defined but never published
   EXPECT_THROW(registry.publish("ghost", snapshot_a().dir),
                std::invalid_argument);
-}
-
-// Corrupts one byte of the file at `offset` (negative: from the end).
-void flip_byte(const std::string& path, std::ptrdiff_t offset) {
-  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
-  ASSERT_TRUE(f) << path;
-  f.seekg(0, std::ios::end);
-  const std::ptrdiff_t size = f.tellg();
-  const std::ptrdiff_t pos = offset >= 0 ? offset : size + offset;
-  f.seekg(pos);
-  char b = 0;
-  f.read(&b, 1);
-  b = static_cast<char>(b ^ 0x5a);
-  f.seekp(pos);
-  f.write(&b, 1);
 }
 
 TEST(ServeRegistry, PublishRejectsCorruptSnapshotsWithTypedKinds) {
@@ -457,18 +365,6 @@ TEST(ServeRegistry, ConcurrentPublishesNeverRegressTheVersion) {
 // ---------------------------------------------------------------------------
 // Service: determinism under coalescing and concurrency.
 // ---------------------------------------------------------------------------
-
-struct ServiceHarness {
-  explicit ServiceHarness(ServiceConfig cfg = {}) {
-    registry.define("m", spec_for(snapshot_a()));
-    registry.publish("m", snapshot_a().dir);
-    service = std::make_unique<Service>(registry, cfg);
-    client = std::make_unique<ServeClient>(*service);
-  }
-  ModelRegistry registry;
-  std::unique_ptr<Service> service;
-  std::unique_ptr<ServeClient> client;
-};
 
 struct JobSpec {
   std::string tenant;
@@ -850,19 +746,6 @@ TEST(ServeService, StatsJsonCarriesTheOpsSurface) {
 // ---------------------------------------------------------------------------
 // Socket transport.
 // ---------------------------------------------------------------------------
-
-struct SocketHarness : ServiceHarness {
-  SocketHarness() {
-    path = "/tmp/netshare_serve_test_" + std::to_string(::getpid()) + ".sock";
-    server = std::make_unique<SocketServer>(*service, registry, path);
-  }
-  ~SocketHarness() {
-    server->stop();
-    std::remove(path.c_str());
-  }
-  std::string path;
-  std::unique_ptr<SocketServer> server;
-};
 
 TEST(ServeSocket, GenerateOverTheWireBitwiseEqualsInProcess) {
   SocketHarness h;

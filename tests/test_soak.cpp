@@ -1,0 +1,205 @@
+// Chaos soak for the generation daemon (DESIGN.md §14): a multi-tenant
+// retrying workload over the socket transport with the full deterministic
+// fault plan armed — fragmented and aborted reply writes, slow-reader
+// stalls, injected snapshot-load failures under a concurrent republisher,
+// and worker delays — while some jobs carry tight deadlines and every
+// tenant is rate-limited.
+//
+// The assertions are schedule-independent (thread interleaving decides
+// WHICH job a fault hits, not what faults exist — see chaos.hpp):
+//   1. No hangs: the run finishes (ctest enforces the wall-clock TIMEOUT).
+//   2. Every failure is typed: a shed, a deadline, or a transport loss —
+//      never a malformed reply, a wrong-job payload, or an untyped error.
+//   3. Every success is bitwise correct: the merged trace equals the
+//      offline LoadedModel::generate oracle for that job's (n, seed),
+//      no matter how many retries or hot-swaps happened around it.
+//
+// Not labeled tier1: run via `ctest -L soak` or scripts/run_soak, which
+// repeats it under asan and tsan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/chaos.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+#include "serve_test_util.hpp"
+
+namespace netshare::serve {
+namespace {
+
+using namespace serve_test;
+
+struct SoakOutcome {
+  std::string tenant;
+  std::size_t n = 0;
+  std::uint64_t seed = 0;
+  ClientResult result;
+};
+
+TEST(Soak, ChaosWorkloadNoHangsTypedFailuresBitwiseSuccesses) {
+  ServiceConfig cfg;
+  cfg.workers = 3;
+  // Tight enough that sheds actually happen under the burst, loose enough
+  // that retries drain the backlog.
+  cfg.rate_limit.default_class.jobs_per_sec = 40.0;
+  cfg.rate_limit.default_class.burst_seconds = 0.5;
+  SocketHarness h(cfg);
+
+  // Offline oracle per (n, seed): pure function of the published snapshot.
+  // The republisher below re-publishes the SAME snapshot directory, so a
+  // mid-run hot-swap changes the serving version but never the bytes.
+  auto oracle_model = h.registry.acquire("m");
+  ASSERT_NE(oracle_model, nullptr);
+  std::map<std::pair<std::size_t, std::uint64_t>, net::FlowTrace> oracle;
+  for (std::size_t v = 0; v < 4; ++v) {
+    const std::size_t n = 30 + 20 * v;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      oracle[{n, seed}] = oracle_model->generate(n, seed);
+    }
+  }
+
+  ChaosPlan plan;
+  plan.seed = 2026;
+  plan.p_send_short_write = 0.25;
+  plan.p_send_disconnect = 0.05;
+  plan.p_send_stall = 0.05;
+  plan.send_stall_ms = 5;
+  plan.p_registry_load_fail = 0.4;
+  plan.p_worker_delay = 0.2;
+  plan.worker_delay_ms = 5;
+  ScopedChaosPlan chaos(plan);
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 25;
+  const std::vector<std::string> tenants = {"alpha", "beta", "gamma"};
+
+  std::mutex out_mu;
+  std::vector<SoakOutcome> outcomes;
+  std::atomic<bool> publishing{true};
+
+  // Concurrent republisher: hammers publish over the wire while jobs run.
+  // Under p_registry_load_fail each build either installs the identical
+  // snapshot or fails typed before touching what serves.
+  std::thread republisher([&] {
+    auto pub = std::make_unique<SocketClient>(h.path);
+    std::size_t published = 0, failed = 0;
+    // Runs for the whole workload, then keeps going (bounded) until both a
+    // successful and an injected-failure publish have been observed, so the
+    // assertions below never depend on how fast the workers finished.
+    for (int iter = 0;
+         (publishing.load(std::memory_order_relaxed) || published == 0 ||
+          failed == 0) &&
+         iter < 500;
+         ++iter) {
+      try {
+        ClientResult r = pub->publish("m", snapshot_a().dir);
+        if (r.ok) {
+          ++published;
+        } else {
+          EXPECT_EQ(r.code, ErrorCode::kSnapshotIo) << r.message;
+          ++failed;
+        }
+      } catch (const std::runtime_error&) {
+        // Chaos killed this connection mid-publish; re-dial and go on.
+        pub = std::make_unique<SocketClient>(h.path);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GT(published, 0u);
+    EXPECT_GT(failed, 0u);
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      SocketClient client(h.path);
+      RetryPolicy pol;
+      pol.max_attempts = 6;
+      pol.base_backoff_ms = 5;
+      pol.max_backoff_ms = 100;
+      pol.seed = static_cast<std::uint64_t>(t) + 1;
+      std::vector<SoakOutcome> local;
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        SoakOutcome o;
+        o.tenant = tenants[static_cast<std::size_t>(t + j) % tenants.size()];
+        o.n = 30 + 20 * (static_cast<std::size_t>(j) % 4);
+        o.seed = 1 + (static_cast<std::uint64_t>(t * kJobsPerThread + j) % 8);
+        // Every 5th job carries a deadline tight enough that worker delays
+        // and queueing can legitimately expire it — that failure must then
+        // be typed kDeadlineExceeded, never a hang or a partial trace.
+        const std::uint64_t deadline_ms = j % 5 == 4 ? 40 : 0;
+        o.result = client.generate_with_retry("m", o.tenant, o.n, o.seed, pol,
+                                              deadline_ms);
+        local.push_back(std::move(o));
+      }
+      std::lock_guard<std::mutex> lock(out_mu);
+      for (auto& o : local) outcomes.push_back(std::move(o));
+    });
+  }
+  for (auto& w : workers) w.join();
+  publishing.store(false, std::memory_order_relaxed);
+  republisher.join();
+
+  std::size_t ok = 0, shed = 0, expired = 0, transport = 0;
+  for (const SoakOutcome& o : outcomes) {
+    if (o.result.ok) {
+      ++ok;
+      // Bitwise identity with the offline oracle: retries, coalescing,
+      // chaos and hot-swaps may reorder everything around the job but can
+      // never change its bytes.
+      EXPECT_EQ(o.result.trace.records, oracle.at({o.n, o.seed}).records)
+          << "tenant " << o.tenant << " n=" << o.n << " seed=" << o.seed;
+      continue;
+    }
+    switch (o.result.code) {
+      case ErrorCode::kRateLimited:
+      case ErrorCode::kOverloaded:
+        ++shed;
+        break;
+      case ErrorCode::kDeadlineExceeded:
+        ++expired;
+        break;
+      case ErrorCode::kInternal:
+        // Only transport loss is acceptable here — a sampling failure
+        // would also surface as kInternal but with a different message.
+        EXPECT_NE(o.result.message.find("connection"), std::string::npos)
+            << o.result.message;
+        ++transport;
+        break;
+      default:
+        ADD_FAILURE() << "untyped soak failure: " << o.result.message;
+    }
+  }
+  ASSERT_EQ(outcomes.size(),
+            static_cast<std::size_t>(kThreads * kJobsPerThread));
+  // The run must do real work: most jobs succeed despite the fault plan.
+  EXPECT_GT(ok, outcomes.size() / 2);
+  ::testing::Test::RecordProperty("soak_ok", static_cast<int>(ok));
+  ::testing::Test::RecordProperty("soak_shed", static_cast<int>(shed));
+  ::testing::Test::RecordProperty("soak_expired", static_cast<int>(expired));
+  ::testing::Test::RecordProperty("soak_transport",
+                                  static_cast<int>(transport));
+
+  // The service itself stayed coherent under fire. drain() is the barrier
+  // that settles the last jobs' accounting before the counters are read.
+  h.service->drain();
+  const ServiceStatsSnapshot s = h.service->stats();
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.running, 0u);
+  EXPECT_GE(s.completed, ok);  // dropped-reply jobs completed server-side too
+}
+
+}  // namespace
+}  // namespace netshare::serve
